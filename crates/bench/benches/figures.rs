@@ -1,0 +1,7 @@
+//! `cargo bench --bench figures` regenerates every table and figure of
+//! the paper's evaluation (printed to stdout; see EXPERIMENTS.md for the
+//! paper-vs-measured record).
+
+fn main() {
+    pm_bench::figures::run_all();
+}

@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks for the native substrates: these measure
+//! real host wall-clock for the from-scratch data structures and parsers
+//! (as opposed to the `figures` bench, which runs the simulated testbed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use packetmill::{ConfigGraph, Trace, TraceConfig, TrafficProfile};
+use std::hint::black_box;
+
+fn bench_checksum(c: &mut Criterion) {
+    use pm_packet::checksum::{checksum, update16};
+    let data: Vec<u8> = (0..1500u32).map(|i| i as u8).collect();
+    let mut g = c.benchmark_group("checksum");
+    g.bench_function("full_1500B", |b| {
+        b.iter(|| checksum(black_box(&data)));
+    });
+    g.bench_function("full_20B_header", |b| {
+        b.iter(|| checksum(black_box(&data[..20])));
+    });
+    g.bench_function("incremental_update16", |b| {
+        b.iter(|| update16(black_box(0x1234), black_box(0x4011), black_box(0x3f11)));
+    });
+    g.finish();
+}
+
+fn bench_lpm_trie(c: &mut Criterion) {
+    use pm_elements::trie::{RadixTrie, Route};
+    use pm_sim::SplitMix64;
+    let mut t = RadixTrie::new();
+    let mut rng = SplitMix64::new(7);
+    t.insert(0, 0, Route { port: 0, gateway: 0 });
+    for _ in 0..1_000 {
+        let p = rng.next_u32();
+        let len = 8 + (rng.next_u64() % 17) as u8;
+        t.insert(p, len, Route { port: (p % 4) as u16, gateway: 0 });
+    }
+    let ips: Vec<u32> = (0..1024).map(|_| rng.next_u32()).collect();
+    c.bench_function("lpm_trie_lookup_1k_routes", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(t.lookup(black_box(ips[i])))
+        });
+    });
+}
+
+fn bench_cuckoo(c: &mut Criterion) {
+    use pm_elements::cuckoo::CuckooHash;
+    use std::collections::HashMap;
+    let mut g = c.benchmark_group("flow_table");
+    let mut cuckoo: CuckooHash<u64, u64> = CuckooHash::new(16384);
+    let mut std_map: HashMap<u64, u64> = HashMap::new();
+    for k in 0..40_000u64 {
+        cuckoo.insert(k, k);
+        std_map.insert(k, k);
+    }
+    g.bench_function("cuckoo_lookup_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 40_000;
+            black_box(cuckoo.lookup(&black_box(k)))
+        });
+    });
+    g.bench_function("std_hashmap_lookup_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 40_000;
+            black_box(std_map.get(&black_box(k)).copied())
+        });
+    });
+    g.finish();
+}
+
+fn bench_toeplitz(c: &mut Criterion) {
+    use pm_nic::Toeplitz;
+    let t = Toeplitz::microsoft();
+    c.bench_function("toeplitz_v4_tuple", |b| {
+        b.iter(|| {
+            t.hash_v4_tuple(
+                black_box([66, 9, 149, 187]),
+                black_box([161, 142, 100, 80]),
+                black_box(2794),
+                black_box(1766),
+            )
+        });
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    use pm_mem::{AccessKind, MemoryHierarchy};
+    let mut m = MemoryHierarchy::skylake(1);
+    let mut addr = 0u64;
+    c.bench_function("cache_sim_access", |b| {
+        b.iter(|| {
+            addr = (addr + 64) & 0xff_ffff;
+            black_box(m.access(0, black_box(addr), 8, AccessKind::Load))
+        });
+    });
+}
+
+fn bench_config_parse(c: &mut Criterion) {
+    let router = packetmill::configs::router();
+    c.bench_function("click_config_parse_router", |b| {
+        b.iter(|| ConfigGraph::parse(black_box(&router)).unwrap());
+    });
+}
+
+fn bench_packet_builder(c: &mut Criterion) {
+    use pm_packet::builder::PacketBuilder;
+    c.bench_function("build_tcp_frame_1500B", |b| {
+        b.iter(|| {
+            PacketBuilder::tcp()
+                .src_ip(black_box([10, 0, 0, 1]))
+                .frame_len(1500)
+                .build()
+        });
+    });
+}
+
+fn bench_chaining_models(c: &mut Criterion) {
+    use pm_click::{BatchArena, LinkedBatch, VectorBatch};
+    let ids: Vec<u32> = (0..1024u32).collect();
+    let mut g = c.benchmark_group("chaining");
+    g.bench_function("vector_traverse_1k", |b| {
+        let batch = VectorBatch::from_ids(ids.clone());
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in batch.iter() {
+                acc = acc.wrapping_add(u64::from(black_box(id)));
+            }
+            acc
+        });
+    });
+    g.bench_function("linked_traverse_1k", |b| {
+        let mut arena = BatchArena::new(1024);
+        let batch = LinkedBatch::from_ids(&mut arena, &ids);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in batch.iter(&arena) {
+                acc = acc.wrapping_add(u64::from(black_box(id)));
+            }
+            acc
+        });
+    });
+    g.bench_function("linked_merge", |b| {
+        b.iter(|| {
+            let mut arena = BatchArena::new(2048);
+            let mut a = LinkedBatch::from_ids(&mut arena, &ids[..512]);
+            let x = LinkedBatch::from_ids(&mut arena, &ids[512..]);
+            a.merge(&mut arena, x);
+            black_box(a.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace_synthesis(c: &mut Criterion) {
+    c.bench_function("synthesize_campus_trace_1k", |b| {
+        b.iter(|| {
+            Trace::synthesize(&TraceConfig {
+                packets: 1_000,
+                flows: 128,
+                profile: TrafficProfile::CampusMix,
+                seed: black_box(1),
+                ..TraceConfig::default()
+            })
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_checksum,
+        bench_lpm_trie,
+        bench_cuckoo,
+        bench_toeplitz,
+        bench_cache_sim,
+        bench_config_parse,
+        bench_packet_builder,
+        bench_chaining_models,
+        bench_trace_synthesis
+);
+criterion_main!(micro);

@@ -1,0 +1,167 @@
+//! Ablation studies for the design choices DESIGN.md calls out — the
+//! knobs the paper discusses but does not sweep (§3.1 bullet list, §4.1
+//! "reordering contributes one third", the testbed's `IIO LLC WAYS`
+//! setting). Run with `cargo run --release -p pm-bench --bin ablations`.
+
+use packetmill::{
+    ExperimentBuilder, MempoolMode, MetaField, MetadataModel, MetadataSpec, Nf, OptLevel, Table,
+};
+
+const PACKETS: usize = 40_000;
+
+fn main() {
+    reorder_contribution();
+    ddio_ways();
+    burst_size();
+    pool_mode();
+    xchange_spec_width();
+    ring_size_latency();
+}
+
+/// §4.1: "Reordering contributes to one third of the improvements" of
+/// LTO. Compare vanilla vs vanilla+reorder vs all-source on the router.
+fn reorder_contribution() {
+    let mut t = Table::new(vec!["variant", "Mpps", "p50 lat (us)"]);
+    for (name, opt) in [
+        ("vanilla", OptLevel::Vanilla),
+        ("vanilla + reorder", OptLevel::Reorder),
+        ("all source opts", OptLevel::AllSource),
+        ("all + reorder (Full)", OptLevel::Full),
+    ] {
+        let m = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::Copying)
+            .optimization(opt)
+            .frequency_ghz(3.0)
+            .packets(PACKETS)
+            .run()
+            .expect(name);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", m.mpps),
+            format!("{:.0}", m.median_latency_us),
+        ]);
+    }
+    println!("== Ablation: struct reordering (router @3 GHz, Copying) ==\n\n{t}");
+}
+
+/// The testbed sets `IIO LLC WAYS` to widen DDIO. Sweep the DMA way
+/// partition and watch the router's miss rate and throughput.
+fn ddio_ways() {
+    let mut t = Table::new(vec!["ddio ways", "Gbps", "LLC miss (%)"]);
+    for ways in [1usize, 2, 4, 6, 8] {
+        let m = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .frequency_ghz(2.3)
+            .ddio_ways(ways)
+            .packets(PACKETS)
+            .run()
+            .expect("ddio run");
+        t.row(vec![
+            format!("{ways}"),
+            format!("{:.1}", m.throughput_gbps),
+            format!("{:.1}", m.llc_miss_pct),
+        ]);
+    }
+    println!("== Ablation: DDIO way partition (PacketMill router @2.3 GHz) ==\n\n{t}");
+}
+
+/// BURST is a constant the paper embeds; sweep it.
+fn burst_size() {
+    let mut t = Table::new(vec!["burst", "vanilla Gbps", "packetmill Gbps"]);
+    for burst in [4usize, 8, 16, 32, 64] {
+        let v = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::Copying)
+            .frequency_ghz(2.3)
+            .burst(burst)
+            .packets(PACKETS)
+            .run()
+            .expect("vanilla");
+        let p = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .frequency_ghz(2.3)
+            .burst(burst)
+            .packets(PACKETS)
+            .run()
+            .expect("packetmill");
+        t.row(vec![
+            format!("{burst}"),
+            format!("{:.1}", v.throughput_gbps),
+            format!("{:.1}", p.throughput_gbps),
+        ]);
+    }
+    println!("== Ablation: RX/TX burst size (router @2.3 GHz) ==\n\n{t}");
+}
+
+/// FIFO pool rings maximize reuse distance; a LIFO (per-core cache hit
+/// path) keeps buffers warm — quantifying the pool-cycling cost the
+/// paper attributes to the Copying model.
+fn pool_mode() {
+    let mut t = Table::new(vec!["pool order", "Gbps", "LLC loads (k/100ms)"]);
+    for (name, mode) in [("fifo (ring)", MempoolMode::Fifo), ("lifo (stack)", MempoolMode::Lifo)] {
+        let m = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::Copying)
+            .frequency_ghz(2.3)
+            .pool_mode(mode)
+            .packets(PACKETS)
+            .run()
+            .expect(name);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", m.throughput_gbps),
+            format!("{:.0}", m.llc_loads_per_100ms / 1e3),
+        ]);
+    }
+    println!("== Ablation: mempool recycling order (vanilla router @2.3 GHz) ==\n\n{t}");
+}
+
+/// X-Change lets the NF declare exactly the fields it needs; sweep the
+/// spec width from the two-field minimum to the full mbuf set.
+fn xchange_spec_width() {
+    let mut t = Table::new(vec!["spec", "fields", "Gbps @1.2 GHz, 128B"]);
+    for (name, spec) in [
+        ("minimal (l2fwd-xchg)", MetadataSpec::minimal()),
+        ("routing", MetadataSpec::routing()),
+        ("full rte_mbuf set", MetadataSpec::custom(MetaField::RX_FULL.to_vec())),
+    ] {
+        let fields = spec.len();
+        let m = ExperimentBuilder::new(Nf::Forwarder)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .frequency_ghz(1.2)
+            .traffic(packetmill::TrafficProfile::FixedSize(128))
+            .metadata_spec(spec)
+            .packets(PACKETS * 4)
+            .run()
+            .expect(name);
+        t.row(vec![
+            name.to_string(),
+            format!("{fields}"),
+            format!("{:.1}", m.throughput_gbps),
+        ]);
+    }
+    println!("== Ablation: X-Change metadata-spec width (forwarder @1.2 GHz) ==\n\n{t}");
+}
+
+/// The RX descriptor ring bounds the standing queue, trading drops for
+/// tail latency (the knee depth of Fig. 1).
+fn ring_size_latency() {
+    let mut t = Table::new(vec!["rx ring", "Gbps", "p50 (us)", "p99 (us)"]);
+    for ring in [256usize, 1024, 4096] {
+        let m = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::Copying)
+            .frequency_ghz(2.3)
+            .rx_ring(ring)
+            .packets(PACKETS)
+            .run()
+            .expect("ring run");
+        t.row(vec![
+            format!("{ring}"),
+            format!("{:.1}", m.throughput_gbps),
+            format!("{:.0}", m.median_latency_us),
+            format!("{:.0}", m.p99_latency_us),
+        ]);
+    }
+    println!("== Ablation: RX ring depth under overload (vanilla router @2.3 GHz) ==\n\n{t}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig1 artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig1`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig1());
+}

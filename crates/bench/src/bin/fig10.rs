@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig10`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig10());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11a artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig11a`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig11a());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11b artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig11b`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig11b());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4 artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig4`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig4());
+}

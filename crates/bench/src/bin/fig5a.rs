@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5a artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig5a`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig5a());
+}

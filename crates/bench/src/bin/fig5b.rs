@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5b artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig5b`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig5b());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig6`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig6());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 7 surfaces (N = 1 and N = 5). Run with
+//! `cargo run --release -p pm-bench --bin fig7`.
+
+fn main() {
+    println!("== N = 1 ==\n{}", pm_bench::figures::fig7(1));
+    println!("== N = 5 ==\n{}", pm_bench::figures::fig7(5));
+}

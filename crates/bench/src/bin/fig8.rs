@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8 artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig8`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig8());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 artifact. Run with
+//! `cargo run --release -p pm-bench --bin fig9`.
+
+fn main() {
+    println!("{}", pm_bench::figures::fig9());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 artifact. Run with
+//! `cargo run --release -p pm-bench --bin table1`.
+
+fn main() {
+    println!("{}", pm_bench::figures::table1());
+}

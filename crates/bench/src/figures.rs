@@ -1,0 +1,496 @@
+//! Figure/table generators.
+//!
+//! Every function reproduces one evaluation artifact of the paper. The
+//! workload, parameters, and reported series mirror §4; absolute numbers
+//! come from the simulated testbed, so the *shape* (orderings, factors,
+//! crossovers) is the claim, not the exact values. `EXPERIMENTS.md`
+//! records paper-vs-measured for each.
+
+use packetmill::{
+    BessEngine, Dataplane, ExperimentBuilder, L2Fwd, Measurement, MetadataModel, Nf, OptLevel,
+    Table, TrafficProfile, VppEngine,
+};
+
+/// Packets per data point (per NIC). Chosen so every figure regenerates
+/// in minutes while past the warm-up transients.
+const PACKETS: usize = 40_000;
+
+/// The frequency sweep used by Figs. 4, 5, and 8 (GHz).
+pub const FREQS: [f64; 7] = [1.2, 1.5, 1.8, 2.1, 2.3, 2.6, 3.0];
+
+/// Fixed-size sweeps drop most arrivals at small sizes; scale the run so
+/// the post-warm-up window still observes tens of thousands of packets.
+fn packets_for_size(size: usize) -> usize {
+    (PACKETS * 1472 / size).clamp(PACKETS, PACKETS * 16)
+}
+
+fn router(model: MetadataModel, opt: OptLevel, f: f64) -> ExperimentBuilder {
+    ExperimentBuilder::new(Nf::Router)
+        .metadata_model(model)
+        .optimization(opt)
+        .frequency_ghz(f)
+        .packets(PACKETS)
+}
+
+/// Figure 1: 99th-percentile latency vs throughput for the router on one
+/// 2.3-GHz core, vanilla FastClick vs full PacketMill, offered-load sweep.
+pub fn fig1() -> Table {
+    let mut t = Table::new(vec![
+        "offered (Gbps)",
+        "vanilla tput",
+        "vanilla p99 (us)",
+        "packetmill tput",
+        "packetmill p99 (us)",
+    ]);
+    for offered in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0] {
+        let v = router(MetadataModel::Copying, OptLevel::Vanilla, 2.3)
+            .offered_gbps(offered)
+            .run()
+            .expect("vanilla run");
+        let p = router(MetadataModel::XChange, OptLevel::AllSource, 2.3)
+            .offered_gbps(offered)
+            .run()
+            .expect("packetmill run");
+        t.row(vec![
+            format!("{offered:.0}"),
+            format!("{:.1}", v.throughput_gbps),
+            format!("{:.0}", v.p99_latency_us),
+            format!("{:.1}", p.throughput_gbps),
+            format!("{:.0}", p.p99_latency_us),
+        ]);
+    }
+    t
+}
+
+/// Figure 4: router throughput and median latency vs core frequency for
+/// the five source-optimization variants (Copying model).
+pub fn fig4() -> Table {
+    let variants = [
+        ("vanilla", OptLevel::Vanilla),
+        ("devirtualize", OptLevel::Devirtualize),
+        ("constants", OptLevel::ConstantEmbed),
+        ("static-graph", OptLevel::StaticGraph),
+        ("all", OptLevel::AllSource),
+    ];
+    let mut t = Table::new(vec![
+        "freq (GHz)",
+        "variant",
+        "Gbps",
+        "Mpps",
+        "p50 lat (us)",
+    ]);
+    for &f in &FREQS {
+        for (name, opt) in variants {
+            let m = router(MetadataModel::Copying, opt, f).run().expect(name);
+            t.row(vec![
+                format!("{f:.1}"),
+                name.to_string(),
+                format!("{:.1}", m.throughput_gbps),
+                format!("{:.2}", m.mpps),
+                format!("{:.0}", m.median_latency_us),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 1: micro-architectural metrics at 3 GHz for the five variants.
+pub fn table1() -> Table {
+    let variants = [
+        ("vanilla", OptLevel::Vanilla),
+        ("devirtualization", OptLevel::Devirtualize),
+        ("constant-embedding", OptLevel::ConstantEmbed),
+        ("static-graph", OptLevel::StaticGraph),
+        ("all", OptLevel::AllSource),
+    ];
+    let mut t = Table::new(vec![
+        "metric",
+        "vanilla",
+        "devirt",
+        "constants",
+        "static",
+        "all",
+    ]);
+    let ms: Vec<Measurement> = variants
+        .iter()
+        .map(|(name, opt)| {
+            router(MetadataModel::Copying, *opt, 3.0)
+                .run()
+                .expect(name)
+        })
+        .collect();
+    t.row_f64(
+        "LLC kilo loads / 100ms",
+        &ms.iter().map(|m| m.llc_loads_per_100ms / 1e3).collect::<Vec<_>>(),
+        0,
+    );
+    t.row_f64(
+        "LLC kilo load-misses / 100ms",
+        &ms.iter().map(|m| m.llc_misses_per_100ms / 1e3).collect::<Vec<_>>(),
+        1,
+    );
+    t.row_f64("IPC", &ms.iter().map(|m| m.ipc).collect::<Vec<_>>(), 2);
+    t.row_f64("Mpps", &ms.iter().map(|m| m.mpps).collect::<Vec<_>>(), 2);
+    t
+}
+
+/// Figure 5a: forwarder throughput vs frequency for the three metadata
+/// models (no source optimizations — isolating metadata management).
+pub fn fig5a() -> Table {
+    let mut t = Table::new(vec!["freq (GHz)", "copying", "overlaying", "x-change"]);
+    for &f in &FREQS {
+        let vals: Vec<f64> = [
+            MetadataModel::Copying,
+            MetadataModel::Overlaying,
+            MetadataModel::XChange,
+        ]
+        .iter()
+        .map(|&model| {
+            ExperimentBuilder::new(Nf::Forwarder)
+                .metadata_model(model)
+                .frequency_ghz(f)
+                .packets(PACKETS)
+                .run()
+                .expect("fig5a run")
+                .throughput_gbps
+        })
+        .collect();
+        t.row_f64(format!("{f:.1}"), &vals, 1);
+    }
+    t
+}
+
+/// Figure 5b: the same sweep with two 100-Gbps NICs polled by one core —
+/// total throughput exceeds 100 Gbps only under X-Change.
+pub fn fig5b() -> Table {
+    let mut t = Table::new(vec![
+        "freq (GHz)",
+        "copying total",
+        "overlaying total",
+        "x-change total",
+    ]);
+    for &f in &FREQS {
+        let vals: Vec<f64> = [
+            MetadataModel::Copying,
+            MetadataModel::Overlaying,
+            MetadataModel::XChange,
+        ]
+        .iter()
+        .map(|&model| {
+            ExperimentBuilder::new(Nf::Forwarder)
+                .metadata_model(model)
+                .frequency_ghz(f)
+                .nics(2)
+                .packets(PACKETS / 2)
+                .run()
+                .expect("fig5b run")
+                .throughput_gbps
+        })
+        .collect();
+        t.row_f64(format!("{f:.1}"), &vals, 1);
+    }
+    t
+}
+
+/// Packet sizes for the fixed-size sweeps (Figs. 6 and 11).
+pub const SIZES: [usize; 12] = [64, 128, 192, 320, 448, 576, 704, 832, 960, 1088, 1216, 1472];
+
+/// Figure 6: router @2.3 GHz, Gbps and Mpps vs fixed packet size,
+/// vanilla vs PacketMill.
+pub fn fig6() -> Table {
+    let mut t = Table::new(vec![
+        "size (B)",
+        "vanilla Gbps",
+        "vanilla Mpps",
+        "packetmill Gbps",
+        "packetmill Mpps",
+    ]);
+    for &size in &SIZES {
+        let v = router(MetadataModel::Copying, OptLevel::Vanilla, 2.3)
+            .traffic(TrafficProfile::FixedSize(size))
+            .packets(packets_for_size(size))
+            .run()
+            .expect("vanilla");
+        let p = router(MetadataModel::XChange, OptLevel::AllSource, 2.3)
+            .traffic(TrafficProfile::FixedSize(size))
+            .packets(packets_for_size(size))
+            .run()
+            .expect("packetmill");
+        t.row(vec![
+            format!("{size}"),
+            format!("{:.1}", v.throughput_gbps),
+            format!("{:.2}", v.mpps),
+            format!("{:.1}", p.throughput_gbps),
+            format!("{:.2}", p.mpps),
+        ]);
+    }
+    t
+}
+
+/// Figure 7: PacketMill's improvement (%) over vanilla for the synthetic
+/// WorkPackage NF over (W, S) grids, at `n` accesses per packet.
+///
+/// At N = 1 the optimized configuration saturates the simulated pipe
+/// over much of the grid (our ceiling sits above the paper's testbed
+/// plateau), which flattens its absolute numbers there; the N = 5
+/// surface is fully CPU/memory-bound and shows the paper's decay
+/// structure cleanly (see EXPERIMENTS.md).
+pub fn fig7(n: u32) -> Table {
+    let mut t = Table::new(vec![
+        "W (rands)",
+        "S (MB)",
+        "vanilla Gbps",
+        "packetmill Gbps",
+        "improvement (%)",
+    ]);
+    for &w in &[0u32, 4, 8, 16, 20] {
+        for &s in &[1u32, 4, 8, 12, 16] {
+            let nf = Nf::WorkPackage { w, s_mb: s, n };
+            let v = ExperimentBuilder::new(nf.clone())
+                .metadata_model(MetadataModel::Copying)
+                .optimization(OptLevel::Vanilla)
+                .frequency_ghz(2.3)
+                .packets(PACKETS)
+                .run()
+                .expect("vanilla");
+            let p = ExperimentBuilder::new(nf)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .frequency_ghz(2.3)
+                .packets(PACKETS)
+                .run()
+                .expect("packetmill");
+            let imp = (p.throughput_gbps / v.throughput_gbps - 1.0) * 100.0;
+            t.row(vec![
+                format!("{w}"),
+                format!("{s}"),
+                format!("{:.1}", v.throughput_gbps),
+                format!("{:.1}", p.throughput_gbps),
+                format!("{imp:.1}"),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 8: IDS+router throughput and median latency vs frequency.
+pub fn fig8() -> Table {
+    let mut t = Table::new(vec![
+        "freq (GHz)",
+        "vanilla Gbps",
+        "vanilla p50 (us)",
+        "packetmill Gbps",
+        "packetmill p50 (us)",
+    ]);
+    for &f in &FREQS {
+        let v = ExperimentBuilder::new(Nf::IdsRouter)
+            .metadata_model(MetadataModel::Copying)
+            .optimization(OptLevel::Vanilla)
+            .frequency_ghz(f)
+            .packets(PACKETS)
+            .run()
+            .expect("vanilla");
+        let p = ExperimentBuilder::new(Nf::IdsRouter)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .frequency_ghz(f)
+            .packets(PACKETS)
+            .run()
+            .expect("packetmill");
+        t.row(vec![
+            format!("{f:.1}"),
+            format!("{:.1}", v.throughput_gbps),
+            format!("{:.0}", v.median_latency_us),
+            format!("{:.1}", p.throughput_gbps),
+            format!("{:.0}", p.median_latency_us),
+        ]);
+    }
+    t
+}
+
+/// Figure 9: zooming into the N=1, W=4 slice — throughput, LLC-load-miss
+/// percentage, and LLC loads vs memory footprint.
+pub fn fig9() -> Table {
+    let mut t = Table::new(vec![
+        "S (MB)",
+        "vanilla Gbps",
+        "packetmill Gbps",
+        "vanilla miss (%)",
+        "packetmill miss (%)",
+        "vanilla loads (k/100ms)",
+        "packetmill loads (k/100ms)",
+    ]);
+    let sizes_kb: [u64; 12] = [
+        256, 512, 1024, 2048, 3072, 5120, 8192, 10240, 12288, 14336, 16384, 20480,
+    ];
+    for &kb in &sizes_kb {
+        let nf = Nf::WorkPackageKb { w: 4, s_kb: kb, n: 1 };
+        let v = ExperimentBuilder::new(nf.clone())
+            .metadata_model(MetadataModel::Copying)
+            .optimization(OptLevel::Vanilla)
+            .packets(PACKETS)
+            .run()
+            .expect("vanilla");
+        let p = ExperimentBuilder::new(nf)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .packets(PACKETS)
+            .run()
+            .expect("packetmill");
+        t.row(vec![
+            format!("{:.2}", kb as f64 / 1024.0),
+            format!("{:.1}", v.throughput_gbps),
+            format!("{:.1}", p.throughput_gbps),
+            format!("{:.1}", v.llc_miss_pct),
+            format!("{:.1}", p.llc_miss_pct),
+            format!("{:.0}", v.llc_loads_per_100ms / 1e3),
+            format!("{:.0}", p.llc_loads_per_100ms / 1e3),
+        ]);
+    }
+    t
+}
+
+/// Figure 10: NAT throughput vs core count @2.3 GHz (RSS spreads flows).
+pub fn fig10() -> Table {
+    let mut t = Table::new(vec!["cores", "vanilla Gbps", "packetmill Gbps"]);
+    for cores in 1..=4usize {
+        let v = ExperimentBuilder::new(Nf::Nat)
+            .metadata_model(MetadataModel::Copying)
+            .optimization(OptLevel::Vanilla)
+            .cores(cores)
+            .packets(PACKETS)
+            .run()
+            .expect("vanilla");
+        let p = ExperimentBuilder::new(Nf::Nat)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .cores(cores)
+            .packets(PACKETS)
+            .run()
+            .expect("packetmill");
+        t.row(vec![
+            format!("{cores}"),
+            format!("{:.1}", v.throughput_gbps),
+            format!("{:.1}", p.throughput_gbps),
+        ]);
+    }
+    t
+}
+
+/// Figure 11a: FastClick vs `l2fwd` vs PacketMill vs `l2fwd-xchg`,
+/// fixed-size sweep on one 1.2-GHz core.
+pub fn fig11a() -> Table {
+    let mut t = Table::new(vec![
+        "size (B)",
+        "FastClick (Copying)",
+        "l2fwd",
+        "PacketMill (X-Change)",
+        "l2fwd-xchg",
+    ]);
+    for &size in &SIZES {
+        let fastclick = ExperimentBuilder::new(Nf::Forwarder)
+            .metadata_model(MetadataModel::Copying)
+            .frequency_ghz(1.2)
+            .traffic(TrafficProfile::FixedSize(size))
+            .packets(PACKETS)
+            .run()
+            .expect("fastclick");
+        let packetmill = ExperimentBuilder::new(Nf::Forwarder)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .frequency_ghz(1.2)
+            .traffic(TrafficProfile::FixedSize(size))
+            .packets(PACKETS)
+            .run()
+            .expect("packetmill");
+        let comparator = |dp: fn() -> Box<dyn Dataplane>| {
+            ExperimentBuilder::new(Nf::Forwarder)
+                .frequency_ghz(1.2)
+                .traffic(TrafficProfile::FixedSize(size))
+                .packets(packets_for_size(size))
+                .run_with_dataplane(dp)
+                .expect("comparator")
+                .throughput_gbps
+        };
+        let l2fwd = comparator(|| Box::new(L2Fwd::plain()));
+        let l2fwd_xchg = comparator(|| Box::new(L2Fwd::xchg()));
+        t.row(vec![
+            format!("{size}"),
+            format!("{:.1}", fastclick.throughput_gbps),
+            format!("{l2fwd:.1}"),
+            format!("{:.1}", packetmill.throughput_gbps),
+            format!("{l2fwd_xchg:.1}"),
+        ]);
+    }
+    t
+}
+
+/// Figure 11b: VPP vs FastClick (Copying) vs FastClick-Light (Overlaying)
+/// vs BESS vs PacketMill, fixed-size sweep on one 1.2-GHz core.
+pub fn fig11b() -> Table {
+    let mut t = Table::new(vec![
+        "size (B)",
+        "VPP",
+        "FastClick (Copying)",
+        "FastClick-Light (Overlaying)",
+        "BESS",
+        "PacketMill (X-Change)",
+    ]);
+    for &size in &SIZES {
+        let fc = |model: MetadataModel, opt: OptLevel| {
+            ExperimentBuilder::new(Nf::Forwarder)
+                .metadata_model(model)
+                .optimization(opt)
+                .frequency_ghz(1.2)
+                .traffic(TrafficProfile::FixedSize(size))
+                .packets(packets_for_size(size))
+                .run()
+                .expect("fastclick variant")
+                .throughput_gbps
+        };
+        let comparator = |dp: fn() -> Box<dyn Dataplane>| {
+            ExperimentBuilder::new(Nf::Forwarder)
+                .frequency_ghz(1.2)
+                .traffic(TrafficProfile::FixedSize(size))
+                .packets(packets_for_size(size))
+                .run_with_dataplane(dp)
+                .expect("comparator")
+                .throughput_gbps
+        };
+        t.row(vec![
+            format!("{size}"),
+            format!("{:.1}", comparator(|| Box::new(VppEngine))),
+            format!("{:.1}", fc(MetadataModel::Copying, OptLevel::Vanilla)),
+            format!("{:.1}", fc(MetadataModel::Overlaying, OptLevel::Vanilla)),
+            format!("{:.1}", comparator(|| Box::new(BessEngine))),
+            format!("{:.1}", fc(MetadataModel::XChange, OptLevel::AllSource)),
+        ]);
+    }
+    t
+}
+
+/// Runs every artifact and prints paper-style output.
+pub fn run_all() {
+    let artifacts: Vec<(&str, Box<dyn Fn() -> Table>)> = vec![
+        ("Figure 1 — p99 latency vs throughput (router, 1 core @2.3 GHz)", Box::new(fig1)),
+        ("Figure 4 — source-code optimizations vs frequency (router)", Box::new(fig4)),
+        ("Table 1 — micro-architectural metrics @3 GHz (router)", Box::new(table1)),
+        ("Figure 5a — metadata models vs frequency (forwarder, 1 NIC)", Box::new(fig5a)),
+        ("Figure 5b — metadata models, two NICs, one core", Box::new(fig5b)),
+        ("Figure 6 — packet-size sweep (router @2.3 GHz)", Box::new(fig6)),
+        ("Figure 7a — WorkPackage improvement surface (N=1)", Box::new(|| fig7(1))),
+        ("Figure 7b — WorkPackage improvement surface (N=5)", Box::new(|| fig7(5))),
+        ("Figure 8 — IDS+router vs frequency", Box::new(fig8)),
+        ("Figure 9 — memory-footprint slice (N=1, W=4)", Box::new(fig9)),
+        ("Figure 10 — multicore NAT @2.3 GHz", Box::new(fig10)),
+        ("Figure 11a — FastClick vs l2fwd vs PacketMill vs l2fwd-xchg @1.2 GHz", Box::new(fig11a)),
+        ("Figure 11b — framework comparison @1.2 GHz", Box::new(fig11b)),
+    ];
+    for (title, f) in artifacts {
+        let start = std::time::Instant::now();
+        let table = f();
+        println!("== {title} ==\n");
+        println!("{table}");
+        println!("(generated in {:.1} s)\n", start.elapsed().as_secs_f64());
+    }
+}

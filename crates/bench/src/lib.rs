@@ -1,0 +1,11 @@
+//! The PacketMill-rs benchmark harness: one generator per table/figure of
+//! the paper's evaluation (§4), each printing the same rows/series the
+//! paper reports.
+//!
+//! Run everything via `cargo bench -p pm-bench --bench figures`, or a
+//! single artifact via the matching binary, e.g.
+//! `cargo run --release -p pm-bench --bin fig4`.
+
+#![warn(missing_docs)]
+
+pub mod figures;

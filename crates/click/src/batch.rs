@@ -1,0 +1,331 @@
+//! Packet-chaining models: vector and linked-list batches.
+//!
+//! FastClick chains packets through the graph as a **linked list**
+//! (each `Packet` holds `next`/`prev` pointers); DPDK applications and
+//! BESS pass **vectors** (arrays of descriptors). One of X-Change's
+//! claimed benefits (paper §3.1) is that the application can "easily use
+//! different packet chaining models (e.g., vector, linked list, or a
+//! combination of both) to better fit their needs" — this module
+//! provides both models over the same packet identifiers, with the
+//! traversal/split/merge operations a batching framework needs, so the
+//! choice can be benchmarked (see `pm-bench`'s `micro` bench) and
+//! exercised in tests.
+//!
+//! Identifiers are `u32` packet/buffer ids, matching the rest of the
+//! workspace; the linked list is arena-backed (indices, not pointers),
+//! which is also how a cache-conscious C implementation lays it out.
+
+/// A vector batch: contiguous descriptor storage, cache-friendly
+/// traversal, O(1) append.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorBatch {
+    ids: Vec<u32>,
+}
+
+impl VectorBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch from ids.
+    pub fn from_ids(ids: Vec<u32>) -> Self {
+        VectorBatch { ids }
+    }
+
+    /// Appends a packet.
+    pub fn push(&mut self, id: u32) {
+        self.ids.push(id);
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Splits the batch by a predicate into (matching, rest) — the
+    /// classifier operation on batches.
+    pub fn split(self, mut pred: impl FnMut(u32) -> bool) -> (VectorBatch, VectorBatch) {
+        let mut yes = VectorBatch::new();
+        let mut no = VectorBatch::new();
+        for id in self.ids {
+            if pred(id) {
+                yes.push(id);
+            } else {
+                no.push(id);
+            }
+        }
+        (yes, no)
+    }
+
+    /// Appends all of `other` (vector merge: O(n) memcpy-like).
+    pub fn merge(&mut self, other: VectorBatch) {
+        self.ids.extend(other.ids);
+    }
+}
+
+/// Sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+/// An arena of linked-list nodes shared by many [`LinkedBatch`]es
+/// (FastClick embeds the links in the `Packet` objects; the arena plays
+/// that role, indexed by packet id).
+#[derive(Debug, Clone)]
+pub struct BatchArena {
+    next: Vec<u32>,
+}
+
+impl BatchArena {
+    /// An arena with room for packet ids `0..capacity`.
+    pub fn new(capacity: u32) -> Self {
+        BatchArena {
+            next: vec![NIL; capacity as usize],
+        }
+    }
+
+    /// Capacity in packet ids.
+    pub fn capacity(&self) -> u32 {
+        self.next.len() as u32
+    }
+}
+
+/// A linked-list batch: O(1) merge and head-split, per-hop pointer
+/// chasing (the trade-off against [`VectorBatch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkedBatch {
+    head: u32,
+    tail: u32,
+    count: u32,
+}
+
+impl LinkedBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        LinkedBatch {
+            head: NIL,
+            tail: NIL,
+            count: 0,
+        }
+    }
+
+    /// Builds a batch from ids in order.
+    pub fn from_ids(arena: &mut BatchArena, ids: &[u32]) -> Self {
+        let mut b = LinkedBatch::new();
+        for &id in ids {
+            b.push(arena, id);
+        }
+        b
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends a packet (O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the arena.
+    pub fn push(&mut self, arena: &mut BatchArena, id: u32) {
+        arena.next[id as usize] = NIL;
+        if self.head == NIL {
+            self.head = id;
+        } else {
+            arena.next[self.tail as usize] = id;
+        }
+        self.tail = id;
+        self.count += 1;
+    }
+
+    /// Removes and returns the first packet (O(1)).
+    pub fn pop_front(&mut self, arena: &BatchArena) -> Option<u32> {
+        if self.head == NIL {
+            return None;
+        }
+        let id = self.head;
+        self.head = arena.next[id as usize];
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        self.count -= 1;
+        Some(id)
+    }
+
+    /// Appends all of `other` (O(1) — the linked list's advantage).
+    pub fn merge(&mut self, arena: &mut BatchArena, other: LinkedBatch) {
+        if other.is_empty() {
+            return;
+        }
+        if self.head == NIL {
+            *self = other;
+            return;
+        }
+        arena.next[self.tail as usize] = other.head;
+        self.tail = other.tail;
+        self.count += other.count;
+    }
+
+    /// Iterates in order.
+    pub fn iter<'a>(&self, arena: &'a BatchArena) -> LinkedIter<'a> {
+        LinkedIter {
+            arena,
+            cur: self.head,
+        }
+    }
+
+    /// Splits by a predicate into (matching, rest), both preserving
+    /// relative order (O(n), O(1) extra space).
+    pub fn split(
+        self,
+        arena: &mut BatchArena,
+        mut pred: impl FnMut(u32) -> bool,
+    ) -> (LinkedBatch, LinkedBatch) {
+        let mut yes = LinkedBatch::new();
+        let mut no = LinkedBatch::new();
+        let mut cur = self.head;
+        while cur != NIL {
+            let next = arena.next[cur as usize];
+            if pred(cur) {
+                yes.push(arena, cur);
+            } else {
+                no.push(arena, cur);
+            }
+            cur = next;
+        }
+        (yes, no)
+    }
+}
+
+impl Default for LinkedBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over a [`LinkedBatch`].
+#[derive(Debug)]
+pub struct LinkedIter<'a> {
+    arena: &'a BatchArena,
+    cur: u32,
+}
+
+impl Iterator for LinkedIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == NIL {
+            return None;
+        }
+        let id = self.cur;
+        self.cur = self.arena.next[id as usize];
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_basics() {
+        let mut b = VectorBatch::new();
+        assert!(b.is_empty());
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn vector_split_and_merge() {
+        let b = VectorBatch::from_ids((0..10).collect());
+        let (even, mut odd) = b.split(|id| id % 2 == 0);
+        assert_eq!(even.iter().collect::<Vec<_>>(), vec![0, 2, 4, 6, 8]);
+        odd.merge(even);
+        assert_eq!(odd.len(), 10);
+        assert_eq!(odd.iter().next(), Some(1));
+    }
+
+    #[test]
+    fn linked_push_iter() {
+        let mut arena = BatchArena::new(16);
+        let b = LinkedBatch::from_ids(&mut arena, &[3, 1, 4, 1 + 4, 9]);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.iter(&arena).collect::<Vec<_>>(), vec![3, 1, 4, 5, 9]);
+    }
+
+    #[test]
+    fn linked_pop_front() {
+        let mut arena = BatchArena::new(8);
+        let mut b = LinkedBatch::from_ids(&mut arena, &[7, 2, 5]);
+        assert_eq!(b.pop_front(&arena), Some(7));
+        assert_eq!(b.pop_front(&arena), Some(2));
+        assert_eq!(b.pop_front(&arena), Some(5));
+        assert_eq!(b.pop_front(&arena), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn linked_merge_is_o1_and_ordered() {
+        let mut arena = BatchArena::new(16);
+        let mut a = LinkedBatch::from_ids(&mut arena, &[0, 1, 2]);
+        let b = LinkedBatch::from_ids(&mut arena, &[10, 11]);
+        a.merge(&mut arena, b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.iter(&arena).collect::<Vec<_>>(), vec![0, 1, 2, 10, 11]);
+        // Merging into empty adopts the other list.
+        let mut e = LinkedBatch::new();
+        let c = LinkedBatch::from_ids(&mut arena, &[14]);
+        e.merge(&mut arena, c);
+        assert_eq!(e.iter(&arena).collect::<Vec<_>>(), vec![14]);
+        // Merging an empty list is a no-op.
+        e.merge(&mut arena, LinkedBatch::new());
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn linked_split_preserves_order() {
+        let mut arena = BatchArena::new(16);
+        let b = LinkedBatch::from_ids(&mut arena, &[0, 1, 2, 3, 4, 5]);
+        let (low, high) = b.split(&mut arena, |id| id < 3);
+        assert_eq!(low.iter(&arena).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(high.iter(&arena).collect::<Vec<_>>(), vec![3, 4, 5]);
+        // Split results can be pushed to again (tail is valid).
+        let mut low = low;
+        low.push(&mut arena, 9);
+        assert_eq!(low.iter(&arena).collect::<Vec<_>>(), vec![0, 1, 2, 9]);
+    }
+
+    #[test]
+    fn models_agree_on_contents() {
+        let ids: Vec<u32> = (0..64).map(|i| (i * 7) % 64).collect();
+        let v = VectorBatch::from_ids(ids.clone());
+        let mut arena = BatchArena::new(64);
+        let l = LinkedBatch::from_ids(&mut arena, &ids);
+        assert_eq!(
+            v.iter().collect::<Vec<_>>(),
+            l.iter(&arena).collect::<Vec<_>>()
+        );
+        let (va, vb) = v.split(|id| id % 3 == 0);
+        let (la, lb) = l.split(&mut arena, |id| id % 3 == 0);
+        assert_eq!(va.iter().collect::<Vec<_>>(), la.iter(&arena).collect::<Vec<_>>());
+        assert_eq!(vb.iter().collect::<Vec<_>>(), lb.iter(&arena).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,639 @@
+//! The Click configuration language: lexer + parser.
+//!
+//! Supported grammar (the subset the paper's five NF configurations use,
+//! plus anonymous inline elements):
+//!
+//! ```text
+//! config      := (statement ';')*
+//! statement   := declaration | connection
+//! declaration := NAME "::" CLASS [ '(' args ')' ]
+//! connection  := endpoint ( "->" endpoint )+
+//! endpoint    := [ '[' PORT ']' ] ref [ '[' PORT ']' ]
+//! ref         := NAME | CLASS [ '(' args ')' ]        // inline anonymous
+//! args        := arg (',' arg)*
+//! arg         := [KEY] VALUE+                          // "BURST 32", "0"
+//! ```
+//!
+//! Comments: `// line` and `/* block */`.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parse or graph-construction error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Lexical/syntactic problem at a line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Element-level problem (unknown class, bad argument, bad port).
+    Element {
+        /// The element's name in the configuration.
+        element: String,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ConfigError::Element { element, message } => write!(f, "element {element}: {message}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// One configuration argument: an optional `KEY` plus its value text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arg {
+    /// The keyword, for `KEY value` style arguments (`BURST 32`).
+    pub key: Option<String>,
+    /// The raw value text.
+    pub value: String,
+}
+
+/// An element's argument list, with typed lookup helpers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// Arguments in declaration order.
+    pub items: Vec<Arg>,
+}
+
+impl Args {
+    /// Empty argument list.
+    pub fn none() -> Self {
+        Args::default()
+    }
+
+    /// Parses an argument list from text like `"PORT 0, BURST 32"`.
+    pub fn parse(text: &str) -> Args {
+        let mut items = Vec::new();
+        for raw in split_args(text) {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            // "KEY value..." when the first token is ALL-CAPS and more follows.
+            let mut parts = raw.splitn(2, char::is_whitespace);
+            let first = parts.next().unwrap_or("");
+            let rest = parts.next().map(str::trim).unwrap_or("");
+            let is_key = !first.is_empty()
+                && first.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                && first.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && !rest.is_empty();
+            if is_key {
+                items.push(Arg {
+                    key: Some(first.to_string()),
+                    value: rest.to_string(),
+                });
+            } else {
+                items.push(Arg {
+                    key: None,
+                    value: raw.to_string(),
+                });
+            }
+        }
+        Args { items }
+    }
+
+    /// Looks up a keyword argument's value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .find(|a| a.key.as_deref() == Some(key))
+            .map(|a| a.value.as_str())
+    }
+
+    /// Positional argument `idx` (counting only un-keyed arguments).
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.items
+            .iter()
+            .filter(|a| a.key.is_none())
+            .nth(idx)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Keyword argument parsed as an integer, with a default.
+    pub fn get_u32(&self, key: &str, default: u32) -> Result<u32, ConfigError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ConfigError::Element {
+                element: String::new(),
+                message: format!("{key}: expected an integer, got {v:?}"),
+            }),
+        }
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no arguments were given.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Splits an argument string on top-level commas (respecting parens).
+fn split_args(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// A declared element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// Name (user-given, or `Class@N` for anonymous inline elements).
+    pub name: String,
+    /// Element class.
+    pub class: String,
+    /// Arguments.
+    pub args: Args,
+}
+
+/// A directed connection between element ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// Index of the source declaration.
+    pub from: usize,
+    /// Source output port.
+    pub from_port: u16,
+    /// Index of the destination declaration.
+    pub to: usize,
+    /// Destination input port.
+    pub to_port: u16,
+}
+
+/// A parsed configuration: declarations + connections.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigGraph {
+    /// Elements, in declaration order.
+    pub declarations: Vec<Declaration>,
+    /// Port-to-port edges.
+    pub connections: Vec<Connection>,
+}
+
+impl ConfigGraph {
+    /// Parses a configuration text.
+    pub fn parse(text: &str) -> Result<ConfigGraph, ConfigError> {
+        Parser::new(text).parse()
+    }
+
+    /// Finds a declaration index by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.declarations.iter().position(|d| d.name == name)
+    }
+
+    /// Pretty-prints the configuration back to Click syntax.
+    pub fn to_click(&self) -> String {
+        let mut s = String::new();
+        for d in &self.declarations {
+            let args: Vec<String> = d
+                .args
+                .items
+                .iter()
+                .map(|a| match &a.key {
+                    Some(k) => format!("{k} {}", a.value),
+                    None => a.value.clone(),
+                })
+                .collect();
+            s.push_str(&format!("{} :: {}({});\n", d.name, d.class, args.join(", ")));
+        }
+        for c in &self.connections {
+            s.push_str(&format!(
+                "{} [{}] -> [{}] {};\n",
+                self.declarations[c.from].name,
+                c.from_port,
+                c.to_port,
+                self.declarations[c.to].name
+            ));
+        }
+        s
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    graph: ConfigGraph,
+    anon_counter: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            text,
+            graph: ConfigGraph::default(),
+            anon_counter: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<ConfigGraph, ConfigError> {
+        let clean = strip_comments(self.text);
+        for (stmt, line) in split_statements(&clean) {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.contains("->") {
+                self.parse_connection(stmt, line)?;
+            } else if stmt.contains("::") {
+                self.parse_declaration(stmt, line)?;
+            } else {
+                return Err(ConfigError::Syntax {
+                    line,
+                    message: format!("expected a declaration or connection, got {stmt:?}"),
+                });
+            }
+        }
+        Ok(self.graph)
+    }
+
+    fn parse_declaration(&mut self, stmt: &str, line: usize) -> Result<usize, ConfigError> {
+        let (name, rest) = stmt.split_once("::").ok_or_else(|| ConfigError::Syntax {
+            line,
+            message: "missing '::'".into(),
+        })?;
+        let name = name.trim();
+        if name.is_empty() || !is_identifier(name) {
+            return Err(ConfigError::Syntax {
+                line,
+                message: format!("bad element name {name:?}"),
+            });
+        }
+        if self.graph.find(name).is_some() {
+            return Err(ConfigError::Syntax {
+                line,
+                message: format!("duplicate element name {name:?}"),
+            });
+        }
+        let (class, args) = parse_class_ref(rest.trim(), line)?;
+        self.graph.declarations.push(Declaration {
+            name: name.to_string(),
+            class,
+            args,
+        });
+        Ok(self.graph.declarations.len() - 1)
+    }
+
+    fn parse_connection(&mut self, stmt: &str, line: usize) -> Result<(), ConfigError> {
+        let hops = split_arrows(stmt);
+        if hops.len() < 2 {
+            return Err(ConfigError::Syntax {
+                line,
+                message: "a connection needs at least two endpoints".into(),
+            });
+        }
+        let mut prev: Option<(usize, u16)> = None;
+        for hop in hops {
+            let (in_port, refname, out_port) = parse_endpoint(hop.trim(), line)?;
+            let idx = self.resolve_ref(&refname, line)?;
+            if let Some((from, from_port)) = prev {
+                self.graph.connections.push(Connection {
+                    from,
+                    from_port,
+                    to: idx,
+                    to_port: in_port.unwrap_or(0),
+                });
+            }
+            prev = Some((idx, out_port.unwrap_or(0)));
+        }
+        Ok(())
+    }
+
+    /// Resolves an endpoint reference: an existing name, or an inline
+    /// anonymous `Class(args)` which gets declared on the spot.
+    fn resolve_ref(&mut self, r: &str, line: usize) -> Result<usize, ConfigError> {
+        if let Some(idx) = self.graph.find(r) {
+            return Ok(idx);
+        }
+        // Inline anonymous element: must look like a class reference
+        // (leading uppercase) optionally with args.
+        let looks_class = r
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase());
+        if !looks_class {
+            return Err(ConfigError::Syntax {
+                line,
+                message: format!("unknown element {r:?}"),
+            });
+        }
+        let (class, args) = parse_class_ref(r, line)?;
+        self.anon_counter += 1;
+        let name = format!("{class}@{}", self.anon_counter);
+        self.graph.declarations.push(Declaration { name, class, args });
+        Ok(self.graph.declarations.len() - 1)
+    }
+}
+
+/// Parses `Class` or `Class(args)`.
+fn parse_class_ref(text: &str, line: usize) -> Result<(String, Args), ConfigError> {
+    let text = text.trim();
+    if let Some(open) = text.find('(') {
+        if !text.ends_with(')') {
+            return Err(ConfigError::Syntax {
+                line,
+                message: format!("unbalanced parentheses in {text:?}"),
+            });
+        }
+        let class = text[..open].trim();
+        if !is_identifier(class) {
+            return Err(ConfigError::Syntax {
+                line,
+                message: format!("bad class name {class:?}"),
+            });
+        }
+        let inner = &text[open + 1..text.len() - 1];
+        Ok((class.to_string(), Args::parse(inner)))
+    } else {
+        if !is_identifier(text) {
+            return Err(ConfigError::Syntax {
+                line,
+                message: format!("bad class name {text:?}"),
+            });
+        }
+        Ok((text.to_string(), Args::none()))
+    }
+}
+
+/// Parses `[p] name [p]` endpoint syntax. Returns (in_port, ref, out_port).
+fn parse_endpoint(text: &str, line: usize) -> Result<(Option<u16>, String, Option<u16>), ConfigError> {
+    let mut s = text.trim();
+    let mut in_port = None;
+    let mut out_port = None;
+    if s.starts_with('[') {
+        let close = s.find(']').ok_or_else(|| ConfigError::Syntax {
+            line,
+            message: "unclosed '[' in endpoint".into(),
+        })?;
+        in_port = Some(parse_port(&s[1..close], line)?);
+        s = s[close + 1..].trim_start();
+    }
+    // Trailing [port] — but beware of '(...)' containing brackets is not a
+    // thing in this grammar, so a simple rfind is safe when it follows ')'.
+    if s.ends_with(']') {
+        let open = s.rfind('[').ok_or_else(|| ConfigError::Syntax {
+            line,
+            message: "unmatched ']' in endpoint".into(),
+        })?;
+        out_port = Some(parse_port(&s[open + 1..s.len() - 1], line)?);
+        s = s[..open].trim_end();
+    }
+    Ok((in_port, s.to_string(), out_port))
+}
+
+fn parse_port(text: &str, line: usize) -> Result<u16, ConfigError> {
+    text.trim().parse().map_err(|_| ConfigError::Syntax {
+        line,
+        message: format!("bad port number {text:?}"),
+    })
+}
+
+/// Splits a connection statement on top-level `->` (respecting parens).
+fn split_arrows(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '(' => {
+                depth += 1;
+                cur.push('(');
+                i += 1;
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(')');
+                i += 1;
+            }
+            '-' if depth == 0 && i + 1 < chars.len() && chars[i + 1] == '>' => {
+                out.push(std::mem::take(&mut cur));
+                i += 2;
+            }
+            c => {
+                cur.push(c);
+                i += 1;
+            }
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@')
+}
+
+/// Removes `//` and `/* */` comments, preserving newlines for line counts.
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+        } else if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Splits on ';' and also on newlines that end a complete statement,
+/// tracking line numbers. (Click allows both `a -> b;` and bare lines.)
+fn split_statements(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut start_line = 1usize;
+    let mut line = 1usize;
+    let mut depth = 0usize;
+    for c in text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ';' if depth == 0 => {
+                out.push((std::mem::take(&mut cur), start_line));
+                start_line = line;
+            }
+            '\n' => {
+                line += 1;
+                // A newline ends a statement only if we're at depth 0 and
+                // the statement doesn't end mid-arrow.
+                let t = cur.trim_end().to_string();
+                if depth == 0 && !t.is_empty() && !t.ends_with("->") && !t.ends_with("::") {
+                    out.push((std::mem::take(&mut cur), start_line));
+                }
+                start_line = line;
+                if !cur.trim().is_empty() {
+                    cur.push(' ');
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push((cur, start_line));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FORWARDER: &str = r#"
+        // Elements Definition
+        input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+        output :: ToDPDKDevice(PORT 0, BURST 32);
+        // Processing Graph
+        input -> EtherMirror -> output
+    "#;
+
+    #[test]
+    fn parses_the_paper_listing() {
+        let g = ConfigGraph::parse(FORWARDER).unwrap();
+        assert_eq!(g.declarations.len(), 3);
+        assert_eq!(g.declarations[0].name, "input");
+        assert_eq!(g.declarations[0].class, "FromDPDKDevice");
+        assert_eq!(g.declarations[2].class, "EtherMirror");
+        assert!(g.declarations[2].name.starts_with("EtherMirror@"));
+        assert_eq!(g.connections.len(), 2);
+        let c0 = g.connections[0];
+        assert_eq!(g.declarations[c0.from].name, "input");
+        assert_eq!(g.declarations[c0.to].class, "EtherMirror");
+    }
+
+    #[test]
+    fn args_key_value_and_positional() {
+        let a = Args::parse("PORT 0, N_QUEUES 1, BURST 32");
+        assert_eq!(a.get("PORT"), Some("0"));
+        assert_eq!(a.get("BURST"), Some("32"));
+        assert_eq!(a.get_u32("BURST", 1).unwrap(), 32);
+        assert_eq!(a.get_u32("MISSING", 7).unwrap(), 7);
+
+        let a = Args::parse("0, 10.0.0.1, foo");
+        assert_eq!(a.positional(0), Some("0"));
+        assert_eq!(a.positional(1), Some("10.0.0.1"));
+        assert_eq!(a.positional(2), Some("foo"));
+    }
+
+    #[test]
+    fn nested_parens_in_args() {
+        let a = Args::parse("PATTERN (1, 2), MODE x");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("PATTERN"), Some("(1, 2)"));
+    }
+
+    #[test]
+    fn port_syntax() {
+        let g = ConfigGraph::parse(
+            "c :: Classifier(12/0800, -);\n d :: Discard;\n e :: Discard;\n c [0] -> d;\n c [1] -> e;",
+        )
+        .unwrap();
+        assert_eq!(g.connections[0].from_port, 0);
+        assert_eq!(g.connections[1].from_port, 1);
+        let g2 = ConfigGraph::parse("a :: Tee; b :: Discard; a [1] -> [0] b;").unwrap();
+        assert_eq!(g2.connections[0].from_port, 1);
+        assert_eq!(g2.connections[0].to_port, 0);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let g = ConfigGraph::parse("/* block\n comment */ a :: Discard; // trailing\n").unwrap();
+        assert_eq!(g.declarations.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let err = ConfigGraph::parse("a :: Discard; a :: Discard;").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_lowercase_ref_rejected() {
+        let err = ConfigGraph::parse("a :: Discard; b -> a;").unwrap_err();
+        assert!(err.to_string().contains("unknown element"));
+    }
+
+    #[test]
+    fn chain_of_inline_elements() {
+        let g = ConfigGraph::parse("a :: Null; b :: Null; a -> CheckIPHeader -> DecIPTTL -> b;")
+            .unwrap();
+        assert_eq!(g.declarations.len(), 4);
+        assert_eq!(g.connections.len(), 3);
+    }
+
+    #[test]
+    fn round_trip_via_to_click() {
+        let g = ConfigGraph::parse(FORWARDER).unwrap();
+        let text = g.to_click();
+        let g2 = ConfigGraph::parse(&text).unwrap();
+        assert_eq!(g.declarations.len(), g2.declarations.len());
+        assert_eq!(g.connections.len(), g2.connections.len());
+        for (a, b) in g.declarations.iter().zip(&g2.declarations) {
+            assert_eq!(a.class, b.class);
+        }
+    }
+
+    #[test]
+    fn multiline_connection_with_trailing_arrow() {
+        let g = ConfigGraph::parse("a :: Null;\nb :: Null;\na ->\n  b;").unwrap();
+        assert_eq!(g.connections.len(), 1);
+    }
+
+    #[test]
+    fn empty_config_ok() {
+        let g = ConfigGraph::parse("  \n // nothing\n").unwrap();
+        assert!(g.declarations.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! The execution plan: which PacketMill optimizations are active.
+//!
+//! `pm-compile`'s pass pipeline transforms a vanilla plan step by step;
+//! the runtime consults the plan on every dispatch, parameter access, and
+//! metadata touch. The five evaluation variants of Fig. 4 / Table 1 are
+//! plan constructors here.
+
+use crate::packet::default_packet_layout;
+use crate::StructLayout;
+use pm_dpdk::MetadataModel;
+
+/// How element-to-element calls are performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Indirect call through the element vtable (vanilla Click).
+    Virtual,
+    /// Direct call — the `click-devirtualize` result: the callee type is
+    /// known, but the call remains (function pointer replaced).
+    Direct,
+    /// Fully inlined — static graph embedding lets the compiler inline
+    /// the whole per-packet path.
+    Inlined,
+}
+
+/// The set of optimizations the runtime honours.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    /// Call dispatch mode.
+    pub dispatch: DispatchMode,
+    /// Element parameters embedded as constants (no per-packet loads,
+    /// folded branches).
+    pub constants_embedded: bool,
+    /// Elements + connections declared statically: arena state layout,
+    /// embedded next-hops, and (with Copying) scalar replacement of the
+    /// per-packet `Packet` object.
+    pub static_graph: bool,
+    /// Metadata-management model.
+    pub metadata_model: MetadataModel,
+    /// The `Packet` class layout (replaced by the reordering pass).
+    pub packet_layout: StructLayout,
+    /// Recycle `Packet` objects LIFO instead of FIFO (warm-pool
+    /// ablation; real FastClick pools behave FIFO under forwarding).
+    pub lifo_packet_pool: bool,
+}
+
+impl ExecPlan {
+    /// Vanilla FastClick: virtual dispatch, dynamic graph, parameters in
+    /// memory.
+    pub fn vanilla(model: MetadataModel) -> Self {
+        ExecPlan {
+            dispatch: DispatchMode::Virtual,
+            constants_embedded: false,
+            static_graph: false,
+            metadata_model: model,
+            packet_layout: default_packet_layout(),
+            lifo_packet_pool: false,
+        }
+    }
+
+    /// `click-devirtualize` only (Fig. 4 "Devirtualize").
+    pub fn devirtualized(model: MetadataModel) -> Self {
+        ExecPlan {
+            dispatch: DispatchMode::Direct,
+            ..Self::vanilla(model)
+        }
+    }
+
+    /// Constant embedding only (Fig. 4 "Constant Embedding").
+    pub fn constants(model: MetadataModel) -> Self {
+        ExecPlan {
+            constants_embedded: true,
+            ..Self::vanilla(model)
+        }
+    }
+
+    /// Static graph only (Fig. 4 "Static Graph"): implies full inlining.
+    pub fn static_graph(model: MetadataModel) -> Self {
+        ExecPlan {
+            dispatch: DispatchMode::Inlined,
+            static_graph: true,
+            ..Self::vanilla(model)
+        }
+    }
+
+    /// All source-code optimizations (Fig. 4 "All").
+    pub fn all_source_opts(model: MetadataModel) -> Self {
+        ExecPlan {
+            dispatch: DispatchMode::Inlined,
+            constants_embedded: true,
+            static_graph: true,
+            ..Self::vanilla(model)
+        }
+    }
+
+    /// Full PacketMill: all source optimizations. Combine with
+    /// [`MetadataModel::XChange`] for the paper's headline configuration
+    /// (Fig. 1 "PacketMill").
+    pub fn packetmill(model: MetadataModel) -> Self {
+        Self::all_source_opts(model)
+    }
+
+    /// True when the per-packet `Packet` object is scalar-replaced: the
+    /// static graph inlines the whole path, so (under Copying) the
+    /// mbuf→Packet conversion lives in registers and the object pool is
+    /// bypassed.
+    pub fn sroa_active(&self) -> bool {
+        self.static_graph && self.metadata_model == MetadataModel::Copying
+    }
+
+    /// Short human-readable tag for tables.
+    pub fn label(&self) -> String {
+        let opt = match (
+            self.dispatch,
+            self.constants_embedded,
+            self.static_graph,
+        ) {
+            (DispatchMode::Virtual, false, false) => "vanilla".to_string(),
+            (DispatchMode::Direct, false, false) => "devirtualize".to_string(),
+            (DispatchMode::Virtual, true, false) => "constants".to_string(),
+            (DispatchMode::Inlined, false, true) => "static-graph".to_string(),
+            (DispatchMode::Inlined, true, true) => "all".to_string(),
+            (d, c, s) => format!("{d:?}/const={c}/static={s}"),
+        };
+        format!("{opt}+{}", self.metadata_model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_constructors() {
+        let v = ExecPlan::vanilla(MetadataModel::Copying);
+        assert_eq!(v.dispatch, DispatchMode::Virtual);
+        assert!(!v.constants_embedded && !v.static_graph);
+        assert!(!v.sroa_active());
+
+        let d = ExecPlan::devirtualized(MetadataModel::Copying);
+        assert_eq!(d.dispatch, DispatchMode::Direct);
+
+        let s = ExecPlan::static_graph(MetadataModel::Copying);
+        assert!(s.sroa_active());
+        assert_eq!(s.dispatch, DispatchMode::Inlined);
+
+        let a = ExecPlan::all_source_opts(MetadataModel::XChange);
+        assert!(a.constants_embedded && a.static_graph);
+        assert!(!a.sroa_active(), "SROA applies to the Copying model only");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            ExecPlan::vanilla(MetadataModel::Copying).label(),
+            "vanilla+copying"
+        );
+        assert_eq!(
+            ExecPlan::packetmill(MetadataModel::XChange).label(),
+            "all+x-change"
+        );
+    }
+}

@@ -1,0 +1,494 @@
+//! The per-core graph executor.
+//!
+//! For every packet the runtime walks the push path from a source's
+//! successor to a sink, invoking each element's real `process` code and
+//! charging, per hop, exactly what the active [`ExecPlan`] implies:
+//!
+//! * **dispatch** — vtable load + indirect-call penalty (virtual), a
+//!   direct call (devirtualized), or nothing (fully inlined);
+//! * **graph walk** — a next-hop connection-descriptor load unless the
+//!   graph is embedded statically;
+//! * **parameters** — a load of the element's configuration words unless
+//!   constants are embedded;
+//! * **element state** — one touch of the element object (arena-packed
+//!   under the static graph, heap-scattered otherwise);
+//! * **`Packet` metadata** — per the metadata model: pool-alloc + copy
+//!   (Copying), cast + annotation init (Overlaying), nothing (X-Change —
+//!   the driver already wrote the fields), or register promotion (SROA
+//!   under static graph + Copying).
+
+use crate::element::{Action, Ctx, ElementKind, Pkt};
+use crate::graph::Graph;
+use crate::packet::{ClickPool, COPY_FIELDS};
+use crate::plan::{DispatchMode, ExecPlan};
+use pm_dpdk::{MetadataModel, RxDesc};
+use pm_mem::{AccessKind, AddressSpace, Region, ScatterAlloc};
+
+/// Where a packet ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Reached a sink; transmit `len` bytes via the sink element.
+    Tx {
+        /// Index of the sink element reached.
+        sink: usize,
+        /// Frame length to transmit.
+        len: usize,
+    },
+    /// Dropped at the given element.
+    Dropped {
+        /// Index of the dropping element.
+        at: usize,
+    },
+}
+
+/// Per-runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Packets that entered the graph.
+    pub processed: u64,
+    /// Packets dropped inside the graph.
+    pub dropped: u64,
+    /// Packets that reached a sink.
+    pub to_tx: u64,
+}
+
+/// Maximum hops per packet (guards against accidental config cycles).
+const MAX_HOPS: usize = 64;
+
+/// Default Click packet-object pool size (objects).
+const CLICK_POOL_OBJECTS: u32 = 131072;
+
+/// The executable form of a graph under a specific plan.
+pub struct GraphRuntime {
+    /// The element graph (public so the engine can inspect sources).
+    pub graph: Graph,
+    plan: ExecPlan,
+    state_regions: Vec<Region>,
+    vtable_addrs: Vec<u64>,
+    pool: ClickPool,
+    stack_region: Region,
+    stats: RuntimeStats,
+    /// Per-element (packets seen, packets dropped here) — the Click
+    /// read-handler equivalent.
+    element_counts: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for GraphRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphRuntime")
+            .field("elements", &self.graph.len())
+            .field("plan", &self.plan.label())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl GraphRuntime {
+    /// Prepares a graph for execution under `plan`, placing element state
+    /// per the plan (arena if static, scattered heap otherwise) and
+    /// running every element's `setup`.
+    pub fn new(mut graph: Graph, plan: ExecPlan, space: &mut AddressSpace) -> Self {
+        let n_elements = graph.len();
+        // Element object placement.
+        let state_regions: Vec<Region> = if plan.static_graph {
+            // Arena: elements contiguous in graph order, like statically
+            // declared objects in .data.
+            graph
+                .elements
+                .iter()
+                .map(|e| space.alloc(e.element.state_size().max(64)))
+                .collect()
+        } else {
+            // Heap-scattered, like one-by-one `new` at initialization.
+            let heap = space.reserve_heap(64 * 1024 * 1024);
+            let mut scatter = ScatterAlloc::new(heap, 0x5eed);
+            graph
+                .elements
+                .iter()
+                .map(|e| scatter.alloc(e.element.state_size().max(64)))
+                .collect()
+        };
+
+        // One vtable address per element class (shared, like C++).
+        let vtable_region = space.alloc(4096);
+        let mut classes: Vec<&str> = Vec::new();
+        let vtable_addrs = graph
+            .elements
+            .iter()
+            .map(|e| {
+                let idx = classes
+                    .iter()
+                    .position(|c| *c == e.class.as_str())
+                    .unwrap_or_else(|| {
+                        classes.push(Box::leak(e.class.clone().into_boxed_str()));
+                        classes.len() - 1
+                    });
+                vtable_region.at((idx as u64) * 64)
+            })
+            .collect();
+
+        // Large element state (tables, arrays).
+        for e in &mut graph.elements {
+            e.element.setup(space);
+        }
+
+        let pool = ClickPool::with_order(
+            space,
+            CLICK_POOL_OBJECTS,
+            &plan.packet_layout,
+            plan.lifo_packet_pool,
+        );
+        let stack_region = space.alloc(256);
+
+        let element_counts = vec![(0, 0); n_elements];
+        GraphRuntime {
+            graph,
+            plan,
+            state_regions,
+            vtable_addrs,
+            pool,
+            stack_region,
+            stats: RuntimeStats::default(),
+            element_counts,
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// Replaces the plan's packet layout (after a reordering pass).
+    pub fn set_packet_layout(&mut self, layout: crate::StructLayout) {
+        self.plan.packet_layout = layout;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// Per-element `(name, packets, drops)` rows, in graph order — the
+    /// Click read-handler equivalent (`element.count`).
+    pub fn element_stats(&self) -> Vec<(String, u64, u64)> {
+        self.graph
+            .elements
+            .iter()
+            .zip(&self.element_counts)
+            .map(|(e, &(seen, dropped))| (e.name.clone(), seen, dropped))
+            .collect()
+    }
+
+    /// Performs the metadata-model work for a packet entering the
+    /// framework and returns the address of its `Packet` object.
+    pub fn begin_packet(&mut self, ctx: &mut Ctx<'_>, desc: &RxDesc) -> u64 {
+        match self.plan.metadata_model {
+            MetadataModel::Copying => {
+                if self.plan.sroa_active() {
+                    // Scalar replacement: the conversion lives in
+                    // registers / one hot stack line.
+                    ctx.cost += ctx.mem.access(
+                        ctx.core,
+                        self.stack_region.base,
+                        16,
+                        AccessKind::Store,
+                    );
+                    // The conversion work (field moves, annotation init)
+                    // still executes — in registers. Only the memory
+                    // traffic and pool management disappear.
+                    ctx.compute(118);
+                    self.stack_region.base
+                } else {
+                    // Allocate a Packet object and copy the useful mbuf
+                    // fields into it (two conversions total, §2.2).
+                    let (addr, c) = self.pool.alloc(ctx.core, ctx.mem);
+                    ctx.charge(c);
+                    let addr = addr.unwrap_or(self.stack_region.base);
+                    // Loads from the (just-written, hot) mbuf line…
+                    ctx.cost += ctx.mem.access(ctx.core, desc.meta_addr, 32, AccessKind::Load);
+                    // …object init + field copy: only the lines holding
+                    // the bookkeeping fields are written here; annotation
+                    // lines are touched lazily by the elements that use
+                    // them (which is why reordering them matters).
+                    let mut lines: Vec<u32> = COPY_FIELDS
+                        .iter()
+                        .map(|f| self.plan.packet_layout.line_of(f))
+                        .collect();
+                    lines.sort_unstable();
+                    lines.dedup();
+                    for l in lines {
+                        ctx.cost += ctx.mem.access(
+                            ctx.core,
+                            addr + u64::from(l) * 64,
+                            64,
+                            AccessKind::Store,
+                        );
+                    }
+                    ctx.compute(95);
+                    addr
+                }
+            }
+            MetadataModel::Overlaying => {
+                // Cast the mbuf to a Packet and initialize annotations in
+                // the area following the 128-B mbuf fields.
+                let addr = desc.meta_addr + 128;
+                ctx.cost += ctx.mem.access(ctx.core, addr, 16, AccessKind::Store);
+                ctx.compute(30);
+                addr
+            }
+            MetadataModel::XChange => {
+                // The driver already wrote the needed fields in place.
+                ctx.compute(6);
+                desc.meta_addr
+            }
+        }
+    }
+
+    /// Releases the `Packet` object after the packet leaves the graph.
+    pub fn end_packet(&mut self, ctx: &mut Ctx<'_>, meta_addr: u64) {
+        if self.plan.metadata_model == MetadataModel::Copying
+            && !self.plan.sroa_active()
+            && meta_addr != self.stack_region.base
+        {
+            let c = self.pool.free(ctx.core, ctx.mem, meta_addr);
+            ctx.charge(c);
+        }
+    }
+
+    /// Pushes one packet from `source` through the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk exceeds `MAX_HOPS` (64 — a configuration cycle).
+    pub fn run(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>, source: usize) -> PacketFate {
+        self.stats.processed += 1;
+        let (mut idx, _port) = self.graph.entry_of(source);
+        for _ in 0..MAX_HOPS {
+            self.charge_hop(ctx, idx);
+            ctx.state = self.state_regions[idx];
+            self.element_counts[idx].0 += 1;
+            let el = &mut self.graph.elements[idx].element;
+            let kind = el.kind();
+            let action = el.process(ctx, pkt);
+            match action {
+                Action::Drop => {
+                    self.stats.dropped += 1;
+                    self.element_counts[idx].1 += 1;
+                    return PacketFate::Dropped { at: idx };
+                }
+                Action::Forward(p) => {
+                    if kind == ElementKind::Sink {
+                        self.stats.to_tx += 1;
+                        return PacketFate::Tx {
+                            sink: idx,
+                            len: pkt.len,
+                        };
+                    }
+                    // Next-hop resolution: a connection-descriptor load on
+                    // the dynamic graph; free when embedded statically.
+                    if !self.plan.static_graph {
+                        let conn = self.state_regions[idx];
+                        ctx.cost += ctx.mem.access(
+                            ctx.core,
+                            conn.base + 16 + u64::from(p) * 8,
+                            8,
+                            AccessKind::Load,
+                        );
+                        ctx.compute(2);
+                    }
+                    match self.graph.adj[idx].get(p as usize).copied().flatten() {
+                        Some((next, _in_port)) => idx = next,
+                        None => {
+                            // Validated graphs cannot reach this; treat a
+                            // stray port as a drop rather than a crash.
+                            self.stats.dropped += 1;
+                            return PacketFate::Dropped { at: idx };
+                        }
+                    }
+                }
+            }
+        }
+        panic!("packet exceeded {MAX_HOPS} hops: configuration cycle?");
+    }
+
+    fn charge_hop(&self, ctx: &mut Ctx<'_>, idx: usize) {
+        let lat = *ctx.mem.latency_model();
+        match self.plan.dispatch {
+            DispatchMode::Virtual => {
+                ctx.cost +=
+                    ctx.mem
+                        .access(ctx.core, self.vtable_addrs[idx], 8, AccessKind::Load);
+                ctx.charge(lat.virtual_call());
+            }
+            DispatchMode::Direct => ctx.charge(lat.direct_call()),
+            DispatchMode::Inlined => {}
+        }
+        // Per-hop bookkeeping (port push, batch/list management, bounds
+        // checks); constant embedding folds branches away, and the fully
+        // inlined static graph lets the compiler melt most of it.
+        let hop_instr = match (self.plan.dispatch, self.plan.constants_embedded) {
+            // Full inlining removes calls, not the per-hop work itself
+            // (the paper's static graph keeps ~the same instruction
+            // count; its gains are locality, Table 1).
+            (DispatchMode::Inlined, true) => 44,
+            (DispatchMode::Inlined, false) => 48,
+            (_, true) => 34,
+            (_, false) => 38,
+        };
+        ctx.compute(hop_instr);
+        if !self.plan.constants_embedded {
+            // Parameter-dependent branches the compiler cannot fold.
+            ctx.charge(pm_mem::Cost::stall_cycles(1.2));
+        }
+
+        let state = self.state_regions[idx];
+        if !self.plan.constants_embedded {
+            let words = self.graph.elements[idx].element.param_loads().max(1);
+            ctx.cost += ctx.mem.access(
+                ctx.core,
+                state.base,
+                u64::from(words) * 8,
+                AccessKind::Load,
+            );
+            ctx.compute(u64::from(words) * 3);
+        } else {
+            // The element object itself is still touched (counters etc.).
+            ctx.cost += ctx.mem.access(ctx.core, state.base + 8, 8, AccessKind::Load);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigGraph;
+    use crate::element::Annos;
+    use crate::graph::ElementRegistry;
+    use pm_mem::{Cost, MemoryHierarchy};
+
+    const FWD: &str = "in :: FromDPDKDevice(0); out :: ToDPDKDevice(0); in -> Null -> out;";
+
+    fn rt(plan: ExecPlan) -> (GraphRuntime, AddressSpace) {
+        let cfg = ConfigGraph::parse(FWD).unwrap();
+        let g = Graph::build(&cfg, &ElementRegistry::with_basics()).unwrap();
+        let mut space = AddressSpace::new();
+        (GraphRuntime::new(g, plan, &mut space), space)
+    }
+
+    fn desc() -> RxDesc {
+        RxDesc {
+            buf_id: 0,
+            len: 64,
+            rss_hash: 0,
+            arrival: pm_sim::SimTime::ZERO,
+            gen: pm_sim::SimTime::ZERO,
+            seq: 0,
+            data_addr: 0x8_0000,
+            meta_addr: 0x9_0000,
+            xslot: None,
+        }
+    }
+
+    fn push_one(rtm: &mut GraphRuntime, mem: &mut MemoryHierarchy) -> (PacketFate, Cost) {
+        let plan = rtm.plan().clone();
+        let mut ctx = Ctx::new(0, mem, &plan);
+        let d = desc();
+        let meta = rtm.begin_packet(&mut ctx, &d);
+        let mut data = vec![0u8; 64];
+        let mut pkt = Pkt {
+            data: &mut data,
+            len: 64,
+            desc: d,
+            meta_addr: meta,
+            annos: Annos::default(),
+        };
+        let fate = rtm.run(&mut ctx, &mut pkt, 0);
+        rtm.end_packet(&mut ctx, meta);
+        (fate, ctx.take_cost())
+    }
+
+    #[test]
+    fn forwarder_reaches_sink() {
+        let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::Copying));
+        let mut mem = MemoryHierarchy::skylake(1);
+        let (fate, cost) = push_one(&mut rtm, &mut mem);
+        assert!(matches!(fate, PacketFate::Tx { len: 64, .. }));
+        assert!(cost.instructions > 0);
+        assert_eq!(rtm.stats().to_tx, 1);
+    }
+
+    #[test]
+    fn drop_config_drops() {
+        let cfg = ConfigGraph::parse("in :: FromDPDKDevice(0); in -> Discard;").unwrap();
+        let g = Graph::build(&cfg, &ElementRegistry::with_basics()).unwrap();
+        let mut space = AddressSpace::new();
+        let mut rtm = GraphRuntime::new(g, ExecPlan::vanilla(MetadataModel::Copying), &mut space);
+        let mut mem = MemoryHierarchy::skylake(1);
+        let (fate, _) = push_one(&mut rtm, &mut mem);
+        assert!(matches!(fate, PacketFate::Dropped { .. }));
+        assert_eq!(rtm.stats().dropped, 1);
+    }
+
+    #[test]
+    fn optimized_plans_cost_less() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut measure = |plan: ExecPlan| {
+            let (mut rtm, _s) = rt(plan);
+            // Warm up, then measure steady state.
+            let mut last = Cost::ZERO;
+            for _ in 0..2048 {
+                let (_, c) = push_one(&mut rtm, &mut mem);
+                last = c;
+            }
+            last
+        };
+        let vanilla = measure(ExecPlan::vanilla(MetadataModel::Copying));
+        let devirt = measure(ExecPlan::devirtualized(MetadataModel::Copying));
+        let constants = measure(ExecPlan::constants(MetadataModel::Copying));
+        let all = measure(ExecPlan::all_source_opts(MetadataModel::Copying));
+        let f = pm_sim::Frequency::from_ghz(3.0);
+        assert!(devirt.time(f) < vanilla.time(f), "devirt should win");
+        assert!(constants.time(f) < vanilla.time(f), "constants should win");
+        assert!(all.time(f) < devirt.time(f), "all should beat devirt");
+        assert!(all.time(f) < constants.time(f), "all should beat constants");
+    }
+
+    #[test]
+    fn static_graph_bypasses_packet_pool() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let (mut rtm, _s) = rt(ExecPlan::static_graph(MetadataModel::Copying));
+        for _ in 0..100 {
+            push_one(&mut rtm, &mut mem);
+        }
+        assert_eq!(
+            rtm.pool.available(),
+            rtm.pool.capacity() as usize,
+            "SROA must never touch the pool"
+        );
+    }
+
+    #[test]
+    fn copying_cycles_packet_pool() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::Copying));
+        let before = rtm.pool.available();
+        for _ in 0..100 {
+            push_one(&mut rtm, &mut mem);
+        }
+        assert_eq!(rtm.pool.available(), before, "alloc/free balanced");
+    }
+
+    #[test]
+    fn xchange_begin_is_nearly_free() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::XChange));
+        let plan = rtm.plan().clone();
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        let d = desc();
+        let meta = rtm.begin_packet(&mut ctx, &d);
+        assert_eq!(meta, d.meta_addr, "X-Change uses the driver-written slot");
+        let c = ctx.take_cost();
+        assert_eq!(c.uncore_ns, 0.0);
+        assert!(c.instructions <= 8, "cast-only entry, got {}", c.instructions);
+    }
+}

@@ -1,0 +1,132 @@
+//! The optimization IR and pass manager.
+
+use crate::passes::Pass;
+use pm_click::{ConfigGraph, ExecPlan, MetadataModel};
+
+/// The unit the passes transform: the parsed configuration plus the
+/// evolving execution plan, with a human-readable transformation log.
+#[derive(Debug, Clone)]
+pub struct MillIr {
+    /// The (possibly transformed) configuration graph.
+    pub config: ConfigGraph,
+    /// The (possibly transformed) execution plan.
+    pub plan: ExecPlan,
+    /// One line per applied transformation.
+    pub log: Vec<String>,
+}
+
+impl MillIr {
+    /// Wraps a configuration with a vanilla plan under the given
+    /// metadata model.
+    pub fn new(config: ConfigGraph, model: MetadataModel) -> Self {
+        MillIr {
+            config,
+            plan: ExecPlan::vanilla(model),
+            log: Vec::new(),
+        }
+    }
+
+    /// Appends a log line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.log.push(line.into());
+    }
+}
+
+/// An ordered sequence of passes.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("Pipeline").field("passes", &names).finish()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Pipeline { passes: Vec::new() }
+    }
+
+    /// Appends a pass.
+    pub fn then(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The full PacketMill source-optimization pipeline (Fig. 3 ②):
+    /// dead-element elimination, devirtualization, constant embedding,
+    /// static graph. Field reordering (Fig. 3 ③) is added separately
+    /// because it needs an access profile.
+    pub fn packetmill() -> Self {
+        Pipeline::new()
+            .then(crate::passes::DeadElementPass)
+            .then(crate::passes::DevirtualizePass)
+            .then(crate::passes::ConstantEmbedPass)
+            .then(crate::passes::StaticGraphPass)
+    }
+
+    /// Number of passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True if the pipeline has no passes.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs every pass in order.
+    pub fn run(&self, ir: &mut MillIr) {
+        for p in &self.passes {
+            p.run(ir);
+        }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::DispatchMode;
+
+    fn ir() -> MillIr {
+        let cfg = ConfigGraph::parse(
+            "in :: FromDPDKDevice(0); out :: ToDPDKDevice(0); in -> Null -> out;",
+        )
+        .unwrap();
+        MillIr::new(cfg, MetadataModel::Copying)
+    }
+
+    #[test]
+    fn packetmill_pipeline_sets_all_flags() {
+        let mut i = ir();
+        Pipeline::packetmill().run(&mut i);
+        assert_eq!(i.plan.dispatch, DispatchMode::Inlined);
+        assert!(i.plan.constants_embedded);
+        assert!(i.plan.static_graph);
+        assert!(!i.log.is_empty());
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut i = ir();
+        let before = i.plan.clone();
+        Pipeline::new().run(&mut i);
+        assert_eq!(i.plan, before);
+        assert!(i.log.is_empty());
+    }
+
+    #[test]
+    fn pipeline_len() {
+        assert_eq!(Pipeline::packetmill().len(), 4);
+        assert!(Pipeline::new().is_empty());
+    }
+}

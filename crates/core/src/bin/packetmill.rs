@@ -1,0 +1,254 @@
+//! The `packetmill` command-line tool: run any Click-language
+//! configuration through the optimizer and the simulated 100-Gbps
+//! testbed, print the optimization log, the emitted specialized source,
+//! and the measurements.
+//!
+//! ```text
+//! packetmill --nf router --model xchange --opt all --freq 2.3
+//! packetmill --config my.click --model copying --opt vanilla
+//! packetmill --nf nat --cores 4 --offered 80 --packets 100000
+//! ```
+
+use packetmill::{
+    emit_specialized_source, ExperimentBuilder, MetadataModel, Nf, OptLevel, TrafficProfile,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+packetmill — run an NF through the PacketMill optimizer + simulated testbed
+
+USAGE:
+    packetmill [OPTIONS]
+
+OPTIONS:
+    --nf <NAME>          forwarder | router | ids-router | nat | firewall [default: router]
+    --config <FILE>      run a Click configuration file instead of a preset
+    --model <MODEL>      copying | overlaying | xchange          [default: copying]
+    --opt <LEVEL>        vanilla | devirtualize | constants | static | all | full
+                                                                 [default: vanilla]
+    --freq <GHZ>         core frequency in GHz                   [default: 2.3]
+    --cores <N>          processing cores (RSS over queues)      [default: 1]
+    --nics <N>           NIC ports                               [default: 1]
+    --offered <GBPS>     offered load per NIC                    [default: 100]
+    --packets <N>        generated packets per NIC               [default: 60000]
+    --size <BYTES>       fixed packet size (default: campus mix)
+    --pcap <FILE>        replay a pcap capture instead of synthetic traffic
+    --seed <N>           RNG seed                                [default: 51966]
+    --emit-source        print the emitted specialized source
+    --show-log           print the optimizer's transformation log
+    --handlers           print per-element packet/drop counters
+    -h, --help           print this help
+";
+
+struct Options {
+    nf: Nf,
+    model: MetadataModel,
+    opt: OptLevel,
+    freq: f64,
+    cores: usize,
+    nics: usize,
+    offered: f64,
+    packets: usize,
+    size: Option<usize>,
+    pcap: Option<String>,
+    seed: u64,
+    emit_source: bool,
+    show_log: bool,
+    handlers: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        nf: Nf::Router,
+        model: MetadataModel::Copying,
+        opt: OptLevel::Vanilla,
+        freq: 2.3,
+        cores: 1,
+        nics: 1,
+        offered: 100.0,
+        packets: 60_000,
+        size: None,
+        pcap: None,
+        seed: 0xCAFE,
+        emit_source: false,
+        show_log: false,
+        handlers: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--nf" => {
+                o.nf = match value("--nf")?.as_str() {
+                    "forwarder" => Nf::Forwarder,
+                    "router" => Nf::Router,
+                    "ids-router" => Nf::IdsRouter,
+                    "nat" => Nf::Nat,
+                    "firewall" => Nf::Firewall,
+                    other => return Err(format!("unknown NF {other:?}")),
+                }
+            }
+            "--config" => {
+                let path = value("--config")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                o.nf = Nf::Custom(text);
+            }
+            "--model" => {
+                o.model = match value("--model")?.as_str() {
+                    "copying" => MetadataModel::Copying,
+                    "overlaying" => MetadataModel::Overlaying,
+                    "xchange" | "x-change" => MetadataModel::XChange,
+                    other => return Err(format!("unknown model {other:?}")),
+                }
+            }
+            "--opt" => {
+                o.opt = match value("--opt")?.as_str() {
+                    "vanilla" => OptLevel::Vanilla,
+                    "devirtualize" => OptLevel::Devirtualize,
+                    "constants" => OptLevel::ConstantEmbed,
+                    "static" => OptLevel::StaticGraph,
+                    "all" => OptLevel::AllSource,
+                    "full" => OptLevel::Full,
+                    other => return Err(format!("unknown opt level {other:?}")),
+                }
+            }
+            "--freq" => o.freq = num(&value("--freq")?)?,
+            "--cores" => o.cores = num(&value("--cores")?)? as usize,
+            "--nics" => o.nics = num(&value("--nics")?)? as usize,
+            "--offered" => o.offered = num(&value("--offered")?)?,
+            "--packets" => o.packets = num(&value("--packets")?)? as usize,
+            "--size" => o.size = Some(num(&value("--size")?)? as usize),
+            "--pcap" => o.pcap = Some(value("--pcap")?),
+            "--seed" => o.seed = num(&value("--seed")?)? as u64,
+            "--emit-source" => o.emit_source = true,
+            "--show-log" => o.show_log = true,
+            "--handlers" => o.handlers = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(o)
+}
+
+fn num(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut builder = ExperimentBuilder::new(o.nf.clone())
+        .metadata_model(o.model)
+        .optimization(o.opt)
+        .frequency_ghz(o.freq)
+        .cores(o.cores)
+        .nics(o.nics)
+        .offered_gbps(o.offered)
+        .packets(o.packets)
+        .seed(o.seed);
+    if let Some(size) = o.size {
+        builder = builder.traffic(TrafficProfile::FixedSize(size));
+    }
+    if let Some(path) = &o.pcap {
+        match packetmill::Trace::from_pcap(std::path::Path::new(path)) {
+            Ok(t) => {
+                println!(
+                    "loaded {path}: {} frames, mean {:.0} B",
+                    t.len(),
+                    t.mean_frame_len()
+                );
+                builder = builder.trace(t);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if o.show_log || o.emit_source {
+        match builder.build_ir() {
+            Ok(ir) => {
+                if o.show_log {
+                    println!("optimizer log:");
+                    for line in &ir.log {
+                        println!("  - {line}");
+                    }
+                    if ir.log.is_empty() {
+                        println!("  (no transformations at this level)");
+                    }
+                    println!();
+                }
+                if o.emit_source {
+                    println!("{}", emit_specialized_source(&ir));
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match builder.run_with_handlers() {
+        Ok((m, handlers)) => {
+            println!("configuration : {} / {:?} / {:?}", nf_name(&o.nf), o.model, o.opt);
+            println!(
+                "testbed       : {} core(s) @ {} GHz, {} NIC(s), {} Gbps offered",
+                o.cores, o.freq, o.nics, o.offered
+            );
+            println!("throughput    : {:.2} Gbps ({:.2} Mpps)", m.throughput_gbps, m.mpps);
+            println!(
+                "latency       : p50 {:.1} us   p99 {:.1} us   mean {:.1} us",
+                m.median_latency_us, m.p99_latency_us, m.mean_latency_us
+            );
+            println!("ipc           : {:.2}", m.ipc);
+            println!(
+                "llc           : {:.0}k loads / {:.0}k misses per 100 ms ({:.1}% miss)",
+                m.llc_loads_per_100ms / 1e3,
+                m.llc_misses_per_100ms / 1e3,
+                m.llc_miss_pct
+            );
+            println!(
+                "drops         : {} at NIC, {} in NF, {} at TX ring",
+                m.rx_dropped, m.nf_dropped, m.tx_dropped
+            );
+            if o.handlers {
+                println!("\nper-element handlers:");
+                for (name, seen, dropped) in handlers {
+                    println!("  {name:<24} packets {seen:>9}   drops {dropped:>8}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn nf_name(nf: &Nf) -> &'static str {
+    match nf {
+        Nf::Forwarder => "forwarder",
+        Nf::Router => "router",
+        Nf::IdsRouter => "ids-router",
+        Nf::Nat => "nat",
+        Nf::Firewall => "firewall",
+        Nf::WorkPackage { .. } | Nf::WorkPackageKb { .. } => "workpackage",
+        Nf::Custom(_) => "custom config",
+    }
+}

@@ -1,0 +1,584 @@
+//! The closed-loop experiment engine: traffic generator → NIC (DMA/DDIO,
+//! rings, RSS) → poll-mode driver → dataplane → TX — with per-core clocks
+//! advanced by the charged costs, producing the metrics the paper
+//! reports.
+//!
+//! The simulation is event-driven in a single loop: the core with the
+//! earliest clock runs next; before it polls, every generator arrival up
+//! to that instant is delivered (possibly dropping on full rings — the
+//! mechanism behind the tail-latency knee of Fig. 1).
+
+use pm_dpdk::{MetadataModel, MetadataSpec, Pmd, PmdConfig, TxSend};
+use pm_frameworks::Dataplane;
+use pm_mem::{AddressSpace, Cost, MemCounters, MemoryHierarchy};
+use pm_nic::{DmaMemory, Nic, NicConfig};
+use pm_sim::{Frequency, SimTime};
+use pm_telemetry::LatencyHistogram;
+use pm_traffic::Trace;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Processing cores.
+    pub cores: usize,
+    /// NIC ports (1, or 2 for the dual-NIC experiment of Fig. 5b).
+    pub nics: usize,
+    /// Core clock frequency.
+    pub freq: Frequency,
+    /// RX descriptor ring size.
+    pub rx_ring: usize,
+    /// TX descriptor ring size.
+    pub tx_ring: usize,
+    /// RX/TX burst size.
+    pub burst: usize,
+    /// Extra data buffers beyond the computed minimum (rings + in-flight).
+    /// 0 sizes the pool exactly to the rings, like a tuned deployment.
+    pub pool_size: u32,
+    /// Metadata-management model the PMD runs.
+    pub model: MetadataModel,
+    /// Fields the NF needs (X-Change write set).
+    pub spec: MetadataSpec,
+    /// Application descriptor layout for X-Change (the framework's
+    /// `Packet` layout), if any.
+    pub xchg_layout: Option<pm_dpdk::StructLayout>,
+    /// Offered load per NIC, Gbps.
+    pub offered_gbps: f64,
+    /// Packets to generate per NIC.
+    pub packets: usize,
+    /// Packets (per NIC) excluded from measurement as warm-up.
+    pub warmup: usize,
+    /// Fixed latency outside the DUT (generator + PHYs + cabling).
+    pub base_latency: SimTime,
+    /// Override the number of LLC ways DDIO may fill (None = default 4).
+    pub ddio_ways: Option<usize>,
+    /// Override the mempool recycling order (None = FIFO).
+    pub pool_mode: Option<pm_dpdk::MempoolMode>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cores: 1,
+            nics: 1,
+            freq: Frequency::from_ghz(2.3),
+            rx_ring: 4096,
+            tx_ring: 1024,
+            burst: 32,
+            pool_size: 0,
+            model: MetadataModel::Copying,
+            spec: MetadataSpec::full(),
+            xchg_layout: None,
+            offered_gbps: 100.0,
+            packets: 100_000,
+            warmup: 20_000,
+            base_latency: SimTime::from_us(4.0),
+            ddio_ways: None,
+            pool_mode: None,
+        }
+    }
+}
+
+/// The metrics one experiment run produces (the paper's measurement set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Delivered throughput, Gbps (frame bytes on the TX side).
+    pub throughput_gbps: f64,
+    /// Delivered packets per second, millions.
+    pub mpps: f64,
+    /// Median end-to-end latency, µs.
+    pub median_latency_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_latency_us: f64,
+    /// Mean latency, µs.
+    pub mean_latency_us: f64,
+    /// Instructions per cycle over the measured window.
+    pub ipc: f64,
+    /// `LLC-loads` per 100 ms (the paper's Table 1 unit).
+    pub llc_loads_per_100ms: f64,
+    /// `LLC-load-misses` per 100 ms.
+    pub llc_misses_per_100ms: f64,
+    /// LLC load-miss ratio, percent.
+    pub llc_miss_pct: f64,
+    /// Packets dropped by the NIC (ring overflow), whole run.
+    pub rx_dropped: u64,
+    /// Packets the NF dropped, whole run.
+    pub nf_dropped: u64,
+    /// Frames dropped at the TX ring, whole run.
+    pub tx_dropped: u64,
+    /// Packets transmitted in the measured window.
+    pub tx_packets: u64,
+    /// Simulated measured time, ms.
+    pub elapsed_ms: f64,
+    /// Mean retired instructions per processed packet.
+    pub instr_per_packet: f64,
+    /// Mean core-domain cycles per processed packet.
+    pub cycles_per_packet: f64,
+    /// Mean uncore stall per processed packet, ns.
+    pub uncore_ns_per_packet: f64,
+}
+
+struct NicState {
+    dev: Nic,
+    dma: DmaMemory,
+    pmd: Pmd,
+    /// Replay cursor.
+    next_idx: usize,
+    next_time: SimTime,
+}
+
+/// The closed-loop engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    mem: MemoryHierarchy,
+    nics: Vec<NicState>,
+    /// One dataplane instance per (nic, queue) pair.
+    dataplanes: Vec<Box<dyn Dataplane>>,
+    /// `(nic, queue)` per pair index.
+    pairs: Vec<(usize, usize)>,
+    traces: Vec<Trace>,
+    /// Generation timestamp of the first post-warmup packet.
+    measure_gen_start: Option<SimTime>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cores", &self.cfg.cores)
+            .field("nics", &self.nics.len())
+            .field("pairs", &self.pairs)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Queues per NIC implied by a configuration.
+    pub fn queues_per_nic(cfg: &EngineConfig) -> usize {
+        (cfg.cores / cfg.nics).max(1)
+    }
+
+    /// Builds the engine. `dataplanes` must hold one instance per
+    /// (nic, queue) pair — `nics * queues_per_nic` — and `traces` one
+    /// trace per NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions.
+    pub fn new(
+        cfg: EngineConfig,
+        dataplanes: Vec<Box<dyn Dataplane>>,
+        traces: Vec<Trace>,
+        space: &mut AddressSpace,
+    ) -> Self {
+        assert!(cfg.cores > 0 && cfg.nics > 0, "need cores and nics");
+        let qpn = Self::queues_per_nic(&cfg);
+        let pairs: Vec<(usize, usize)> = (0..cfg.nics)
+            .flat_map(|n| (0..qpn).map(move |q| (n, q)))
+            .collect();
+        assert_eq!(
+            dataplanes.len(),
+            pairs.len(),
+            "need one dataplane per (nic, queue) pair"
+        );
+        assert_eq!(traces.len(), cfg.nics, "need one trace per NIC");
+
+        let mut mem = match cfg.ddio_ways {
+            None => MemoryHierarchy::skylake(cfg.cores),
+            Some(w) => {
+                let mut p = pm_mem::HierarchyParams::skylake(cfg.cores);
+                p.ddio_ways = w;
+                MemoryHierarchy::new(&p)
+            }
+        };
+        let nic_cfg = NicConfig {
+            queues: qpn,
+            rx_ring_size: cfg.rx_ring,
+            tx_ring_size: cfg.tx_ring,
+            ..NicConfig::default()
+        };
+        let nics: Vec<NicState> = (0..cfg.nics)
+            .map(|_| {
+                let mut dev = Nic::new(&nic_cfg, space);
+                // Pool covers posted descriptors + TX in-flight + bursts
+                // (DPDK pools are sized to the rings; oversizing inflates
+                // the DMA working set past the DDIO ways for no benefit).
+                let n_bufs = ((cfg.rx_ring * qpn + cfg.tx_ring + 4 * cfg.burst) as u32)
+                    + cfg.pool_size;
+                let dma = DmaMemory::new(space, n_bufs, 2176, 128);
+                let pmd_cfg = PmdConfig {
+                    burst: cfg.burst,
+                    model: cfg.model,
+                    spec: cfg.spec.clone(),
+                    pool_size: n_bufs,
+                    xchg_ring_size: 64 * qpn as u32,
+                    xchg_layout: cfg.xchg_layout.clone(),
+                    pool_mode: cfg.pool_mode.unwrap_or(pm_dpdk::MempoolMode::Fifo),
+                    ..PmdConfig::default()
+                };
+                let mut pmd = Pmd::new(pmd_cfg, space);
+                for q in 0..qpn {
+                    pmd.setup(&mut dev, q, &dma, &mut mem);
+                }
+                // DPDK backs its memory with 2-MiB hugepages.
+                mem.mark_hugepages(dma.region());
+                for r in pmd.hugepage_regions() {
+                    mem.mark_hugepages(r);
+                }
+                for q in 0..qpn {
+                    let (cq, wq) = dev.rx_ring_mut(q).regions();
+                    mem.mark_hugepages(cq);
+                    mem.mark_hugepages(wq);
+                    let txr = dev.tx_ring_mut(q).region();
+                    mem.mark_hugepages(txr);
+                }
+                NicState {
+                    dev,
+                    dma,
+                    pmd,
+                    next_idx: 0,
+                    next_time: SimTime::ZERO,
+                }
+            })
+            .collect();
+
+        Engine {
+            cfg,
+            mem,
+            nics,
+            dataplanes,
+            pairs,
+            traces,
+            measure_gen_start: None,
+        }
+    }
+
+    fn deliver_up_to(&mut self, now: SimTime) {
+        let warmup = self.cfg.warmup;
+        for (n, st) in self.nics.iter_mut().enumerate() {
+            while st.next_idx < self.cfg.packets && st.next_time <= now {
+                if st.next_idx == warmup && self.measure_gen_start.is_none() {
+                    self.measure_gen_start = Some(st.next_time);
+                }
+                let frame = self.traces[n].frame(st.next_idx);
+                st.dev.rx_deliver_seq(
+                    frame,
+                    st.next_time,
+                    st.next_idx as u64,
+                    &mut self.mem,
+                    &mut st.dma,
+                );
+                let wire_bits = (frame.len() as u64 + 20) * 8;
+                st.next_time += SimTime::from_ps(
+                    (wire_bits as f64 * 1000.0 / self.cfg.offered_gbps).round() as u64,
+                );
+                st.next_idx += 1;
+            }
+        }
+    }
+
+    fn next_arrival(&self) -> Option<SimTime> {
+        self.nics
+            .iter()
+            .filter(|s| s.next_idx < self.cfg.packets)
+            .map(|s| s.next_time)
+            .min()
+    }
+
+    /// Earliest arrival among still-queued completions, if any.
+    fn oldest_pending(&mut self) -> Option<SimTime> {
+        let qpn = Self::queues_per_nic(&self.cfg);
+        let mut oldest: Option<SimTime> = None;
+        for st in &mut self.nics {
+            for q in 0..qpn {
+                if let Some(t) = st.dev.rx_ring_mut(q).oldest_arrival() {
+                    oldest = Some(oldest.map_or(t, |o| o.min(t)));
+                }
+            }
+        }
+        oldest
+    }
+
+    /// Runs the experiment to completion and returns the measurements.
+    pub fn run(&mut self) -> Measurement {
+        let cores = self.cfg.cores;
+        let freq = self.cfg.freq;
+        let warmup_seq = self.cfg.warmup as u64;
+
+        let mut clocks = vec![SimTime::ZERO; cores];
+        // Round-robin cursor over each core's pairs.
+        let mut rr = vec![0usize; cores];
+        let core_pairs: Vec<Vec<usize>> = (0..cores)
+            .map(|c| {
+                (0..self.pairs.len())
+                    .filter(|p| p % cores == c)
+                    .collect()
+            })
+            .collect();
+
+        let mut hist = LatencyHistogram::new();
+        let mut measured_tx_packets = 0u64;
+        let mut measured_tx_bytes = 0u64;
+        let mut nf_dropped = 0u64;
+        let mut first_measured_arrival: Option<SimTime> = None;
+        let mut first_measured_departure: Option<SimTime> = None;
+        let mut last_departure = SimTime::ZERO;
+        let mut measured_cost = Cost::ZERO;
+        let mut counters_at_start: Option<MemCounters> = None;
+        // Consecutive empty polls per core, to detect quiescence.
+        let mut done = false;
+
+        while !done {
+            // Pick the core with the earliest clock.
+            let core = (0..cores)
+                .min_by_key(|&c| clocks[c])
+                .expect("at least one core");
+            let now = clocks[core];
+            self.deliver_up_to(now);
+
+            // Poll the next pair of this core.
+            let my_pairs = &core_pairs[core];
+            if my_pairs.is_empty() {
+                clocks[core] = SimTime::MAX;
+                continue;
+            }
+            let pair = my_pairs[rr[core] % my_pairs.len()];
+            rr[core] += 1;
+            let (nic_idx, q) = self.pairs[pair];
+
+            let st = &mut self.nics[nic_idx];
+            let (pkts, mut cost) =
+                st.pmd
+                    .rx_burst(core, &mut st.dev, q, &st.dma, &mut self.mem, now);
+
+            if pkts.is_empty() {
+                // Nothing visible on this pair yet: advance to the next
+                // event (a generator arrival, or a queued completion whose
+                // DMA is still in flight), or finish.
+                let next = match (self.next_arrival(), self.oldest_pending()) {
+                    (Some(a), Some(p)) => Some(a.min(p)),
+                    (a, p) => a.or(p),
+                };
+                match next {
+                    Some(t) => {
+                        // Busy-poll until the event (coarsened).
+                        clocks[core] = clocks[core].max(t) + SimTime::from_ns(30.0);
+                    }
+                    None => done = true,
+                }
+                continue;
+            }
+
+            // Measurement window bookkeeping.
+            let any_measured = pkts.iter().any(|p| p.seq >= warmup_seq);
+            if any_measured && counters_at_start.is_none() {
+                counters_at_start = Some(self.mem.counters());
+            }
+            if first_measured_arrival.is_none() {
+                if let Some(p) = pkts.iter().find(|p| p.seq >= warmup_seq) {
+                    first_measured_arrival = Some(p.arrival);
+                }
+            }
+
+            // Process the burst through the dataplane.
+            let dp = &mut self.dataplanes[pair];
+            let mut sends: Vec<TxSend> = Vec::with_capacity(pkts.len());
+            for desc in &pkts {
+                let data = st.dma.data_mut(desc.buf_id);
+                let r = dp.process(core, &mut self.mem, desc, data);
+                cost += r.cost;
+                match r.tx_len {
+                    Some(len) => sends.push(TxSend { desc: *desc, len }),
+                    None => {
+                        cost += st.pmd.release(core, &mut self.mem, desc);
+                        if desc.seq >= warmup_seq {
+                            nf_dropped += 1;
+                        }
+                    }
+                }
+            }
+            cost += dp.per_batch_cost(pkts.len());
+
+            // Advance the core clock by the batch's service time, then
+            // hand the frames to the NIC at that instant. ToDPDKDevice
+            // applies backpressure: when the TX ring is full the core
+            // spins until the wire frees a slot, rather than dropping.
+            clocks[core] = now + cost.time(freq);
+            let mut offset = 0usize;
+            while offset < sends.len() {
+                let free = st.dev.tx_free_slots(q);
+                if free == 0 {
+                    match st.dev.tx_oldest_departure(q) {
+                        Some(t) => clocks[core] = clocks[core].max(t),
+                        None => break, // cannot happen: full ring has frames
+                    }
+                    // An empty burst still reaps completions.
+                    let (_, c) =
+                        st.pmd
+                            .tx_burst(core, &mut st.dev, q, &mut self.mem, clocks[core], &[]);
+                    clocks[core] += c.time(freq);
+                    if any_measured {
+                        measured_cost += c;
+                    }
+                    continue;
+                }
+                let n = free.min(sends.len() - offset);
+                let chunk = &sends[offset..offset + n];
+                let (departures, tx_cost) =
+                    st.pmd
+                        .tx_burst(core, &mut st.dev, q, &mut self.mem, clocks[core], chunk);
+                clocks[core] += tx_cost.time(freq);
+                if any_measured {
+                    measured_cost += tx_cost;
+                }
+                for (send, dep) in chunk.iter().zip(&departures) {
+                    if let Some(d) = dep {
+                        last_departure = last_departure.max(*d);
+                        if send.desc.seq >= warmup_seq {
+                            if first_measured_departure.is_none() {
+                                first_measured_departure = Some(*d);
+                            }
+                            measured_tx_packets += 1;
+                            measured_tx_bytes += send.len as u64;
+                            let lat = d.saturating_sub(send.desc.gen) + self.cfg.base_latency;
+                            hist.record(lat.as_ns() as u64);
+                        }
+                    }
+                }
+                offset += n;
+            }
+
+            if any_measured {
+                measured_cost += cost;
+            }
+        }
+
+        // Measurement window: first-to-last measured TX departure. Under
+        // saturation this yields the true service rate; unsaturated it
+        // converges to the offered rate (both ends shift by the same
+        // latency). The generation-span start is kept as a lower bound so
+        // a handful of departures cannot inflate the rate.
+        let start = first_measured_departure
+            .or(self.measure_gen_start)
+            .or(first_measured_arrival)
+            .unwrap_or(SimTime::ZERO);
+        let elapsed = last_departure.saturating_sub(start);
+        let elapsed_s = elapsed.as_secs().max(1e-9);
+        let deltas = self
+            .mem
+            .counters()
+            .delta_since(&counters_at_start.unwrap_or_default());
+        let windows_per_run = elapsed_s / 0.1;
+
+        Measurement {
+            throughput_gbps: measured_tx_bytes as f64 * 8.0 / elapsed_s / 1e9,
+            mpps: measured_tx_packets as f64 / elapsed_s / 1e6,
+            median_latency_us: hist.median() as f64 / 1e3,
+            p99_latency_us: hist.p99() as f64 / 1e3,
+            mean_latency_us: hist.mean() / 1e3,
+            ipc: measured_cost.ipc(freq),
+            llc_loads_per_100ms: deltas.llc_loads as f64 / windows_per_run,
+            llc_misses_per_100ms: deltas.llc_load_misses as f64 / windows_per_run,
+            llc_miss_pct: if deltas.llc_loads == 0 {
+                0.0
+            } else {
+                deltas.llc_load_misses as f64 / deltas.llc_loads as f64 * 100.0
+            },
+            rx_dropped: self.nics.iter().map(|s| s.dev.stats().rx_dropped).sum(),
+            nf_dropped,
+            tx_dropped: self.nics.iter().map(|s| s.dev.stats().tx_dropped).sum(),
+            tx_packets: measured_tx_packets,
+            elapsed_ms: elapsed.as_ms(),
+            instr_per_packet: measured_cost.instructions as f64 / measured_tx_packets.max(1) as f64,
+            cycles_per_packet: measured_cost.cycles / measured_tx_packets.max(1) as f64,
+            uncore_ns_per_packet: measured_cost.uncore_ns / measured_tx_packets.max(1) as f64,
+        }
+    }
+
+    /// Per-element `(name, packets, drops)` statistics aggregated over
+    /// all dataplane instances (Click read handlers).
+    pub fn element_stats(&self) -> Vec<(String, u64, u64)> {
+        let mut agg: Vec<(String, u64, u64)> = Vec::new();
+        for dp in &self.dataplanes {
+            for (name, seen, dropped) in dp.element_stats() {
+                match agg.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some(row) => {
+                        row.1 += seen;
+                        row.2 += dropped;
+                    }
+                    None => agg.push((name, seen, dropped)),
+                }
+            }
+        }
+        agg
+    }
+
+    /// Takes the first dataplane's field profile (profiling runs).
+    pub fn take_profile(&mut self) -> Option<pm_click::FieldProfile> {
+        self.dataplanes.first_mut().and_then(|d| d.take_profile())
+    }
+
+    /// Enables profiling on every dataplane.
+    pub fn set_profiling(&mut self, on: bool) {
+        for d in &mut self.dataplanes {
+            d.set_profiling(on);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_per_nic_rules() {
+        let mut cfg = EngineConfig::default();
+        assert_eq!(Engine::queues_per_nic(&cfg), 1);
+        cfg.cores = 4;
+        assert_eq!(Engine::queues_per_nic(&cfg), 4);
+        cfg.nics = 2;
+        assert_eq!(Engine::queues_per_nic(&cfg), 2);
+        cfg.cores = 1;
+        assert_eq!(Engine::queues_per_nic(&cfg), 1, "two NICs, one core");
+    }
+
+    #[test]
+    #[should_panic(expected = "one dataplane per")]
+    fn dimension_mismatch_caught() {
+        let cfg = EngineConfig {
+            cores: 2,
+            ..EngineConfig::default()
+        };
+        let mut space = pm_mem::AddressSpace::new();
+        let traces = vec![Trace::synthesize(&pm_traffic::TraceConfig {
+            packets: 16,
+            ..Default::default()
+        })];
+        let _ = Engine::new(cfg, Vec::new(), traces, &mut space);
+    }
+
+    #[test]
+    fn measurement_fields_consistent() {
+        // Covered end-to-end in the integration tests; here just the
+        // arithmetic helpers on a tiny run via the facade would recurse
+        // crates — keep the structural invariant instead.
+        let m = Measurement {
+            throughput_gbps: 10.0,
+            mpps: 1.0,
+            median_latency_us: 5.0,
+            p99_latency_us: 9.0,
+            mean_latency_us: 6.0,
+            ipc: 2.0,
+            llc_loads_per_100ms: 100.0,
+            llc_misses_per_100ms: 50.0,
+            llc_miss_pct: 50.0,
+            rx_dropped: 0,
+            nf_dropped: 0,
+            tx_dropped: 0,
+            tx_packets: 100,
+            elapsed_ms: 1.0,
+            instr_per_packet: 500.0,
+            cycles_per_packet: 150.0,
+            uncore_ns_per_packet: 20.0,
+        };
+        assert!(m.p99_latency_us >= m.median_latency_us);
+    }
+}

@@ -1,0 +1,505 @@
+//! The experiment facade: one builder that assembles configuration
+//! parsing, the PacketMill optimization pipeline (including the
+//! profile-guided reordering pass), the simulated testbed, and the
+//! measurement run.
+
+use crate::click_dataplane::ClickDataplane;
+use crate::engine::{Engine, EngineConfig, Measurement};
+use pm_click::{ConfigError, ConfigGraph, Graph, GraphRuntime};
+use pm_compile::{MillIr, Pass, Pipeline, ReorderFieldsPass};
+use pm_dpdk::{MetadataModel, MetadataSpec};
+use pm_elements::standard_registry;
+use pm_frameworks::Dataplane;
+use pm_mem::AddressSpace;
+use pm_sim::{Frequency, SimTime};
+use pm_traffic::{Trace, TraceConfig, TrafficProfile};
+use std::error::Error;
+use std::fmt;
+
+/// Which network function to run (paper §A).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Nf {
+    /// §A.1 — the simple forwarder (EtherMirror).
+    Forwarder,
+    /// §A.2 — the standard IP router.
+    Router,
+    /// §A.3 — IDS + router (+ VLAN encapsulation).
+    IdsRouter,
+    /// §A.3 — the stateful NAT.
+    Nat,
+    /// Extension: stateless ACL firewall + router (first-match rules
+    /// over the 5-tuple, default deny).
+    Firewall,
+    /// §A.4 — the synthetic WorkPackage NF: `w` random numbers, `n`
+    /// accesses into `s_mb` megabytes, per packet.
+    WorkPackage {
+        /// Pseudo-random numbers generated per packet.
+        w: u32,
+        /// Array size in MB.
+        s_mb: u32,
+        /// Random accesses per packet.
+        n: u32,
+    },
+    /// Like `WorkPackage` but with KB-granular array size (Fig. 9 sweep).
+    WorkPackageKb {
+        /// Pseudo-random numbers generated per packet.
+        w: u32,
+        /// Array size in KB.
+        s_kb: u64,
+        /// Random accesses per packet.
+        n: u32,
+    },
+    /// A custom Click configuration.
+    Custom(String),
+}
+
+impl Nf {
+    /// The Click configuration text for this NF.
+    pub fn config_text(&self) -> String {
+        use pm_elements::configs;
+        match self {
+            Nf::Forwarder => configs::forwarder(),
+            Nf::Router => configs::router(),
+            Nf::IdsRouter => configs::ids_router(),
+            Nf::Nat => configs::nat(),
+            Nf::Firewall => configs::firewall(),
+            Nf::WorkPackage { w, s_mb, n } => configs::work_package(*w, *s_mb, *n),
+            Nf::WorkPackageKb { w, s_kb, n } => configs::work_package_kb(*w, *s_kb, *n),
+            Nf::Custom(text) => text.clone(),
+        }
+    }
+}
+
+/// Which PacketMill optimizations to apply (the Fig. 4 / Table 1
+/// variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// No optimization.
+    Vanilla,
+    /// `click-devirtualize` only.
+    Devirtualize,
+    /// Constant embedding only.
+    ConstantEmbed,
+    /// Static graph only.
+    StaticGraph,
+    /// All source-code optimizations.
+    AllSource,
+    /// Only the profile-guided metadata reordering pass (the §4.1
+    /// "LTO & structure reordering" ablation; Copying model only).
+    Reorder,
+    /// All source-code optimizations plus the profile-guided metadata
+    /// reordering pass (applies under the Copying model, like the paper).
+    Full,
+}
+
+/// Errors from building or running an experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The configuration failed to parse or build.
+    Config(ConfigError),
+    /// Inconsistent experiment parameters.
+    Invalid(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Config(e) => write!(f, "configuration error: {e}"),
+            ExperimentError::Invalid(m) => write!(f, "invalid experiment: {m}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Config(e) => Some(e),
+            ExperimentError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ExperimentError {
+    fn from(e: ConfigError) -> Self {
+        ExperimentError::Config(e)
+    }
+}
+
+/// Builds and runs one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    nf: Nf,
+    model: MetadataModel,
+    opt: OptLevel,
+    freq_ghz: f64,
+    cores: usize,
+    nics: usize,
+    offered_gbps: f64,
+    packets: usize,
+    warmup_fraction: f64,
+    traffic: TrafficProfile,
+    seed: u64,
+    rx_ring: usize,
+    burst: usize,
+    ddio_ways: Option<usize>,
+    pool_mode: Option<pm_dpdk::MempoolMode>,
+    spec: Option<MetadataSpec>,
+    custom_trace: Option<Trace>,
+}
+
+impl ExperimentBuilder {
+    /// Starts a builder for `nf` with the paper's defaults: Copying,
+    /// vanilla, 2.3 GHz, one core, one NIC, 100-Gbps offered load,
+    /// campus-mix traffic.
+    pub fn new(nf: Nf) -> Self {
+        ExperimentBuilder {
+            nf,
+            model: MetadataModel::Copying,
+            opt: OptLevel::Vanilla,
+            freq_ghz: 2.3,
+            cores: 1,
+            nics: 1,
+            offered_gbps: 100.0,
+            packets: 100_000,
+            warmup_fraction: 0.2,
+            traffic: TrafficProfile::CampusMix,
+            seed: 0xCAFE,
+            rx_ring: 4096,
+            burst: 32,
+            ddio_ways: None,
+            pool_mode: None,
+            spec: None,
+            custom_trace: None,
+        }
+    }
+
+    /// Sets the metadata-management model.
+    pub fn metadata_model(mut self, m: MetadataModel) -> Self {
+        self.model = m;
+        self
+    }
+
+    /// Sets the optimization level.
+    pub fn optimization(mut self, o: OptLevel) -> Self {
+        self.opt = o;
+        self
+    }
+
+    /// Sets the core frequency in GHz.
+    pub fn frequency_ghz(mut self, f: f64) -> Self {
+        self.freq_ghz = f;
+        self
+    }
+
+    /// Sets the number of processing cores (RSS spreads flows).
+    pub fn cores(mut self, c: usize) -> Self {
+        self.cores = c;
+        self
+    }
+
+    /// Sets the number of NICs (2 for the >100-Gbps experiment).
+    pub fn nics(mut self, n: usize) -> Self {
+        self.nics = n;
+        self
+    }
+
+    /// Sets the offered load per NIC in Gbps.
+    pub fn offered_gbps(mut self, g: f64) -> Self {
+        self.offered_gbps = g;
+        self
+    }
+
+    /// Sets the number of generated packets per NIC.
+    pub fn packets(mut self, p: usize) -> Self {
+        self.packets = p;
+        self
+    }
+
+    /// Sets the traffic profile.
+    pub fn traffic(mut self, t: TrafficProfile) -> Self {
+        self.traffic = t;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the RX descriptor ring size.
+    pub fn rx_ring(mut self, r: usize) -> Self {
+        self.rx_ring = r;
+        self
+    }
+
+    /// Sets the RX/TX burst size (default 32, like the paper's configs).
+    pub fn burst(mut self, b: usize) -> Self {
+        self.burst = b;
+        self
+    }
+
+    /// Overrides the LLC ways DDIO may fill (ablation knob).
+    pub fn ddio_ways(mut self, w: usize) -> Self {
+        self.ddio_ways = Some(w);
+        self
+    }
+
+    /// Overrides the mempool recycling order (ablation knob).
+    pub fn pool_mode(mut self, m: pm_dpdk::MempoolMode) -> Self {
+        self.pool_mode = Some(m);
+        self
+    }
+
+    /// Overrides the X-Change metadata spec (which fields the driver
+    /// delivers; default: [`MetadataSpec::routing`]).
+    pub fn metadata_spec(mut self, s: MetadataSpec) -> Self {
+        self.spec = Some(s);
+        self
+    }
+
+    /// Replays an explicit trace (e.g. loaded from a pcap capture)
+    /// instead of synthesizing one; used for every NIC.
+    pub fn trace(mut self, t: Trace) -> Self {
+        self.custom_trace = Some(t);
+        self
+    }
+
+    fn pipeline(&self) -> Pipeline {
+        match self.opt {
+            OptLevel::Vanilla => Pipeline::new(),
+            OptLevel::Devirtualize => Pipeline::new().then(pm_compile::DevirtualizePass),
+            OptLevel::ConstantEmbed => Pipeline::new().then(pm_compile::ConstantEmbedPass),
+            OptLevel::StaticGraph => Pipeline::new().then(pm_compile::StaticGraphPass),
+            OptLevel::Reorder => Pipeline::new(),
+            OptLevel::AllSource | OptLevel::Full => Pipeline::packetmill(),
+        }
+    }
+
+    /// Builds the optimized IR (configuration + plan) without running —
+    /// useful for inspecting the transformation log or the emitted
+    /// specialized source.
+    pub fn build_ir(&self) -> Result<MillIr, ExperimentError> {
+        let config = ConfigGraph::parse(&self.nf.config_text())?;
+        let mut ir = MillIr::new(config, self.model);
+        if let Some(pm_dpdk::MempoolMode::Lifo) = self.pool_mode {
+            ir.plan.lifo_packet_pool = true;
+        }
+        self.pipeline().run(&mut ir);
+        if matches!(self.opt, OptLevel::Full | OptLevel::Reorder)
+            && self.model == MetadataModel::Copying
+        {
+            let profile = self.collect_profile(&ir)?;
+            ReorderFieldsPass::from_profile(profile).run(&mut ir);
+        }
+        Ok(ir)
+    }
+
+    /// Runs a short profiling pass to collect per-field access counts.
+    fn collect_profile(&self, ir: &MillIr) -> Result<pm_click::FieldProfile, ExperimentError> {
+        let mut engine = self.build_engine(ir, 4_096, true)?;
+        engine.set_profiling(true);
+        let _ = engine.run();
+        Ok(engine.take_profile().unwrap_or_default())
+    }
+
+    fn engine_config(&self, ir: &MillIr, packets: usize) -> EngineConfig {
+        EngineConfig {
+            cores: self.cores,
+            nics: self.nics,
+            freq: Frequency::from_ghz(self.freq_ghz),
+            rx_ring: self.rx_ring,
+            tx_ring: 1024,
+            burst: self.burst,
+            pool_size: 0,
+            model: self.model,
+            spec: self.spec.clone().unwrap_or_else(MetadataSpec::routing),
+            xchg_layout: (self.model == MetadataModel::XChange)
+                .then(|| ir.plan.packet_layout.clone()),
+            offered_gbps: self.offered_gbps,
+            packets,
+            warmup: (packets as f64 * self.warmup_fraction) as usize,
+            base_latency: SimTime::from_us(4.0),
+            ddio_ways: self.ddio_ways,
+            pool_mode: self.pool_mode,
+        }
+    }
+
+    fn build_engine(
+        &self,
+        ir: &MillIr,
+        packets: usize,
+        for_profiling: bool,
+    ) -> Result<Engine, ExperimentError> {
+        let cfg = self.engine_config(ir, packets);
+        let qpn = Engine::queues_per_nic(&cfg);
+        let registry = standard_registry();
+        let mut space = AddressSpace::new();
+
+        let mut dataplanes: Vec<Box<dyn Dataplane>> = Vec::new();
+        for nic in 0..self.nics {
+            for _q in 0..qpn {
+                let graph = Graph::build(&ir.config, &registry)?;
+                let rt = GraphRuntime::new(graph, ir.plan.clone(), &mut space);
+                // Multi-source configs map source ordinal to the NIC; the
+                // presets have one source, shared across NICs.
+                let n_sources = rt.graph.sources.len();
+                let ordinal = if n_sources > 1 { nic % n_sources } else { 0 };
+                dataplanes.push(Box::new(ClickDataplane::new(
+                    rt,
+                    ordinal,
+                    format!("FastClick ({})", ir.plan.label()),
+                )));
+            }
+        }
+
+        let traces: Vec<Trace> = (0..self.nics)
+            .map(|n| match &self.custom_trace {
+                Some(t) => t.clone(),
+                None => Trace::synthesize(&TraceConfig {
+                    packets: 8_192.min(packets.max(1)),
+                    profile: self.traffic,
+                    seed: self.seed ^ (n as u64) << 32,
+                    ..TraceConfig::default()
+                }),
+            })
+            .collect();
+
+        let mut cfg = cfg;
+        if for_profiling {
+            cfg.warmup = 0;
+        }
+        Ok(Engine::new(cfg, dataplanes, traces, &mut space))
+    }
+
+    /// Runs the experiment with the FastClick dataplane under the
+    /// configured optimization level and metadata model.
+    pub fn run(&self) -> Result<Measurement, ExperimentError> {
+        Ok(self.run_with_handlers()?.0)
+    }
+
+    /// Like [`Self::run`], also returning the per-element
+    /// `(name, packets, drops)` statistics (Click read handlers).
+    pub fn run_with_handlers(
+        &self,
+    ) -> Result<(Measurement, Vec<(String, u64, u64)>), ExperimentError> {
+        let ir = self.build_ir()?;
+        let mut engine = self.build_engine(&ir, self.packets, false)?;
+        let m = engine.run();
+        Ok((m, engine.element_stats()))
+    }
+
+    /// Runs the experiment with an arbitrary dataplane factory instead of
+    /// FastClick (for the framework comparison of Fig. 11). The factory
+    /// is called once per (nic, queue) pair; the metadata model comes
+    /// from the dataplane itself.
+    pub fn run_with_dataplane<F>(&self, factory: F) -> Result<Measurement, ExperimentError>
+    where
+        F: Fn() -> Box<dyn Dataplane>,
+    {
+        let ir = self.build_ir()?;
+        let mut cfg = self.engine_config(&ir, self.packets);
+        let qpn = Engine::queues_per_nic(&cfg);
+        let probe = factory();
+        cfg.model = probe.metadata_model();
+        cfg.spec = MetadataSpec::minimal();
+        cfg.xchg_layout = None;
+        drop(probe);
+
+        let mut space = AddressSpace::new();
+        let dataplanes: Vec<Box<dyn Dataplane>> =
+            (0..self.nics * qpn).map(|_| factory()).collect();
+        let traces: Vec<Trace> = (0..self.nics)
+            .map(|n| match &self.custom_trace {
+                Some(t) => t.clone(),
+                None => Trace::synthesize(&TraceConfig {
+                    packets: 8_192.min(self.packets.max(1)),
+                    profile: self.traffic,
+                    seed: self.seed ^ (n as u64) << 32,
+                    ..TraceConfig::default()
+                }),
+            })
+            .collect();
+        let mut engine = Engine::new(cfg, dataplanes, traces, &mut space);
+        Ok(engine.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nf_presets_have_configs() {
+        for nf in [Nf::Forwarder, Nf::Router, Nf::IdsRouter, Nf::Nat, Nf::Firewall] {
+            let text = nf.config_text();
+            assert!(text.contains("FromDPDKDevice"), "{nf:?}");
+            assert!(ConfigGraph::parse(&text).is_ok(), "{nf:?} parses");
+        }
+        let wp = Nf::WorkPackage { w: 2, s_mb: 4, n: 1 }.config_text();
+        assert!(wp.contains("WorkPackage(W 2, S 4, N 1)"));
+    }
+
+    #[test]
+    fn custom_config_round_trips() {
+        let custom = Nf::Custom("a :: FromDPDKDevice(0); a -> Discard;".into());
+        assert_eq!(custom.config_text(), "a :: FromDPDKDevice(0); a -> Discard;");
+    }
+
+    #[test]
+    fn bad_custom_config_is_reported() {
+        let err = ExperimentBuilder::new(Nf::Custom("x -> ;".into()))
+            .build_ir()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::Config(_)));
+        assert!(err.to_string().contains("configuration error"));
+    }
+
+    #[test]
+    fn unknown_element_class_is_reported() {
+        let err = ExperimentBuilder::new(Nf::Custom(
+            "a :: FromDPDKDevice(0); a -> NoSuchElement -> Discard;".into(),
+        ))
+        .packets(64)
+        .run()
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown element class"));
+    }
+
+    #[test]
+    fn pipeline_matches_opt_level() {
+        let b = ExperimentBuilder::new(Nf::Forwarder);
+        assert!(b.clone().optimization(OptLevel::Vanilla).pipeline().is_empty());
+        assert_eq!(b.clone().optimization(OptLevel::Devirtualize).pipeline().len(), 1);
+        assert_eq!(b.clone().optimization(OptLevel::AllSource).pipeline().len(), 4);
+        assert_eq!(b.optimization(OptLevel::Full).pipeline().len(), 4);
+    }
+
+    #[test]
+    fn build_ir_applies_passes() {
+        let ir = ExperimentBuilder::new(Nf::Router)
+            .optimization(OptLevel::AllSource)
+            .build_ir()
+            .expect("ir");
+        assert!(ir.plan.static_graph);
+        assert!(ir.plan.constants_embedded);
+        assert!(!ir.log.is_empty());
+    }
+
+    #[test]
+    fn reorder_skipped_for_non_copying() {
+        // Profile-guided reordering applies only under Copying (like the
+        // paper's pass); XChange keeps the default layout.
+        let ir = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::Full)
+            .packets(2_048)
+            .build_ir()
+            .expect("ir");
+        assert_eq!(
+            ir.plan.packet_layout,
+            pm_click::default_packet_layout(),
+            "layout untouched for X-Change"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Structure-layout descriptions.
+//!
+//! A [`StructLayout`] records the byte offset and size of every field of
+//! a metadata structure (the `rte_mbuf`, or the framework's `Packet`
+//! class). The simulator charges each field access at
+//! `struct_base + offset`, so **which cache lines a packet's metadata
+//! touches is a function of the layout** — and the PacketMill
+//! struct-reordering pass (paper §3.2.2) is implemented as a transform
+//! over this type: reorder fields by access frequency, recompute offsets,
+//! and the hot fields collapse into the first line.
+
+use std::fmt;
+
+/// One field of a described structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (doubles as its identity).
+    pub name: &'static str,
+    /// Byte offset within the structure.
+    pub offset: u32,
+    /// Size in bytes (also the assumed alignment, like C scalars).
+    pub size: u32,
+}
+
+/// A structure layout: named fields at computed offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    name: &'static str,
+    fields: Vec<FieldDef>,
+    size: u32,
+}
+
+impl StructLayout {
+    /// Builds a layout by laying out `(name, size)` fields in order with
+    /// natural alignment (each field aligned to its own size, like C).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or non-power-of-two sizes.
+    pub fn packed(name: &'static str, fields: &[(&'static str, u32)]) -> Self {
+        let mut out = Vec::with_capacity(fields.len());
+        let mut off = 0u32;
+        for &(fname, size) in fields {
+            assert!(size.is_power_of_two(), "field {fname}: size must be a power of two");
+            assert!(
+                !out.iter().any(|f: &FieldDef| f.name == fname),
+                "duplicate field {fname}"
+            );
+            off = (off + size - 1) & !(size - 1);
+            out.push(FieldDef {
+                name: fname,
+                offset: off,
+                size,
+            });
+            off += size;
+        }
+        StructLayout {
+            name,
+            fields: out,
+            size: off,
+        }
+    }
+
+    /// The structure's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total size in bytes (unpadded tail).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Size rounded up to whole cache lines.
+    pub fn size_lines(&self) -> u32 {
+        self.size.div_ceil(64) * 64
+    }
+
+    /// The fields, in layout order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<FieldDef> {
+        self.fields.iter().copied().find(|f| f.name == name)
+    }
+
+    /// Byte offset of `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not exist.
+    pub fn offset_of(&self, name: &str) -> u32 {
+        self.field(name)
+            .unwrap_or_else(|| panic!("{}: no field named {name}", self.name))
+            .offset
+    }
+
+    /// Index of the cache line (within the struct) holding `name`.
+    pub fn line_of(&self, name: &str) -> u32 {
+        self.offset_of(name) / 64
+    }
+
+    /// Rebuilds the layout with fields in the given name order (fields
+    /// not mentioned keep their relative order after the mentioned ones).
+    /// Offsets are recomputed with natural alignment — this is the
+    /// reordering pass's mechanical core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` mentions an unknown field.
+    pub fn reordered(&self, order: &[&str]) -> StructLayout {
+        for o in order {
+            assert!(
+                self.fields.iter().any(|f| &f.name == o),
+                "{}: cannot reorder unknown field {o}",
+                self.name
+            );
+        }
+        let mut spec: Vec<(&'static str, u32)> = Vec::with_capacity(self.fields.len());
+        for &o in order {
+            let f = self.field(o).expect("checked above");
+            spec.push((f.name, f.size));
+        }
+        for f in &self.fields {
+            if !order.contains(&f.name) {
+                spec.push((f.name, f.size));
+            }
+        }
+        StructLayout::packed(self.name, &spec)
+    }
+
+    /// Number of distinct cache lines touched when accessing the given
+    /// fields of one instance based at a line-aligned address.
+    pub fn lines_touched(&self, names: &[&str]) -> usize {
+        let mut lines: Vec<u32> = names.iter().map(|n| self.line_of(n)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+}
+
+impl fmt::Display for StructLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "struct {} ({} bytes):", self.name, self.size)?;
+        for fd in &self.fields {
+            writeln!(f, "  +{:>4} [{:>2}B] {}", fd.offset, fd.size, fd.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StructLayout {
+        StructLayout::packed(
+            "Sample",
+            &[("a", 8), ("b", 2), ("c", 4), ("d", 8), ("e", 1)],
+        )
+    }
+
+    #[test]
+    fn natural_alignment() {
+        let l = sample();
+        assert_eq!(l.offset_of("a"), 0);
+        assert_eq!(l.offset_of("b"), 8);
+        assert_eq!(l.offset_of("c"), 12); // padded from 10 to 12
+        assert_eq!(l.offset_of("d"), 16);
+        assert_eq!(l.offset_of("e"), 24);
+        assert_eq!(l.size(), 25);
+        assert_eq!(l.size_lines(), 64);
+    }
+
+    #[test]
+    fn reorder_moves_hot_fields_first() {
+        let l = sample();
+        let r = l.reordered(&["e", "c"]);
+        assert_eq!(r.offset_of("e"), 0);
+        assert_eq!(r.offset_of("c"), 4);
+        // Unmentioned fields follow in original order.
+        assert_eq!(r.offset_of("a"), 8);
+        assert!(r.offset_of("b") < r.offset_of("d"));
+        // Same field set.
+        assert_eq!(r.fields().len(), l.fields().len());
+    }
+
+    #[test]
+    fn lines_touched_shrinks_after_reorder() {
+        // A 200-byte struct whose two hot fields start and end it.
+        let mut spec: Vec<(&'static str, u32)> = vec![("hot1", 4)];
+        const COLD: [&str; 24] = [
+            "c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
+            "c13", "c14", "c15", "c16", "c17", "c18", "c19", "c20", "c21", "c22", "c23",
+        ];
+        for c in COLD {
+            spec.push((c, 8));
+        }
+        spec.push(("hot2", 4));
+        let l = StructLayout::packed("Wide", &spec);
+        assert_eq!(l.lines_touched(&["hot1", "hot2"]), 2);
+        let r = l.reordered(&["hot1", "hot2"]);
+        assert_eq!(r.lines_touched(&["hot1", "hot2"]), 1);
+    }
+
+    #[test]
+    fn line_of() {
+        let l = StructLayout::packed(
+            "L",
+            &[
+                ("x", 8),
+                ("p0", 8),
+                ("p1", 8),
+                ("p2", 8),
+                ("p3", 8),
+                ("p4", 8),
+                ("p5", 8),
+                ("p6", 8),
+                ("y", 8),
+            ],
+        );
+        assert_eq!(l.line_of("x"), 0);
+        assert_eq!(l.line_of("p6"), 0);
+        assert_eq!(l.line_of("y"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no field named")]
+    fn unknown_field_panics() {
+        let _ = sample().offset_of("zz");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_rejected() {
+        let _ = StructLayout::packed("D", &[("a", 4), ("a", 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown field")]
+    fn reorder_unknown_panics() {
+        let _ = sample().reordered(&["nope"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! A DPDK-style buffer pool.
+//!
+//! DPDK mempools are rings of object pointers. Under steady packet
+//! forwarding, buffers are freed at TX completion long after they were
+//! allocated for RX replenishment, so the pool cycles **FIFO** through
+//! all `n` objects — every allocation touches pool-ring lines and mbuf
+//! headers with a reuse distance of the whole pool. That cycling is the
+//! cache-eviction problem X-Change removes (paper §2.2, problem 1), so
+//! the pool charges its ring-line traffic to the simulated hierarchy.
+//! A LIFO mode models a per-core object cache for comparison.
+
+use pm_mem::{AccessKind, AddressSpace, Cost, MemoryHierarchy, Region};
+use std::collections::VecDeque;
+
+/// Recycling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MempoolMode {
+    /// Ring semantics: free buffers are reused last (DPDK default under
+    /// forwarding). Maximizes reuse distance.
+    Fifo,
+    /// Stack semantics: most recently freed buffer is reused first
+    /// (per-core cache hit path).
+    Lifo,
+}
+
+/// Allocation/free statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Failed allocations (pool empty).
+    pub alloc_failures: u64,
+    /// Frees.
+    pub frees: u64,
+}
+
+/// A pool of buffer ids with a simulated pointer-ring region.
+#[derive(Debug)]
+pub struct Mempool {
+    free: VecDeque<u32>,
+    mode: MempoolMode,
+    /// Ring of 8-byte object pointers (the part that cycles in cache).
+    ring_region: Region,
+    ring_slot: u64,
+    n: u32,
+    stats: MempoolStats,
+}
+
+impl Mempool {
+    /// Creates a pool holding buffer ids `0..n`, allocating its pointer
+    /// ring from `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(space: &mut AddressSpace, n: u32, mode: MempoolMode) -> Self {
+        assert!(n > 0, "empty mempool");
+        Mempool {
+            free: (0..n).collect(),
+            mode,
+            ring_region: space.alloc_pages(u64::from(n) * 8),
+            ring_slot: 0,
+            n,
+            stats: MempoolStats::default(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u32 {
+        self.n
+    }
+
+    /// Currently free buffers.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
+    }
+
+    /// The pointer-ring's simulated region (hugepage-backed in DPDK).
+    pub fn ring_region(&self) -> Region {
+        self.ring_region
+    }
+
+    fn ring_touch(&mut self, core: usize, mem: &mut MemoryHierarchy, kind: AccessKind) -> Cost {
+        // Consecutive pool operations walk consecutive 8-byte ring slots —
+        // a sequential stream the hardware prefetcher covers.
+        let addr = self.ring_region.base + (self.ring_slot % u64::from(self.n)) * 8;
+        self.ring_slot += 1;
+        let pf = mem.prefetch(core, addr, 8);
+        pf + mem.access(core, addr, 8, kind) + Cost::compute(4)
+    }
+
+    /// Allocates one buffer, charging the pool-ring load.
+    pub fn alloc(&mut self, core: usize, mem: &mut MemoryHierarchy) -> (Option<u32>, Cost) {
+        let cost = self.ring_touch(core, mem, AccessKind::Load);
+        let id = self.free.pop_front();
+        if id.is_some() {
+            self.stats.allocs += 1;
+        } else {
+            self.stats.alloc_failures += 1;
+        }
+        (id, cost)
+    }
+
+    /// Frees one buffer, charging the pool-ring store.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on double free.
+    pub fn free(&mut self, core: usize, mem: &mut MemoryHierarchy, id: u32) -> Cost {
+        debug_assert!(
+            !self.free.contains(&id),
+            "double free of buffer {id}"
+        );
+        let cost = self.ring_touch(core, mem, AccessKind::Store);
+        match self.mode {
+            MempoolMode::Fifo => self.free.push_back(id),
+            MempoolMode::Lifo => self.free.push_front(id),
+        }
+        self.stats.frees += 1;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig(mode: MempoolMode) -> (Mempool, MemoryHierarchy) {
+        let mut space = AddressSpace::new();
+        (Mempool::new(&mut space, 8, mode), MemoryHierarchy::skylake(1))
+    }
+
+    #[test]
+    fn fifo_reuses_last() {
+        let (mut p, mut m) = rig(MempoolMode::Fifo);
+        let (a, _) = p.alloc(0, &mut m);
+        p.free(0, &mut m, a.unwrap());
+        // FIFO: freed buffer goes to the back; next alloc returns id 1.
+        assert_eq!(p.alloc(0, &mut m).0, Some(1));
+    }
+
+    #[test]
+    fn lifo_reuses_first() {
+        let (mut p, mut m) = rig(MempoolMode::Lifo);
+        let (a, _) = p.alloc(0, &mut m);
+        p.free(0, &mut m, a.unwrap());
+        assert_eq!(p.alloc(0, &mut m).0, a);
+    }
+
+    #[test]
+    fn exhaustion_fails_cleanly() {
+        let (mut p, mut m) = rig(MempoolMode::Fifo);
+        for _ in 0..8 {
+            assert!(p.alloc(0, &mut m).0.is_some());
+        }
+        assert_eq!(p.alloc(0, &mut m).0, None);
+        assert_eq!(p.stats().alloc_failures, 1);
+        assert_eq!(p.available(), 0);
+    }
+
+    #[test]
+    fn alloc_free_balance() {
+        let (mut p, mut m) = rig(MempoolMode::Fifo);
+        for _ in 0..20 {
+            let (id, _) = p.alloc(0, &mut m);
+            p.free(0, &mut m, id.unwrap());
+        }
+        assert_eq!(p.available(), 8);
+        assert_eq!(p.stats().allocs, 20);
+        assert_eq!(p.stats().frees, 20);
+    }
+
+    #[test]
+    fn pool_ops_charge_memory_traffic() {
+        let (mut p, mut m) = rig(MempoolMode::Fifo);
+        let before = m.counters().loads + m.counters().stores;
+        let (id, cost) = p.alloc(0, &mut m);
+        p.free(0, &mut m, id.unwrap());
+        assert!(m.counters().loads + m.counters().stores > before);
+        assert!(cost.instructions > 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_caught() {
+        let (mut p, mut m) = rig(MempoolMode::Fifo);
+        let (id, _) = p.alloc(0, &mut m);
+        p.free(0, &mut m, id.unwrap());
+        p.free(0, &mut m, id.unwrap());
+    }
+}

@@ -1,0 +1,667 @@
+//! The burst poll-mode driver.
+//!
+//! One [`Pmd`] drives one NIC queue pair from one core. Its RX and TX
+//! paths perform — and charge to the cache model — the same sequence of
+//! operations a real MLX5 PMD performs, with the metadata-management
+//! model deciding *where* per-packet metadata is written:
+//!
+//! | step | Copying / Overlaying | X-Change |
+//! |---|---|---|
+//! | poll CQE | load completion descriptor (DDIO-warm) | same |
+//! | metadata | store the full `rte_mbuf` RX field set at the buffer's mbuf header (pool-cycling, cold) | store only the NF's [`MetadataSpec`] fields into an [`XchgRing`] slot (bounded, hot) |
+//! | replenish | `mempool` alloc (pool-ring load) + WQE store | swap in a TX-completed buffer + WQE store, no pool |
+//! | TX convert | load metadata, store WQE | load xchg slot (hot), store WQE |
+//! | TX free | `mempool` free (pool-ring store) | buffer joins the swap queue |
+//!
+//! The *Copying* model's second conversion (mbuf → framework `Packet`)
+//! happens in the framework layer (`pm-click`), as it does in FastClick.
+//!
+//! Like the paper's prototype, the vectorized RX/TX path is not
+//! supported in X-Change mode ([`PmdConfig::vectorized`] is rejected
+//! there and defaults to off everywhere, matching §4's experiments).
+
+use crate::mbuf::MbufMeta;
+use crate::mempool::{Mempool, MempoolMode};
+use crate::xchg::{MetadataModel, MetadataSpec, XchgRing};
+use pm_mem::{AccessKind, AddressSpace, Cost, MemoryHierarchy, Region};
+use pm_nic::{DmaMemory, Nic, PostedBuffer, TxRequest};
+use pm_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Stride of one buffer's metadata area in the mbuf-header region:
+/// 128 B of `rte_mbuf` plus 128 B for overlaid framework annotations.
+pub const META_STRIDE: u64 = 256;
+
+/// PMD construction parameters.
+#[derive(Debug, Clone)]
+pub struct PmdConfig {
+    /// RX/TX burst size (the paper's configurations use 32).
+    pub burst: usize,
+    /// Metadata-management model.
+    pub model: MetadataModel,
+    /// Fields the NF needs (used by the X-Change write path).
+    pub spec: MetadataSpec,
+    /// Data-buffer pool size.
+    pub pool_size: u32,
+    /// Pool recycling order.
+    pub pool_mode: MempoolMode,
+    /// X-Change application-descriptor ring size (≈ 2 bursts suffices,
+    /// since TX enqueue returns descriptors synchronously).
+    pub xchg_ring_size: u32,
+    /// X-Change: the application's descriptor layout. `None` derives a
+    /// minimal layout from `spec`; a framework passes its own `Packet`
+    /// layout here so the driver writes fields in place (paper §3.1).
+    pub xchg_layout: Option<crate::layout::StructLayout>,
+    /// Vectorized RX/TX (unsupported with X-Change, like the paper's
+    /// prototype; kept false in all experiments).
+    pub vectorized: bool,
+}
+
+impl Default for PmdConfig {
+    fn default() -> Self {
+        PmdConfig {
+            burst: 32,
+            model: MetadataModel::Copying,
+            spec: MetadataSpec::full(),
+            pool_size: 8192,
+            pool_mode: MempoolMode::Fifo,
+            xchg_ring_size: 64,
+            xchg_layout: None,
+            vectorized: false,
+        }
+    }
+}
+
+/// Per-PMD statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmdStats {
+    /// RX bursts that returned at least one packet.
+    pub rx_bursts: u64,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Polls that found an empty completion queue.
+    pub empty_polls: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Replenishments that had to fall back to the mempool in X-Change
+    /// mode (no swapped buffer was available).
+    pub xchg_pool_fallbacks: u64,
+    /// Packets released without transmission (drops by the NF).
+    pub released: u64,
+}
+
+/// A received packet as handed to the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxDesc {
+    /// Data buffer id in the [`DmaMemory`] pool.
+    pub buf_id: u32,
+    /// Frame length.
+    pub len: u32,
+    /// RSS hash from the device.
+    pub rss_hash: u32,
+    /// Arrival time (end of DMA).
+    pub arrival: SimTime,
+    /// Wire-arrival (generation) time — the latency baseline.
+    pub gen: SimTime,
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Simulated address of the packet data.
+    pub data_addr: u64,
+    /// Simulated address of this packet's metadata structure (mbuf header
+    /// for Copying/Overlaying, xchg slot for X-Change).
+    pub meta_addr: u64,
+    /// X-Change descriptor slot, if that model is active.
+    pub xslot: Option<u32>,
+}
+
+/// A frame the framework wants transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxSend {
+    /// Originating RX descriptor (possibly with an updated length).
+    pub desc: RxDesc,
+    /// Frame length to send (may differ from `desc.len`, e.g. VLAN encap).
+    pub len: u32,
+}
+
+/// The poll-mode driver for one NIC port (all of its queue pairs share
+/// the port's mempool, as in a real DPDK application).
+#[derive(Debug)]
+pub struct Pmd {
+    cfg: PmdConfig,
+    /// mbuf-header region: `pool_size` slots of [`META_STRIDE`] bytes.
+    meta_region: Region,
+    pool: Mempool,
+    xchg: Option<XchgRing>,
+    /// X-Change: data buffers returned by TX-ring swap, ready to repost.
+    recycled: VecDeque<u32>,
+    /// Functional metadata per buffer id.
+    metas: Vec<MbufMeta>,
+    stats: PmdStats,
+}
+
+impl Pmd {
+    /// Creates a PMD for one port, allocating its pools from `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero, or if `vectorized` is requested with
+    /// the X-Change model (unsupported, as in the paper's prototype).
+    pub fn new(cfg: PmdConfig, space: &mut AddressSpace) -> Self {
+        assert!(cfg.burst > 0, "burst must be positive");
+        assert!(
+            !(cfg.vectorized && cfg.model == MetadataModel::XChange),
+            "vectorized PMD is not supported with X-Change"
+        );
+        let xchg = (cfg.model == MetadataModel::XChange).then(|| {
+            let layout = cfg
+                .xchg_layout
+                .clone()
+                .unwrap_or_else(|| cfg.spec.to_layout("AppDescriptor"));
+            XchgRing::new(space, cfg.xchg_ring_size, layout)
+        });
+        Pmd {
+            meta_region: space.alloc_pages(u64::from(cfg.pool_size) * META_STRIDE),
+            pool: Mempool::new(space, cfg.pool_size, cfg.pool_mode),
+            xchg,
+            recycled: VecDeque::new(),
+            metas: vec![MbufMeta::default(); cfg.pool_size as usize],
+            stats: PmdStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PmdConfig {
+        &self.cfg
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> PmdStats {
+        self.stats
+    }
+
+    /// The X-Change descriptor ring, when that model is active.
+    pub fn xchg_ring(&self) -> Option<&XchgRing> {
+        self.xchg.as_ref()
+    }
+
+    /// Mutable X-Change ring access (for installing a reordered layout).
+    pub fn xchg_ring_mut(&mut self) -> Option<&mut XchgRing> {
+        self.xchg.as_mut()
+    }
+
+    /// Functional metadata of buffer `id`.
+    pub fn meta(&self, id: u32) -> &MbufMeta {
+        &self.metas[id as usize]
+    }
+
+    /// Address of buffer `id`'s mbuf header.
+    pub fn mbuf_addr(&self, id: u32) -> u64 {
+        self.meta_region.base + u64::from(id) * META_STRIDE
+    }
+
+    /// All regions DPDK would back with 2-MiB hugepages (mbuf headers,
+    /// the mempool ring, the X-Change descriptor ring).
+    pub fn hugepage_regions(&self) -> Vec<Region> {
+        let mut v = vec![self.meta_region, self.pool.ring_region()];
+        if let Some(x) = &self.xchg {
+            v.push(x.region());
+        }
+        v
+    }
+
+    /// Initialization: fills queue `q`'s RX ring with pool buffers
+    /// (uncharged — this models `rte_eth_rx_queue_setup` at startup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool cannot fill the ring.
+    pub fn setup(&mut self, nic: &mut Nic, q: usize, dma: &DmaMemory, mem: &mut MemoryHierarchy) {
+        let ring = nic.rx_ring_mut(q);
+        let want = ring.size();
+        for _ in 0..want {
+            let (id, _) = self.pool.alloc(0, mem);
+            let id = id.expect("pool too small to fill the RX ring");
+            let posted = ring.post(PostedBuffer {
+                buf_id: id,
+                data_addr: dma.data_addr(id),
+            });
+            assert!(posted, "ring refused a buffer during setup");
+        }
+    }
+
+    /// Receives up to one burst from queue `q` as `core`, seeing only
+    /// completions whose DMA finished by `now`. Returns the packets and
+    /// the charged cost.
+    pub fn rx_burst(
+        &mut self,
+        core: usize,
+        nic: &mut Nic,
+        q: usize,
+        dma: &DmaMemory,
+        mem: &mut MemoryHierarchy,
+        now: SimTime,
+    ) -> (Vec<RxDesc>, Cost) {
+        let lat = *mem.latency_model();
+        let mut cost = Cost::compute(8); // poll-loop entry
+        // Poll the next CQE slot (read happens even when empty).
+        cost += mem.access(core, nic.rx_ring_mut(q).poll_addr(), 8, AccessKind::Load);
+
+        let comps = nic.rx_ring_mut(q).reap_until(self.cfg.burst, now);
+        if comps.is_empty() {
+            self.stats.empty_polls += 1;
+        } else {
+            self.stats.rx_bursts += 1;
+        }
+
+        let mut out = Vec::with_capacity(comps.len());
+        for c in comps {
+            // Parse the completion descriptor. The CQE array is scanned
+            // sequentially, so beyond the polled entry the stream
+            // prefetcher has the rest of the burst's CQEs in L1.
+            cost += mem.prefetch(core, c.desc_addr, 64);
+            cost += mem.access(core, c.desc_addr, 32, AccessKind::Load);
+            cost += Cost::compute(18);
+            // rte_prefetch0 of the packet headers: issued early in the
+            // burst loop, so the demand reads downstream hit L1.
+            cost += mem.prefetch(core, c.data_addr, 128);
+            cost += Cost::compute(2);
+
+            // Record functional metadata.
+            self.metas[c.buf_id as usize] = MbufMeta {
+                data_len: c.len,
+                pkt_len: c.len,
+                port: 0,
+                rss_hash: c.rss_hash,
+                vlan_tci: 0,
+                ol_flags: 0,
+                packet_type: 0,
+            };
+
+            // Write metadata per model.
+            let (meta_addr, xslot) = match self.cfg.model {
+                MetadataModel::Copying | MetadataModel::Overlaying => {
+                    let addr = self.mbuf_addr(c.buf_id);
+                    // Full rte_mbuf RX field set: all in the first line.
+                    cost += mem.access(core, addr, 64, AccessKind::Store);
+                    cost += Cost::compute(16);
+                    (addr, None)
+                }
+                MetadataModel::XChange => {
+                    let ring = self.xchg.as_mut().expect("xchg ring exists in XChange mode");
+                    let slot = ring
+                        .take()
+                        .expect("xchg ring exhausted: sized >= 2 bursts by construction");
+                    // Conversion functions: one store per needed field,
+                    // deduped to distinct cache lines.
+                    let mut lines: Vec<u64> = self
+                        .cfg
+                        .spec
+                        .fields()
+                        .iter()
+                        .filter_map(|&f| ring.field_addr(slot, f))
+                        .map(|(a, _)| a / 64)
+                        .collect();
+                    lines.sort_unstable();
+                    lines.dedup();
+                    for l in lines {
+                        cost += mem.access(core, l * 64, 64, AccessKind::Store);
+                    }
+                    cost += Cost::compute(self.cfg.spec.len() as u64);
+                    (ring.slot_addr(slot), Some(slot))
+                }
+            };
+
+            self.stats.rx_packets += 1;
+            out.push(RxDesc {
+                buf_id: c.buf_id,
+                len: c.len,
+                rss_hash: c.rss_hash,
+                arrival: c.arrival,
+                gen: c.gen,
+                seq: c.seq,
+                data_addr: c.data_addr,
+                meta_addr,
+                xslot,
+            });
+        }
+        // Replenish the ring back to full (covers this burst plus any
+        // deficit left by earlier pool exhaustion — drivers retry).
+        loop {
+            let ring = nic.rx_ring_mut(q);
+            if ring.posted_count() + ring.pending_completions() >= ring.size() {
+                break;
+            }
+            let new_buf = match self.cfg.model {
+                MetadataModel::XChange => match self.recycled.pop_front() {
+                    Some(b) => Some(b),
+                    None => {
+                        self.stats.xchg_pool_fallbacks += 1;
+                        let (b, c2) = self.pool.alloc(core, mem);
+                        cost += c2;
+                        b
+                    }
+                },
+                _ => {
+                    let (b, c2) = self.pool.alloc(core, mem);
+                    cost += c2;
+                    b
+                }
+            };
+            let Some(b) = new_buf else { break };
+            let ring = nic.rx_ring_mut(q);
+            let wqe = ring.next_post_addr();
+            ring.post(PostedBuffer {
+                buf_id: b,
+                data_addr: dma.data_addr(b),
+            });
+            cost += mem.access(core, wqe, 16, AccessKind::Store);
+            cost += Cost::compute(7);
+        }
+
+        if !out.is_empty() {
+            // RX doorbell for the replenished descriptors (posted MMIO
+            // write, amortized over the burst).
+            cost += Cost::compute(22);
+            cost += Cost::stall_ns(lat.llc_hit_ns * 0.25);
+        }
+        (out, cost)
+    }
+
+    /// Transmits a burst on queue `q`. Returns per-packet wire-departure
+    /// times (in input order; `None` if the TX ring was full) and the
+    /// charged cost.
+    pub fn tx_burst(
+        &mut self,
+        core: usize,
+        nic: &mut Nic,
+        q: usize,
+        mem: &mut MemoryHierarchy,
+        now: SimTime,
+        sends: &[TxSend],
+    ) -> (Vec<Option<SimTime>>, Cost) {
+        let lat = *mem.latency_model();
+        let mut cost = Cost::ZERO;
+        let mut departures = Vec::with_capacity(sends.len());
+
+        for s in sends {
+            // Convert metadata to the TX descriptor: load the metadata
+            // structure (hot for X-Change, pool-cycled otherwise).
+            cost += mem.access(core, s.desc.meta_addr, 16, AccessKind::Load);
+            cost += Cost::compute(13);
+
+            let req = TxRequest {
+                buf_id: s.desc.buf_id,
+                data_addr: s.desc.data_addr,
+                len: s.len,
+                seq: s.desc.seq,
+                arrival: s.desc.arrival,
+            };
+            match nic.tx_send(q, req, now, mem) {
+                Some((departed, wqe_addr)) => {
+                    cost += mem.access(core, wqe_addr, 32, AccessKind::Store);
+                    cost += Cost::compute(10);
+                    self.stats.tx_packets += 1;
+                    departures.push(Some(departed));
+                }
+                None => {
+                    // TX ring full: the frame is dropped; recycle its
+                    // buffer so the pool does not leak.
+                    match self.cfg.model {
+                        MetadataModel::XChange => self.recycled.push_back(s.desc.buf_id),
+                        _ => cost += self.pool.free(core, mem, s.desc.buf_id),
+                    }
+                    departures.push(None);
+                }
+            }
+
+            // X-Change: the descriptor slot returns to the application at
+            // enqueue time (the TX swap), keeping the live set bounded.
+            if let Some(slot) = s.desc.xslot {
+                self.xchg
+                    .as_mut()
+                    .expect("xslot implies XChange mode")
+                    .give_back(slot);
+            }
+        }
+
+        // Reap TX completions: recycle their data buffers.
+        for done in nic.tx_reap(q, now) {
+            match self.cfg.model {
+                MetadataModel::XChange => self.recycled.push_back(done.req.buf_id),
+                _ => cost += self.pool.free(core, mem, done.req.buf_id),
+            }
+        }
+
+        // TX doorbell, once per burst.
+        cost += Cost::compute(22);
+        cost += Cost::stall_ns(lat.llc_hit_ns * 0.25);
+        (departures, cost)
+    }
+
+    /// Releases a packet the NF dropped (frees its buffer + descriptor).
+    pub fn release(&mut self, core: usize, mem: &mut MemoryHierarchy, desc: &RxDesc) -> Cost {
+        self.stats.released += 1;
+        if let Some(slot) = desc.xslot {
+            self.xchg
+                .as_mut()
+                .expect("xslot implies XChange mode")
+                .give_back(slot);
+            self.recycled.push_back(desc.buf_id);
+            Cost::compute(2)
+        } else {
+            self.pool.free(core, mem, desc.buf_id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_nic::NicConfig;
+    use pm_packet::builder::PacketBuilder;
+
+    struct Rig {
+        pmd: Pmd,
+        nic: Nic,
+        dma: DmaMemory,
+        mem: MemoryHierarchy,
+    }
+
+    fn rig(model: MetadataModel) -> Rig {
+        let mut space = AddressSpace::new();
+        let nic_cfg = NicConfig {
+            queues: 1,
+            rx_ring_size: 256,
+            tx_ring_size: 256,
+            ..NicConfig::default()
+        };
+        let mut nic = Nic::new(&nic_cfg, &mut space);
+        let dma = DmaMemory::new(&mut space, 1024, 2176, 128);
+        let mut mem = MemoryHierarchy::skylake(1);
+        let cfg = PmdConfig {
+            model,
+            spec: MetadataSpec::minimal(),
+            pool_size: 1024,
+            ..PmdConfig::default()
+        };
+        let mut pmd = Pmd::new(cfg, &mut space);
+        pmd.setup(&mut nic, 0, &dma, &mut mem);
+        Rig { pmd, nic, dma, mem }
+    }
+
+    fn deliver(r: &mut Rig, n: usize) {
+        let frame = PacketBuilder::udp().frame_len(128).build();
+        for _ in 0..n {
+            r.nic
+                .rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma)
+                .expect("delivery");
+        }
+    }
+
+    #[test]
+    fn rx_burst_returns_packets_with_data() {
+        let mut r = rig(MetadataModel::Copying);
+        deliver(&mut r, 5);
+        let (pkts, cost) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        assert_eq!(pkts.len(), 5);
+        assert!(cost.instructions > 0);
+        for p in &pkts {
+            assert_eq!(p.len, 128);
+            assert_eq!(r.dma.data(p.buf_id).len() >= 128, true);
+            assert!(p.xslot.is_none());
+        }
+    }
+
+    #[test]
+    fn empty_poll_counted_and_cheap() {
+        let mut r = rig(MetadataModel::Copying);
+        let (pkts, cost) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        assert!(pkts.is_empty());
+        assert_eq!(r.pmd.stats().empty_polls, 1);
+        assert!(cost.instructions < 20, "empty poll must be cheap");
+    }
+
+    #[test]
+    fn burst_size_respected() {
+        let mut r = rig(MetadataModel::Copying);
+        deliver(&mut r, 40);
+        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        assert_eq!(pkts.len(), 32);
+        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        assert_eq!(pkts.len(), 8);
+    }
+
+    #[test]
+    fn xchange_assigns_slots_and_returns_them_at_tx() {
+        let mut r = rig(MetadataModel::XChange);
+        deliver(&mut r, 32);
+        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        assert!(pkts.iter().all(|p| p.xslot.is_some()));
+        let avail_before = r.pmd.xchg_ring().unwrap().available();
+        let sends: Vec<TxSend> = pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+        let (deps, _) = r
+            .pmd
+            .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_us(10.0), &sends);
+        assert!(deps.iter().all(|d| d.is_some()));
+        assert_eq!(
+            r.pmd.xchg_ring().unwrap().available(),
+            avail_before + 32,
+            "descriptors return at enqueue (the TX swap)"
+        );
+    }
+
+    #[test]
+    fn xchange_metadata_stays_in_small_ring() {
+        let mut r = rig(MetadataModel::XChange);
+        // Two full cycles: the same slot addresses must be reused.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            deliver(&mut r, 32);
+            let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+            for p in &pkts {
+                seen.insert(p.meta_addr);
+            }
+            let sends: Vec<TxSend> =
+                pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+            let now = SimTime::from_ms(1.0);
+            r.pmd.tx_burst(0, &mut r.nic, 0, &mut r.mem, now, &sends);
+        }
+        assert!(
+            seen.len() <= 64,
+            "metadata addresses must stay within the xchg ring, saw {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn copying_metadata_cycles_the_pool() {
+        let mut r = rig(MetadataModel::Copying);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            deliver(&mut r, 32);
+            let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+            for p in &pkts {
+                seen.insert(p.meta_addr);
+            }
+            let sends: Vec<TxSend> =
+                pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+            r.pmd
+                .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_ms(1.0), &sends);
+        }
+        assert!(
+            seen.len() > 64,
+            "mbuf headers should cycle through many pool slots, saw {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn tx_free_returns_buffers_to_pool() {
+        let mut r = rig(MetadataModel::Copying);
+        deliver(&mut r, 8);
+        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let sends: Vec<TxSend> = pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+        r.pmd
+            .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::ZERO, &sends);
+        // Frames depart quickly; a later burst reaps them back to the pool.
+        deliver(&mut r, 1);
+        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let sends: Vec<TxSend> = pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+        r.pmd
+            .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_ms(5.0), &sends);
+        assert!(r.pmd.pool.stats().frees >= 8);
+    }
+
+    #[test]
+    fn release_frees_dropped_packets() {
+        let mut r = rig(MetadataModel::XChange);
+        deliver(&mut r, 2);
+        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let avail = r.pmd.xchg_ring().unwrap().available();
+        r.pmd.release(0, &mut r.mem, &pkts[0]);
+        assert_eq!(r.pmd.xchg_ring().unwrap().available(), avail + 1);
+        assert_eq!(r.pmd.stats().released, 1);
+    }
+
+    #[test]
+    fn xchange_cheaper_than_copying_per_packet() {
+        // Steady-state per-packet cost comparison after warmup.
+        let run = |model| {
+            let mut r = rig(model);
+            let mut total = Cost::ZERO;
+            let mut n = 0u64;
+            for round in 0..64 {
+                deliver(&mut r, 32);
+                let (pkts, c1) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+                let sends: Vec<TxSend> =
+                    pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+                let now = SimTime::from_us(10.0 * (round + 1) as f64);
+                let (_, c2) = r.pmd.tx_burst(0, &mut r.nic, 0, &mut r.mem, now, &sends);
+                if round >= 16 {
+                    total += c1 + c2;
+                    n += pkts.len() as u64;
+                }
+            }
+            total.time(pm_sim::Frequency::from_ghz(2.3)).as_ns() / n as f64
+        };
+        let copying = run(MetadataModel::Copying);
+        let xchange = run(MetadataModel::XChange);
+        assert!(
+            xchange < copying,
+            "x-change {xchange:.1} ns/pkt should beat copying {copying:.1} ns/pkt"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "vectorized")]
+    fn vectorized_xchange_rejected() {
+        let mut space = AddressSpace::new();
+        let cfg = PmdConfig {
+            model: MetadataModel::XChange,
+            vectorized: true,
+            ..PmdConfig::default()
+        };
+        let _ = Pmd::new(cfg, &mut space);
+    }
+}

@@ -1,0 +1,287 @@
+//! `ARPQuerier`: next-hop MAC resolution with a learning ARP table.
+//!
+//! The standard Click router resolves the next hop's Ethernet address
+//! from the destination-IP annotation set by `LookupIPRoute`. This
+//! implementation keeps a real IP→MAC table (learned from ARP replies or
+//! statically seeded), rewrites the Ethernet header of forwarded
+//! packets, and drops packets for unresolvable next hops (a real
+//! ARPQuerier would queue them and emit a who-has request; the drop +
+//! counter models the fast path the evaluation exercises, where the
+//! table is warm).
+
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_mem::{AccessKind, AddressSpace, Region};
+use pm_packet::arp::{ArpOp, ArpPacket};
+use pm_packet::ether::{EtherHeader, EtherType, ETHER_LEN};
+use pm_packet::MacAddr;
+use std::collections::HashMap;
+
+/// Entries per hash bucket line in the charged region.
+const ENTRIES_PER_LINE: u64 = 4;
+
+/// The ARP querier element.
+#[derive(Debug)]
+pub struct ArpQuerier {
+    /// Our own MAC (source of rewritten frames).
+    my_mac: MacAddr,
+    /// The IP → MAC table.
+    table: HashMap<u32, MacAddr>,
+    table_region: Option<Region>,
+    /// Fallback MAC for unknown next hops (models a default gateway
+    /// entry); `None` drops unresolvable packets.
+    default_mac: Option<MacAddr>,
+    /// Packets dropped for lack of a resolution.
+    pub unresolved: u64,
+    /// ARP replies learned.
+    pub learned: u64,
+}
+
+impl Default for ArpQuerier {
+    fn default() -> Self {
+        ArpQuerier {
+            my_mac: MacAddr([0x02, 0, 0, 0, 0, 0x10]),
+            table: HashMap::new(),
+            table_region: None,
+            default_mac: Some(MacAddr([0x02, 0, 0, 0, 0, 0x20])),
+            unresolved: 0,
+            learned: 0,
+        }
+    }
+}
+
+impl ArpQuerier {
+    /// Seeds a static table entry.
+    pub fn add_entry(&mut self, ip: u32, mac: MacAddr) {
+        self.table.insert(ip, mac);
+    }
+}
+
+impl Element for ArpQuerier {
+    fn class_name(&self) -> &'static str {
+        "ARPQuerier"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        // Positional entries: "a.b.c.d xx:xx:xx:xx:xx:xx"; the keyword
+        // DEFAULT sets/clears the fallback ("none" drops instead).
+        for a in &args.items {
+            let text = match &a.key {
+                Some(k) if k == "DEFAULT" => {
+                    if a.value.trim() == "none" {
+                        self.default_mac = None;
+                    } else {
+                        self.default_mac = Some(parse_mac_text(&a.value)?);
+                    }
+                    continue;
+                }
+                Some(k) => format!("{k} {}", a.value),
+                None => a.value.clone(),
+            };
+            let mut parts = text.split_whitespace();
+            let ip = parts
+                .next()
+                .and_then(crate::trie::parse_ip)
+                .ok_or_else(|| bad(format!("bad ARP entry {text:?}")))?;
+            let mac = parse_mac_text(parts.next().unwrap_or(""))?;
+            self.add_entry(ip, mac);
+        }
+        Ok(())
+    }
+
+    fn setup(&mut self, space: &mut AddressSpace) {
+        // One line per ENTRIES_PER_LINE table slots, sized for 4k hosts.
+        self.table_region = Some(space.alloc_pages(4096 / ENTRIES_PER_LINE * 64));
+    }
+
+    fn param_loads(&self) -> u32 {
+        2
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < ETHER_LEN {
+            return Action::Drop;
+        }
+        let region = self.table_region.expect("setup() ran");
+
+        // Learn from ARP replies passing through.
+        if u16::from_be_bytes([pkt.data[12], pkt.data[13]]) == EtherType::ARP.0 {
+            if let Ok(arp) = ArpPacket::parse(&pkt.frame()[ETHER_LEN..]) {
+                if arp.op == ArpOp::Reply {
+                    self.table
+                        .insert(u32::from_be_bytes(arp.sender_ip), arp.sender_mac);
+                    self.learned += 1;
+                    ctx.compute(20);
+                    return Action::Drop; // consumed by the querier
+                }
+            }
+        }
+
+        // Resolve the next hop from the destination-IP annotation.
+        ctx.read_meta(pkt, "dst_ip_anno");
+        let next_hop = u32::from_be_bytes(pkt.annos.dst_ip);
+        let bucket = u64::from(next_hop) % (4096 / ENTRIES_PER_LINE);
+        ctx.cost += ctx
+            .mem
+            .access(ctx.core, region.base + bucket * 64, 64, AccessKind::Load);
+        ctx.compute(14);
+
+        let mac = self.table.get(&next_hop).copied().or(self.default_mac);
+        match mac {
+            Some(dst) => {
+                EtherHeader {
+                    dst,
+                    src: self.my_mac,
+                    ethertype: EtherType::IPV4,
+                }
+                .write(pkt.frame_mut());
+                ctx.write_data(pkt, 0, 14);
+                ctx.write_meta(pkt, "mac_hdr");
+                Action::Forward(0)
+            }
+            None => {
+                self.unresolved += 1;
+                ctx.touch_state(0, 8, AccessKind::Store);
+                Action::Drop
+            }
+        }
+    }
+}
+
+fn parse_mac_text(s: &str) -> Result<MacAddr, ConfigError> {
+    let mut out = [0u8; 6];
+    let mut parts = s.trim().split(':');
+    for b in &mut out {
+        *b = parts
+            .next()
+            .and_then(|p| u8::from_str_radix(p, 16).ok())
+            .ok_or_else(|| bad(format!("bad MAC {s:?}")))?;
+    }
+    if parts.next().is_some() {
+        return Err(bad(format!("bad MAC {s:?}")));
+    }
+    Ok(MacAddr(out))
+}
+
+fn bad(message: String) -> ConfigError {
+    ConfigError::Element {
+        element: String::new(),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::MemoryHierarchy;
+    use pm_packet::builder::PacketBuilder;
+
+    fn run(el: &mut ArpQuerier, frame: &mut Vec<u8>, next_hop: [u8; 4]) -> Action {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        ctx.state = pm_mem::Region { base: 0xb00, size: 64 };
+        let len = frame.len();
+        let mut pkt = Pkt {
+            data: frame,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos {
+                dst_ip: next_hop,
+                ..Annos::default()
+            },
+        };
+        el.process(&mut ctx, &mut pkt)
+    }
+
+    fn querier() -> ArpQuerier {
+        let mut el = ArpQuerier::default();
+        el.configure(&Args::parse("10.0.0.2 aa:bb:cc:dd:ee:ff"))
+            .unwrap();
+        el.setup(&mut AddressSpace::new());
+        el
+    }
+
+    #[test]
+    fn rewrites_known_next_hop() {
+        let mut el = querier();
+        let mut f = PacketBuilder::tcp().frame_len(128).build();
+        assert_eq!(run(&mut el, &mut f, [10, 0, 0, 2]), Action::Forward(0));
+        let eth = EtherHeader::parse(&f).unwrap();
+        assert_eq!(eth.dst, MacAddr([0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff]));
+        assert_eq!(eth.src, MacAddr([0x02, 0, 0, 0, 0, 0x10]));
+    }
+
+    #[test]
+    fn unknown_next_hop_uses_default() {
+        let mut el = querier();
+        let mut f = PacketBuilder::tcp().frame_len(128).build();
+        assert_eq!(run(&mut el, &mut f, [10, 9, 9, 9]), Action::Forward(0));
+        let eth = EtherHeader::parse(&f).unwrap();
+        assert_eq!(eth.dst, MacAddr([0x02, 0, 0, 0, 0, 0x20]));
+    }
+
+    #[test]
+    fn no_default_drops() {
+        let mut el = ArpQuerier::default();
+        el.configure(&Args::parse("DEFAULT none")).unwrap();
+        el.setup(&mut AddressSpace::new());
+        let mut f = PacketBuilder::tcp().frame_len(128).build();
+        assert_eq!(run(&mut el, &mut f, [10, 9, 9, 9]), Action::Drop);
+        assert_eq!(el.unresolved, 1);
+    }
+
+    #[test]
+    fn learns_from_arp_replies() {
+        let mut el = ArpQuerier::default();
+        el.configure(&Args::parse("DEFAULT none")).unwrap();
+        el.setup(&mut AddressSpace::new());
+
+        // Before learning: unresolvable.
+        let mut data_pkt = PacketBuilder::tcp().frame_len(128).build();
+        assert_eq!(run(&mut el, &mut data_pkt, [10, 0, 0, 77]), Action::Drop);
+
+        // An ARP reply from 10.0.0.77 teaches the table.
+        let mut reply = vec![0u8; 60];
+        EtherHeader {
+            dst: MacAddr([0x02, 0, 0, 0, 0, 0x10]),
+            src: MacAddr([0x11; 6]),
+            ethertype: EtherType::ARP,
+        }
+        .write(&mut reply);
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr([0x11; 6]),
+            sender_ip: [10, 0, 0, 77],
+            target_mac: MacAddr([0x02, 0, 0, 0, 0, 0x10]),
+            target_ip: [10, 0, 0, 254],
+        }
+        .write(&mut reply[14..]);
+        assert_eq!(run(&mut el, &mut reply, [0, 0, 0, 0]), Action::Drop);
+        assert_eq!(el.learned, 1);
+
+        // Now resolvable.
+        let mut f = PacketBuilder::tcp().frame_len(128).build();
+        assert_eq!(run(&mut el, &mut f, [10, 0, 0, 77]), Action::Forward(0));
+        assert_eq!(EtherHeader::parse(&f).unwrap().dst, MacAddr([0x11; 6]));
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let mut el = ArpQuerier::default();
+        assert!(el.configure(&Args::parse("10.0.0.1 nonsense")).is_err());
+        assert!(el.configure(&Args::parse("not.an.ip aa:bb:cc:dd:ee:ff")).is_err());
+    }
+}

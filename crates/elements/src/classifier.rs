@@ -1,0 +1,340 @@
+//! `Classifier`, `Paint`, and `Counter`.
+
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_mem::AccessKind;
+
+/// One classifier pattern: byte-offset/value-with-mask conjunctions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Matches everything (`-`).
+    Any,
+    /// Conjunction of `(offset, value, mask)` byte matches.
+    Match(Vec<(usize, Vec<u8>, Vec<u8>)>),
+}
+
+impl Pattern {
+    /// Parses Click classifier syntax: `12/0800`, `12/0806 20/0001`,
+    /// masks via `%`: `33/02%12`, or `-` for match-all.
+    pub fn parse(text: &str) -> Result<Pattern, ConfigError> {
+        let text = text.trim();
+        if text == "-" {
+            return Ok(Pattern::Any);
+        }
+        let mut clauses = Vec::new();
+        for part in text.split_whitespace() {
+            let (off, rest) = part.split_once('/').ok_or_else(|| ConfigError::Element {
+                element: String::new(),
+                message: format!("bad classifier clause {part:?} (expected OFFSET/VALUE)"),
+            })?;
+            let off: usize = off.parse().map_err(|_| ConfigError::Element {
+                element: String::new(),
+                message: format!("bad classifier offset {off:?}"),
+            })?;
+            let (val_text, mask_text) = match rest.split_once('%') {
+                Some((v, m)) => (v, Some(m)),
+                None => (rest, None),
+            };
+            let value = parse_hex(val_text)?;
+            let mask = match mask_text {
+                Some(m) => {
+                    let m = parse_hex(m)?;
+                    if m.len() != value.len() {
+                        return Err(ConfigError::Element {
+                            element: String::new(),
+                            message: "mask length != value length".into(),
+                        });
+                    }
+                    m
+                }
+                None => vec![0xff; value.len()],
+            };
+            clauses.push((off, value, mask));
+        }
+        if clauses.is_empty() {
+            return Err(ConfigError::Element {
+                element: String::new(),
+                message: "empty classifier pattern".into(),
+            });
+        }
+        Ok(Pattern::Match(clauses))
+    }
+
+    /// Tests the pattern against a frame.
+    pub fn matches(&self, frame: &[u8]) -> bool {
+        match self {
+            Pattern::Any => true,
+            Pattern::Match(clauses) => clauses.iter().all(|(off, value, mask)| {
+                if off + value.len() > frame.len() {
+                    return false;
+                }
+                frame[*off..off + value.len()]
+                    .iter()
+                    .zip(value.iter().zip(mask))
+                    .all(|(&b, (&v, &m))| b & m == v & m)
+            }),
+        }
+    }
+
+    /// Highest byte offset this pattern inspects (for charging reads).
+    pub fn max_offset(&self) -> usize {
+        match self {
+            Pattern::Any => 0,
+            Pattern::Match(clauses) => clauses
+                .iter()
+                .map(|(off, v, _)| off + v.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+fn parse_hex(s: &str) -> Result<Vec<u8>, ConfigError> {
+    let s = s.trim();
+    if s.is_empty() || s.len() % 2 != 0 {
+        return Err(ConfigError::Element {
+            element: String::new(),
+            message: format!("bad hex string {s:?}"),
+        });
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| ConfigError::Element {
+                element: String::new(),
+                message: format!("bad hex string {s:?}"),
+            })
+        })
+        .collect()
+}
+
+/// `Classifier(pat0, pat1, …)`: sends each packet out the port of the
+/// first matching pattern; drops packets matching nothing.
+#[derive(Debug, Default)]
+pub struct Classifier {
+    patterns: Vec<Pattern>,
+}
+
+impl Element for Classifier {
+    fn class_name(&self) -> &'static str {
+        "Classifier"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        self.patterns = args
+            .items
+            .iter()
+            .map(|a| {
+                let text = match &a.key {
+                    // A pattern like `12/0800` never parses as KEY VALUE,
+                    // but be permissive if it somehow did.
+                    Some(k) => format!("{k} {}", a.value),
+                    None => a.value.clone(),
+                };
+                Pattern::parse(&text)
+            })
+            .collect::<Result<_, _>>()?;
+        if self.patterns.is_empty() {
+            return Err(ConfigError::Element {
+                element: String::new(),
+                message: "Classifier needs at least one pattern".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn n_outputs(&self) -> u16 {
+        self.patterns.len() as u16
+    }
+
+    fn param_loads(&self) -> u32 {
+        self.patterns.len() as u32
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        let deepest = self
+            .patterns
+            .iter()
+            .map(Pattern::max_offset)
+            .max()
+            .unwrap_or(14)
+            .min(pkt.len);
+        if deepest > 0 {
+            ctx.read_data(pkt, 0, deepest as u64);
+        }
+        for (i, p) in self.patterns.iter().enumerate() {
+            ctx.compute(7);
+            if p.matches(pkt.frame()) {
+                return Action::Forward(i as u16);
+            }
+        }
+        Action::Drop
+    }
+}
+
+/// `Paint(COLOR)`: writes the paint annotation.
+#[derive(Debug, Default)]
+pub struct Paint {
+    color: u8,
+}
+
+impl Element for Paint {
+    fn class_name(&self) -> &'static str {
+        "Paint"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        if let Some(v) = args.positional(0).or_else(|| args.get("COLOR")) {
+            self.color = v.parse().map_err(|_| ConfigError::Element {
+                element: String::new(),
+                message: format!("bad paint color {v:?}"),
+            })?;
+        }
+        Ok(())
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        pkt.annos.paint = self.color;
+        ctx.write_meta(pkt, "paint_anno");
+        ctx.compute(6);
+        Action::Forward(0)
+    }
+}
+
+/// `Counter`: counts packets and bytes (touches its own state line).
+#[derive(Debug, Default)]
+pub struct Counter {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+}
+
+impl Element for Counter {
+    fn class_name(&self) -> &'static str {
+        "Counter"
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        self.packets += 1;
+        self.bytes += pkt.len as u64;
+        ctx.touch_state(0, 16, AccessKind::Store);
+        ctx.compute(10);
+        Action::Forward(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::MemoryHierarchy;
+    use pm_packet::builder::PacketBuilder;
+
+    fn classify(cfg: &str, frame: &[u8]) -> Action {
+        let mut el = Classifier::default();
+        el.configure(&Args::parse(cfg)).unwrap();
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        let mut data = frame.to_vec();
+        let len = data.len();
+        let mut pkt = Pkt {
+            data: &mut data,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        el.process(&mut ctx, &mut pkt)
+    }
+
+    /// The standard Click router's front classifier.
+    const ROUTER_PATTERNS: &str = "12/0806 20/0001, 12/0806 20/0002, 12/0800, -";
+
+    #[test]
+    fn router_classifier_steers_correctly() {
+        let arp_req = PacketBuilder::arp().build();
+        assert_eq!(classify(ROUTER_PATTERNS, &arp_req), Action::Forward(0));
+
+        let ip = PacketBuilder::tcp().build();
+        assert_eq!(classify(ROUTER_PATTERNS, &ip), Action::Forward(2));
+
+        let mut weird = PacketBuilder::tcp().build();
+        weird[12] = 0x86;
+        weird[13] = 0xdd; // IPv6
+        assert_eq!(classify(ROUTER_PATTERNS, &weird), Action::Forward(3));
+    }
+
+    #[test]
+    fn no_match_without_default_drops() {
+        let ip = PacketBuilder::udp().build();
+        assert_eq!(classify("12/0806", &ip), Action::Drop);
+    }
+
+    #[test]
+    fn masked_match() {
+        // Match any TCP packet with the SYN bit set (offset 47 = flags
+        // byte for a 20-B IP header).
+        let syn = PacketBuilder::tcp().syn().build();
+        let ack = PacketBuilder::tcp().build();
+        assert_eq!(classify("47/02%02", &syn), Action::Forward(0));
+        assert_eq!(classify("47/02%02", &ack), Action::Drop);
+    }
+
+    #[test]
+    fn truncated_frame_fails_deep_match() {
+        let short = vec![0u8; 16];
+        assert_eq!(classify("20/0001", &short), Action::Drop);
+    }
+
+    #[test]
+    fn pattern_parse_errors() {
+        assert!(Pattern::parse("nonsense").is_err());
+        assert!(Pattern::parse("12/08001").is_err(), "odd hex length");
+        assert!(Pattern::parse("x/0800").is_err());
+        assert!(Pattern::parse("12/08%0bad").is_err());
+        assert!(Pattern::parse("").is_err());
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut el = Counter::default();
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        ctx.state = pm_mem::Region { base: 0x1000, size: 64 };
+        let mut data = vec![0u8; 100];
+        let mut pkt = Pkt {
+            data: &mut data,
+            len: 100,
+            desc: RxDesc {
+                buf_id: 0,
+                len: 100,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0,
+                meta_addr: 0,
+                xslot: None,
+            },
+            meta_addr: 0,
+            annos: Annos::default(),
+        };
+        el.process(&mut ctx, &mut pkt);
+        el.process(&mut ctx, &mut pkt);
+        assert_eq!(el.packets, 2);
+        assert_eq!(el.bytes, 200);
+    }
+}

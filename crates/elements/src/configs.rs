@@ -1,0 +1,182 @@
+//! The paper's NF configurations (§A.1–A.4) as Click-language presets.
+
+/// §A.1 — the simple forwarder: receive, swap MACs, transmit.
+pub fn forwarder() -> String {
+    "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> EtherMirror -> output;
+"
+    .to_string()
+}
+
+/// The default route set: one rule per port, as in the paper's router
+/// ("with only one rule per port").
+pub const ROUTES: &str =
+    "0.0.0.0/0 0, 10.0.0.0/8 0, 172.16.0.0/12 0, 192.168.0.0/16 0";
+
+/// §A.2 — the standard Click IP router: ARP handling, header check,
+/// LPM lookup, TTL decrement, re-encapsulation.
+pub fn router() -> String {
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+rt :: LookupIPRoute({ROUTES});
+input -> c;
+c [0] -> ARPResponder(10.0.0.254) -> output;
+c [1] -> Discard;
+c [2] -> Paint(2) -> CheckIPHeader -> GetIPAddress -> rt;
+rt [0] -> DecIPTTL -> EtherEncap(0x0800, 02:00:00:00:00:10, 02:00:00:00:00:20) -> output;
+c [3] -> Discard;
+"
+    )
+}
+
+/// §A.3 — the IDS + router: the router path additionally checks
+/// TCP/UDP/ICMP headers and VLAN-encapsulates.
+pub fn ids_router() -> String {
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+rt :: LookupIPRoute({ROUTES});
+input -> c;
+c [0] -> ARPResponder(10.0.0.254) -> output;
+c [1] -> Discard;
+c [2] -> Paint(2) -> CheckIPHeader -> GetIPAddress -> rt;
+rt [0] -> CheckHeaders -> DecIPTTL -> VLANEncap(VLAN_ID 42, VLAN_PCP 0) \
+-> EtherEncap(0x8100, 02:00:00:00:00:10, 02:00:00:00:00:20) -> output;
+c [3] -> Discard;
+"
+    )
+}
+
+/// §A.3 — the stateful NAT (router + source rewriting through the cuckoo
+/// flow table).
+pub fn nat() -> String {
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+rt :: LookupIPRoute({ROUTES});
+input -> c;
+c [0] -> ARPResponder(10.0.0.254) -> output;
+c [1] -> Discard;
+c [2] -> CheckIPHeader -> GetIPAddress -> rt;
+rt [0] -> DecIPTTL -> IPRewriter(EXTIP 198.51.100.1) \
+-> EtherEncap(0x0800, 02:00:00:00:00:10, 02:00:00:00:00:20) -> output;
+c [3] -> Discard;
+"
+    )
+}
+
+/// Extension NF: a stateless firewall in front of the router — ACL rules
+/// over the 5-tuple with first-match semantics (default deny). Traffic
+/// from the campus source prefixes to web/DNS ports passes; the rest is
+/// dropped.
+pub fn firewall() -> String {
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+fw :: IPFilter(deny dst 192.168.99.0/24, allow proto tcp dport 80-8080, \
+allow proto udp dport 53-123, allow proto icmp);
+rt :: LookupIPRoute({ROUTES});
+input -> c;
+c [0] -> ARPResponder(10.0.0.254) -> output;
+c [1] -> Discard;
+c [2] -> CheckIPHeader -> fw -> GetIPAddress -> rt;
+rt [0] -> DecIPTTL -> ARPQuerier(10.0.0.2 02:aa:aa:aa:aa:01) -> output;
+c [3] -> Discard;
+"
+    )
+}
+
+/// §A.4 — the synthetic WorkPackage NF: `W` random numbers, `N` accesses
+/// into `S` MB, attached to the forwarding configuration.
+pub fn work_package(w: u32, s_mb: u32, n: u32) -> String {
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> WorkPackage(W {w}, S {s_mb}, N {n}) -> EtherMirror -> output;
+"
+    )
+}
+
+/// Like [`work_package`] but with the array size in KB (for the fine
+/// sweep of Fig. 9).
+pub fn work_package_kb(w: u32, s_kb: u64, n: u32) -> String {
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> WorkPackage(W {w}, S_KB {s_kb}, N {n}) -> EtherMirror -> output;
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_registry;
+    use pm_click::{ConfigGraph, Graph};
+
+    fn builds(cfg: &str) -> Graph {
+        let parsed = ConfigGraph::parse(cfg).unwrap_or_else(|e| panic!("parse: {e}\n{cfg}"));
+        Graph::build(&parsed, &standard_registry())
+            .unwrap_or_else(|e| panic!("build: {e}\n{cfg}"))
+    }
+
+    #[test]
+    fn all_presets_build() {
+        for cfg in [
+            forwarder(),
+            router(),
+            ids_router(),
+            nat(),
+            firewall(),
+            work_package(4, 8, 1),
+            work_package_kb(0, 256, 5),
+        ] {
+            let g = builds(&cfg);
+            assert!(!g.sources.is_empty());
+        }
+    }
+
+    #[test]
+    fn router_has_expected_shape() {
+        let g = builds(&router());
+        assert!(g.find("c").is_some());
+        assert!(g.find("rt").is_some());
+        assert_eq!(g.sources.len(), 1);
+        // 4-way classifier.
+        let c = g.find("c").unwrap();
+        assert_eq!(g.adj[c].len(), 4);
+    }
+
+    #[test]
+    fn ids_router_contains_checkheaders_and_vlan() {
+        let g = builds(&ids_router());
+        assert!(g.elements.iter().any(|e| e.class == "CheckHeaders"));
+        assert!(g.elements.iter().any(|e| e.class == "VLANEncap"));
+    }
+
+    #[test]
+    fn nat_contains_rewriter() {
+        let g = builds(&nat());
+        assert!(g.elements.iter().any(|e| e.class == "IPRewriter"));
+    }
+
+    #[test]
+    fn firewall_contains_filter_and_querier() {
+        let g = builds(&firewall());
+        assert!(g.elements.iter().any(|e| e.class == "IPFilter"));
+        assert!(g.elements.iter().any(|e| e.class == "ARPQuerier"));
+    }
+}

@@ -1,0 +1,290 @@
+//! A bucketized cuckoo hash table.
+//!
+//! The paper's NAT "uses the DPDK Cuckoo hash table, resulting in more
+//! lookups and higher memory usage" (§A.3). This is a from-scratch
+//! 2-choice, 4-slot-per-bucket cuckoo table in the style of
+//! `rte_hash`: lookups probe at most two buckets (one cache line each);
+//! inserts displace entries along a bounded random walk.
+
+use pm_sim::SplitMix64;
+use std::hash::{Hash, Hasher};
+
+/// Slots per bucket (one 64-B cache line of entries).
+pub const SLOTS: usize = 4;
+/// Maximum displacement steps before an insert is declared failed.
+const MAX_KICKS: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket<K, V> {
+    slots: [Option<Entry<K, V>>; SLOTS],
+}
+
+impl<K: Copy, V: Copy> Bucket<K, V> {
+    fn empty() -> Self {
+        Bucket { slots: [None; SLOTS] }
+    }
+}
+
+/// A cuckoo hash map with copyable keys and values.
+#[derive(Debug, Clone)]
+pub struct CuckooHash<K, V> {
+    buckets: Vec<Bucket<K, V>>,
+    mask: u64,
+    len: usize,
+    kick_rng: SplitMix64,
+}
+
+/// Outcome of an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Key inserted into a free slot.
+    Inserted,
+    /// Key already present; value replaced.
+    Replaced,
+    /// Table too full; insert failed after the displacement limit.
+    Full,
+}
+
+fn hash_of<K: Hash>(k: &K, seed: u64) -> u64 {
+    // FxHash-style multiply-xor via the std hasher would be
+    // platform-stable enough, but we want explicit determinism:
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    seed.hash(&mut h);
+    k.hash(&mut h);
+    h.finish()
+}
+
+impl<K: Hash + Eq + Copy, V: Copy> CuckooHash<K, V> {
+    /// Creates a table with `n_buckets` buckets (rounded up to a power of
+    /// two). Capacity is `n_buckets * SLOTS` entries at best.
+    pub fn new(n_buckets: usize) -> Self {
+        let n = n_buckets.next_power_of_two().max(2);
+        CuckooHash {
+            buckets: vec![Bucket::empty(); n],
+            mask: (n - 1) as u64,
+            len: 0,
+            kick_rng: SplitMix64::new(0xC0C0_0C0C),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_pair(&self, key: &K) -> (usize, usize) {
+        let h1 = hash_of(key, 0x9E37_79B9);
+        let h2 = hash_of(key, 0x517C_C1B7);
+        ((h1 & self.mask) as usize, (h2 & self.mask) as usize)
+    }
+
+    /// Looks up `key`, reporting the probed bucket indices through
+    /// `probe` (for cache charging): the first bucket always, the second
+    /// only when the first misses.
+    pub fn lookup_visit(&self, key: &K, mut probe: impl FnMut(usize)) -> Option<V> {
+        let (b1, b2) = self.bucket_pair(key);
+        probe(b1);
+        if let Some(v) = self.scan(b1, key) {
+            return Some(v);
+        }
+        probe(b2);
+        self.scan(b2, key)
+    }
+
+    /// Looks up `key`.
+    pub fn lookup(&self, key: &K) -> Option<V> {
+        self.lookup_visit(key, |_| {})
+    }
+
+    fn scan(&self, b: usize, key: &K) -> Option<V> {
+        self.buckets[b]
+            .slots
+            .iter()
+            .flatten()
+            .find(|e| e.key == *key)
+            .map(|e| e.value)
+    }
+
+    fn try_place(&mut self, b: usize, e: Entry<K, V>) -> bool {
+        for slot in &mut self.buckets[b].slots {
+            if slot.is_none() {
+                *slot = Some(e);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `key → value`, visiting each touched bucket via `probe`.
+    pub fn insert_visit(
+        &mut self,
+        key: K,
+        value: V,
+        mut probe: impl FnMut(usize),
+    ) -> InsertOutcome {
+        let (b1, b2) = self.bucket_pair(&key);
+        probe(b1);
+        probe(b2);
+        // Replace in place if present.
+        for b in [b1, b2] {
+            for slot in &mut self.buckets[b].slots {
+                if let Some(e) = slot {
+                    if e.key == key {
+                        e.value = value;
+                        return InsertOutcome::Replaced;
+                    }
+                }
+            }
+        }
+        let mut entry = Entry { key, value };
+        if self.try_place(b1, entry) || self.try_place(b2, entry) {
+            self.len += 1;
+            return InsertOutcome::Inserted;
+        }
+        // Random-walk displacement starting from b1.
+        let mut b = b1;
+        for _ in 0..MAX_KICKS {
+            let victim_slot = (self.kick_rng.next_u64() % SLOTS as u64) as usize;
+            let victim = self.buckets[b].slots[victim_slot]
+                .replace(entry)
+                .expect("displacement always targets a full bucket");
+            entry = victim;
+            let (v1, v2) = self.bucket_pair(&entry.key);
+            b = if b == v1 { v2 } else { v1 };
+            probe(b);
+            if self.try_place(b, entry) {
+                self.len += 1;
+                return InsertOutcome::Inserted;
+            }
+        }
+        // Undo is skipped (the displaced chain still holds valid entries;
+        // only `entry` is dropped) — matching rte_hash's failure mode.
+        InsertOutcome::Full
+    }
+
+    /// Inserts without probe tracking.
+    pub fn insert(&mut self, key: K, value: V) -> InsertOutcome {
+        self.insert_visit(key, value, |_| {})
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (b1, b2) = self.bucket_pair(key);
+        for b in [b1, b2] {
+            for slot in &mut self.buckets[b].slots {
+                if matches!(slot, Some(e) if e.key == *key) {
+                    let e = slot.take().expect("matched above");
+                    self.len -= 1;
+                    return Some(e.value);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut h: CuckooHash<u64, u32> = CuckooHash::new(16);
+        assert_eq!(h.insert(42, 1), InsertOutcome::Inserted);
+        assert_eq!(h.lookup(&42), Some(1));
+        assert_eq!(h.insert(42, 2), InsertOutcome::Replaced);
+        assert_eq!(h.lookup(&42), Some(2));
+        assert_eq!(h.remove(&42), Some(2));
+        assert_eq!(h.lookup(&42), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn many_entries_with_displacement() {
+        let mut h: CuckooHash<u64, u64> = CuckooHash::new(256);
+        // Fill to ~75% of the 1024-entry capacity.
+        for k in 0..768u64 {
+            assert_ne!(h.insert(k, k * 10), InsertOutcome::Full, "k={k}");
+        }
+        for k in 0..768u64 {
+            assert_eq!(h.lookup(&k), Some(k * 10), "k={k}");
+        }
+        assert_eq!(h.len(), 768);
+    }
+
+    #[test]
+    fn lookup_probes_at_most_two_buckets() {
+        let mut h: CuckooHash<u64, u64> = CuckooHash::new(64);
+        for k in 0..100 {
+            h.insert(k, k);
+        }
+        for k in 0..100 {
+            let mut probes = 0;
+            h.lookup_visit(&k, |_| probes += 1);
+            assert!(probes <= 2, "key {k} probed {probes} buckets");
+        }
+    }
+
+    #[test]
+    fn full_table_reports_full() {
+        let mut h: CuckooHash<u64, u64> = CuckooHash::new(2);
+        let mut full_seen = false;
+        for k in 0..64u64 {
+            if h.insert(k, k) == InsertOutcome::Full {
+                full_seen = true;
+                break;
+            }
+        }
+        assert!(full_seen, "a 2-bucket table must eventually fill");
+    }
+
+    #[test]
+    fn missing_keys_absent() {
+        let mut h: CuckooHash<u64, u64> = CuckooHash::new(16);
+        h.insert(1, 1);
+        assert_eq!(h.lookup(&2), None);
+        assert_eq!(h.remove(&2), None);
+    }
+
+    #[test]
+    fn model_check_against_hashmap() {
+        use std::collections::HashMap;
+        let mut h: CuckooHash<u32, u32> = CuckooHash::new(512);
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..4_000 {
+            let k = (rng.next_u64() % 600) as u32;
+            match rng.next_u64() % 3 {
+                0 => {
+                    if h.insert(k, k + 1) != InsertOutcome::Full {
+                        model.insert(k, k + 1);
+                    }
+                }
+                1 => {
+                    assert_eq!(h.remove(&k), model.remove(&k), "remove {k}");
+                }
+                _ => {
+                    assert_eq!(h.lookup(&k), model.get(&k).copied(), "lookup {k}");
+                }
+            }
+        }
+        assert_eq!(h.len(), model.len());
+    }
+}

@@ -1,0 +1,237 @@
+//! Ethernet-layer elements: `EtherMirror`, `EtherRewrite`, `EtherEncap`.
+
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_packet::ether::{self, EtherType};
+use pm_packet::MacAddr;
+
+fn parse_mac(s: &str) -> Option<MacAddr> {
+    let mut out = [0u8; 6];
+    let mut parts = s.trim().split(':');
+    for b in &mut out {
+        *b = u8::from_str_radix(parts.next()?, 16).ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(MacAddr(out))
+}
+
+/// `EtherMirror`: swaps source and destination MAC addresses (the
+/// paper's simple forwarder body, §A.1 variant).
+#[derive(Debug, Default)]
+pub struct EtherMirror;
+
+impl Element for EtherMirror {
+    fn class_name(&self) -> &'static str {
+        "EtherMirror"
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < 14 {
+            return Action::Drop;
+        }
+        ctx.read_data(pkt, 0, 12);
+        ether::mirror_in_place(pkt.frame_mut());
+        ctx.write_data(pkt, 0, 12);
+        ctx.compute(18);
+        Action::Forward(0)
+    }
+}
+
+/// `EtherRewrite(SRC, DST)`: overwrites both MAC addresses.
+#[derive(Debug)]
+pub struct EtherRewrite {
+    src: MacAddr,
+    dst: MacAddr,
+}
+
+impl Default for EtherRewrite {
+    fn default() -> Self {
+        EtherRewrite {
+            src: MacAddr([0x02, 0, 0, 0, 0, 0x10]),
+            dst: MacAddr([0x02, 0, 0, 0, 0, 0x20]),
+        }
+    }
+}
+
+impl Element for EtherRewrite {
+    fn class_name(&self) -> &'static str {
+        "EtherRewrite"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        let bad = |what: &str, v: &str| ConfigError::Element {
+            element: String::new(),
+            message: format!("{what}: bad MAC address {v:?}"),
+        };
+        if let Some(v) = args.get("SRC").or_else(|| args.positional(0)) {
+            self.src = parse_mac(v).ok_or_else(|| bad("SRC", v))?;
+        }
+        if let Some(v) = args.get("DST").or_else(|| args.positional(1)) {
+            self.dst = parse_mac(v).ok_or_else(|| bad("DST", v))?;
+        }
+        Ok(())
+    }
+
+    fn param_loads(&self) -> u32 {
+        2
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < 14 {
+            return Action::Drop;
+        }
+        ether::rewrite_in_place(pkt.frame_mut(), self.src, self.dst);
+        ctx.write_data(pkt, 0, 12);
+        ctx.compute(18);
+        Action::Forward(0)
+    }
+}
+
+/// `EtherEncap(ETHERTYPE, SRC, DST)`: (re)writes the full 14-byte
+/// Ethernet header in front of the current frame.
+#[derive(Debug)]
+pub struct EtherEncap {
+    ethertype: EtherType,
+    src: MacAddr,
+    dst: MacAddr,
+}
+
+impl Default for EtherEncap {
+    fn default() -> Self {
+        EtherEncap {
+            ethertype: EtherType::IPV4,
+            src: MacAddr([0x02, 0, 0, 0, 0, 0x10]),
+            dst: MacAddr([0x02, 0, 0, 0, 0, 0x20]),
+        }
+    }
+}
+
+impl Element for EtherEncap {
+    fn class_name(&self) -> &'static str {
+        "EtherEncap"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        if let Some(v) = args.get("ETHERTYPE").or_else(|| args.positional(0)) {
+            let raw = v.trim_start_matches("0x");
+            let t = u16::from_str_radix(raw, 16).map_err(|_| ConfigError::Element {
+                element: String::new(),
+                message: format!("ETHERTYPE: bad value {v:?}"),
+            })?;
+            self.ethertype = EtherType(t);
+        }
+        if let Some(v) = args.get("SRC").or_else(|| args.positional(1)) {
+            self.src = parse_mac(v).ok_or_else(|| ConfigError::Element {
+                element: String::new(),
+                message: format!("SRC: bad MAC {v:?}"),
+            })?;
+        }
+        if let Some(v) = args.get("DST").or_else(|| args.positional(2)) {
+            self.dst = parse_mac(v).ok_or_else(|| ConfigError::Element {
+                element: String::new(),
+                message: format!("DST: bad MAC {v:?}"),
+            })?;
+        }
+        Ok(())
+    }
+
+    fn param_loads(&self) -> u32 {
+        2
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < 14 {
+            return Action::Drop;
+        }
+        pm_packet::ether::EtherHeader {
+            dst: self.dst,
+            src: self.src,
+            ethertype: self.ethertype,
+        }
+        .write(pkt.frame_mut());
+        ctx.write_data(pkt, 0, 14);
+        ctx.write_meta(pkt, "mac_hdr");
+        ctx.compute(16);
+        Action::Forward(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::MemoryHierarchy;
+    use pm_packet::builder::PacketBuilder;
+    use pm_packet::ether::EtherHeader;
+
+    fn run(el: &mut dyn Element, frame: &mut Vec<u8>) -> Action {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        let len = frame.len();
+        let desc = RxDesc {
+            buf_id: 0,
+            len: len as u32,
+            rss_hash: 0,
+            arrival: pm_sim::SimTime::ZERO,
+            gen: pm_sim::SimTime::ZERO,
+            seq: 0,
+            data_addr: 0x10_000,
+            meta_addr: 0x20_000,
+            xslot: None,
+        };
+        let mut pkt = Pkt {
+            data: frame,
+            len,
+            desc,
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        el.process(&mut ctx, &mut pkt)
+    }
+
+    #[test]
+    fn mirror_swaps() {
+        let mut f = PacketBuilder::udp().build();
+        let before = EtherHeader::parse(&f).unwrap();
+        assert_eq!(run(&mut EtherMirror, &mut f), Action::Forward(0));
+        let after = EtherHeader::parse(&f).unwrap();
+        assert_eq!(after.src, before.dst);
+        assert_eq!(after.dst, before.src);
+    }
+
+    #[test]
+    fn rewrite_applies_config() {
+        let mut el = EtherRewrite::default();
+        el.configure(&Args::parse("SRC 02:00:00:00:00:aa, DST 02:00:00:00:00:bb"))
+            .unwrap();
+        let mut f = PacketBuilder::udp().build();
+        run(&mut el, &mut f);
+        let h = EtherHeader::parse(&f).unwrap();
+        assert_eq!(h.src, MacAddr([2, 0, 0, 0, 0, 0xaa]));
+        assert_eq!(h.dst, MacAddr([2, 0, 0, 0, 0, 0xbb]));
+    }
+
+    #[test]
+    fn bad_mac_rejected() {
+        let mut el = EtherRewrite::default();
+        assert!(el.configure(&Args::parse("SRC nonsense")).is_err());
+    }
+
+    #[test]
+    fn encap_sets_ethertype() {
+        let mut el = EtherEncap::default();
+        el.configure(&Args::parse("ETHERTYPE 0x0800")).unwrap();
+        let mut f = PacketBuilder::udp().build();
+        run(&mut el, &mut f);
+        assert_eq!(EtherHeader::parse(&f).unwrap().ethertype, EtherType::IPV4);
+    }
+
+    #[test]
+    fn runt_frames_dropped() {
+        let mut f = vec![0u8; 8];
+        assert_eq!(run(&mut EtherMirror, &mut f), Action::Drop);
+    }
+}

@@ -1,0 +1,328 @@
+//! `IPFilter`: a rule-based stateless firewall.
+//!
+//! An extension NF beyond the paper's five (its related work repeatedly
+//! pits packet frameworks against firewalls/ACLs): first-match
+//! allow/deny rules over the IPv4 5-tuple, with CIDR prefixes and port
+//! ranges, evaluated on real header bytes. Rules live in a simulated
+//! region charged per rule scanned, so bigger rulesets genuinely cost
+//! more — useful for rule-count sweeps.
+
+use crate::trie::parse_cidr;
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_mem::{AccessKind, AddressSpace, Region};
+use pm_packet::ether::ETHER_LEN;
+use pm_packet::ipv4::{IpProto, Ipv4Header};
+
+/// Rule verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward the packet.
+    Allow,
+    /// Drop the packet.
+    Deny,
+}
+
+/// One filter rule (all fields are conjunctive; `None` matches any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Verdict when the rule matches.
+    pub verdict: Verdict,
+    /// Source prefix `(addr, len)`.
+    pub src: Option<(u32, u8)>,
+    /// Destination prefix.
+    pub dst: Option<(u32, u8)>,
+    /// IP protocol.
+    pub proto: Option<u8>,
+    /// Destination-port range (inclusive).
+    pub dport: Option<(u16, u16)>,
+}
+
+impl Rule {
+    fn matches(&self, src: u32, dst: u32, proto: u8, dport: Option<u16>) -> bool {
+        let prefix_match = |p: Option<(u32, u8)>, ip: u32| match p {
+            None => true,
+            Some((addr, len)) => {
+                let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+                ip & mask == addr & mask
+            }
+        };
+        prefix_match(self.src, src)
+            && prefix_match(self.dst, dst)
+            && self.proto.is_none_or(|p| p == proto)
+            && match self.dport {
+                None => true,
+                Some((lo, hi)) => dport.is_some_and(|d| (lo..=hi).contains(&d)),
+            }
+    }
+}
+
+/// Parses one rule from text like
+/// `allow src 10.0.0.0/8 dst 192.168.0.0/16 proto tcp dport 80-443`.
+pub fn parse_rule(text: &str) -> Result<Rule, ConfigError> {
+    let bad = |m: String| ConfigError::Element {
+        element: String::new(),
+        message: m,
+    };
+    let mut parts = text.split_whitespace();
+    let verdict = match parts.next() {
+        Some("allow") => Verdict::Allow,
+        Some("deny") => Verdict::Deny,
+        other => return Err(bad(format!("rule must start with allow/deny, got {other:?}"))),
+    };
+    let mut rule = Rule {
+        verdict,
+        src: None,
+        dst: None,
+        proto: None,
+        dport: None,
+    };
+    while let Some(key) = parts.next() {
+        let val = parts
+            .next()
+            .ok_or_else(|| bad(format!("{key} needs a value")))?;
+        match key {
+            "src" => {
+                rule.src = Some(parse_cidr(val).ok_or_else(|| bad(format!("bad CIDR {val:?}")))?)
+            }
+            "dst" => {
+                rule.dst = Some(parse_cidr(val).ok_or_else(|| bad(format!("bad CIDR {val:?}")))?)
+            }
+            "proto" => {
+                rule.proto = Some(match val {
+                    "tcp" => 6,
+                    "udp" => 17,
+                    "icmp" => 1,
+                    n => n.parse().map_err(|_| bad(format!("bad proto {val:?}")))?,
+                })
+            }
+            "dport" => {
+                rule.dport = Some(match val.split_once('-') {
+                    Some((lo, hi)) => (
+                        lo.parse().map_err(|_| bad(format!("bad port {lo:?}")))?,
+                        hi.parse().map_err(|_| bad(format!("bad port {hi:?}")))?,
+                    ),
+                    None => {
+                        let p: u16 = val.parse().map_err(|_| bad(format!("bad port {val:?}")))?;
+                        (p, p)
+                    }
+                })
+            }
+            other => return Err(bad(format!("unknown rule keyword {other:?}"))),
+        }
+    }
+    Ok(rule)
+}
+
+/// The firewall element: first-match semantics, default deny.
+#[derive(Debug, Default)]
+pub struct IpFilter {
+    rules: Vec<Rule>,
+    rules_region: Option<Region>,
+    /// Packets denied (by rule or by default).
+    pub denied: u64,
+}
+
+impl Element for IpFilter {
+    fn class_name(&self) -> &'static str {
+        "IPFilter"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        for a in &args.items {
+            let text = match &a.key {
+                Some(k) => format!("{k} {}", a.value),
+                None => a.value.clone(),
+            };
+            // Click keyword parsing uppercases ALLOW/DENY; normalize.
+            self.rules.push(parse_rule(&text.to_lowercase())?);
+        }
+        if self.rules.is_empty() {
+            return Err(ConfigError::Element {
+                element: String::new(),
+                message: "IPFilter needs at least one rule".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn setup(&mut self, space: &mut AddressSpace) {
+        // One 32-B rule record each, two per line.
+        self.rules_region = Some(space.alloc(self.rules.len() as u64 * 32));
+    }
+
+    fn param_loads(&self) -> u32 {
+        1
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < ETHER_LEN + 20 {
+            self.denied += 1;
+            return Action::Drop;
+        }
+        ctx.read_data(pkt, ETHER_LEN as u64, 24);
+        let Ok(ip) = Ipv4Header::parse(&pkt.frame()[ETHER_LEN..]) else {
+            self.denied += 1;
+            return Action::Drop;
+        };
+        let l4 = ETHER_LEN + ip.header_len;
+        let dport = match ip.protocol {
+            IpProto::TCP | IpProto::UDP if pkt.len >= l4 + 4 && !ip.is_fragment() => Some(
+                u16::from_be_bytes([pkt.frame()[l4 + 2], pkt.frame()[l4 + 3]]),
+            ),
+            _ => None,
+        };
+        let region = self.rules_region.expect("setup() ran");
+
+        for (i, rule) in self.rules.iter().enumerate() {
+            // Charge the rule record scan.
+            ctx.cost += ctx.mem.access(
+                ctx.core,
+                region.base + (i as u64) * 32,
+                32,
+                AccessKind::Load,
+            );
+            ctx.compute(7);
+            if rule.matches(ip.src_u32(), ip.dst_u32(), ip.protocol.0, dport) {
+                return match rule.verdict {
+                    Verdict::Allow => Action::Forward(0),
+                    Verdict::Deny => {
+                        self.denied += 1;
+                        Action::Drop
+                    }
+                };
+            }
+        }
+        // Default deny.
+        self.denied += 1;
+        ctx.touch_state(0, 8, AccessKind::Store);
+        Action::Drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::MemoryHierarchy;
+    use pm_packet::builder::PacketBuilder;
+
+    fn filter(rules: &str) -> IpFilter {
+        let mut el = IpFilter::default();
+        el.configure(&Args::parse(rules)).unwrap();
+        el.setup(&mut AddressSpace::new());
+        el
+    }
+
+    fn run(el: &mut IpFilter, frame: &mut Vec<u8>) -> Action {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        ctx.state = pm_mem::Region { base: 0xc00, size: 64 };
+        let len = frame.len();
+        let mut pkt = Pkt {
+            data: frame,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        el.process(&mut ctx, &mut pkt)
+    }
+
+    #[test]
+    fn rule_parsing() {
+        let r = parse_rule("allow src 10.0.0.0/8 proto tcp dport 80-443").unwrap();
+        assert_eq!(r.verdict, Verdict::Allow);
+        assert_eq!(r.src, Some((0x0a00_0000, 8)));
+        assert_eq!(r.proto, Some(6));
+        assert_eq!(r.dport, Some((80, 443)));
+        assert!(parse_rule("frobnicate everything").is_err());
+        assert!(parse_rule("allow src not.an.ip").is_err());
+        assert!(parse_rule("allow dport 80-").is_err());
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut el = filter("deny dst 192.168.0.0/16 proto tcp, allow proto tcp, deny proto udp");
+        let mut blocked = PacketBuilder::tcp().dst_ip([192, 168, 1, 1]).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut blocked), Action::Drop);
+        let mut ok = PacketBuilder::tcp().dst_ip([8, 8, 8, 8]).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut ok), Action::Forward(0));
+        let mut udp = PacketBuilder::udp().dst_ip([8, 8, 8, 8]).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut udp), Action::Drop);
+        assert_eq!(el.denied, 2);
+    }
+
+    #[test]
+    fn port_ranges() {
+        let mut el = filter("allow proto tcp dport 80-443");
+        let mut http = PacketBuilder::tcp().dst_port(80).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut http), Action::Forward(0));
+        let mut https = PacketBuilder::tcp().dst_port(443).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut https), Action::Forward(0));
+        let mut ssh = PacketBuilder::tcp().dst_port(22).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut ssh), Action::Drop, "default deny");
+    }
+
+    #[test]
+    fn icmp_matchable_without_ports() {
+        let mut el = filter("allow proto icmp");
+        let mut ping = PacketBuilder::icmp().frame_len(128).build();
+        assert_eq!(run(&mut el, &mut ping), Action::Forward(0));
+        let mut el2 = filter("allow proto icmp dport 80");
+        let mut ping2 = PacketBuilder::icmp().frame_len(128).build();
+        assert_eq!(run(&mut el2, &mut ping2), Action::Drop, "port rule can't match icmp");
+    }
+
+    #[test]
+    fn scanning_charges_per_rule() {
+        let mut big = filter(
+            "deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, deny dst 3.0.0.0/8, \
+             deny dst 4.0.0.0/8, allow proto tcp",
+        );
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        ctx.state = pm_mem::Region { base: 0xc00, size: 64 };
+        let mut f = PacketBuilder::tcp().dst_ip([8, 8, 8, 8]).frame_len(128).build();
+        let len = f.len();
+        let mut pkt = Pkt {
+            data: &mut f,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        let a = big.process(&mut ctx, &mut pkt);
+        assert_eq!(a, Action::Forward(0));
+        // Five rules scanned: ≥ 5 charged loads + per-rule compute.
+        assert!(ctx.cost.instructions >= 5 * 7);
+    }
+
+    #[test]
+    fn empty_ruleset_rejected() {
+        let mut el = IpFilter::default();
+        assert!(el.configure(&Args::parse("")).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! IP-layer elements: `CheckIPHeader`, `DecIPTTL`, `GetIPAddress`, and
+//! `ARPResponder`.
+
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_mem::AccessKind;
+use pm_packet::arp::{ArpOp, ArpPacket};
+use pm_packet::ether::{EtherHeader, ETHER_LEN};
+use pm_packet::ipv4::{self, Ipv4Header};
+use pm_packet::MacAddr;
+
+/// `CheckIPHeader`: full RFC-1812-style sanity check — version, IHL,
+/// total length, and header checksum — on real bytes; drops bad packets.
+#[derive(Debug, Default)]
+pub struct CheckIpHeader {
+    /// Packets dropped as invalid.
+    pub drops: u64,
+}
+
+impl Element for CheckIpHeader {
+    fn class_name(&self) -> &'static str {
+        "CheckIPHeader"
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        ctx.read_data(pkt, ETHER_LEN as u64, 20);
+        ctx.compute(58); // parse + checks + 10-word checksum fold
+        let ok = (|| {
+            let h = Ipv4Header::parse(&pkt.frame()[ETHER_LEN..]).ok()?;
+            if ETHER_LEN + h.total_len as usize > pkt.len {
+                return None;
+            }
+            if !h.verify_checksum(&pkt.frame()[ETHER_LEN..]) {
+                return None;
+            }
+            Some(())
+        })()
+        .is_some();
+        if !ok {
+            self.drops += 1;
+            ctx.touch_state(0, 8, AccessKind::Store);
+            return Action::Drop;
+        }
+        ctx.write_meta(pkt, "net_hdr");
+        Action::Forward(0)
+    }
+}
+
+/// `DecIPTTL`: decrements TTL with an incremental checksum patch
+/// (RFC 1624); drops (and counts) packets whose TTL has expired.
+#[derive(Debug, Default)]
+pub struct DecIpTtl {
+    /// Packets dropped for TTL expiry.
+    pub expired: u64,
+}
+
+impl Element for DecIpTtl {
+    fn class_name(&self) -> &'static str {
+        "DecIPTTL"
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < ETHER_LEN + 20 {
+            return Action::Drop;
+        }
+        ctx.read_meta(pkt, "net_hdr");
+        ctx.read_data(pkt, (ETHER_LEN + ipv4::TTL_OFFSET) as u64, 4);
+        let new_ttl = ipv4::dec_ttl_in_place(&mut pkt.frame_mut()[ETHER_LEN..]);
+        ctx.write_data(pkt, (ETHER_LEN + ipv4::TTL_OFFSET) as u64, 4);
+        ctx.compute(20);
+        match new_ttl {
+            None | Some(0) => {
+                // A real router would emit ICMP time-exceeded; we count
+                // and drop (the generator uses large TTLs, as campuses do).
+                self.expired += 1;
+                ctx.touch_state(0, 8, AccessKind::Store);
+                Action::Drop
+            }
+            Some(_) => Action::Forward(0),
+        }
+    }
+}
+
+/// `GetIPAddress(OFFSET)`: copies the destination IP address from the
+/// header into the destination-IP annotation (the standard Click router
+/// does this before the routing lookup).
+#[derive(Debug, Default)]
+pub struct GetIpAddress;
+
+impl Element for GetIpAddress {
+    fn class_name(&self) -> &'static str {
+        "GetIPAddress"
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < ETHER_LEN + 20 {
+            return Action::Drop;
+        }
+        ctx.read_data(pkt, (ETHER_LEN + ipv4::DST_OFFSET) as u64, 4);
+        let f = pkt.frame();
+        pkt.annos.dst_ip = [
+            f[ETHER_LEN + 16],
+            f[ETHER_LEN + 17],
+            f[ETHER_LEN + 18],
+            f[ETHER_LEN + 19],
+        ];
+        ctx.write_meta(pkt, "dst_ip_anno");
+        ctx.compute(7);
+        Action::Forward(0)
+    }
+}
+
+/// `ARPResponder(IP, MAC)`: answers ARP who-has requests for `IP` with
+/// `MAC`, rewriting the packet in place into the reply.
+#[derive(Debug)]
+pub struct ArpResponder {
+    ip: [u8; 4],
+    mac: MacAddr,
+    /// Requests answered.
+    pub replies: u64,
+}
+
+impl Default for ArpResponder {
+    fn default() -> Self {
+        ArpResponder {
+            ip: [10, 0, 0, 254],
+            mac: MacAddr([0x02, 0, 0, 0, 0, 0x10]),
+            replies: 0,
+        }
+    }
+}
+
+impl Element for ArpResponder {
+    fn class_name(&self) -> &'static str {
+        "ARPResponder"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        if let Some(v) = args.positional(0).or_else(|| args.get("IP")) {
+            let ip = crate::trie::parse_ip(v).ok_or_else(|| ConfigError::Element {
+                element: String::new(),
+                message: format!("bad IP {v:?}"),
+            })?;
+            self.ip = ip.to_be_bytes();
+        }
+        Ok(())
+    }
+
+    fn param_loads(&self) -> u32 {
+        2
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < ETHER_LEN + pm_packet::arp::ARP_LEN {
+            return Action::Drop;
+        }
+        ctx.read_data(pkt, 0, (ETHER_LEN + 28) as u64);
+        ctx.compute(55);
+        let Ok(req) = ArpPacket::parse(&pkt.frame()[ETHER_LEN..]) else {
+            return Action::Drop;
+        };
+        if req.op != ArpOp::Request || req.target_ip != self.ip {
+            return Action::Drop;
+        }
+        let reply = req.reply_from(self.mac, self.ip);
+        let requester = req.sender_mac;
+        reply.write(&mut pkt.frame_mut()[ETHER_LEN..]);
+        EtherHeader {
+            dst: requester,
+            src: self.mac,
+            ethertype: pm_packet::ether::EtherType::ARP,
+        }
+        .write(pkt.frame_mut());
+        ctx.write_data(pkt, 0, (ETHER_LEN + 28) as u64);
+        self.replies += 1;
+        ctx.touch_state(0, 8, AccessKind::Store);
+        Action::Forward(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::{MemoryHierarchy, Region};
+    use pm_packet::builder::PacketBuilder;
+
+    fn run(el: &mut dyn Element, frame: &mut Vec<u8>) -> (Action, Annos) {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        ctx.state = Region { base: 0x1000, size: 64 };
+        let len = frame.len();
+        let mut pkt = Pkt {
+            data: frame,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        let a = el.process(&mut ctx, &mut pkt);
+        (a, pkt.annos)
+    }
+
+    #[test]
+    fn valid_header_passes() {
+        let mut f = PacketBuilder::tcp().build();
+        let (a, _) = run(&mut CheckIpHeader::default(), &mut f);
+        assert_eq!(a, Action::Forward(0));
+    }
+
+    #[test]
+    fn corrupt_checksum_dropped() {
+        let mut f = PacketBuilder::tcp().build();
+        f[14 + 10] ^= 0xff;
+        let mut el = CheckIpHeader::default();
+        let (a, _) = run(&mut el, &mut f);
+        assert_eq!(a, Action::Drop);
+        assert_eq!(el.drops, 1);
+    }
+
+    #[test]
+    fn lying_total_length_dropped() {
+        let mut f = PacketBuilder::tcp().build();
+        // total_len larger than the frame.
+        f[14 + 2] = 0xff;
+        f[14 + 3] = 0xff;
+        let (a, _) = run(&mut CheckIpHeader::default(), &mut f);
+        assert_eq!(a, Action::Drop);
+    }
+
+    #[test]
+    fn ttl_decremented_checksum_valid() {
+        let mut f = PacketBuilder::tcp().ttl(64).build();
+        let (a, _) = run(&mut DecIpTtl::default(), &mut f);
+        assert_eq!(a, Action::Forward(0));
+        let h = Ipv4Header::parse(&f[14..]).unwrap();
+        assert_eq!(h.ttl, 63);
+        assert!(h.verify_checksum(&f[14..]));
+    }
+
+    #[test]
+    fn ttl_one_expires() {
+        let mut f = PacketBuilder::tcp().ttl(1).build();
+        let mut el = DecIpTtl::default();
+        let (a, _) = run(&mut el, &mut f);
+        assert_eq!(a, Action::Drop);
+        assert_eq!(el.expired, 1);
+    }
+
+    #[test]
+    fn get_ip_address_sets_anno() {
+        let mut f = PacketBuilder::tcp().dst_ip([192, 0, 2, 33]).build();
+        let (a, annos) = run(&mut GetIpAddress, &mut f);
+        assert_eq!(a, Action::Forward(0));
+        assert_eq!(annos.dst_ip, [192, 0, 2, 33]);
+    }
+
+    #[test]
+    fn arp_responder_builds_reply() {
+        let mut el = ArpResponder::default();
+        el.configure(&Args::parse("10.0.0.254")).unwrap();
+        let mut f = PacketBuilder::arp()
+            .src_ip([10, 0, 0, 7])
+            .dst_ip([10, 0, 0, 254])
+            .build();
+        let (a, _) = run(&mut el, &mut f);
+        assert_eq!(a, Action::Forward(0));
+        assert_eq!(el.replies, 1);
+        let arp = ArpPacket::parse(&f[14..]).unwrap();
+        assert_eq!(arp.op, ArpOp::Reply);
+        assert_eq!(arp.sender_ip, [10, 0, 0, 254]);
+        assert_eq!(arp.target_ip, [10, 0, 0, 7]);
+        let eth = EtherHeader::parse(&f).unwrap();
+        assert_eq!(
+            eth.dst,
+            MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+            "reply goes back to the requester's MAC"
+        );
+    }
+
+    #[test]
+    fn arp_for_other_ip_dropped() {
+        let mut el = ArpResponder::default();
+        el.configure(&Args::parse("10.0.0.254")).unwrap();
+        let mut f = PacketBuilder::arp().dst_ip([10, 0, 0, 99]).build();
+        let (a, _) = run(&mut el, &mut f);
+        assert_eq!(a, Action::Drop);
+    }
+}

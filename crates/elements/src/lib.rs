@@ -1,0 +1,54 @@
+//! The network-function element library for PacketMill-rs.
+//!
+//! Every element does **real work on real packet bytes** — parsing,
+//! checksum verification and incremental update, longest-prefix-match
+//! routing on a from-scratch radix trie, stateful NAPT on a from-scratch
+//! cuckoo hash table — while charging its memory touches to the
+//! simulated hierarchy.
+//!
+//! [`standard_registry`] returns a registry with every element class;
+//! [`configs`] holds the paper's five NF configurations (§A.1–A.4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arp_table;
+pub mod classifier;
+pub mod configs;
+pub mod firewall;
+pub mod cuckoo;
+pub mod ether;
+pub mod ids;
+pub mod ip;
+pub mod nat;
+pub mod route;
+pub mod trie;
+pub mod vlan;
+pub mod work;
+
+use pm_click::ElementRegistry;
+
+/// A registry containing the built-in basics plus every element class in
+/// this crate.
+pub fn standard_registry() -> ElementRegistry {
+    let mut r = ElementRegistry::with_basics();
+    r.register("EtherMirror", || Box::new(ether::EtherMirror::default()));
+    r.register("EtherRewrite", || Box::new(ether::EtherRewrite::default()));
+    r.register("EtherEncap", || Box::new(ether::EtherEncap::default()));
+    r.register("Classifier", || Box::new(classifier::Classifier::default()));
+    r.register("Paint", || Box::new(classifier::Paint::default()));
+    r.register("Counter", || Box::new(classifier::Counter::default()));
+    r.register("CheckIPHeader", || Box::new(ip::CheckIpHeader::default()));
+    r.register("DecIPTTL", || Box::new(ip::DecIpTtl::default()));
+    r.register("GetIPAddress", || Box::new(ip::GetIpAddress::default()));
+    r.register("LookupIPRoute", || Box::new(route::LookupIpRoute::default()));
+    r.register("ARPResponder", || Box::new(ip::ArpResponder::default()));
+    r.register("ARPQuerier", || Box::new(arp_table::ArpQuerier::default()));
+    r.register("IPFilter", || Box::new(firewall::IpFilter::default()));
+    r.register("IPRewriter", || Box::new(nat::IpRewriter::default()));
+    r.register("CheckHeaders", || Box::new(ids::CheckHeaders::default()));
+    r.register("VLANEncap", || Box::new(vlan::VlanEncap::default()));
+    r.register("VLANDecap", || Box::new(vlan::VlanDecap::default()));
+    r.register("WorkPackage", || Box::new(work::WorkPackage::default()));
+    r
+}

@@ -1,0 +1,243 @@
+//! `LookupIPRoute`: longest-prefix-match routing on the radix trie.
+
+use crate::trie::{parse_cidr, parse_ip, RadixTrie, Route};
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_mem::{AccessKind, AddressSpace, Region};
+use pm_packet::ether::ETHER_LEN;
+
+/// Bytes per trie node in the charged region (two children + route).
+const NODE_BYTES: u64 = 16;
+
+/// `LookupIPRoute(CIDR PORT [GW], …)`: looks up the destination address,
+/// sets the destination-IP annotation (next hop) and forwards out the
+/// route's port. Drops packets with no matching route.
+///
+/// The trie nodes live in a simulated region; every node walked is
+/// charged, so bigger tables genuinely cost more cache.
+#[derive(Debug, Default)]
+pub struct LookupIpRoute {
+    trie: RadixTrie,
+    nodes_region: Option<Region>,
+    max_port: u16,
+    /// Packets dropped for lack of a route.
+    pub no_route: u64,
+}
+
+impl LookupIpRoute {
+    /// Adds a route programmatically.
+    pub fn add_route(&mut self, prefix: u32, len: u8, route: Route) {
+        self.max_port = self.max_port.max(route.port);
+        self.trie.insert(prefix, len, route);
+    }
+}
+
+impl Element for LookupIpRoute {
+    fn class_name(&self) -> &'static str {
+        "LookupIPRoute"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        for a in &args.items {
+            // Each argument: "CIDR PORT" or "CIDR GW PORT".
+            let text = match &a.key {
+                Some(k) => format!("{k} {}", a.value),
+                None => a.value.clone(),
+            };
+            let parts: Vec<&str> = text.split_whitespace().collect();
+            let bad = |m: String| ConfigError::Element {
+                element: String::new(),
+                message: m,
+            };
+            if parts.len() < 2 || parts.len() > 3 {
+                return Err(bad(format!("route {text:?}: expected CIDR [GW] PORT")));
+            }
+            let (prefix, len) =
+                parse_cidr(parts[0]).ok_or_else(|| bad(format!("bad CIDR {:?}", parts[0])))?;
+            let (gw, port_text) = if parts.len() == 3 {
+                let gw = parse_ip(parts[1]).ok_or_else(|| bad(format!("bad GW {:?}", parts[1])))?;
+                (gw, parts[2])
+            } else {
+                (0, parts[1])
+            };
+            let port: u16 = port_text
+                .parse()
+                .map_err(|_| bad(format!("bad port {port_text:?}")))?;
+            self.add_route(prefix, len, Route { port, gateway: gw });
+        }
+        if self.trie.node_count() <= 1 {
+            return Err(ConfigError::Element {
+                element: String::new(),
+                message: "LookupIPRoute needs at least one route".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn setup(&mut self, space: &mut AddressSpace) {
+        self.nodes_region = Some(space.alloc(self.trie.node_count() as u64 * NODE_BYTES));
+    }
+
+    fn n_outputs(&self) -> u16 {
+        self.max_port + 1
+    }
+
+    fn param_loads(&self) -> u32 {
+        1
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < ETHER_LEN + 20 {
+            return Action::Drop;
+        }
+        ctx.read_data(pkt, (ETHER_LEN + 16) as u64, 4);
+        let f = pkt.frame();
+        let dst = u32::from_be_bytes([
+            f[ETHER_LEN + 16],
+            f[ETHER_LEN + 17],
+            f[ETHER_LEN + 18],
+            f[ETHER_LEN + 19],
+        ]);
+        let region = self.nodes_region.expect("setup() ran before process()");
+        let mut visited = 0u64;
+        let result = self.trie.lookup_visit(dst, |node| {
+            visited += 1;
+            ctx.cost += ctx.mem.access(
+                ctx.core,
+                region.base + u64::from(node) * NODE_BYTES,
+                NODE_BYTES,
+                AccessKind::Load,
+            );
+        });
+        ctx.compute(12 + visited * 3);
+        match result {
+            Some(route) => {
+                let next_hop = if route.gateway != 0 { route.gateway } else { dst };
+                pkt.annos.dst_ip = next_hop.to_be_bytes();
+                ctx.write_meta(pkt, "dst_ip_anno");
+                pkt.annos.paint = route.port as u8;
+                ctx.write_meta(pkt, "paint_anno");
+                Action::Forward(route.port)
+            }
+            None => {
+                self.no_route += 1;
+                ctx.touch_state(0, 8, AccessKind::Store);
+                Action::Drop
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::MemoryHierarchy;
+    use pm_packet::builder::PacketBuilder;
+
+    fn element(routes: &str) -> LookupIpRoute {
+        let mut el = LookupIpRoute::default();
+        el.configure(&Args::parse(routes)).unwrap();
+        el.setup(&mut AddressSpace::new());
+        el
+    }
+
+    fn route_packet(el: &mut LookupIpRoute, dst: [u8; 4]) -> (Action, Annos) {
+        let mut f = PacketBuilder::tcp().dst_ip(dst).build();
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        ctx.state = pm_mem::Region { base: 0x700, size: 64 };
+        let len = f.len();
+        let mut pkt = Pkt {
+            data: &mut f,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        let a = el.process(&mut ctx, &mut pkt);
+        (a, pkt.annos)
+    }
+
+    #[test]
+    fn routes_by_longest_prefix() {
+        let mut el = element("0.0.0.0/0 0, 10.0.0.0/8 1, 10.1.0.0/16 10.1.0.254 2");
+        assert_eq!(el.n_outputs(), 3);
+
+        let (a, an) = route_packet(&mut el, [8, 8, 8, 8]);
+        assert_eq!(a, Action::Forward(0));
+        assert_eq!(an.dst_ip, [8, 8, 8, 8], "no gateway: next hop = dst");
+
+        let (a, _) = route_packet(&mut el, [10, 200, 0, 1]);
+        assert_eq!(a, Action::Forward(1));
+
+        let (a, an) = route_packet(&mut el, [10, 1, 42, 42]);
+        assert_eq!(a, Action::Forward(2));
+        assert_eq!(an.dst_ip, [10, 1, 0, 254], "gateway becomes next hop");
+        assert_eq!(an.paint, 2);
+    }
+
+    #[test]
+    fn no_route_drops() {
+        let mut el = element("10.0.0.0/8 1");
+        let (a, _) = route_packet(&mut el, [11, 0, 0, 1]);
+        assert_eq!(a, Action::Drop);
+        assert_eq!(el.no_route, 1);
+    }
+
+    #[test]
+    fn config_errors() {
+        let mut el = LookupIpRoute::default();
+        assert!(el.configure(&Args::parse("")).is_err());
+        assert!(el.configure(&Args::parse("10.0.0.0/8")).is_err());
+        assert!(el.configure(&Args::parse("999.0.0.0/8 1")).is_err());
+        assert!(el.configure(&Args::parse("10.0.0.0/8 bad.gw 1")).is_err());
+    }
+
+    #[test]
+    fn lookup_charges_memory() {
+        let mut el = element("0.0.0.0/0 0, 192.168.0.0/16 1");
+        let mut mem = MemoryHierarchy::skylake(1);
+        let before = mem.counters().loads;
+        {
+            let plan = ExecPlan::vanilla(MetadataModel::Copying);
+            let mut ctx = Ctx::new(0, &mut mem, &plan);
+            ctx.state = pm_mem::Region { base: 0x700, size: 64 };
+            let mut f = PacketBuilder::tcp().dst_ip([192, 168, 3, 4]).build();
+            let len = f.len();
+            let mut pkt = Pkt {
+                data: &mut f,
+                len,
+                desc: RxDesc {
+                    buf_id: 0,
+                    len: len as u32,
+                    rss_hash: 0,
+                    arrival: pm_sim::SimTime::ZERO,
+                    gen: pm_sim::SimTime::ZERO,
+                    seq: 0,
+                    data_addr: 0x10_000,
+                    meta_addr: 0x20_000,
+                    xslot: None,
+                },
+                meta_addr: 0x20_000,
+                annos: Annos::default(),
+            };
+            el.process(&mut ctx, &mut pkt);
+        }
+        assert!(
+            mem.counters().loads > before + 2,
+            "trie walk must charge node loads"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! `VLANEncap` / `VLANDecap` (paper §A.3: the IDS configuration
+//! "eventually encapsulates the packet in a VLAN header").
+
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_packet::ether::EtherType;
+use pm_packet::vlan::{self, VlanTag};
+
+/// `VLANEncap(VLAN_ID id, VLAN_PCP pcp)`: inserts an 802.1Q tag.
+#[derive(Debug)]
+pub struct VlanEncap {
+    vid: u16,
+    pcp: u8,
+}
+
+impl Default for VlanEncap {
+    fn default() -> Self {
+        VlanEncap { vid: 1, pcp: 0 }
+    }
+}
+
+impl Element for VlanEncap {
+    fn class_name(&self) -> &'static str {
+        "VLANEncap"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        let vid = args.get_u32("VLAN_ID", u32::from(self.vid))?;
+        if vid > 4095 {
+            return Err(ConfigError::Element {
+                element: String::new(),
+                message: format!("VLAN_ID {vid} out of range"),
+            });
+        }
+        self.vid = vid as u16;
+        self.pcp = args.get_u32("VLAN_PCP", u32::from(self.pcp))? as u8 & 7;
+        Ok(())
+    }
+
+    fn param_loads(&self) -> u32 {
+        1
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < 14 || pkt.data.len() < pkt.len + vlan::VLAN_TAG_LEN {
+            return Action::Drop;
+        }
+        let tag = VlanTag {
+            pcp: self.pcp,
+            dei: false,
+            vid: self.vid,
+            inner_type: EtherType::IPV4, // replaced by the shifted bytes
+        };
+        let len = pkt.len;
+        pkt.len = vlan::encap_in_place(pkt.data, len, tag);
+        // The shift touches the whole frame head; charge the moved bytes.
+        ctx.write_data(pkt, 12, (pkt.len - 12).min(64) as u64);
+        pkt.annos.vlan_tci = tag.tci();
+        ctx.write_meta(pkt, "vlan_tci");
+        ctx.compute(40);
+        Action::Forward(0)
+    }
+}
+
+/// `VLANDecap`: removes the 802.1Q tag if present.
+#[derive(Debug, Default)]
+pub struct VlanDecap;
+
+impl Element for VlanDecap {
+    fn class_name(&self) -> &'static str {
+        "VLANDecap"
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action {
+        if pkt.len < 18 {
+            return Action::Forward(0);
+        }
+        if u16::from_be_bytes([pkt.data[12], pkt.data[13]]) != EtherType::VLAN.0 {
+            ctx.compute(2);
+            return Action::Forward(0);
+        }
+        ctx.read_data(pkt, 12, 6);
+        let tci = VlanTag::parse_frame(pkt.frame()).map(|t| t.tci()).unwrap_or(0);
+        let len = pkt.len;
+        pkt.len = vlan::decap_in_place(pkt.data, len);
+        ctx.write_data(pkt, 12, 8);
+        pkt.annos.vlan_tci = tci;
+        ctx.write_meta(pkt, "vlan_tci");
+        ctx.compute(28);
+        Action::Forward(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::MemoryHierarchy;
+    use pm_packet::builder::PacketBuilder;
+
+    fn run(el: &mut dyn Element, data: &mut Vec<u8>, len: usize) -> (Action, usize, u16) {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        let mut pkt = Pkt {
+            data,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival: pm_sim::SimTime::ZERO,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        let a = el.process(&mut ctx, &mut pkt);
+        (a, pkt.len, pkt.annos.vlan_tci)
+    }
+
+    #[test]
+    fn encap_then_decap_round_trip() {
+        let frame = PacketBuilder::udp().frame_len(128).build();
+        let mut data = frame.clone();
+        data.resize(2048, 0); // buffer headroom for the tag
+
+        let mut enc = VlanEncap::default();
+        enc.configure(&Args::parse("VLAN_ID 100, VLAN_PCP 3")).unwrap();
+        let (a, len, tci) = run(&mut enc, &mut data, 128);
+        assert_eq!(a, Action::Forward(0));
+        assert_eq!(len, 132);
+        assert_eq!(tci & 0x0fff, 100);
+        assert_eq!(tci >> 13, 3);
+
+        let (a, len, _) = run(&mut VlanDecap, &mut data, len);
+        assert_eq!(a, Action::Forward(0));
+        assert_eq!(len, 128);
+        assert_eq!(&data[..128], &frame[..]);
+    }
+
+    #[test]
+    fn decap_untagged_is_noop() {
+        let frame = PacketBuilder::udp().frame_len(100).build();
+        let mut data = frame.clone();
+        let (a, len, _) = run(&mut VlanDecap, &mut data, 100);
+        assert_eq!(a, Action::Forward(0));
+        assert_eq!(len, 100);
+        assert_eq!(data, frame);
+    }
+
+    #[test]
+    fn bad_vid_rejected() {
+        let mut enc = VlanEncap::default();
+        assert!(enc.configure(&Args::parse("VLAN_ID 5000")).is_err());
+    }
+
+    #[test]
+    fn encap_without_headroom_drops() {
+        let mut data = PacketBuilder::udp().frame_len(64).build(); // exactly 64, no spare
+        let (a, _, _) = run(&mut VlanEncap::default(), &mut data, 64);
+        assert_eq!(a, Action::Drop);
+    }
+}

@@ -1,0 +1,220 @@
+//! `WorkPackage(W, S, N)`: the paper's synthetic memory/compute element
+//! (§A.4).
+//!
+//! Per packet it performs `N` pseudo-random 8-byte reads into a static
+//! array of `S` megabytes (driving the LLC behaviour of Figs. 7 and 9)
+//! and generates `W` pseudo-random numbers (pure compute). Both halves
+//! are real: the random accesses walk a simulated region through the
+//! cache model, and the random numbers come from an actual SplitMix64.
+
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_mem::{AccessKind, AddressSpace, Region};
+use pm_sim::SplitMix64;
+
+/// Instructions charged per generated pseudo-random number (SplitMix64
+/// is ~6 ALU ops; Click's `WorkPackage` uses a similar LCG loop).
+const INSTR_PER_RAND: u64 = 8;
+
+/// The synthetic workload element.
+#[derive(Debug)]
+pub struct WorkPackage {
+    /// Pseudo-random numbers generated per packet.
+    pub w: u32,
+    /// Accessed-array size in bytes.
+    pub s_bytes: u64,
+    /// Random array accesses per packet.
+    pub n: u32,
+    array: Option<Region>,
+    warmed: bool,
+    rng: SplitMix64,
+    /// Running sum of generated numbers (prevents dead-code elimination
+    /// of the real RNG work and is observable in tests).
+    pub sink: u64,
+}
+
+impl Default for WorkPackage {
+    fn default() -> Self {
+        WorkPackage {
+            w: 0,
+            s_bytes: 1024 * 1024,
+            n: 1,
+            array: None,
+            warmed: false,
+            rng: SplitMix64::new(0xBEEF_F00D),
+            sink: 0,
+        }
+    }
+}
+
+impl Element for WorkPackage {
+    fn class_name(&self) -> &'static str {
+        "WorkPackage"
+    }
+
+    fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        self.w = args.get_u32("W", self.w)?;
+        // S is given in MB in the paper's plots; accept fractional KB via
+        // the S_KB escape hatch for fine sweeps.
+        if let Some(kb) = args.get("S_KB") {
+            let kb: u64 = kb.parse().map_err(|_| ConfigError::Element {
+                element: String::new(),
+                message: format!("bad S_KB {kb:?}"),
+            })?;
+            self.s_bytes = kb * 1024;
+        } else {
+            self.s_bytes = u64::from(args.get_u32("S", (self.s_bytes / (1024 * 1024)) as u32)?)
+                * 1024
+                * 1024;
+        }
+        self.n = args.get_u32("N", self.n)?;
+        Ok(())
+    }
+
+    fn setup(&mut self, space: &mut AddressSpace) {
+        if self.s_bytes > 0 && self.n > 0 {
+            self.array = Some(space.alloc_pages(self.s_bytes));
+        }
+    }
+
+    fn param_loads(&self) -> u32 {
+        3
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, _pkt: &mut Pkt<'_>) -> Action {
+        // Model the long-running steady state: after billions of packets
+        // the array is as cache-resident as capacity allows. Simulation
+        // runs are far too short to coupon-collect a multi-MB array, so
+        // warm it once (uncharged, uncounted).
+        if !self.warmed {
+            if let Some(a) = self.array {
+                ctx.mem.warm(ctx.core, a.base, a.size);
+            }
+            self.warmed = true;
+        }
+        // W pseudo-random numbers: pure compute.
+        for _ in 0..self.w {
+            self.sink = self.sink.wrapping_add(self.rng.next_u64());
+        }
+        ctx.compute(u64::from(self.w) * INSTR_PER_RAND + 4);
+
+        // N random accesses into the S-MB array.
+        if let Some(array) = self.array {
+            for _ in 0..self.n {
+                let off = self.rng.next_below(array.size.max(8) - 7) & !7;
+                ctx.cost += ctx
+                    .mem
+                    .access(ctx.core, array.at(off), 8, AccessKind::Load);
+                ctx.compute(3);
+            }
+        }
+        Action::Forward(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_click::{Annos, ExecPlan, MetadataModel};
+    use pm_dpdk::RxDesc;
+    use pm_mem::MemoryHierarchy;
+
+    fn run_n(el: &mut WorkPackage, mem: &mut MemoryHierarchy, packets: usize) -> pm_mem::Cost {
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut total = pm_mem::Cost::ZERO;
+        for _ in 0..packets {
+            let mut ctx = Ctx::new(0, mem, &plan);
+            let mut data = vec![0u8; 64];
+            let mut pkt = Pkt {
+                data: &mut data,
+                len: 64,
+                desc: RxDesc {
+                    buf_id: 0,
+                    len: 64,
+                    rss_hash: 0,
+                    arrival: pm_sim::SimTime::ZERO,
+                    gen: pm_sim::SimTime::ZERO,
+                    seq: 0,
+                    data_addr: 0x10_000,
+                    meta_addr: 0x20_000,
+                    xslot: None,
+                },
+                meta_addr: 0x20_000,
+                annos: Annos::default(),
+            };
+            el.process(&mut ctx, &mut pkt);
+            total += ctx.take_cost();
+        }
+        total
+    }
+
+    fn element(w: u32, s_mb: u32, n: u32) -> WorkPackage {
+        let mut el = WorkPackage::default();
+        el.configure(&Args::parse(&format!("W {w}, S {s_mb}, N {n}")))
+            .unwrap();
+        el.setup(&mut AddressSpace::new());
+        el
+    }
+
+    #[test]
+    fn w_adds_compute() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let c0 = run_n(&mut element(0, 0, 0), &mut mem, 100);
+        let c20 = run_n(&mut element(20, 0, 0), &mut mem, 100);
+        assert!(c20.instructions > c0.instructions + 100 * 19 * INSTR_PER_RAND);
+        assert_eq!(c20.uncore_ns, c0.uncore_ns, "W is pure compute");
+    }
+
+    #[test]
+    fn rng_really_runs() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut el = element(4, 0, 0);
+        run_n(&mut el, &mut mem, 10);
+        assert_ne!(el.sink, 0);
+    }
+
+    #[test]
+    fn big_arrays_cost_more_memory_time() {
+        // Steady-state: a 256-KB array lives in L2; a 16-MB array misses.
+        let mut mem_small = MemoryHierarchy::skylake(1);
+        let mut small = WorkPackage::default();
+        small
+            .configure(&Args::parse("W 0, S_KB 256, N 1"))
+            .unwrap();
+        small.setup(&mut AddressSpace::new());
+        // Warm until the whole 4096-line array is L2-resident.
+        run_n(&mut small, &mut mem_small, 40_000);
+        let c_small = run_n(&mut small, &mut mem_small, 2000);
+
+        let mut mem_big = MemoryHierarchy::skylake(1);
+        let mut big = element(0, 16, 1);
+        run_n(&mut big, &mut mem_big, 2000);
+        let c_big = run_n(&mut big, &mut mem_big, 2000);
+
+        assert!(
+            c_big.uncore_ns > c_small.uncore_ns * 3.0,
+            "16 MB ({:.0} ns) should stall far more than 256 KB ({:.0} ns)",
+            c_big.uncore_ns,
+            c_small.uncore_ns
+        );
+    }
+
+    #[test]
+    fn n_scales_accesses() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        run_n(&mut element(0, 4, 1), &mut mem, 500);
+        let loads_n1 = mem.counters().loads;
+        let mut mem2 = MemoryHierarchy::skylake(1);
+        run_n(&mut element(0, 4, 5), &mut mem2, 500);
+        let loads_n5 = mem2.counters().loads;
+        assert!(loads_n5 >= loads_n1 * 4, "{loads_n5} vs {loads_n1}");
+    }
+
+    #[test]
+    fn zero_s_means_no_array() {
+        let mut el = element(4, 0, 5);
+        assert!(el.array.is_none());
+        let mut mem = MemoryHierarchy::skylake(1);
+        let c = run_n(&mut el, &mut mem, 10);
+        assert_eq!(c.uncore_ns, 0.0);
+    }
+}

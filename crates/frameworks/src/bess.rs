@@ -1,0 +1,88 @@
+//! A BESS-style dataplane.
+//!
+//! BESS (SoftNIC) overlays its `Packet` descriptor on the `rte_mbuf`
+//! (paper §2.2 "Overlaying"): no copy, but the descriptor extends the
+//! mbuf with static/dynamic metadata fields that travel through a
+//! module graph. The forwarding pipeline here is two modules
+//! (`PortInc → PortOut` around the MAC update), matching the simple
+//! forwarding comparison of Fig. 11b.
+
+use crate::dataplane::{Dataplane, ProcessResult};
+use pm_dpdk::{MetadataModel, RxDesc};
+use pm_mem::{AccessKind, Cost, MemoryHierarchy};
+use pm_packet::ether;
+
+/// The BESS-style engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BessEngine;
+
+impl Dataplane for BessEngine {
+    fn label(&self) -> String {
+        "BESS".to_string()
+    }
+
+    fn metadata_model(&self) -> MetadataModel {
+        MetadataModel::Overlaying
+    }
+
+    fn process(
+        &mut self,
+        core: usize,
+        mem: &mut MemoryHierarchy,
+        desc: &RxDesc,
+        data: &mut [u8],
+    ) -> ProcessResult {
+        let mut cost = Cost::ZERO;
+        // Cast-over-mbuf: read the rte_mbuf fields in place…
+        cost += mem.access(core, desc.meta_addr, 16, AccessKind::Load);
+        // …and write BESS's dynamic metadata attrs after them
+        // (sn_buff/Packet: metadata fields following the mbuf, §2.2).
+        cost += mem.access(core, desc.meta_addr + 128, 32, AccessKind::Store);
+        if desc.len >= 14 {
+            ether::mirror_in_place(&mut data[..desc.len as usize]);
+            cost += mem.access(core, desc.data_addr, 12, AccessKind::Store);
+        }
+        // Two-module graph traversal: BESS modules are leaner than Click
+        // elements (no per-packet virtual call in the run-to-completion
+        // loop, but per-module gate bookkeeping remains).
+        cost += Cost::compute(135);
+        ProcessResult {
+            tx_len: Some(desc.len),
+            cost,
+        }
+    }
+
+    fn per_batch_cost(&self, n: usize) -> Cost {
+        // Task scheduler pass per batch.
+        let _ = n;
+        Cost::compute(50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_packet::builder::PacketBuilder;
+
+    #[test]
+    fn forwards_with_overlay_writes() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut data = PacketBuilder::udp().frame_len(256).build();
+        let desc = RxDesc {
+            buf_id: 0,
+            len: 256,
+            rss_hash: 0,
+            arrival: pm_sim::SimTime::ZERO,
+            gen: pm_sim::SimTime::ZERO,
+            seq: 0,
+            data_addr: 0x10_000,
+            meta_addr: 0x20_000,
+            xslot: None,
+        };
+        let before_stores = mem.counters().stores;
+        let r = BessEngine.process(0, &mut mem, &desc, &mut data);
+        assert_eq!(r.tx_len, Some(256));
+        assert!(mem.counters().stores > before_stores, "overlay attrs written");
+        assert_eq!(BessEngine.metadata_model(), MetadataModel::Overlaying);
+    }
+}

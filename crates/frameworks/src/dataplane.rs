@@ -1,0 +1,97 @@
+//! The dataplane abstraction the experiment engine drives.
+//!
+//! A [`Dataplane`] is everything between `rx_burst` and `tx_burst`: it
+//! receives a packet's descriptor and real bytes, does its processing,
+//! charges the cost, and says whether (and at what length) to transmit.
+//! The FastClick graph runtime (in the `packetmill` facade crate) and the
+//! comparator engines in this crate all implement it.
+
+use pm_click::FieldProfile;
+use pm_dpdk::{MetadataModel, RxDesc};
+use pm_mem::{Cost, MemoryHierarchy};
+
+/// The outcome of processing one packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessResult {
+    /// `Some(len)` to transmit `len` bytes; `None` to drop.
+    pub tx_len: Option<u32>,
+    /// Cost charged for the processing.
+    pub cost: Cost,
+}
+
+/// A packet-processing engine.
+pub trait Dataplane {
+    /// Human-readable name for tables ("FastClick (Copying)", "BESS", …).
+    fn label(&self) -> String;
+
+    /// The metadata model this dataplane expects the PMD to run.
+    fn metadata_model(&self) -> MetadataModel;
+
+    /// Processes one packet: `data` holds the buffer's data area and
+    /// `desc.len` valid bytes.
+    fn process(
+        &mut self,
+        core: usize,
+        mem: &mut MemoryHierarchy,
+        desc: &RxDesc,
+        data: &mut [u8],
+    ) -> ProcessResult;
+
+    /// Cost charged once per burst of `n` packets (framework scheduler /
+    /// vector overhead). Defaults to zero.
+    fn per_batch_cost(&self, n: usize) -> Cost {
+        let _ = n;
+        Cost::ZERO
+    }
+
+    /// Enables metadata-field profiling (FastClick only).
+    fn set_profiling(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Takes the collected profile, if any.
+    fn take_profile(&mut self) -> Option<FieldProfile> {
+        None
+    }
+
+    /// Per-element `(name, packets, drops)` statistics, when the
+    /// dataplane has an element graph (Click read handlers).
+    fn element_stats(&self) -> Vec<(String, u64, u64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Dataplane for Nop {
+        fn label(&self) -> String {
+            "nop".into()
+        }
+        fn metadata_model(&self) -> MetadataModel {
+            MetadataModel::Overlaying
+        }
+        fn process(
+            &mut self,
+            _core: usize,
+            _mem: &mut MemoryHierarchy,
+            desc: &RxDesc,
+            _data: &mut [u8],
+        ) -> ProcessResult {
+            ProcessResult {
+                tx_len: Some(desc.len),
+                cost: Cost::compute(1),
+            }
+        }
+    }
+
+    #[test]
+    fn default_hooks() {
+        let mut n = Nop;
+        assert_eq!(n.per_batch_cost(32), Cost::ZERO);
+        assert!(n.take_profile().is_none());
+        n.set_profiling(true); // no-op
+    }
+}

@@ -1,0 +1,24 @@
+//! Comparator packet-processing engines for the framework comparison of
+//! paper §4.6 (Fig. 11): `l2fwd`, `l2fwd-xchg`, BESS-style, and
+//! VPP-style dataplanes, all expressed against the same [`Dataplane`]
+//! abstraction the FastClick runtime plugs into.
+//!
+//! These are deliberately *minimal* engines: Fig. 11 compares metadata
+//! models plus per-packet framework overhead on a simple forwarding
+//! workload, not full feature sets — so each comparator reproduces
+//! exactly (i) its framework's metadata-management behaviour and (ii) its
+//! characteristic per-packet overhead structure, and performs the real
+//! MAC-swap on real bytes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bess;
+pub mod dataplane;
+pub mod l2fwd;
+pub mod vpp;
+
+pub use bess::BessEngine;
+pub use dataplane::{Dataplane, ProcessResult};
+pub use l2fwd::L2Fwd;
+pub use vpp::VppEngine;

@@ -1,0 +1,99 @@
+//! A VPP-style dataplane.
+//!
+//! VPP overlays `vlib_buffer_t` on the mbuf "but does not use it.
+//! Instead, it copies/converts some fields from the DPDK data structure
+//! into the `vlib_buffer_t`, as it needs to make the metadata format fit
+//! for SSE instructions" (paper §2.2 ②bis) — i.e. Copying *and*
+//! Overlaying at once. Its strength is vector processing: per-node
+//! dispatch is amortized over the whole vector, so the per-batch cost is
+//! low and the per-packet conversion is what remains.
+
+use crate::dataplane::{Dataplane, ProcessResult};
+use pm_dpdk::{MetadataModel, RxDesc};
+use pm_mem::{AccessKind, Cost, MemoryHierarchy};
+use pm_packet::ether;
+
+/// The VPP-style engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VppEngine;
+
+impl Dataplane for VppEngine {
+    fn label(&self) -> String {
+        "VPP".to_string()
+    }
+
+    fn metadata_model(&self) -> MetadataModel {
+        // The PMD side behaves like Overlaying (vlib_buffer_t sits with
+        // the mbuf); the extra copy happens here in the framework.
+        MetadataModel::Overlaying
+    }
+
+    fn process(
+        &mut self,
+        core: usize,
+        mem: &mut MemoryHierarchy,
+        desc: &RxDesc,
+        data: &mut [u8],
+    ) -> ProcessResult {
+        let mut cost = Cost::ZERO;
+        // Convert mbuf → vlib_buffer_t: load the mbuf fields and store
+        // the vlib metadata right after them (the ②bis copy).
+        cost += mem.access(core, desc.meta_addr, 32, AccessKind::Load);
+        cost += mem.access(core, desc.meta_addr + 128, 64, AccessKind::Store);
+        if desc.len >= 14 {
+            ether::mirror_in_place(&mut data[..desc.len as usize]);
+            cost += mem.access(core, desc.data_addr, 12, AccessKind::Store);
+        }
+        // Node-graph work per packet: VPP's full ethernet-input →
+        // l2-learn/l2-fwd → interface-output node chain does far more
+        // per-packet bookkeeping than a raw l2fwd loop (sw_if_index
+        // lookups, feature arcs, trace hooks); the paper measures it at
+        // FastClick-Copying's level (Fig. 11b), which this models.
+        cost += Cost::compute(520);
+        ProcessResult {
+            tx_len: Some(desc.len),
+            cost,
+        }
+    }
+
+    fn per_batch_cost(&self, n: usize) -> Cost {
+        // Vector dispatch: two graph nodes per vector regardless of n.
+        let _ = n;
+        Cost::compute(80)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_packet::builder::PacketBuilder;
+
+    #[test]
+    fn copies_into_vlib_area() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut data = PacketBuilder::udp().frame_len(512).build();
+        let desc = RxDesc {
+            buf_id: 0,
+            len: 512,
+            rss_hash: 0,
+            arrival: pm_sim::SimTime::ZERO,
+            gen: pm_sim::SimTime::ZERO,
+            seq: 0,
+            data_addr: 0x10_000,
+            meta_addr: 0x20_000,
+            xslot: None,
+        };
+        let r = VppEngine.process(0, &mut mem, &desc, &mut data);
+        assert_eq!(r.tx_len, Some(512));
+        // Both a load (mbuf) and a store (vlib) happened.
+        assert!(mem.counters().loads >= 1);
+        assert!(mem.counters().stores >= 2);
+    }
+
+    #[test]
+    fn vector_dispatch_amortizes() {
+        let per32 = VppEngine.per_batch_cost(32);
+        let per1 = VppEngine.per_batch_cost(1);
+        assert_eq!(per32, per1, "vector dispatch is batch-size independent");
+    }
+}

@@ -1,0 +1,280 @@
+//! The two-clock-domain cost accumulator.
+//!
+//! Per-packet work divides into:
+//!
+//! * **core-domain cycles** — instruction execution, L1/L2 stalls, branch
+//!   penalties; these scale inversely with the core frequency the paper
+//!   sweeps (1.2–3.0 GHz);
+//! * **uncore-domain nanoseconds** — LLC and DRAM stalls, whose latency is
+//!   fixed in wall time because the paper pins the uncore clock at
+//!   2.4 GHz.
+//!
+//! Per-packet service time is `cycles / f + uncore_ns`, which is why the
+//! measured throughput curves rise with frequency but flatten where
+//! memory time dominates (Figs. 4, 5, 8).
+
+use pm_sim::{Frequency, SimTime};
+use std::ops::{Add, AddAssign};
+
+/// Baseline superscalar throughput used to convert an instruction count
+/// into execution cycles in the absence of stalls (instructions per cycle
+/// for straight-line, cache-resident code on a Skylake-class core).
+pub const BASE_IPC: f64 = 4.0;
+
+/// Accumulated simulated work: instructions, core cycles, uncore time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Retired instructions (for IPC reporting).
+    pub instructions: u64,
+    /// Core-clock cycles (execution + core-domain stalls).
+    pub cycles: f64,
+    /// Uncore/wall-clock stall time in nanoseconds (LLC, DRAM).
+    pub uncore_ns: f64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        instructions: 0,
+        cycles: 0.0,
+        uncore_ns: 0.0,
+    };
+
+    /// Cost of executing `instructions` of straight-line code at the
+    /// baseline IPC ([`BASE_IPC`]).
+    #[inline]
+    pub fn compute(instructions: u64) -> Cost {
+        Cost {
+            instructions,
+            cycles: instructions as f64 / BASE_IPC,
+            uncore_ns: 0.0,
+        }
+    }
+
+    /// Cost of `cycles` of pure core-domain stall (no instructions).
+    #[inline]
+    pub fn stall_cycles(cycles: f64) -> Cost {
+        Cost {
+            instructions: 0,
+            cycles,
+            uncore_ns: 0.0,
+        }
+    }
+
+    /// Cost of `ns` of uncore-domain stall.
+    #[inline]
+    pub fn stall_ns(ns: f64) -> Cost {
+        Cost {
+            instructions: 0,
+            cycles: 0.0,
+            uncore_ns: ns,
+        }
+    }
+
+    /// Converts the accumulated cost into wall time at core frequency `f`.
+    #[inline]
+    pub fn time(&self, f: Frequency) -> SimTime {
+        SimTime::from_ns(self.cycles / f.as_ghz() + self.uncore_ns)
+    }
+
+    /// Total cycles when running at core frequency `f` (core cycles plus
+    /// uncore stall converted at that frequency) — the denominator for IPC.
+    #[inline]
+    pub fn total_cycles_at(&self, f: Frequency) -> f64 {
+        self.cycles + self.uncore_ns * f.as_ghz()
+    }
+
+    /// Instructions per cycle at core frequency `f`.
+    ///
+    /// Returns 0.0 for an empty cost.
+    pub fn ipc(&self, f: Frequency) -> f64 {
+        let c = self.total_cycles_at(f);
+        if c == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / c
+        }
+    }
+
+    /// Scales the cost by a constant (used for per-batch amortization).
+    pub fn scaled(&self, k: f64) -> Cost {
+        Cost {
+            instructions: (self.instructions as f64 * k).round() as u64,
+            cycles: self.cycles * k,
+            uncore_ns: self.uncore_ns * k,
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            instructions: self.instructions + rhs.instructions,
+            cycles: self.cycles + rhs.cycles,
+            uncore_ns: self.uncore_ns + rhs.uncore_ns,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        self.instructions += rhs.instructions;
+        self.cycles += rhs.cycles;
+        self.uncore_ns += rhs.uncore_ns;
+    }
+}
+
+/// Effective stall latencies for the memory hierarchy, plus branch and
+/// call penalties.
+///
+/// The per-level values are **effective exposed stalls** — the portion of
+/// the architectural latency that an out-of-order, memory-level-parallel
+/// core cannot hide when processing a burst of independent packets — not
+/// raw load-to-use latencies. They are the simulator's calibration knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Exposed stall for an L1D hit (core cycles).
+    pub l1_hit_cy: f64,
+    /// Exposed stall for an L2 hit (core cycles).
+    pub l2_hit_cy: f64,
+    /// Exposed stall for an LLC hit (uncore ns).
+    pub llc_hit_ns: f64,
+    /// Exposed stall for a DRAM access (uncore ns).
+    pub dram_ns: f64,
+    /// DTLB miss filled from STLB (core cycles).
+    pub stlb_hit_cy: f64,
+    /// Full page walk: core-domain portion (cycles).
+    pub walk_cy: f64,
+    /// Full page walk: uncore-domain portion (ns).
+    pub walk_ns: f64,
+    /// Indirect branch misprediction penalty (core cycles).
+    pub branch_miss_cy: f64,
+    /// Well-predicted indirect call overhead: vtable load issue + call
+    /// sequence (core cycles), charged per virtual call.
+    pub virtual_call_cy: f64,
+    /// Direct (non-inlined) call/return overhead (core cycles).
+    pub direct_call_cy: f64,
+    /// Probability that an indirect call along the NF graph mispredicts.
+    /// The dynamic graph walk has many targets per call site; embedding
+    /// the graph statically removes the indirection entirely.
+    pub indirect_mispredict_rate: f64,
+    /// Fraction of a store miss's latency that stalls the core. Store
+    /// buffers + RFO pipelining hide most of it on an OoO core.
+    pub store_stall_factor: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            l1_hit_cy: 0.5,
+            l2_hit_cy: 5.0,
+            llc_hit_ns: 8.0,
+            dram_ns: 62.0,
+            stlb_hit_cy: 7.0,
+            walk_cy: 20.0,
+            walk_ns: 12.0,
+            branch_miss_cy: 16.0,
+            virtual_call_cy: 1.8,
+            direct_call_cy: 1.2,
+            indirect_mispredict_rate: 0.04,
+            store_stall_factor: 0.15,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Expected cost of one virtual call: call overhead plus the
+    /// amortized misprediction penalty. The vtable-pointer *load* is
+    /// charged separately by the caller (it is a real memory access).
+    pub fn virtual_call(&self) -> Cost {
+        Cost {
+            instructions: 3, // load vtable ptr, load slot, indirect call
+            cycles: self.virtual_call_cy + self.indirect_mispredict_rate * self.branch_miss_cy,
+            uncore_ns: 0.0,
+        }
+    }
+
+    /// Cost of a direct, non-inlined call.
+    pub fn direct_call(&self) -> Cost {
+        Cost {
+            instructions: 1,
+            cycles: self.direct_call_cy,
+            uncore_ns: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_uses_base_ipc() {
+        let c = Cost::compute(400);
+        assert_eq!(c.instructions, 400);
+        assert!((c.cycles - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_splits_domains() {
+        let c = Cost {
+            instructions: 0,
+            cycles: 200.0,
+            uncore_ns: 50.0,
+        };
+        // At 2 GHz: 100 ns core + 50 ns uncore.
+        let t = c.time(Frequency::from_ghz(2.0));
+        assert_eq!(t, SimTime::from_ns(150.0));
+        // At 1 GHz the core part doubles but uncore does not.
+        let t = c.time(Frequency::from_ghz(1.0));
+        assert_eq!(t, SimTime::from_ns(250.0));
+    }
+
+    #[test]
+    fn ipc_accounts_for_uncore() {
+        let c = Cost {
+            instructions: 300,
+            cycles: 100.0,
+            uncore_ns: 25.0,
+        };
+        // At 2 GHz: 100 + 50 = 150 total cycles -> IPC 2.0.
+        assert!((c.ipc(Frequency::from_ghz(2.0)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut c = Cost::compute(4);
+        c += Cost::stall_ns(10.0);
+        c += Cost::stall_cycles(5.0);
+        assert_eq!(c.instructions, 4);
+        assert!((c.cycles - 6.0).abs() < 1e-9);
+        assert!((c.uncore_ns - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled() {
+        let c = Cost {
+            instructions: 10,
+            cycles: 8.0,
+            uncore_ns: 4.0,
+        }
+        .scaled(0.5);
+        assert_eq!(c.instructions, 5);
+        assert!((c.cycles - 4.0).abs() < 1e-9);
+        assert!((c.uncore_ns - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_call_dearer_than_direct() {
+        let m = LatencyModel::default();
+        assert!(m.virtual_call().cycles > m.direct_call().cycles);
+    }
+
+    #[test]
+    fn empty_ipc_zero() {
+        assert_eq!(Cost::ZERO.ipc(Frequency::from_ghz(1.0)), 0.0);
+    }
+}

@@ -1,0 +1,421 @@
+//! The NIC device model: RSS steering, PCIe pacing, DMA into the cache
+//! hierarchy, and link-rate TX serialization.
+
+use crate::dma::DmaMemory;
+use crate::link::LinkModel;
+use crate::pcie::PcieModel;
+use crate::ring::{Completion, RxRing, TxDone, TxRequest, TxRing, DESC_BYTES};
+use crate::rss::{IndirectionTable, Toeplitz};
+use pm_mem::{AddressSpace, MemoryHierarchy};
+use pm_packet::{ether::EtherHeader, ether::EtherType, ipv4::IpProto, ipv4::Ipv4Header};
+use pm_sim::SimTime;
+
+/// NIC construction parameters.
+#[derive(Debug, Clone)]
+pub struct NicConfig {
+    /// Number of RX/TX queue pairs.
+    pub queues: usize,
+    /// RX descriptor ring size (power of two).
+    pub rx_ring_size: usize,
+    /// TX descriptor ring size (power of two).
+    pub tx_ring_size: usize,
+    /// Link model.
+    pub link: LinkModel,
+    /// PCIe model.
+    pub pcie: PcieModel,
+    /// Maximum packets per second one RX queue can absorb (the paper's
+    /// single-queue NIC-side plateau, §4.2: "there may be other
+    /// bottlenecks in the system (e.g., using one RX/TX queue or other
+    /// NIC-related issues)"). `None` disables the cap.
+    pub max_pps_per_queue: Option<f64>,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            queues: 1,
+            rx_ring_size: 4096,
+            tx_ring_size: 1024,
+            link: LinkModel::new(100.0),
+            pcie: PcieModel::gen3_x16(),
+            max_pps_per_queue: None,
+        }
+    }
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames delivered to a completion queue.
+    pub rx_packets: u64,
+    /// Bytes in those frames.
+    pub rx_bytes: u64,
+    /// Frames dropped for lack of a posted buffer (ring overflow).
+    pub rx_dropped: u64,
+    /// Frames serialized onto the wire.
+    pub tx_packets: u64,
+    /// Bytes in those frames.
+    pub tx_bytes: u64,
+    /// Frames dropped because the TX ring was full.
+    pub tx_dropped: u64,
+}
+
+/// A simulated ConnectX-5-like device.
+#[derive(Debug)]
+pub struct Nic {
+    link: LinkModel,
+    pcie: PcieModel,
+    rx: Vec<RxRing>,
+    tx: Vec<TxRing>,
+    toeplitz: Toeplitz,
+    indirection: IndirectionTable,
+    rx_pcie_free: SimTime,
+    tx_pcie_free: SimTime,
+    tx_link_free: SimTime,
+    rx_queue_free: Vec<SimTime>,
+    queue_slot: Option<SimTime>,
+    stats: NicStats,
+    seq: u64,
+}
+
+impl Nic {
+    /// Builds a NIC, allocating descriptor memory from `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero.
+    pub fn new(cfg: &NicConfig, space: &mut AddressSpace) -> Self {
+        assert!(cfg.queues > 0, "need at least one queue");
+        Nic {
+            link: cfg.link,
+            pcie: cfg.pcie,
+            rx: (0..cfg.queues)
+                .map(|_| RxRing::new(space, cfg.rx_ring_size))
+                .collect(),
+            tx: (0..cfg.queues)
+                .map(|_| TxRing::new(space, cfg.tx_ring_size))
+                .collect(),
+            toeplitz: Toeplitz::microsoft(),
+            indirection: IndirectionTable::round_robin(cfg.queues),
+            rx_pcie_free: SimTime::ZERO,
+            tx_pcie_free: SimTime::ZERO,
+            tx_link_free: SimTime::ZERO,
+            rx_queue_free: vec![SimTime::ZERO; cfg.queues],
+            queue_slot: cfg
+                .max_pps_per_queue
+                .map(|pps| SimTime::from_ns(1e9 / pps)),
+            stats: NicStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// Number of queue pairs.
+    pub fn queue_count(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// The link model.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    /// Device statistics (drops include per-ring no-buffer drops).
+    pub fn stats(&self) -> NicStats {
+        let mut s = self.stats;
+        s.rx_dropped += self.rx.iter().map(|r| r.drops_no_buffer).sum::<u64>();
+        s.tx_dropped += self.tx.iter().map(|t| t.drops_full).sum::<u64>();
+        s
+    }
+
+    /// Driver access to an RX ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn rx_ring_mut(&mut self, q: usize) -> &mut RxRing {
+        &mut self.rx[q]
+    }
+
+    /// Driver access to a TX ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn tx_ring_mut(&mut self, q: usize) -> &mut TxRing {
+        &mut self.tx[q]
+    }
+
+    /// Computes the RSS hash the device would assign to `frame`.
+    ///
+    /// IPv4 TCP/UDP hash the 4-tuple; other IPv4 hashes addresses only;
+    /// non-IP traffic hashes to 0 (lands on queue 0, like real devices
+    /// configured for IPv4 RSS).
+    pub fn rss_hash(&self, frame: &[u8]) -> u32 {
+        let Ok(eth) = EtherHeader::parse(frame) else {
+            return 0;
+        };
+        if eth.ethertype != EtherType::IPV4 {
+            return 0;
+        }
+        let Ok(ip) = Ipv4Header::parse(&frame[14..]) else {
+            return 0;
+        };
+        let l4 = &frame[14 + ip.header_len..];
+        let ports = match ip.protocol {
+            IpProto::TCP | IpProto::UDP if l4.len() >= 4 && !ip.is_fragment() => {
+                Some((crate::ring_be16(l4, 0), crate::ring_be16(l4, 2)))
+            }
+            _ => None,
+        };
+        match ports {
+            Some((sp, dp)) => self.toeplitz.hash_v4_tuple(ip.src, ip.dst, sp, dp),
+            None => self.toeplitz.hash_v4_tuple(ip.src, ip.dst, 0, 0),
+        }
+    }
+
+    /// Delivers a frame arriving at `now`: RSS-steers it, consumes a
+    /// posted buffer, paces the PCIe write, DMA-writes data + completion
+    /// descriptor, and publishes the completion. The caller supplies the
+    /// generator's packet index as `seq` (latency/measurement identity —
+    /// drops must not renumber survivors).
+    ///
+    /// Returns the queue it landed on, or `None` if it was dropped.
+    pub fn rx_deliver_seq(
+        &mut self,
+        frame: &[u8],
+        now: SimTime,
+        seq: u64,
+        mem: &mut MemoryHierarchy,
+        dma: &mut DmaMemory,
+    ) -> Option<usize> {
+        let hash = self.rss_hash(frame);
+        let q = self.indirection.queue_for(hash) % self.rx.len();
+        let Some(buf) = self.rx[q].take_posted() else {
+            return None; // ring counted the drop
+        };
+        // PCIe pacing + per-queue descriptor-processing pacing.
+        let mut ready = now.max(self.rx_pcie_free);
+        if let Some(slot) = self.queue_slot {
+            ready = ready.max(self.rx_queue_free[q]);
+            self.rx_queue_free[q] = ready + slot;
+        }
+        let delivery = ready + self.pcie.transfer_time(frame.len() as u64);
+        self.rx_pcie_free = delivery;
+
+        dma.write_packet(buf.buf_id, frame);
+        mem.dma_write(buf.data_addr, frame.len() as u64);
+        let desc_addr = self.rx[q].push_completion(Completion {
+            buf_id: buf.buf_id,
+            data_addr: buf.data_addr,
+            len: frame.len() as u32,
+            rss_hash: hash,
+            arrival: delivery,
+            gen: now,
+            seq,
+            desc_addr: 0, // filled by push_completion
+        });
+        mem.dma_write(desc_addr, DESC_BYTES);
+
+        self.stats.rx_packets += 1;
+        self.stats.rx_bytes += frame.len() as u64;
+        Some(q)
+    }
+
+    /// [`Self::rx_deliver_seq`] with an internally assigned sequence
+    /// number (tests and simple drivers).
+    pub fn rx_deliver(
+        &mut self,
+        frame: &[u8],
+        now: SimTime,
+        mem: &mut MemoryHierarchy,
+        dma: &mut DmaMemory,
+    ) -> Option<usize> {
+        let seq = self.seq;
+        self.seq += 1;
+        self.rx_deliver_seq(frame, now, seq, mem, dma)
+    }
+
+    /// Accepts a transmit request at `now`; returns the wire-departure
+    /// time and the TX descriptor (WQE) slot address the driver wrote, or
+    /// `None` if the TX ring was full.
+    pub fn tx_send(
+        &mut self,
+        q: usize,
+        req: TxRequest,
+        now: SimTime,
+        mem: &mut MemoryHierarchy,
+    ) -> Option<(SimTime, u64)> {
+        // The device fetches the frame over PCIe, then serializes it.
+        let fetched = now.max(self.tx_pcie_free) + self.pcie.transfer_time(req.len as u64);
+        self.tx_pcie_free = fetched;
+        let departed = fetched.max(self.tx_link_free) + self.link.frame_time(req.len as u64);
+
+        mem.dma_read(req.data_addr, req.len as u64);
+        let len = req.len;
+        let desc_addr = self.tx[q].push(TxDone { req, departed })?;
+        self.tx_link_free = departed;
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += len as u64;
+        Some((departed, desc_addr))
+    }
+
+    /// Reaps TX descriptors whose frames have left the wire by `now`.
+    pub fn tx_reap(&mut self, q: usize, now: SimTime) -> Vec<TxDone> {
+        self.tx[q].reap_completed(now)
+    }
+
+    /// Free TX descriptor slots on queue `q` right now.
+    pub fn tx_free_slots(&self, q: usize) -> usize {
+        self.tx[q].size() - self.tx[q].in_flight()
+    }
+
+    /// Departure time of queue `q`'s oldest in-flight frame.
+    pub fn tx_oldest_departure(&self, q: usize) -> Option<SimTime> {
+        self.tx[q].oldest_departure()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::PostedBuffer;
+    use pm_packet::builder::PacketBuilder;
+
+    struct Rig {
+        nic: Nic,
+        mem: MemoryHierarchy,
+        dma: DmaMemory,
+    }
+
+    fn rig(queues: usize) -> Rig {
+        let mut space = AddressSpace::new();
+        let cfg = NicConfig {
+            queues,
+            rx_ring_size: 8,
+            tx_ring_size: 8,
+            ..NicConfig::default()
+        };
+        let nic = Nic::new(&cfg, &mut space);
+        let dma = DmaMemory::new(&mut space, 32, 2048, 128);
+        Rig {
+            nic,
+            mem: MemoryHierarchy::skylake(1),
+            dma,
+        }
+    }
+
+    fn post(r: &mut Rig, q: usize, ids: std::ops::Range<u32>) {
+        for id in ids {
+            let addr = r.dma.data_addr(id);
+            r.nic.rx_ring_mut(q).post(PostedBuffer {
+                buf_id: id,
+                data_addr: addr,
+            });
+        }
+    }
+
+    #[test]
+    fn rx_delivers_data_and_completion() {
+        let mut r = rig(1);
+        post(&mut r, 0, 0..4);
+        let frame = PacketBuilder::udp().frame_len(128).build();
+        let q = r
+            .nic
+            .rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma)
+            .unwrap();
+        assert_eq!(q, 0);
+        let c = r.nic.rx_ring_mut(0).reap(32);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].len, 128);
+        // Real bytes landed in the buffer.
+        assert_eq!(r.dma.data(c[0].buf_id)[..128], frame[..]);
+        // Data was DDIO'd into the LLC.
+        assert!(r.mem.counters().dma_write_lines >= 2);
+        assert!(c[0].arrival > SimTime::ZERO, "PCIe transfer takes time");
+    }
+
+    #[test]
+    fn rx_drops_when_no_buffers() {
+        let mut r = rig(1);
+        let frame = PacketBuilder::udp().frame_len(64).build();
+        assert!(r
+            .nic
+            .rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma)
+            .is_none());
+        assert_eq!(r.nic.stats().rx_dropped, 1);
+    }
+
+    #[test]
+    fn rss_spreads_flows_across_queues() {
+        let mut r = rig(4);
+        for q in 0..4 {
+            post(&mut r, q, (q as u32 * 8)..(q as u32 * 8 + 8));
+        }
+        let mut hit = [false; 4];
+        for p in 0..64u16 {
+            let frame = PacketBuilder::udp().src_port(3000 + p).frame_len(128).build();
+            if let Some(q) = r.nic.rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma) {
+                hit[q] = true;
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "all queues should receive flows");
+    }
+
+    #[test]
+    fn same_flow_stays_on_one_queue() {
+        let r = rig(4);
+        let f1 = PacketBuilder::tcp().src_port(5555).frame_len(64).build();
+        let h1 = r.nic.rss_hash(&f1);
+        let f2 = PacketBuilder::tcp().src_port(5555).frame_len(1400).build();
+        assert_eq!(h1, r.nic.rss_hash(&f2), "hash must ignore length");
+    }
+
+    #[test]
+    fn tx_serializes_at_link_rate() {
+        let mut r = rig(1);
+        // Use 64-B frames: at that size the wire (6.72 ns/frame) is slower
+        // than PCIe, so back-to-back departures are link-paced.
+        let mk = |seq: u64| TxRequest {
+            buf_id: 0,
+            data_addr: r.dma.data_addr(0),
+            len: 64,
+            seq,
+            arrival: SimTime::ZERO,
+        };
+        let (d1, _) = r.nic.tx_send(0, mk(0), SimTime::ZERO, &mut r.mem).unwrap();
+        let (d2, _) = r.nic.tx_send(0, mk(1), SimTime::ZERO, &mut r.mem).unwrap();
+        let gap = d2 - d1;
+        assert_eq!(gap, LinkModel::new(100.0).frame_time(64));
+    }
+
+    #[test]
+    fn tx_reap_frees_after_departure() {
+        let mut r = rig(1);
+        let req = TxRequest {
+            buf_id: 3,
+            data_addr: r.dma.data_addr(3),
+            len: 64,
+            seq: 0,
+            arrival: SimTime::ZERO,
+        };
+        let (departed, _) = r.nic.tx_send(0, req, SimTime::ZERO, &mut r.mem).unwrap();
+        assert!(r.nic.tx_reap(0, SimTime::ZERO).is_empty());
+        let done = r.nic.tx_reap(0, departed);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].req.buf_id, 3);
+    }
+
+    #[test]
+    fn arp_lands_on_queue_zero() {
+        let mut r = rig(4);
+        for q in 0..4 {
+            post(&mut r, q, (q as u32 * 8)..(q as u32 * 8 + 8));
+        }
+        let frame = PacketBuilder::arp().build();
+        assert_eq!(
+            r.nic
+                .rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma),
+            Some(0)
+        );
+    }
+}

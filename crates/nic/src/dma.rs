@@ -1,0 +1,136 @@
+//! DMA-able packet-buffer memory.
+//!
+//! One contiguous simulated region holding `n` fixed-size buffers. The
+//! NIC writes real packet bytes into these buffers (so elements can parse
+//! them) and the simulated addresses are what the cache model sees. The
+//! mempool in `pm-dpdk` hands buffer ids out; the headroom offset models
+//! DPDK's `RTE_PKTMBUF_HEADROOM`.
+
+use pm_mem::{AddressSpace, Region};
+
+/// Backing store for `n` fixed-size DMA buffers.
+#[derive(Debug)]
+pub struct DmaMemory {
+    data: Vec<u8>,
+    region: Region,
+    buf_size: u32,
+    headroom: u32,
+}
+
+impl DmaMemory {
+    /// Allocates `n_bufs` buffers of `buf_size` bytes each, with
+    /// `headroom` bytes reserved at the front of every buffer, placing
+    /// the whole pool in `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `headroom >= buf_size`.
+    pub fn new(space: &mut AddressSpace, n_bufs: u32, buf_size: u32, headroom: u32) -> Self {
+        assert!(n_bufs > 0 && buf_size > 0, "empty pool");
+        assert!(headroom < buf_size, "headroom exceeds buffer");
+        let total = n_bufs as u64 * buf_size as u64;
+        DmaMemory {
+            data: vec![0u8; total as usize],
+            region: space.alloc_pages(total),
+            buf_size,
+            headroom,
+        }
+    }
+
+    /// Number of buffers.
+    pub fn buf_count(&self) -> u32 {
+        (self.region.size / self.buf_size as u64) as u32
+    }
+
+    /// Usable data capacity of one buffer (after headroom).
+    pub fn data_capacity(&self) -> u32 {
+        self.buf_size - self.headroom
+    }
+
+    /// Simulated address of the data area (post-headroom) of buffer `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn data_addr(&self, id: u32) -> u64 {
+        assert!(id < self.buf_count(), "buffer id out of range");
+        self.region.base + id as u64 * self.buf_size as u64 + self.headroom as u64
+    }
+
+    /// The whole pool's region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Read access to the data area of buffer `id`.
+    pub fn data(&self, id: u32) -> &[u8] {
+        let start = id as usize * self.buf_size as usize + self.headroom as usize;
+        &self.data[start..start + self.data_capacity() as usize]
+    }
+
+    /// Write access to the data area of buffer `id`.
+    pub fn data_mut(&mut self, id: u32) -> &mut [u8] {
+        let cap = self.data_capacity() as usize;
+        let start = id as usize * self.buf_size as usize + self.headroom as usize;
+        &mut self.data[start..start + cap]
+    }
+
+    /// Copies `bytes` into buffer `id` (the DMA write's functional half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the buffer's data capacity.
+    pub fn write_packet(&mut self, id: u32, bytes: &[u8]) {
+        assert!(
+            bytes.len() <= self.data_capacity() as usize,
+            "packet larger than buffer"
+        );
+        self.data_mut(id)[..bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> DmaMemory {
+        DmaMemory::new(&mut AddressSpace::new(), 8, 2048, 128)
+    }
+
+    #[test]
+    fn geometry() {
+        let m = mem();
+        assert_eq!(m.buf_count(), 8);
+        assert_eq!(m.data_capacity(), 1920);
+    }
+
+    #[test]
+    fn addresses_distinct_and_ordered() {
+        let m = mem();
+        for i in 0..7 {
+            assert_eq!(m.data_addr(i + 1) - m.data_addr(i), 2048);
+        }
+        assert!(m.region().contains(m.data_addr(0)));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = mem();
+        m.write_packet(3, b"hello packet");
+        assert_eq!(&m.data(3)[..12], b"hello packet");
+        // Other buffers untouched.
+        assert_eq!(&m.data(2)[..12], &[0u8; 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_id_panics() {
+        let _ = mem().data_addr(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than buffer")]
+    fn oversize_packet_rejected() {
+        mem().write_packet(0, &[0u8; 4096]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Ethernet link serialization timing.
+
+use pm_sim::SimTime;
+
+/// Per-frame overhead on the wire that does not appear in the captured
+/// frame: 7-byte preamble + 1-byte SFD + 12-byte inter-frame gap.
+pub const WIRE_OVERHEAD_BYTES: u64 = 20;
+
+/// An Ethernet link of a given rate.
+///
+/// # Examples
+///
+/// ```
+/// use pm_nic::LinkModel;
+/// use pm_sim::SimTime;
+///
+/// let link = LinkModel::new(100.0);
+/// // The paper's headline number: 6.72 ns per minimum-size frame.
+/// assert_eq!(link.frame_time(64), SimTime::from_ns(6.72));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    rate_gbps: f64,
+}
+
+impl LinkModel {
+    /// Creates a link of `rate_gbps` gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn new(rate_gbps: f64) -> Self {
+        assert!(rate_gbps > 0.0, "link rate must be positive");
+        LinkModel { rate_gbps }
+    }
+
+    /// The link rate in Gbps.
+    pub fn rate_gbps(&self) -> f64 {
+        self.rate_gbps
+    }
+
+    /// Time to serialize one frame of `frame_bytes` (including wire
+    /// overhead).
+    pub fn frame_time(&self, frame_bytes: u64) -> SimTime {
+        let bits = (frame_bytes + WIRE_OVERHEAD_BYTES) * 8;
+        SimTime::from_ns(bits as f64 / self.rate_gbps)
+    }
+
+    /// Maximum packets per second for fixed-size frames.
+    pub fn max_pps(&self, frame_bytes: u64) -> f64 {
+        1e9 / self.frame_time(frame_bytes).as_ns()
+    }
+
+    /// Maximum goodput in Gbps (frame bytes, excluding wire overhead) for
+    /// fixed-size frames.
+    pub fn max_goodput_gbps(&self, frame_bytes: u64) -> f64 {
+        self.max_pps(frame_bytes) * frame_bytes as f64 * 8.0 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_gig_64b_slot() {
+        let l = LinkModel::new(100.0);
+        assert_eq!(l.frame_time(64), SimTime::from_ns(6.72));
+        assert!((l.max_pps(64) - 148.8e6).abs() < 0.1e6, "~148.8 Mpps");
+    }
+
+    #[test]
+    fn goodput_below_line_rate() {
+        let l = LinkModel::new(100.0);
+        let g = l.max_goodput_gbps(1500);
+        assert!(g < 100.0 && g > 98.0, "1500-B goodput ≈ 98.7, got {g}");
+        let g64 = l.max_goodput_gbps(64);
+        assert!(g64 < 77.0 && g64 > 75.0, "64-B goodput ≈ 76.2, got {g64}");
+    }
+
+    #[test]
+    fn ten_gig_scales() {
+        let l10 = LinkModel::new(10.0);
+        let l100 = LinkModel::new(100.0);
+        assert_eq!(l10.frame_time(64).as_ps(), l100.frame_time(64).as_ps() * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = LinkModel::new(0.0);
+    }
+}

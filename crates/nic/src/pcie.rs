@@ -1,0 +1,92 @@
+//! PCIe bandwidth and per-packet overhead model.
+//!
+//! A ConnectX-5 sits on PCIe Gen3 x16: 126 Gbps raw per direction, around
+//! 110 Gbps effective after 128-B TLP framing. Each packet additionally
+//! crosses the bus as at least one TLP with header overhead, plus
+//! completion/descriptor traffic. The paper notes (§4.3, citing
+//! Neugebauer et al.) that beyond ~800-B packets the achievable
+//! packets-per-second starts to be PCIe-limited — this model reproduces
+//! that knee.
+
+use pm_sim::SimTime;
+
+/// PCIe direction capacity + per-packet overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieModel {
+    /// Effective payload bandwidth per direction, Gbps.
+    pub effective_gbps: f64,
+    /// Per-packet overhead bytes (TLP headers + descriptor/doorbell
+    /// amortization).
+    pub per_packet_overhead: u64,
+}
+
+impl PcieModel {
+    /// Gen3 x16 defaults matching a ConnectX-5 deployment.
+    ///
+    /// The effective payload rate folds TLP framing, descriptor, and
+    /// doorbell traffic into a single number calibrated so the
+    /// PCIe-vs-wire crossover lands near 800-B frames, where the paper
+    /// observes packets-per-second starting to fall below line rate
+    /// (§4.3, citing Neugebauer et al. and Farshin et al.).
+    pub fn gen3_x16() -> Self {
+        PcieModel {
+            effective_gbps: 98.5,
+            per_packet_overhead: 8,
+        }
+    }
+
+    /// An effectively unlimited bus (for isolating other bottlenecks in
+    /// tests).
+    pub fn unlimited() -> Self {
+        PcieModel {
+            effective_gbps: 1e9,
+            per_packet_overhead: 0,
+        }
+    }
+
+    /// Bus occupancy time for transferring one packet of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        let bits = (bytes + self.per_packet_overhead) * 8;
+        SimTime::from_ns(bits as f64 / self.effective_gbps)
+    }
+
+    /// Maximum packets per second for a fixed size, one direction.
+    pub fn max_pps(&self, bytes: u64) -> f64 {
+        1e9 / self.transfer_time(bytes).as_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_packets_pcie_bound_below_line_rate() {
+        let p = PcieModel::gen3_x16();
+        let l = crate::LinkModel::new(100.0);
+        // At 1500 B the wire allows ~8.22 Mpps but PCIe allows fewer.
+        assert!(p.max_pps(1500) < l.max_pps(1500));
+        // At 64 B PCIe is not the bottleneck.
+        assert!(p.max_pps(64) > l.max_pps(64));
+    }
+
+    #[test]
+    fn crossover_near_800_bytes() {
+        let p = PcieModel::gen3_x16();
+        let l = crate::LinkModel::new(100.0);
+        let crossover = (64..1600)
+            .step_by(8)
+            .find(|&b| p.max_pps(b as u64) < l.max_pps(b as u64))
+            .unwrap();
+        assert!(
+            (500..1100).contains(&crossover),
+            "PCIe knee should fall near ~800 B, got {crossover}"
+        );
+    }
+
+    #[test]
+    fn unlimited_is_fast() {
+        let p = PcieModel::unlimited();
+        assert!(p.transfer_time(9000).as_ns() < 0.1);
+    }
+}

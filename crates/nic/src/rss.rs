@@ -1,0 +1,160 @@
+//! Receive-side scaling: the Toeplitz hash and an indirection table.
+//!
+//! The multicore NAT experiment (paper §4.5, Fig. 10) "uses RSS to
+//! distribute packets among different cores". This module implements the
+//! real Microsoft Toeplitz hash over the IPv4 4-tuple with the standard
+//! verification key, plus the 128-entry indirection table real NICs use
+//! to map hashes to queues. Hashing the 4-tuple keeps each flow on one
+//! queue — which the stateful NAT requires for correctness.
+
+/// The Toeplitz hash function with a 40-byte key.
+#[derive(Debug, Clone)]
+pub struct Toeplitz {
+    key: [u8; 40],
+}
+
+/// Microsoft's RSS verification key (from the RSS specification; also the
+/// default in many drivers).
+pub const MSFT_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+impl Toeplitz {
+    /// Creates a hasher with the standard Microsoft key.
+    pub fn microsoft() -> Self {
+        Toeplitz { key: MSFT_KEY }
+    }
+
+    /// Creates a hasher with a custom 40-byte key.
+    pub fn with_key(key: [u8; 40]) -> Self {
+        Toeplitz { key }
+    }
+
+    /// Hashes an arbitrary input (each bit selects a shifted 32-bit window
+    /// of the key).
+    pub fn hash(&self, input: &[u8]) -> u32 {
+        let mut result = 0u32;
+        // Current 32-bit window of the key, advanced bit by bit.
+        let mut window = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        let mut next_byte = 4usize;
+        let mut bits_used = 0u32;
+        for &byte in input {
+            for bit in (0..8).rev() {
+                if byte >> bit & 1 == 1 {
+                    result ^= window;
+                }
+                // Shift the window left by one, pulling in the next key bit.
+                let next_bit = if next_byte < self.key.len() {
+                    (self.key[next_byte] >> (7 - bits_used % 8)) & 1
+                } else {
+                    0
+                };
+                window = (window << 1) | u32::from(next_bit);
+                bits_used += 1;
+                if bits_used % 8 == 0 {
+                    next_byte += 1;
+                }
+            }
+        }
+        result
+    }
+
+    /// Hashes the IPv4 4-tuple in RSS input order (src ip, dst ip,
+    /// src port, dst port — all big-endian).
+    pub fn hash_v4_tuple(&self, src: [u8; 4], dst: [u8; 4], src_port: u16, dst_port: u16) -> u32 {
+        let mut input = [0u8; 12];
+        input[0..4].copy_from_slice(&src);
+        input[4..8].copy_from_slice(&dst);
+        input[8..10].copy_from_slice(&src_port.to_be_bytes());
+        input[10..12].copy_from_slice(&dst_port.to_be_bytes());
+        self.hash(&input)
+    }
+}
+
+/// A 128-entry RSS indirection table mapping hash → queue.
+#[derive(Debug, Clone)]
+pub struct IndirectionTable {
+    entries: [u16; 128],
+}
+
+impl IndirectionTable {
+    /// Round-robin table over `queues` queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero or exceeds `u16::MAX`.
+    pub fn round_robin(queues: usize) -> Self {
+        assert!(queues > 0 && queues <= u16::MAX as usize);
+        let mut entries = [0u16; 128];
+        for (i, e) in entries.iter_mut().enumerate() {
+            *e = (i % queues) as u16;
+        }
+        IndirectionTable { entries }
+    }
+
+    /// Maps a hash value to a queue index.
+    pub fn queue_for(&self, hash: u32) -> usize {
+        self.entries[(hash & 127) as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test vectors from the Microsoft RSS specification ("Verifying the
+    /// RSS Hash Calculation", IPv4 with ports).
+    #[test]
+    fn msft_verification_vectors() {
+        let t = Toeplitz::microsoft();
+        // 66.9.149.187:2794 -> 161.142.100.80:1766
+        let h = t.hash_v4_tuple([66, 9, 149, 187], [161, 142, 100, 80], 2794, 1766);
+        assert_eq!(h, 0x51cc_c178);
+        // 199.92.111.2:14230 -> 65.69.140.83:4739
+        let h = t.hash_v4_tuple([199, 92, 111, 2], [65, 69, 140, 83], 14230, 4739);
+        assert_eq!(h, 0xc626_b0ea);
+        // 24.19.198.95:12898 -> 12.22.207.184:38024
+        let h = t.hash_v4_tuple([24, 19, 198, 95], [12, 22, 207, 184], 12898, 38024);
+        assert_eq!(h, 0x5c2b_394a);
+    }
+
+    #[test]
+    fn same_flow_same_hash() {
+        let t = Toeplitz::microsoft();
+        let a = t.hash_v4_tuple([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80);
+        let b = t.hash_v4_tuple([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_flows_spread() {
+        let t = Toeplitz::microsoft();
+        let table = IndirectionTable::round_robin(4);
+        let mut counts = [0usize; 4];
+        for p in 0..512u16 {
+            let h = t.hash_v4_tuple([10, 0, 0, 1], [10, 0, 0, 2], 1000 + p, 80);
+            counts[table.queue_for(h)] += 1;
+        }
+        for (q, &c) in counts.iter().enumerate() {
+            assert!(c > 64, "queue {q} underloaded: {c}/512");
+        }
+    }
+
+    #[test]
+    fn indirection_round_robin() {
+        let t = IndirectionTable::round_robin(3);
+        assert_eq!(t.queue_for(0), 0);
+        assert_eq!(t.queue_for(1), 1);
+        assert_eq!(t.queue_for(2), 2);
+        assert_eq!(t.queue_for(3), 0);
+        assert_eq!(t.queue_for(128), 0, "hash masked to 7 bits");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_queues_rejected() {
+        let _ = IndirectionTable::round_robin(0);
+    }
+}

@@ -1,0 +1,160 @@
+//! ARP (IPv4-over-Ethernet) parsing and reply construction.
+//!
+//! The standard Click router configuration (paper §A.2) includes
+//! `ARPResponder`/`ARPQuerier` paths, so the router NF must be able to
+//! recognize ARP requests and synthesize replies.
+
+use crate::{be16, put16, MacAddr, ParseError};
+
+/// ARP payload length for IPv4 over Ethernet.
+pub const ARP_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+    /// Anything else.
+    Other(u16),
+}
+
+/// A parsed ARP packet (IPv4 over Ethernet only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol (IPv4) address.
+    pub sender_ip: [u8; 4],
+    /// Target hardware address.
+    pub target_mac: MacAddr,
+    /// Target protocol (IPv4) address.
+    pub target_ip: [u8; 4],
+}
+
+impl ArpPacket {
+    /// Parses an ARP packet from the front of `b`.
+    ///
+    /// Rejects hardware/protocol types other than Ethernet/IPv4.
+    pub fn parse(b: &[u8]) -> Result<ArpPacket, ParseError> {
+        if b.len() < ARP_LEN {
+            return Err(ParseError::Truncated {
+                what: "arp",
+                need: ARP_LEN,
+                have: b.len(),
+            });
+        }
+        if be16(b, 0) != 1 || be16(b, 2) != 0x0800 || b[4] != 6 || b[5] != 4 {
+            return Err(ParseError::Malformed {
+                what: "arp",
+                reason: "not IPv4-over-Ethernet",
+            });
+        }
+        let op = match be16(b, 6) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            o => ArpOp::Other(o),
+        };
+        Ok(ArpPacket {
+            op,
+            sender_mac: MacAddr::from_slice(&b[8..14]),
+            sender_ip: [b[14], b[15], b[16], b[17]],
+            target_mac: MacAddr::from_slice(&b[18..24]),
+            target_ip: [b[24], b[25], b[26], b[27]],
+        })
+    }
+
+    /// Writes this ARP packet to the front of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than [`ARP_LEN`].
+    pub fn write(&self, b: &mut [u8]) {
+        put16(b, 0, 1); // Ethernet
+        put16(b, 2, 0x0800); // IPv4
+        b[4] = 6;
+        b[5] = 4;
+        let op = match self.op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+            ArpOp::Other(o) => o,
+        };
+        put16(b, 6, op);
+        b[8..14].copy_from_slice(&self.sender_mac.0);
+        b[14..18].copy_from_slice(&self.sender_ip);
+        b[18..24].copy_from_slice(&self.target_mac.0);
+        b[24..28].copy_from_slice(&self.target_ip);
+    }
+
+    /// Builds the reply to this request, answering that `my_ip` is at
+    /// `my_mac`.
+    pub fn reply_from(&self, my_mac: MacAddr, my_ip: [u8; 4]) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: my_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac: MacAddr([1, 1, 1, 1, 1, 1]),
+            sender_ip: [10, 0, 0, 1],
+            target_mac: MacAddr::ZERO,
+            target_ip: [10, 0, 0, 254],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut b = [0u8; ARP_LEN];
+        request().write(&mut b);
+        assert_eq!(ArpPacket::parse(&b).unwrap(), request());
+    }
+
+    #[test]
+    fn reply_swaps_parties() {
+        let r = request().reply_from(MacAddr([2; 6]), [10, 0, 0, 254]);
+        assert_eq!(r.op, ArpOp::Reply);
+        assert_eq!(r.sender_mac, MacAddr([2; 6]));
+        assert_eq!(r.sender_ip, [10, 0, 0, 254]);
+        assert_eq!(r.target_mac, MacAddr([1, 1, 1, 1, 1, 1]));
+        assert_eq!(r.target_ip, [10, 0, 0, 1]);
+    }
+
+    #[test]
+    fn non_ethernet_rejected() {
+        let mut b = [0u8; ARP_LEN];
+        request().write(&mut b);
+        put16(&mut b, 0, 6); // IEEE 802
+        assert!(matches!(
+            ArpPacket::parse(&b),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(ArpPacket::parse(&[0u8; 27]).is_err());
+    }
+
+    #[test]
+    fn unknown_op_preserved() {
+        let mut b = [0u8; ARP_LEN];
+        let mut p = request();
+        p.op = ArpOp::Other(9);
+        p.write(&mut b);
+        assert_eq!(ArpPacket::parse(&b).unwrap().op, ArpOp::Other(9));
+    }
+}

@@ -1,0 +1,138 @@
+//! Ethernet II framing.
+
+use crate::{be16, put16, MacAddr, ParseError};
+
+/// Length of an Ethernet II header (no VLAN tag).
+pub const ETHER_LEN: usize = 14;
+
+/// An EtherType value (big-endian u16 on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// IPv4 (0x0800).
+    pub const IPV4: EtherType = EtherType(0x0800);
+    /// ARP (0x0806).
+    pub const ARP: EtherType = EtherType(0x0806);
+    /// 802.1Q VLAN tag (0x8100).
+    pub const VLAN: EtherType = EtherType(0x8100);
+    /// IPv6 (0x86DD).
+    pub const IPV6: EtherType = EtherType(0x86DD);
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtherHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl EtherHeader {
+    /// Parses an Ethernet header from the front of `b`.
+    pub fn parse(b: &[u8]) -> Result<EtherHeader, ParseError> {
+        if b.len() < ETHER_LEN {
+            return Err(ParseError::Truncated {
+                what: "ethernet",
+                need: ETHER_LEN,
+                have: b.len(),
+            });
+        }
+        Ok(EtherHeader {
+            dst: MacAddr::from_slice(&b[0..6]),
+            src: MacAddr::from_slice(&b[6..12]),
+            ethertype: EtherType(be16(b, 12)),
+        })
+    }
+
+    /// Writes this header to the front of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than [`ETHER_LEN`].
+    pub fn write(&self, b: &mut [u8]) {
+        b[0..6].copy_from_slice(&self.dst.0);
+        b[6..12].copy_from_slice(&self.src.0);
+        put16(b, 12, self.ethertype.0);
+    }
+}
+
+/// Swaps the source and destination MAC addresses in place (the
+/// `EtherMirror` fast path).
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than 12 bytes.
+pub fn mirror_in_place(b: &mut [u8]) {
+    for i in 0..6 {
+        b.swap(i, i + 6);
+    }
+}
+
+/// Overwrites source and destination MACs in place (the `EtherRewrite`
+/// fast path used by the paper's simple forwarder, §A.1).
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than 12 bytes.
+pub fn rewrite_in_place(b: &mut [u8], src: MacAddr, dst: MacAddr) {
+    b[0..6].copy_from_slice(&dst.0);
+    b[6..12].copy_from_slice(&src.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; 64];
+        EtherHeader {
+            dst: MacAddr([1, 2, 3, 4, 5, 6]),
+            src: MacAddr([7, 8, 9, 10, 11, 12]),
+            ethertype: EtherType::IPV4,
+        }
+        .write(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let buf = sample();
+        let h = EtherHeader::parse(&buf).unwrap();
+        assert_eq!(h.dst, MacAddr([1, 2, 3, 4, 5, 6]));
+        assert_eq!(h.src, MacAddr([7, 8, 9, 10, 11, 12]));
+        assert_eq!(h.ethertype, EtherType::IPV4);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            EtherHeader::parse(&[0u8; 13]),
+            Err(ParseError::Truncated { need: 14, .. })
+        ));
+    }
+
+    #[test]
+    fn mirror_swaps_macs() {
+        let mut buf = sample();
+        mirror_in_place(&mut buf);
+        let h = EtherHeader::parse(&buf).unwrap();
+        assert_eq!(h.dst, MacAddr([7, 8, 9, 10, 11, 12]));
+        assert_eq!(h.src, MacAddr([1, 2, 3, 4, 5, 6]));
+        // Mirror twice restores the original.
+        mirror_in_place(&mut buf);
+        assert_eq!(EtherHeader::parse(&buf).unwrap().dst, MacAddr([1, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn rewrite_sets_macs() {
+        let mut buf = sample();
+        rewrite_in_place(&mut buf, MacAddr([0xAA; 6]), MacAddr([0xBB; 6]));
+        let h = EtherHeader::parse(&buf).unwrap();
+        assert_eq!(h.src, MacAddr([0xAA; 6]));
+        assert_eq!(h.dst, MacAddr([0xBB; 6]));
+    }
+}

@@ -1,0 +1,323 @@
+//! IPv4 header parsing, validation, and in-place mutation.
+
+use crate::checksum::{checksum, checksum_skipping, update16};
+use crate::{be16, be32, put16, ParseError};
+
+/// Minimum (and, without options, exact) IPv4 header length.
+pub const IPV4_MIN_LEN: usize = 20;
+
+/// An IP protocol number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpProto(pub u8);
+
+impl IpProto {
+    /// ICMP (1).
+    pub const ICMP: IpProto = IpProto(1);
+    /// TCP (6).
+    pub const TCP: IpProto = IpProto(6);
+    /// UDP (17).
+    pub const UDP: IpProto = IpProto(17);
+}
+
+/// A parsed IPv4 header (options are counted but not decoded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Header length in bytes (20–60).
+    pub header_len: usize,
+    /// Differentiated services byte.
+    pub dscp_ecn: u8,
+    /// Total length of header + payload, from the wire.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Flags (3 bits) and fragment offset (13 bits), raw.
+    pub flags_frag: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: IpProto,
+    /// Header checksum as read from the wire.
+    pub checksum: u16,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+}
+
+/// Byte offset of the TTL field within the IPv4 header.
+pub const TTL_OFFSET: usize = 8;
+/// Byte offset of the header checksum field.
+pub const CHECKSUM_OFFSET: usize = 10;
+/// Byte offset of the source address.
+pub const SRC_OFFSET: usize = 12;
+/// Byte offset of the destination address.
+pub const DST_OFFSET: usize = 16;
+
+impl Ipv4Header {
+    /// Parses an IPv4 header from the front of `b`.
+    ///
+    /// Rejects non-IPv4 version nibbles, illegal IHL values, and buffers
+    /// shorter than the declared header length.
+    pub fn parse(b: &[u8]) -> Result<Ipv4Header, ParseError> {
+        if b.len() < IPV4_MIN_LEN {
+            return Err(ParseError::Truncated {
+                what: "ipv4",
+                need: IPV4_MIN_LEN,
+                have: b.len(),
+            });
+        }
+        let version = b[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::Malformed {
+                what: "ipv4",
+                reason: "version is not 4",
+            });
+        }
+        let ihl = (b[0] & 0x0f) as usize;
+        if ihl < 5 {
+            return Err(ParseError::Malformed {
+                what: "ipv4",
+                reason: "IHL < 5",
+            });
+        }
+        let header_len = ihl * 4;
+        if b.len() < header_len {
+            return Err(ParseError::Truncated {
+                what: "ipv4",
+                need: header_len,
+                have: b.len(),
+            });
+        }
+        let total_len = be16(b, 2);
+        if (total_len as usize) < header_len {
+            return Err(ParseError::Malformed {
+                what: "ipv4",
+                reason: "total length shorter than header",
+            });
+        }
+        Ok(Ipv4Header {
+            header_len,
+            dscp_ecn: b[1],
+            total_len,
+            ident: be16(b, 4),
+            flags_frag: be16(b, 6),
+            ttl: b[TTL_OFFSET],
+            protocol: IpProto(b[9]),
+            checksum: be16(b, CHECKSUM_OFFSET),
+            src: [b[12], b[13], b[14], b[15]],
+            dst: [b[16], b[17], b[18], b[19]],
+        })
+    }
+
+    /// Writes this header (without options) to the front of `b` and fills
+    /// in a freshly computed checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than [`IPV4_MIN_LEN`].
+    pub fn write(&self, b: &mut [u8]) {
+        b[0] = 0x45;
+        b[1] = self.dscp_ecn;
+        put16(b, 2, self.total_len);
+        put16(b, 4, self.ident);
+        put16(b, 6, self.flags_frag);
+        b[TTL_OFFSET] = self.ttl;
+        b[9] = self.protocol.0;
+        put16(b, CHECKSUM_OFFSET, 0);
+        b[12..16].copy_from_slice(&self.src);
+        b[16..20].copy_from_slice(&self.dst);
+        let c = checksum(&b[..IPV4_MIN_LEN]);
+        put16(b, CHECKSUM_OFFSET, c);
+    }
+
+    /// Verifies the header checksum against the raw bytes in `b`.
+    pub fn verify_checksum(&self, b: &[u8]) -> bool {
+        checksum_skipping(&b[..self.header_len], CHECKSUM_OFFSET) == self.checksum
+    }
+
+    /// Destination address as a u32 (for longest-prefix-match lookups).
+    pub fn dst_u32(&self) -> u32 {
+        u32::from_be_bytes(self.dst)
+    }
+
+    /// Source address as a u32.
+    pub fn src_u32(&self) -> u32 {
+        u32::from_be_bytes(self.src)
+    }
+
+    /// True if this packet is a fragment (MF set or offset non-zero).
+    pub fn is_fragment(&self) -> bool {
+        (self.flags_frag & 0x2000) != 0 || (self.flags_frag & 0x1fff) != 0
+    }
+}
+
+/// Decrements TTL in place and patches the checksum incrementally
+/// (RFC 1624). Returns the new TTL, or `None` if TTL was already 0.
+///
+/// This is the router's per-packet fast path — one byte store and a
+/// 16-bit incremental checksum update, no full re-summation.
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than [`IPV4_MIN_LEN`].
+pub fn dec_ttl_in_place(b: &mut [u8]) -> Option<u8> {
+    let ttl = b[TTL_OFFSET];
+    if ttl == 0 {
+        return None;
+    }
+    let old_word = be16(b, TTL_OFFSET);
+    b[TTL_OFFSET] = ttl - 1;
+    let new_word = be16(b, TTL_OFFSET);
+    let c = update16(be16(b, CHECKSUM_OFFSET), old_word, new_word);
+    put16(b, CHECKSUM_OFFSET, c);
+    Some(ttl - 1)
+}
+
+/// Rewrites the source address in place, patching the header checksum
+/// incrementally. Returns the old address. Used by the NAT fast path.
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than [`IPV4_MIN_LEN`].
+pub fn set_src_in_place(b: &mut [u8], new_src: [u8; 4]) -> [u8; 4] {
+    let old = [b[12], b[13], b[14], b[15]];
+    let old_u32 = be32(b, SRC_OFFSET);
+    let new_u32 = u32::from_be_bytes(new_src);
+    b[12..16].copy_from_slice(&new_src);
+    let c = crate::checksum::update32(be16(b, CHECKSUM_OFFSET), old_u32, new_u32);
+    put16(b, CHECKSUM_OFFSET, c);
+    old
+}
+
+/// Rewrites the destination address in place, patching the checksum.
+/// Returns the old address.
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than [`IPV4_MIN_LEN`].
+pub fn set_dst_in_place(b: &mut [u8], new_dst: [u8; 4]) -> [u8; 4] {
+    let old = [b[16], b[17], b[18], b[19]];
+    let old_u32 = be32(b, DST_OFFSET);
+    let new_u32 = u32::from_be_bytes(new_dst);
+    b[16..20].copy_from_slice(&new_dst);
+    let c = crate::checksum::update32(be16(b, CHECKSUM_OFFSET), old_u32, new_u32);
+    put16(b, CHECKSUM_OFFSET, c);
+    old
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut b = vec![0u8; 20];
+        Ipv4Header {
+            header_len: 20,
+            dscp_ecn: 0,
+            total_len: 84,
+            ident: 0x1234,
+            flags_frag: 0x4000, // DF
+            ttl: 64,
+            protocol: IpProto::TCP,
+            checksum: 0,
+            src: [10, 0, 0, 1],
+            dst: [192, 168, 1, 20],
+        }
+        .write(&mut b);
+        b
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let b = sample_bytes();
+        let h = Ipv4Header::parse(&b).unwrap();
+        assert_eq!(h.ttl, 64);
+        assert_eq!(h.protocol, IpProto::TCP);
+        assert_eq!(h.src, [10, 0, 0, 1]);
+        assert_eq!(h.dst, [192, 168, 1, 20]);
+        assert_eq!(h.total_len, 84);
+        assert!(h.verify_checksum(&b));
+        assert!(!h.is_fragment());
+    }
+
+    #[test]
+    fn version_check() {
+        let mut b = sample_bytes();
+        b[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Header::parse(&b),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn ihl_check() {
+        let mut b = sample_bytes();
+        b[0] = 0x44; // IHL 4 -> 16 bytes, illegal
+        assert!(Ipv4Header::parse(&b).is_err());
+    }
+
+    #[test]
+    fn total_len_check() {
+        let mut b = sample_bytes();
+        put16(&mut b, 2, 10); // shorter than header
+        assert!(Ipv4Header::parse(&b).is_err());
+    }
+
+    #[test]
+    fn dec_ttl_preserves_checksum_validity() {
+        let mut b = sample_bytes();
+        assert_eq!(dec_ttl_in_place(&mut b), Some(63));
+        let h = Ipv4Header::parse(&b).unwrap();
+        assert_eq!(h.ttl, 63);
+        assert!(h.verify_checksum(&b), "incremental update must verify");
+    }
+
+    #[test]
+    fn dec_ttl_at_zero() {
+        let mut b = sample_bytes();
+        b[TTL_OFFSET] = 0;
+        assert_eq!(dec_ttl_in_place(&mut b), None);
+    }
+
+    #[test]
+    fn ttl_chain_to_zero() {
+        let mut b = sample_bytes();
+        for expect in (0..64).rev() {
+            assert_eq!(dec_ttl_in_place(&mut b), Some(expect));
+            assert!(Ipv4Header::parse(&b).unwrap().verify_checksum(&b));
+        }
+        assert_eq!(dec_ttl_in_place(&mut b), None);
+    }
+
+    #[test]
+    fn nat_rewrites_keep_checksum_valid() {
+        let mut b = sample_bytes();
+        let old = set_src_in_place(&mut b, [172, 16, 0, 9]);
+        assert_eq!(old, [10, 0, 0, 1]);
+        let h = Ipv4Header::parse(&b).unwrap();
+        assert_eq!(h.src, [172, 16, 0, 9]);
+        assert!(h.verify_checksum(&b));
+
+        set_dst_in_place(&mut b, [8, 8, 8, 8]);
+        let h = Ipv4Header::parse(&b).unwrap();
+        assert_eq!(h.dst, [8, 8, 8, 8]);
+        assert!(h.verify_checksum(&b));
+    }
+
+    #[test]
+    fn fragment_detection() {
+        let mut b = sample_bytes();
+        put16(&mut b, 6, 0x2000); // MF
+        assert!(Ipv4Header::parse(&b).unwrap().is_fragment());
+        put16(&mut b, 6, 0x0004); // offset 4
+        assert!(Ipv4Header::parse(&b).unwrap().is_fragment());
+    }
+
+    #[test]
+    fn dst_u32() {
+        let b = sample_bytes();
+        let h = Ipv4Header::parse(&b).unwrap();
+        assert_eq!(h.dst_u32(), u32::from_be_bytes([192, 168, 1, 20]));
+    }
+}

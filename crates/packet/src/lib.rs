@@ -1,0 +1,185 @@
+//! Wire-format handling for PacketMill-rs: Ethernet, VLAN, ARP, IPv4,
+//! TCP, UDP, and ICMP headers, Internet checksums (full and incremental),
+//! and packet builders.
+//!
+//! Everything operates on plain byte slices — the network-function
+//! elements in `pm-elements` parse and rewrite **real packet bytes**, so
+//! functional correctness (routing, NAT rewrites, IDS checks) is testable
+//! independently of the performance model.
+//!
+//! # Examples
+//!
+//! ```
+//! use pm_packet::{builder::PacketBuilder, ether::EtherType, ipv4::IpProto};
+//!
+//! let pkt = PacketBuilder::udp()
+//!     .src_ip([10, 0, 0, 1])
+//!     .dst_ip([192, 168, 1, 9])
+//!     .src_port(1234)
+//!     .dst_port(53)
+//!     .payload_len(26)
+//!     .build();
+//!
+//! let eth = pm_packet::ether::EtherHeader::parse(&pkt).unwrap();
+//! assert_eq!(eth.ethertype, EtherType::IPV4);
+//! let ip = pm_packet::ipv4::Ipv4Header::parse(&pkt[14..]).unwrap();
+//! assert_eq!(ip.protocol, IpProto::UDP);
+//! assert!(ip.verify_checksum(&pkt[14..]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arp;
+pub mod builder;
+pub mod checksum;
+pub mod ether;
+pub mod icmp;
+pub mod vlan;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when parsing a header from raw bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed part of the header.
+    Truncated {
+        /// Header kind being parsed.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A version or length field has an illegal value.
+    Malformed {
+        /// Header kind being parsed.
+        what: &'static str,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { what, need, have } => {
+                write!(f, "{what}: truncated (need {need} bytes, have {have})")
+            }
+            ParseError::Malformed { what, reason } => write!(f, "{what}: malformed ({reason})"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Reads a MAC address from the first six bytes of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than six bytes.
+    pub fn from_slice(b: &[u8]) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&b[..6]);
+        MacAddr(m)
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 1 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+}
+
+/// Reads a big-endian u16 at `off`.
+#[inline]
+pub(crate) fn be16(b: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([b[off], b[off + 1]])
+}
+
+/// Reads a big-endian u32 at `off`.
+#[inline]
+pub(crate) fn be32(b: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+/// Writes a big-endian u16 at `off`.
+#[inline]
+pub(crate) fn put16(b: &mut [u8], off: usize, v: u16) {
+    b[off..off + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Writes a big-endian u32 at `off`.
+#[inline]
+pub(crate) fn put32(b: &mut [u8], off: usize, v: u32) {
+    b[off..off + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display() {
+        let m = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn mac_multicast_bit() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr([0x02, 0, 0, 0, 0, 1]).is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn endian_helpers_round_trip() {
+        let mut buf = [0u8; 8];
+        put16(&mut buf, 1, 0xABCD);
+        put32(&mut buf, 3, 0x1234_5678);
+        assert_eq!(be16(&buf, 1), 0xABCD);
+        assert_eq!(be32(&buf, 3), 0x1234_5678);
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::Truncated {
+            what: "ipv4",
+            need: 20,
+            have: 3,
+        };
+        assert!(e.to_string().contains("ipv4"));
+        assert!(e.to_string().contains("20"));
+    }
+}

@@ -1,0 +1,224 @@
+//! TCP header parsing and validation.
+
+use crate::{be16, be32, put16, ParseError};
+
+/// Minimum TCP header length (no options).
+pub const TCP_MIN_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+    /// URG flag.
+    pub const URG: u8 = 0x20;
+
+    /// True if the given flag bit is set.
+    pub fn has(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// True for illegal flag combinations an IDS should reject
+    /// (SYN+FIN, SYN+RST, or no flags at all — "null" scans).
+    pub fn is_illegal(self) -> bool {
+        let f = self.0;
+        (f & Self::SYN != 0 && f & Self::FIN != 0)
+            || (f & Self::SYN != 0 && f & Self::RST != 0)
+            || f & 0x3f == 0
+    }
+}
+
+/// A parsed TCP header (options counted, not decoded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Header length in bytes (20–60).
+    pub header_len: usize,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum from the wire.
+    pub checksum: u16,
+}
+
+/// Byte offset of the source port within the TCP header.
+pub const SRC_PORT_OFFSET: usize = 0;
+/// Byte offset of the destination port.
+pub const DST_PORT_OFFSET: usize = 2;
+/// Byte offset of the checksum field.
+pub const CHECKSUM_OFFSET: usize = 16;
+
+impl TcpHeader {
+    /// Parses a TCP header from the front of `b`.
+    pub fn parse(b: &[u8]) -> Result<TcpHeader, ParseError> {
+        if b.len() < TCP_MIN_LEN {
+            return Err(ParseError::Truncated {
+                what: "tcp",
+                need: TCP_MIN_LEN,
+                have: b.len(),
+            });
+        }
+        let data_off = (b[12] >> 4) as usize;
+        if data_off < 5 {
+            return Err(ParseError::Malformed {
+                what: "tcp",
+                reason: "data offset < 5",
+            });
+        }
+        let header_len = data_off * 4;
+        if b.len() < header_len {
+            return Err(ParseError::Truncated {
+                what: "tcp",
+                need: header_len,
+                have: b.len(),
+            });
+        }
+        Ok(TcpHeader {
+            src_port: be16(b, 0),
+            dst_port: be16(b, 2),
+            seq: be32(b, 4),
+            ack: be32(b, 8),
+            header_len,
+            flags: TcpFlags(b[13]),
+            window: be16(b, 14),
+            checksum: be16(b, 16),
+        })
+    }
+
+    /// Writes a 20-byte TCP header to the front of `b` (checksum as given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than [`TCP_MIN_LEN`].
+    pub fn write(&self, b: &mut [u8]) {
+        put16(b, 0, self.src_port);
+        put16(b, 2, self.dst_port);
+        crate::put32(b, 4, self.seq);
+        crate::put32(b, 8, self.ack);
+        b[12] = 0x50; // data offset 5, reserved 0
+        b[13] = self.flags.0;
+        put16(b, 14, self.window);
+        put16(b, 16, self.checksum);
+        put16(b, 18, 0); // urgent pointer
+    }
+}
+
+/// Rewrites the source port in place (NAPT fast path). Returns the old
+/// port; the caller is responsible for patching the TCP checksum (see
+/// [`crate::checksum::update16`]).
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than 2 bytes.
+pub fn set_src_port_in_place(b: &mut [u8], port: u16) -> u16 {
+    let old = be16(b, SRC_PORT_OFFSET);
+    put16(b, SRC_PORT_OFFSET, port);
+    old
+}
+
+/// Rewrites the destination port in place. Returns the old port.
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than 4 bytes.
+pub fn set_dst_port_in_place(b: &mut [u8], port: u16) -> u16 {
+    let old = be16(b, DST_PORT_OFFSET);
+    put16(b, DST_PORT_OFFSET, port);
+    old
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = vec![0u8; 20];
+        TcpHeader {
+            src_port: 49152,
+            dst_port: 443,
+            seq: 0x1111_2222,
+            ack: 0x3333_4444,
+            header_len: 20,
+            flags: TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+            window: 65535,
+            checksum: 0xABCD,
+        }
+        .write(&mut b);
+        b
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = sample();
+        let h = TcpHeader::parse(&b).unwrap();
+        assert_eq!(h.src_port, 49152);
+        assert_eq!(h.dst_port, 443);
+        assert_eq!(h.seq, 0x1111_2222);
+        assert_eq!(h.ack, 0x3333_4444);
+        assert!(h.flags.has(TcpFlags::ACK));
+        assert!(!h.flags.has(TcpFlags::SYN));
+        assert_eq!(h.window, 65535);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(TcpHeader::parse(&[0u8; 19]).is_err());
+    }
+
+    #[test]
+    fn bad_data_offset() {
+        let mut b = sample();
+        b[12] = 0x40;
+        assert!(matches!(
+            TcpHeader::parse(&b),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn options_need_room() {
+        let mut b = sample();
+        b[12] = 0x80; // 32-byte header declared, only 20 available
+        assert!(matches!(
+            TcpHeader::parse(&b),
+            Err(ParseError::Truncated { need: 32, .. })
+        ));
+    }
+
+    #[test]
+    fn illegal_flag_combos() {
+        assert!(TcpFlags(TcpFlags::SYN | TcpFlags::FIN).is_illegal());
+        assert!(TcpFlags(TcpFlags::SYN | TcpFlags::RST).is_illegal());
+        assert!(TcpFlags(0).is_illegal());
+        assert!(!TcpFlags(TcpFlags::SYN).is_illegal());
+        assert!(!TcpFlags(TcpFlags::ACK).is_illegal());
+    }
+
+    #[test]
+    fn port_rewrites() {
+        let mut b = sample();
+        assert_eq!(set_src_port_in_place(&mut b, 1024), 49152);
+        assert_eq!(set_dst_port_in_place(&mut b, 8443), 443);
+        let h = TcpHeader::parse(&b).unwrap();
+        assert_eq!(h.src_port, 1024);
+        assert_eq!(h.dst_port, 8443);
+    }
+}

@@ -1,0 +1,93 @@
+//! UDP header parsing and validation.
+
+use crate::{be16, put16, ParseError};
+
+/// UDP header length.
+pub const UDP_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload, from the wire.
+    pub length: u16,
+    /// Checksum from the wire (0 = not computed, legal for IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Parses a UDP header from the front of `b`.
+    pub fn parse(b: &[u8]) -> Result<UdpHeader, ParseError> {
+        if b.len() < UDP_LEN {
+            return Err(ParseError::Truncated {
+                what: "udp",
+                need: UDP_LEN,
+                have: b.len(),
+            });
+        }
+        let length = be16(b, 4);
+        if (length as usize) < UDP_LEN {
+            return Err(ParseError::Malformed {
+                what: "udp",
+                reason: "length field < 8",
+            });
+        }
+        Ok(UdpHeader {
+            src_port: be16(b, 0),
+            dst_port: be16(b, 2),
+            length,
+            checksum: be16(b, 6),
+        })
+    }
+
+    /// Writes this header to the front of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than [`UDP_LEN`].
+    pub fn write(&self, b: &mut [u8]) {
+        put16(b, 0, self.src_port);
+        put16(b, 2, self.dst_port);
+        put16(b, 4, self.length);
+        put16(b, 6, self.checksum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = [0u8; 8];
+        UdpHeader {
+            src_port: 5353,
+            dst_port: 53,
+            length: 40,
+            checksum: 0,
+        }
+        .write(&mut b);
+        let h = UdpHeader::parse(&b).unwrap();
+        assert_eq!(h.src_port, 5353);
+        assert_eq!(h.dst_port, 53);
+        assert_eq!(h.length, 40);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn bad_length_field() {
+        let mut b = [0u8; 8];
+        put16(&mut b, 4, 7);
+        assert!(matches!(
+            UdpHeader::parse(&b),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,165 @@
+//! Named monotonic counters, in the spirit of `perf stat`.
+//!
+//! The simulator increments counters for the same events the paper
+//! measures (`llc-loads`, `llc-load-misses`, `instructions`, `cycles`, …);
+//! harnesses snapshot and difference them per measurement window.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named monotonic `u64` counters.
+///
+/// Counter names are interned as `&'static str` for zero-cost increments
+/// on hot paths. A `BTreeMap` keeps rendering deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use pm_telemetry::CounterSet;
+///
+/// let mut c = CounterSet::new();
+/// c.add("llc-loads", 3);
+/// c.incr("llc-loads");
+/// assert_eq!(c.get("llc-loads"), 4);
+/// assert_eq!(c.get("never-touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name` (creating it at zero if absent).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Returns the value of `name`, or 0 if it was never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns a snapshot that can later be differenced with [`Self::delta_since`].
+    pub fn snapshot(&self) -> CounterSet {
+        self.clone()
+    }
+
+    /// Returns `self - earlier` as a new counter set (per-window deltas).
+    ///
+    /// Counters absent from `earlier` are treated as zero there.
+    pub fn delta_since(&self, earlier: &CounterSet) -> CounterSet {
+        let mut out = CounterSet::new();
+        for (&name, &v) in &self.counters {
+            let before = earlier.get(name);
+            out.counters.insert(name, v.saturating_sub(before));
+        }
+        out
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges another counter set into this one by addition.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, v) in other.iter() {
+            self.add(name, v);
+        }
+    }
+
+    /// True if no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Resets all counters to zero (keeps names).
+    pub fn clear(&mut self) {
+        for v in self.counters.values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in self.iter() {
+            writeln!(f, "{name:>24}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = CounterSet::new();
+        c.add("x", 5);
+        c.incr("x");
+        assert_eq!(c.get("x"), 6);
+    }
+
+    #[test]
+    fn missing_counter_reads_zero() {
+        assert_eq!(CounterSet::new().get("nope"), 0);
+    }
+
+    #[test]
+    fn delta_since_snapshot() {
+        let mut c = CounterSet::new();
+        c.add("a", 10);
+        let snap = c.snapshot();
+        c.add("a", 7);
+        c.add("b", 3);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.get("a"), 7);
+        assert_eq!(d.get("b"), 3);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CounterSet::new();
+        let mut b = CounterSet::new();
+        a.add("k", 1);
+        b.add("k", 2);
+        b.add("j", 9);
+        a.merge(&b);
+        assert_eq!(a.get("k"), 3);
+        assert_eq!(a.get("j"), 9);
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let mut c = CounterSet::new();
+        c.add("zeta", 1);
+        c.add("alpha", 2);
+        let s = format!("{c}");
+        let alpha = s.find("alpha").unwrap();
+        let zeta = s.find("zeta").unwrap();
+        assert!(alpha < zeta, "names should render sorted");
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_names() {
+        let mut c = CounterSet::new();
+        c.add("x", 4);
+        c.clear();
+        assert_eq!(c.get("x"), 0);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! Log-bucketed latency histogram with percentile queries.
+//!
+//! An HDR-histogram-style structure: values are bucketed with a fixed
+//! number of significant bits, giving a bounded relative error (< 1/64
+//! with the default 6 sub-bucket bits) over an arbitrary dynamic range.
+//! Recording is O(1) and allocation-free after construction, which matters
+//! because the simulator records one latency sample per forwarded packet.
+
+/// A log-bucketed histogram of `u64` values (we use nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use pm_telemetry::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((480..=520).contains(&p50), "p50 was {p50}");
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Number of low-order "sub-bucket" bits kept at full precision.
+    sub_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const DEFAULT_SUB_BITS: u32 = 6;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram with default precision (~1.6% max error).
+    pub fn new() -> Self {
+        Self::with_precision(DEFAULT_SUB_BITS)
+    }
+
+    /// Creates an empty histogram keeping `sub_bits` significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= sub_bits <= 16`.
+    pub fn with_precision(sub_bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&sub_bits),
+            "sub_bits must be in 1..=16, got {sub_bits}"
+        );
+        // One linear region of 2^(sub_bits+1) slots, then one region of
+        // 2^sub_bits slots per power of two above that: 64 regions covers u64.
+        let regions = 64 - sub_bits;
+        let slots = (1usize << (sub_bits + 1)) + (regions as usize - 1) * (1usize << sub_bits);
+        LatencyHistogram {
+            sub_bits,
+            buckets: vec![0; slots],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(&self, value: u64) -> usize {
+        let sb = self.sub_bits;
+        let v = value;
+        let msb = 63u32.saturating_sub(v.leading_zeros()); // 0 for v in {0,1}
+        if msb <= sb {
+            // Linear region: exact.
+            v as usize
+        } else {
+            let region = msb - sb; // >= 1
+            let shifted = (v >> (msb - sb)) as usize; // in [2^sb, 2^(sb+1))
+            let base = (1usize << (sb + 1)) + (region as usize - 1) * (1usize << sb);
+            base + (shifted - (1usize << sb))
+        }
+    }
+
+    fn value_of(&self, index: usize) -> u64 {
+        let sb = self.sub_bits;
+        let linear = 1usize << (sb + 1);
+        if index < linear {
+            index as u64
+        } else {
+            let region = (index - linear) / (1usize << sb) + 1;
+            let slot = (index - linear) % (1usize << sb);
+            // Midpoint-ish representative: top of the bucket. Saturate for
+            // buckets whose upper bound exceeds u64::MAX.
+            let low = ((1u64 << sb) + slot as u64).checked_shl(region as u32);
+            match low {
+                Some(lo) => lo.saturating_add((1u64 << region) - 1),
+                None => u64::MAX,
+            }
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = self.index_of(value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.index_of(value);
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns the value at percentile `p` (0–100), or 0 if empty.
+    ///
+    /// The returned value is the representative (upper bound) of the bucket
+    /// containing the `p`-th percentile sample, clamped to the observed max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.value_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: median (p50).
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Convenience: 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different precision.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.sub_bits, other.sub_bits, "precision mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets the histogram to empty.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+        let p50 = h.median();
+        assert!(relative_error(p50, 12_345) < 0.02, "p50={p50}");
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..100 {
+            h.record(v);
+        }
+        // Values below 2^(sub_bits+1)=128 are stored exactly.
+        assert_eq!(h.percentile(100.0), 99);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn percentiles_bounded_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (p, expect) in [(50.0, 50_000u64), (90.0, 90_000), (99.0, 99_000)] {
+            let got = h.percentile(p);
+            assert!(
+                relative_error(got, expect) < 0.02,
+                "p{p}: got {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..57 {
+            a.record(999);
+        }
+        b.record_n(999, 57);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.median(), b.median());
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn mean_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(100.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn bad_percentile_panics() {
+        LatencyHistogram::new().percentile(101.0);
+    }
+
+    fn relative_error(got: u64, expect: u64) -> f64 {
+        (got as f64 - expect as f64).abs() / expect as f64
+    }
+}

@@ -1,0 +1,21 @@
+//! Measurement primitives for PacketMill-rs: counters, latency histograms,
+//! percentile estimation, windowed perf-counter sampling, and plain-text
+//! table/CSV rendering.
+//!
+//! This crate is dependency-free and usable both by the simulator (to
+//! collect the metrics the paper reports — throughput, median/99th
+//! percentile latency, LLC loads & misses, IPC) and by the benchmark
+//! harnesses (to print paper-style tables).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod histogram;
+pub mod series;
+pub mod table;
+
+pub use counters::CounterSet;
+pub use histogram::LatencyHistogram;
+pub use series::{Sample, WindowSampler};
+pub use table::Table;

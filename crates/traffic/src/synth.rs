@@ -1,0 +1,351 @@
+//! Trace synthesis and paced replay.
+
+use crate::zipf::Zipf;
+use pm_packet::builder::PacketBuilder;
+use pm_sim::{SimTime, SplitMix64};
+
+/// What kind of traffic to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficProfile {
+    /// Campus-like mixture: mean frame ≈ 981 B, Zipf flows,
+    /// TCP/UDP/ICMP/ARP mix.
+    CampusMix,
+    /// All frames exactly this many bytes (UDP flows).
+    FixedSize(usize),
+}
+
+/// Trace-synthesis parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of distinct frames to synthesize (the engine replays the
+    /// trace cyclically, like the paper replays its trace 25×).
+    pub packets: usize,
+    /// Number of distinct flows.
+    pub flows: usize,
+    /// Zipf popularity exponent across flows (0 = uniform). Campus
+    /// aggregates measure ≈ 0.8.
+    pub zipf_alpha: f64,
+    /// Traffic profile.
+    pub profile: TrafficProfile,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            packets: 8192,
+            flows: 4096,
+            zipf_alpha: 0.8,
+            profile: TrafficProfile::CampusMix,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    src_port: u16,
+    dst_port: u16,
+    proto: FlowProto,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowProto {
+    Tcp,
+    Udp,
+    Icmp,
+}
+
+/// A synthesized trace of complete Ethernet frames.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    frames: Vec<Box<[u8]>>,
+    total_bytes: u64,
+}
+
+/// Destination prefixes the synthesizer draws from; these match the
+/// router preset's route table so every packet is routable.
+const DST_PREFIXES: [([u8; 2], u8); 4] = [
+    ([10, 0], 1),     // 10.0.x.x
+    ([10, 200], 1),   // deeper in 10/8
+    ([172, 16], 2),   // 172.16/12
+    ([192, 168], 3),  // 192.168/16
+];
+
+impl Trace {
+    /// Synthesizes a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets` or `flows` is zero, or a fixed size is below
+    /// 64 bytes.
+    pub fn synthesize(cfg: &TraceConfig) -> Trace {
+        assert!(cfg.packets > 0, "empty trace");
+        assert!(cfg.flows > 0, "no flows");
+        if let TrafficProfile::FixedSize(s) = cfg.profile {
+            assert!((64..=1500).contains(&s), "fixed size {s} out of 64..=1500");
+        }
+        let mut rng = SplitMix64::new(cfg.seed);
+        let zipf = Zipf::new(cfg.flows, cfg.zipf_alpha);
+
+        // Flow table.
+        let flows: Vec<Flow> = (0..cfg.flows)
+            .map(|i| {
+                let (p, _) = DST_PREFIXES[(rng.next_u64() % 4) as usize];
+                let proto = match cfg.profile {
+                    TrafficProfile::FixedSize(_) => FlowProto::Udp,
+                    TrafficProfile::CampusMix => match rng.next_u64() % 100 {
+                        0..=84 => FlowProto::Tcp,
+                        85..=96 => FlowProto::Udp,
+                        _ => FlowProto::Icmp,
+                    },
+                };
+                Flow {
+                    src_ip: [10, 1, (i >> 8) as u8, i as u8],
+                    dst_ip: [p[0], p[1], rng.next_u32() as u8, rng.next_u32() as u8],
+                    src_port: 1024 + (rng.next_u64() % 60_000) as u16,
+                    dst_port: [80u16, 443, 53, 123, 8080][(rng.next_u64() % 5) as usize],
+                    proto,
+                }
+            })
+            .collect();
+
+        let mut frames = Vec::with_capacity(cfg.packets);
+        let mut total_bytes = 0u64;
+        for seq in 0..cfg.packets {
+            let flow = &flows[zipf.sample(&mut rng)];
+            let frame = match cfg.profile {
+                TrafficProfile::FixedSize(size) => PacketBuilder::udp()
+                    .src_ip(flow.src_ip)
+                    .dst_ip(flow.dst_ip)
+                    .src_port(flow.src_port)
+                    .dst_port(flow.dst_port)
+                    .seq(seq as u32)
+                    .frame_len(size)
+                    .build(),
+                TrafficProfile::CampusMix => {
+                    // Occasional ARP keeps the router's ARP path warm
+                    // (≈0.5% of packets).
+                    if rng.next_u64() % 200 == 0 {
+                        PacketBuilder::arp()
+                            .src_ip(flow.src_ip)
+                            .dst_ip([10, 0, 0, 254])
+                            .build()
+                    } else {
+                        let size = campus_frame_size(&mut rng);
+                        let b = match flow.proto {
+                            FlowProto::Tcp => PacketBuilder::tcp(),
+                            FlowProto::Udp => PacketBuilder::udp(),
+                            FlowProto::Icmp => PacketBuilder::icmp(),
+                        };
+                        b.src_ip(flow.src_ip)
+                            .dst_ip(flow.dst_ip)
+                            .src_port(flow.src_port)
+                            .dst_port(flow.dst_port)
+                            .ttl(64)
+                            .seq(seq as u32)
+                            .frame_len(size)
+                            .build()
+                    }
+                }
+            };
+            total_bytes += frame.len() as u64;
+            frames.push(frame.into_boxed_slice());
+        }
+        Trace {
+            frames,
+            total_bytes,
+        }
+    }
+
+    /// Builds a trace directly from raw Ethernet frames (e.g. loaded
+    /// from a pcap capture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn from_frames(frames: Vec<Vec<u8>>) -> Trace {
+        assert!(!frames.is_empty(), "empty trace");
+        let total_bytes = frames.iter().map(|f| f.len() as u64).sum();
+        Trace {
+            frames: frames.into_iter().map(Vec::into_boxed_slice).collect(),
+            total_bytes,
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the trace has no frames (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Mean frame length in bytes.
+    pub fn mean_frame_len(&self) -> f64 {
+        self.total_bytes as f64 / self.frames.len() as f64
+    }
+
+    /// Frame `i` (indices wrap, so the trace can be replayed cyclically).
+    pub fn frame(&self, i: usize) -> &[u8] {
+        &self.frames[i % self.frames.len()]
+    }
+
+    /// Iterates over `(arrival_time, frame)` replaying the trace
+    /// cyclically at `offered_gbps` for `total_packets` packets.
+    ///
+    /// Arrivals are spaced by each frame's wire time at the offered rate
+    /// (back-to-back at 100 Gbps means line rate, like the paper's
+    /// generator).
+    pub fn replay(
+        &self,
+        offered_gbps: f64,
+        total_packets: usize,
+    ) -> impl Iterator<Item = (SimTime, &[u8])> + '_ {
+        assert!(offered_gbps > 0.0, "offered load must be positive");
+        let mut now_ps: u64 = 0;
+        (0..total_packets).map(move |i| {
+            let f: &[u8] = self.frame(i);
+            let t = SimTime::from_ps(now_ps);
+            let wire_bits = (f.len() as u64 + 20) * 8;
+            now_ps += (wire_bits as f64 * 1000.0 / offered_gbps).round() as u64;
+            (t, f)
+        })
+    }
+}
+
+/// Samples a campus-like frame size: a small/medium/large mixture with
+/// mean ≈ 981 B (the paper's published trace mean).
+fn campus_frame_size(rng: &mut SplitMix64) -> usize {
+    match rng.next_u64() % 100 {
+        // 30%: small control/ACK frames, 64–120 B.
+        0..=29 => 64 + rng.next_below(57) as usize,
+        // 10%: medium, 400–800 B.
+        30..=39 => 400 + rng.next_below(401) as usize,
+        // 60%: near-MTU data, 1400–1500 B.
+        _ => 1400 + rng.next_below(101) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_packet::ether::{EtherHeader, EtherType};
+    use pm_packet::ipv4::Ipv4Header;
+
+    #[test]
+    fn campus_mean_near_981() {
+        let t = Trace::synthesize(&TraceConfig {
+            packets: 20_000,
+            ..TraceConfig::default()
+        });
+        let mean = t.mean_frame_len();
+        assert!(
+            (920.0..1040.0).contains(&mean),
+            "mean {mean} should approximate the paper's 981 B"
+        );
+    }
+
+    #[test]
+    fn fixed_size_is_exact() {
+        let t = Trace::synthesize(&TraceConfig {
+            packets: 100,
+            profile: TrafficProfile::FixedSize(256),
+            ..TraceConfig::default()
+        });
+        assert!(t.frames.iter().all(|f| f.len() == 256));
+        assert_eq!(t.mean_frame_len(), 256.0);
+    }
+
+    #[test]
+    fn frames_are_valid_packets() {
+        let t = Trace::synthesize(&TraceConfig {
+            packets: 2_000,
+            ..TraceConfig::default()
+        });
+        let mut ip_count = 0;
+        for i in 0..t.len() {
+            let f = t.frame(i);
+            let eth = EtherHeader::parse(f).unwrap();
+            if eth.ethertype == EtherType::IPV4 {
+                let ip = Ipv4Header::parse(&f[14..]).unwrap();
+                assert!(ip.verify_checksum(&f[14..]), "frame {i} bad checksum");
+                ip_count += 1;
+            }
+        }
+        assert!(ip_count > 1_900, "almost all frames are IPv4");
+    }
+
+    #[test]
+    fn destinations_cover_routable_prefixes() {
+        let t = Trace::synthesize(&TraceConfig {
+            packets: 4_000,
+            ..TraceConfig::default()
+        });
+        let mut seen = [false; 3];
+        for i in 0..t.len() {
+            let f = t.frame(i);
+            if EtherHeader::parse(f).unwrap().ethertype != EtherType::IPV4 {
+                continue;
+            }
+            let dst = Ipv4Header::parse(&f[14..]).unwrap().dst;
+            match dst[0] {
+                10 => seen[0] = true,
+                172 => seen[1] = true,
+                192 => seen[2] = true,
+                _ => {}
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn replay_paces_at_offered_rate() {
+        let t = Trace::synthesize(&TraceConfig {
+            packets: 1_000,
+            profile: TrafficProfile::FixedSize(1000),
+            ..TraceConfig::default()
+        });
+        let arrivals: Vec<SimTime> = t.replay(50.0, 1_000).map(|(t, _)| t).collect();
+        // 1020 wire bytes at 50 Gbps = 163.2 ns between arrivals.
+        let gap = (arrivals[999] - arrivals[0]).as_ns() / 999.0;
+        assert!((162.0..165.0).contains(&gap), "gap {gap}");
+        // Monotone non-decreasing.
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn replay_wraps_cyclically() {
+        let t = Trace::synthesize(&TraceConfig {
+            packets: 10,
+            profile: TrafficProfile::FixedSize(128),
+            ..TraceConfig::default()
+        });
+        let n = t.replay(100.0, 35).count();
+        assert_eq!(n, 35);
+        assert_eq!(t.frame(3), t.frame(13), "wrapped frames identical");
+    }
+
+    #[test]
+    fn deterministic_synthesis() {
+        let cfg = TraceConfig::default();
+        let a = Trace::synthesize(&cfg);
+        let b = Trace::synthesize(&cfg);
+        assert_eq!(a.frame(123), b.frame(123));
+        assert_eq!(a.mean_frame_len(), b.mean_frame_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 64..=1500")]
+    fn tiny_fixed_size_rejected() {
+        let _ = Trace::synthesize(&TraceConfig {
+            profile: TrafficProfile::FixedSize(32),
+            ..TraceConfig::default()
+        });
+    }
+}

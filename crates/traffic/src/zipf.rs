@@ -1,0 +1,109 @@
+//! Zipf-distributed sampling over a finite universe.
+//!
+//! Flow popularity in campus/ISP traces is heavy-tailed; a Zipf law with
+//! exponent near 1 is the standard model. Implemented as an inverse-CDF
+//! table for O(log n) deterministic sampling.
+
+use pm_sim::SplitMix64;
+
+/// A Zipf(α) sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "empty universe");
+        assert!(alpha >= 0.0, "negative exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there is only the trivial rank (never: `n >= 1`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_zero_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SplitMix64::new(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[99]);
+        // Zipf(1): rank 0 ≈ 10× rank 9.
+        let ratio = counts[0] as f64 / counts[9] as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SplitMix64::new(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(3, 1.2);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let z = Zipf::new(50, 0.9);
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty universe")]
+    fn zero_n_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run the paper's headline comparison on the simulated
+//! testbed — a single 2.3-GHz core forwarding 100-Gbps campus-mix
+//! traffic through the IP router, vanilla FastClick vs PacketMill.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use packetmill::{ExperimentBuilder, MetadataModel, Nf, OptLevel, Table};
+
+fn main() {
+    let mut table = Table::new(vec![
+        "configuration",
+        "Gbps",
+        "Mpps",
+        "p50 lat (us)",
+        "p99 lat (us)",
+        "IPC",
+        "LLC loads/100ms",
+    ]);
+
+    for (label, model, opt) in [
+        ("Vanilla (Copying)", MetadataModel::Copying, OptLevel::Vanilla),
+        (
+            "PacketMill (X-Change + source opts)",
+            MetadataModel::XChange,
+            OptLevel::AllSource,
+        ),
+    ] {
+        let m = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(model)
+            .optimization(opt)
+            .frequency_ghz(2.3)
+            .packets(60_000)
+            .run()
+            .expect("experiment runs");
+        table.row(vec![
+            label.to_string(),
+            format!("{:.1}", m.throughput_gbps),
+            format!("{:.2}", m.mpps),
+            format!("{:.0}", m.median_latency_us),
+            format!("{:.0}", m.p99_latency_us),
+            format!("{:.2}", m.ipc),
+            format!("{:.0}k", m.llc_loads_per_100ms / 1e3),
+        ]);
+    }
+
+    println!("IP router, 1 core @ 2.3 GHz, 100 Gbps offered, campus-mix traffic\n");
+    println!("{table}");
+}

@@ -1,0 +1,47 @@
+//! Reproduce the paper's headline experiment (Fig. 1): a standard IP
+//! router on a single 2.3-GHz core, offered-load sweep at up to
+//! 100 Gbps, vanilla FastClick vs full PacketMill — showing how
+//! PacketMill shifts the tail-latency/throughput knee.
+//!
+//! Run with: `cargo run --release --example router_100g`
+
+use packetmill::{ExperimentBuilder, MetadataModel, Nf, OptLevel, Table};
+
+fn main() {
+    let mut table = Table::new(vec![
+        "offered (Gbps)",
+        "vanilla Gbps",
+        "vanilla p99 (us)",
+        "packetmill Gbps",
+        "packetmill p99 (us)",
+    ]);
+    for offered in [20.0, 40.0, 60.0, 80.0, 100.0] {
+        let vanilla = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::Copying)
+            .optimization(OptLevel::Vanilla)
+            .frequency_ghz(2.3)
+            .offered_gbps(offered)
+            .packets(40_000)
+            .run()
+            .expect("vanilla run");
+        let packetmill = ExperimentBuilder::new(Nf::Router)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .frequency_ghz(2.3)
+            .offered_gbps(offered)
+            .packets(40_000)
+            .run()
+            .expect("packetmill run");
+        table.row(vec![
+            format!("{offered:.0}"),
+            format!("{:.1}", vanilla.throughput_gbps),
+            format!("{:.0}", vanilla.p99_latency_us),
+            format!("{:.1}", packetmill.throughput_gbps),
+            format!("{:.0}", packetmill.p99_latency_us),
+        ]);
+    }
+    println!("IP router, one core @ 2.3 GHz, campus-mix traffic (paper Fig. 1)\n");
+    println!("{table}");
+    println!("PacketMill sustains the offered load with flat tail latency while");
+    println!("vanilla FastClick saturates and its p99 explodes — the shifted knee.");
+}

@@ -1,0 +1,299 @@
+//! End-to-end tests of the paper's qualitative claims: orderings between
+//! metadata models and optimization levels, micro-architectural effects,
+//! and scaling behaviours. These run the full simulated testbed with
+//! reduced packet counts (shapes are stable well below the bench sizes).
+
+use packetmill::{ExperimentBuilder, MetadataModel, Nf, OptLevel, TrafficProfile};
+
+const PACKETS: usize = 12_000;
+
+fn forwarder(model: MetadataModel, f: f64) -> packetmill::Measurement {
+    ExperimentBuilder::new(Nf::Forwarder)
+        .metadata_model(model)
+        .frequency_ghz(f)
+        .packets(PACKETS)
+        .run()
+        .expect("forwarder run")
+}
+
+fn router(model: MetadataModel, opt: OptLevel, f: f64) -> packetmill::Measurement {
+    ExperimentBuilder::new(Nf::Router)
+        .metadata_model(model)
+        .optimization(opt)
+        .frequency_ghz(f)
+        .packets(PACKETS)
+        .run()
+        .expect("router run")
+}
+
+/// §4.2: X-Change ≥ Overlaying ≥ Copying (measured at a low frequency
+/// where the CPU, not the NIC, is the bottleneck).
+#[test]
+fn metadata_model_ordering() {
+    let copy = forwarder(MetadataModel::Copying, 1.2);
+    let overlay = forwarder(MetadataModel::Overlaying, 1.2);
+    let xchg = forwarder(MetadataModel::XChange, 1.2);
+    assert!(
+        xchg.throughput_gbps > overlay.throughput_gbps,
+        "x-change {:.1} must beat overlaying {:.1}",
+        xchg.throughput_gbps,
+        overlay.throughput_gbps
+    );
+    assert!(
+        overlay.throughput_gbps > copy.throughput_gbps,
+        "overlaying {:.1} must beat copying {:.1}",
+        overlay.throughput_gbps,
+        copy.throughput_gbps
+    );
+}
+
+/// §4.1 / Table 1: every source-code optimization improves on vanilla,
+/// and the combination beats each individual one.
+#[test]
+fn source_optimization_ordering() {
+    let vanilla = router(MetadataModel::Copying, OptLevel::Vanilla, 3.0);
+    let devirt = router(MetadataModel::Copying, OptLevel::Devirtualize, 3.0);
+    let consts = router(MetadataModel::Copying, OptLevel::ConstantEmbed, 3.0);
+    let stat = router(MetadataModel::Copying, OptLevel::StaticGraph, 3.0);
+    let all = router(MetadataModel::Copying, OptLevel::AllSource, 3.0);
+    assert!(devirt.mpps > vanilla.mpps, "devirtualization helps");
+    assert!(consts.mpps > vanilla.mpps, "constant embedding helps");
+    assert!(stat.mpps > devirt.mpps, "static graph beats devirtualization");
+    assert!(all.mpps >= stat.mpps * 0.98, "all is at least static graph");
+    assert!(all.mpps > consts.mpps, "all beats constants alone");
+}
+
+/// Table 1: the static graph collapses LLC loads and misses by orders of
+/// magnitude (the SROA effect) and raises IPC.
+#[test]
+fn static_graph_collapses_llc_traffic() {
+    let vanilla = router(MetadataModel::Copying, OptLevel::Vanilla, 3.0);
+    let stat = router(MetadataModel::Copying, OptLevel::StaticGraph, 3.0);
+    assert!(
+        vanilla.llc_loads_per_100ms > stat.llc_loads_per_100ms * 5.0,
+        "LLC loads must collapse: vanilla {:.0} vs static {:.0}",
+        vanilla.llc_loads_per_100ms,
+        stat.llc_loads_per_100ms
+    );
+    assert!(
+        vanilla.llc_misses_per_100ms > stat.llc_misses_per_100ms * 10.0 + 1.0,
+        "LLC misses must collapse"
+    );
+    assert!(stat.ipc > vanilla.ipc, "IPC rises with the static graph");
+}
+
+/// Fig. 1: PacketMill shifts the latency/throughput knee — at an offered
+/// load vanilla cannot sustain, PacketMill delivers more with far lower
+/// tail latency.
+#[test]
+fn packetmill_shifts_the_knee() {
+    let vanilla = router(MetadataModel::Copying, OptLevel::Vanilla, 2.3);
+    let pm = router(MetadataModel::XChange, OptLevel::AllSource, 2.3);
+    assert!(pm.throughput_gbps > vanilla.throughput_gbps * 1.3);
+    assert!(
+        pm.p99_latency_us < vanilla.p99_latency_us / 2.0,
+        "packetmill p99 {:.0}us must be far below vanilla {:.0}us",
+        pm.p99_latency_us,
+        vanilla.p99_latency_us
+    );
+}
+
+/// Fig. 4: throughput grows with core frequency (the paper's frequency
+/// sweeps are monotone for every variant).
+#[test]
+fn throughput_monotone_in_frequency() {
+    let mut last = 0.0;
+    for f in [1.2, 1.8, 2.4, 3.0] {
+        let m = router(MetadataModel::Copying, OptLevel::Vanilla, f);
+        assert!(
+            m.throughput_gbps > last * 0.99,
+            "throughput at {f} GHz regressed: {:.1} after {last:.1}",
+            m.throughput_gbps
+        );
+        last = m.throughput_gbps;
+    }
+}
+
+/// Fig. 5b: with two NICs one X-Change core forwards more than 100 Gbps
+/// in total — and more than the single-NIC configuration.
+#[test]
+fn two_nics_exceed_100_gbps_with_xchange() {
+    let one = ExperimentBuilder::new(Nf::Forwarder)
+        .metadata_model(MetadataModel::XChange)
+        .frequency_ghz(3.0)
+        .packets(PACKETS)
+        .run()
+        .expect("one nic");
+    let two = ExperimentBuilder::new(Nf::Forwarder)
+        .metadata_model(MetadataModel::XChange)
+        .frequency_ghz(3.0)
+        .nics(2)
+        .packets(PACKETS)
+        .run()
+        .expect("two nics");
+    assert!(
+        two.throughput_gbps > 100.0,
+        "total {:.1} Gbps must exceed 100",
+        two.throughput_gbps
+    );
+    assert!(two.throughput_gbps > one.throughput_gbps * 1.2);
+}
+
+/// Fig. 7: PacketMill's relative improvement shrinks as the NF becomes
+/// more memory-bound (larger S at fixed W). Measured at N = 5 accesses
+/// per packet, where both variants are CPU/memory-bound (at N = 1 the
+/// optimized configuration saturates the NIC pipe and the ratio is
+/// cap-distorted — see EXPERIMENTS.md).
+#[test]
+fn improvement_shrinks_with_memory_intensity() {
+    let improvement = |s_mb: u32| {
+        let nf = Nf::WorkPackage { w: 1, s_mb, n: 5 };
+        let v = ExperimentBuilder::new(nf.clone())
+            .metadata_model(MetadataModel::Copying)
+            .optimization(OptLevel::Vanilla)
+            .frequency_ghz(2.3)
+            .packets(PACKETS)
+            .run()
+            .expect("vanilla");
+        let p = ExperimentBuilder::new(nf)
+            .metadata_model(MetadataModel::XChange)
+            .optimization(OptLevel::AllSource)
+            .frequency_ghz(2.3)
+            .packets(PACKETS)
+            .run()
+            .expect("packetmill");
+        p.throughput_gbps / v.throughput_gbps
+    };
+    let light = improvement(1);
+    let heavy = improvement(16);
+    assert!(light > 1.05, "light NF should improve, got {light:.2}x");
+    assert!(
+        heavy < light,
+        "improvement must shrink with footprint: {heavy:.2}x vs {light:.2}x"
+    );
+}
+
+/// Fig. 10: the NAT scales with cores, and PacketMill stays ahead at
+/// every core count until the pipe saturates.
+#[test]
+fn nat_scales_with_cores() {
+    let run = |model, opt, cores| {
+        ExperimentBuilder::new(Nf::Nat)
+            .metadata_model(model)
+            .optimization(opt)
+            .cores(cores)
+            .frequency_ghz(2.3)
+            .packets(PACKETS)
+            .run()
+            .expect("nat run")
+            .throughput_gbps
+    };
+    let v1 = run(MetadataModel::Copying, OptLevel::Vanilla, 1);
+    let v2 = run(MetadataModel::Copying, OptLevel::Vanilla, 2);
+    let p1 = run(MetadataModel::XChange, OptLevel::AllSource, 1);
+    assert!(v2 > v1 * 1.4, "two cores must scale: {v1:.1} -> {v2:.1}");
+    assert!(p1 > v1, "packetmill NAT beats vanilla on one core");
+}
+
+/// Fig. 6: PacketMill's Mpps advantage holds across packet sizes, and
+/// large packets become pipe-bound for both.
+#[test]
+fn packet_size_sweep_shape() {
+    let run = |model, opt, size| {
+        ExperimentBuilder::new(Nf::Router)
+            .metadata_model(model)
+            .optimization(opt)
+            .frequency_ghz(2.3)
+            .traffic(TrafficProfile::FixedSize(size))
+            .packets(PACKETS)
+            .run()
+            .expect("size run")
+    };
+    let v64 = run(MetadataModel::Copying, OptLevel::Vanilla, 64);
+    let p64 = run(MetadataModel::XChange, OptLevel::AllSource, 64);
+    assert!(p64.mpps > v64.mpps, "packetmill wins at 64B");
+    let v1472 = run(MetadataModel::Copying, OptLevel::Vanilla, 1472);
+    let p1472 = run(MetadataModel::XChange, OptLevel::AllSource, 1472);
+    // At 1472 B both are within the NIC/PCIe-bound regime: the gap closes.
+    let small_gap = p64.mpps / v64.mpps;
+    let large_gap = p1472.mpps / v1472.mpps;
+    assert!(
+        large_gap < small_gap,
+        "size sweep must converge: {large_gap:.2} vs {small_gap:.2}"
+    );
+}
+
+/// §4.6: the framework ordering — PacketMill ≥ BESS ≥ FastClick(Copying),
+/// and l2fwd-xchg ≥ l2fwd — at a CPU-bound operating point.
+#[test]
+fn framework_comparison_ordering() {
+    use packetmill::{BessEngine, L2Fwd, VppEngine};
+    let fc = |model, opt| {
+        ExperimentBuilder::new(Nf::Forwarder)
+            .metadata_model(model)
+            .optimization(opt)
+            .frequency_ghz(1.2)
+            .traffic(TrafficProfile::FixedSize(256))
+            .packets(PACKETS)
+            .run()
+            .expect("fastclick")
+            .throughput_gbps
+    };
+    let fastclick = fc(MetadataModel::Copying, OptLevel::Vanilla);
+    let packetmill = fc(MetadataModel::XChange, OptLevel::AllSource);
+    let mut comp = |f: fn() -> Box<dyn packetmill::Dataplane>| {
+        ExperimentBuilder::new(Nf::Forwarder)
+            .frequency_ghz(1.2)
+            .traffic(TrafficProfile::FixedSize(256))
+            .packets(PACKETS)
+            .run_with_dataplane(f)
+            .expect("comparator")
+            .throughput_gbps
+    };
+    let l2fwd = comp(|| Box::new(L2Fwd::plain()));
+    let l2fwd_xchg = comp(|| Box::new(L2Fwd::xchg()));
+    let bess = comp(|| Box::new(BessEngine));
+    let vpp = comp(|| Box::new(VppEngine));
+
+    assert!(packetmill > fastclick, "PacketMill beats vanilla FastClick");
+    assert!(l2fwd_xchg > l2fwd, "X-Change speeds up even plain l2fwd");
+    assert!(l2fwd > fastclick, "lean l2fwd beats modular vanilla FastClick");
+    assert!(bess > fastclick, "BESS (overlaying) beats Copying FastClick");
+    assert!(vpp < bess, "VPP's extra copy keeps it below BESS");
+}
+
+/// Regression: heavily-overloaded small-packet runs (most arrivals
+/// dropped) must still measure the surviving packets — sequence
+/// identity is the generator index, not the delivery ordinal.
+#[test]
+fn overloaded_small_packets_still_measured() {
+    let m = ExperimentBuilder::new(Nf::Router)
+        .metadata_model(MetadataModel::Copying)
+        .frequency_ghz(2.3)
+        .traffic(TrafficProfile::FixedSize(320))
+        .packets(100_000)
+        .run()
+        .expect("run");
+    assert!(m.tx_packets > 5_000, "measured window must not be empty");
+    assert!(m.mpps > 3.0, "service rate visible: {:.2} Mpps", m.mpps);
+    assert!(m.rx_dropped > 50_000, "most arrivals drop at this load");
+}
+
+/// Extension NF: the firewall forwards allowed flows, drops denied ones,
+/// and PacketMill accelerates it like the paper's NFs.
+#[test]
+fn firewall_nf_end_to_end() {
+    let v = ExperimentBuilder::new(Nf::Firewall)
+        .metadata_model(MetadataModel::Copying)
+        .packets(PACKETS)
+        .run()
+        .expect("vanilla firewall");
+    let p = ExperimentBuilder::new(Nf::Firewall)
+        .metadata_model(MetadataModel::XChange)
+        .optimization(OptLevel::AllSource)
+        .packets(PACKETS)
+        .run()
+        .expect("packetmill firewall");
+    assert!(v.nf_dropped > 0, "the ACL denies some campus flows");
+    assert!(p.throughput_gbps > v.throughput_gbps * 1.2);
+}

@@ -1,0 +1,462 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: LPM trie vs brute force, cuckoo map vs `HashMap`,
+//! incremental vs full checksums, config-parser round-trips, cache
+//! simulator invariants, layout reordering, and histogram percentiles.
+
+use proptest::prelude::*;
+
+mod lpm {
+    use super::*;
+    use pm_elements::trie::{RadixTrie, Route};
+
+    fn brute_force(prefixes: &[(u32, u8, u16)], ip: u32) -> Option<u16> {
+        prefixes
+            .iter()
+            .filter(|&&(p, l, _)| {
+                let mask = if l == 0 { 0 } else { u32::MAX << (32 - u32::from(l)) };
+                ip & mask == p & mask
+            })
+            .max_by_key(|&&(_, l, _)| l)
+            .map(|&(_, _, port)| port)
+    }
+
+    proptest! {
+        /// The radix trie agrees with a brute-force longest-prefix scan
+        /// for arbitrary route tables and lookups.
+        #[test]
+        fn trie_matches_brute_force(
+            routes in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u16>()), 1..40),
+            ips in proptest::collection::vec(any::<u32>(), 1..60),
+        ) {
+            // Deduplicate (prefix, len) pairs keeping the LAST (insert
+            // replaces) — align the model accordingly.
+            let mut t = RadixTrie::new();
+            let mut canonical: Vec<(u32, u8, u16)> = Vec::new();
+            for &(p, l, port) in &routes {
+                let mask = if l == 0 { 0 } else { u32::MAX << (32 - u32::from(l)) };
+                let key = (p & mask, l);
+                canonical.retain(|&(cp, cl, _)| (cp, cl) != key);
+                canonical.push((p & mask, l, port));
+                t.insert(p, l, Route { port, gateway: 0 });
+            }
+            for ip in ips {
+                prop_assert_eq!(
+                    t.lookup(ip).map(|r| r.port),
+                    brute_force(&canonical, ip),
+                    "ip {:#x}", ip
+                );
+            }
+        }
+    }
+}
+
+mod cuckoo {
+    use super::*;
+    use pm_elements::cuckoo::{CuckooHash, InsertOutcome};
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u16, u32),
+        Remove(u16),
+        Lookup(u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+            any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+            any::<u16>().prop_map(|k| Op::Lookup(k % 512)),
+        ]
+    }
+
+    proptest! {
+        /// The cuckoo table behaves like `HashMap` for arbitrary
+        /// operation sequences (sized so it never fills).
+        #[test]
+        fn cuckoo_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+            let mut c: CuckooHash<u16, u32> = CuckooHash::new(512); // 2048 slots
+            let mut m: HashMap<u16, u32> = HashMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        prop_assert_ne!(c.insert(k, v), InsertOutcome::Full);
+                        m.insert(k, v);
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(c.remove(&k), m.remove(&k));
+                    }
+                    Op::Lookup(k) => {
+                        prop_assert_eq!(c.lookup(&k), m.get(&k).copied());
+                    }
+                }
+                prop_assert_eq!(c.len(), m.len());
+            }
+        }
+    }
+}
+
+mod checksum {
+    use super::*;
+    use pm_packet::checksum::{checksum, update16, update32};
+
+    proptest! {
+        /// RFC 1624 incremental updates agree with full recomputation for
+        /// arbitrary buffers and 16-bit field rewrites.
+        #[test]
+        fn incremental16_equals_recompute(
+            mut data in proptest::collection::vec(any::<u8>(), 2..256),
+            off in any::<proptest::sample::Index>(),
+            new in any::<u16>(),
+        ) {
+            let off = (off.index(data.len() - 1)) & !1; // word-aligned
+            let before = checksum(&data);
+            let old = u16::from_be_bytes([data[off], data[off + 1]]);
+            data[off..off + 2].copy_from_slice(&new.to_be_bytes());
+            prop_assert_eq!(update16(before, old, new), checksum(&data));
+        }
+
+        /// Same for 32-bit rewrites (NAT address rewriting).
+        #[test]
+        fn incremental32_equals_recompute(
+            mut data in proptest::collection::vec(any::<u8>(), 4..256),
+            off in any::<proptest::sample::Index>(),
+            new in any::<u32>(),
+        ) {
+            let off = (off.index(data.len() - 3)) & !1;
+            let before = checksum(&data);
+            let old = u32::from_be_bytes([data[off], data[off+1], data[off+2], data[off+3]]);
+            data[off..off + 4].copy_from_slice(&new.to_be_bytes());
+            prop_assert_eq!(update32(before, old, new), checksum(&data));
+        }
+    }
+}
+
+mod parser {
+    use super::*;
+    use packetmill::ConfigGraph;
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+    }
+
+    proptest! {
+        /// parse(pretty(parse(text))) is a fixpoint: re-parsing the
+        /// pretty-printed configuration reproduces the same structure.
+        #[test]
+        fn pretty_print_round_trip(
+            names in proptest::collection::hash_set(ident(), 2..8),
+            bursts in proptest::collection::vec(1u32..256, 2..8),
+        ) {
+            let names: Vec<String> = names.into_iter().collect();
+            let mut text = String::new();
+            for (i, n) in names.iter().enumerate() {
+                let burst = bursts[i % bursts.len()];
+                text.push_str(&format!("{n} :: Null(BURST {burst});\n"));
+            }
+            // Chain them all.
+            text.push_str(&names.join(" -> "));
+            text.push(';');
+
+            let g1 = ConfigGraph::parse(&text).unwrap();
+            let g2 = ConfigGraph::parse(&g1.to_click()).unwrap();
+            prop_assert_eq!(g1.declarations.len(), g2.declarations.len());
+            prop_assert_eq!(g1.connections.len(), g2.connections.len());
+            for (a, b) in g1.declarations.iter().zip(&g2.declarations) {
+                prop_assert_eq!(&a.name, &b.name);
+                prop_assert_eq!(&a.class, &b.class);
+                prop_assert_eq!(&a.args, &b.args);
+            }
+        }
+    }
+}
+
+mod cache {
+    use super::*;
+    use pm_mem::{AccessKind, MemoryHierarchy};
+
+    proptest! {
+        /// Temporal locality invariant: any address accessed twice in
+        /// immediate succession hits L1 the second time (zero uncore
+        /// stall), regardless of history.
+        #[test]
+        fn repeat_access_hits(
+            history in proptest::collection::vec(any::<u32>(), 0..200),
+            addr in any::<u32>(),
+        ) {
+            let mut m = MemoryHierarchy::skylake(1);
+            for h in history {
+                m.access(0, u64::from(h) * 64, 8, AccessKind::Load);
+            }
+            m.access(0, u64::from(addr) * 64, 8, AccessKind::Load);
+            let c = m.access(0, u64::from(addr) * 64, 8, AccessKind::Load);
+            prop_assert_eq!(c.uncore_ns, 0.0);
+            prop_assert!(c.cycles <= 1.0, "L1 hit expected, stall {}", c.cycles);
+        }
+
+        /// Counter monotonicity and consistency: misses never exceed
+        /// loads at any level.
+        #[test]
+        fn counters_consistent(ops in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..300)) {
+            let mut m = MemoryHierarchy::skylake(1);
+            for (a, is_load) in ops {
+                let kind = if is_load { AccessKind::Load } else { AccessKind::Store };
+                m.access(0, u64::from(a), 8, kind);
+            }
+            let c = m.counters();
+            prop_assert!(c.l1d_load_misses <= c.loads);
+            prop_assert!(c.llc_loads <= c.l1d_load_misses);
+            prop_assert!(c.llc_load_misses <= c.llc_loads);
+            prop_assert!(c.llc_store_misses <= c.llc_stores);
+            prop_assert!(c.llc_stores <= c.stores);
+        }
+    }
+}
+
+mod layout {
+    use super::*;
+    use packetmill::ExecPlan;
+    use pm_dpdk::MetadataModel;
+
+    proptest! {
+        /// Reordering the Packet layout by any field subset preserves the
+        /// field set, keeps offsets non-overlapping, and respects natural
+        /// alignment.
+        #[test]
+        fn reorder_preserves_validity(pick in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8)) {
+            let base = ExecPlan::vanilla(MetadataModel::Copying).packet_layout;
+            let names: Vec<&'static str> = base.fields().iter().map(|f| f.name).collect();
+            let mut order: Vec<&'static str> = Vec::new();
+            for idx in pick {
+                let n = names[idx.index(names.len())];
+                if !order.contains(&n) {
+                    order.push(n);
+                }
+            }
+            let r = base.reordered(&order);
+
+            // Same field set.
+            let mut a: Vec<&str> = base.fields().iter().map(|f| f.name).collect();
+            let mut b: Vec<&str> = r.fields().iter().map(|f| f.name).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+
+            // Alignment + non-overlap.
+            let mut spans: Vec<(u32, u32)> = r
+                .fields()
+                .iter()
+                .map(|f| (f.offset, f.offset + f.size))
+                .collect();
+            for f in r.fields() {
+                prop_assert_eq!(f.offset % f.size, 0, "field {} misaligned", f.name);
+            }
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+
+            // Requested fields lead the layout in order.
+            for (i, n) in order.iter().enumerate() {
+                prop_assert_eq!(r.fields()[i].name, *n);
+            }
+        }
+    }
+}
+
+mod histogram {
+    use super::*;
+    use pm_telemetry::LatencyHistogram;
+
+    proptest! {
+        /// Percentiles are monotone in p and bounded by min/max, for any
+        /// recorded sample set.
+        #[test]
+        fn percentiles_monotone_and_bounded(values in proptest::collection::vec(1u64..1_000_000_000, 1..400)) {
+            let mut h = LatencyHistogram::new();
+            let max = *values.iter().max().unwrap();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut last = 0;
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+                let q = h.percentile(p);
+                prop_assert!(q >= last, "p{p} decreased");
+                prop_assert!(q <= max, "p{p} exceeds max");
+                last = q;
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+        }
+    }
+}
+
+mod packets {
+    use super::*;
+    use pm_packet::builder::PacketBuilder;
+    use pm_packet::ipv4::Ipv4Header;
+
+    proptest! {
+        /// Every frame the builder produces parses back with a valid IP
+        /// checksum, the requested addressing, and the exact length.
+        #[test]
+        fn built_frames_are_valid(
+            src in any::<[u8; 4]>(),
+            dst in any::<[u8; 4]>(),
+            sport in any::<u16>(),
+            dport in any::<u16>(),
+            size in 64usize..=1500,
+            tcp in any::<bool>(),
+        ) {
+            let b = if tcp { PacketBuilder::tcp() } else { PacketBuilder::udp() };
+            let f = b.src_ip(src).dst_ip(dst).src_port(sport).dst_port(dport)
+                .frame_len(size).build();
+            prop_assert_eq!(f.len(), size);
+            let ip = Ipv4Header::parse(&f[14..]).unwrap();
+            prop_assert!(ip.verify_checksum(&f[14..]));
+            prop_assert_eq!(ip.src, src);
+            prop_assert_eq!(ip.dst, dst);
+        }
+
+        /// TTL decrement chains keep the checksum valid down to zero.
+        #[test]
+        fn ttl_chain_checksum_valid(ttl in 1u8..=64, dst in any::<[u8; 4]>()) {
+            let mut f = PacketBuilder::udp().dst_ip(dst).ttl(ttl).frame_len(128).build();
+            for expect in (0..ttl).rev() {
+                let got = pm_packet::ipv4::dec_ttl_in_place(&mut f[14..]);
+                prop_assert_eq!(got, Some(expect));
+                let ip = Ipv4Header::parse(&f[14..]).unwrap();
+                prop_assert!(ip.verify_checksum(&f[14..]));
+            }
+        }
+    }
+}
+
+mod rings {
+    use super::*;
+    use pm_mem::AddressSpace;
+    use pm_nic::{Completion, PostedBuffer, RxRing};
+    use pm_sim::SimTime;
+
+    proptest! {
+        /// The RX ring preserves FIFO order and never exceeds its
+        /// capacity for arbitrary interleavings of post / take+complete /
+        /// reap operations.
+        #[test]
+        fn rx_ring_fifo_and_bounded(ops in proptest::collection::vec(0u8..3, 1..300)) {
+            let mut space = AddressSpace::new();
+            let mut ring = RxRing::new(&mut space, 16);
+            let mut next_buf = 0u32;
+            let mut next_seq = 0u64;
+            let mut expected_reap = std::collections::VecDeque::new();
+            for op in ops {
+                match op {
+                    0 => {
+                        if ring.post(PostedBuffer { buf_id: next_buf, data_addr: 0 }) {
+                            next_buf += 1;
+                        }
+                    }
+                    1 => {
+                        if let Some(b) = ring.take_posted() {
+                            ring.push_completion(Completion {
+                                buf_id: b.buf_id,
+                                data_addr: b.data_addr,
+                                len: 64,
+                                rss_hash: 0,
+                                arrival: SimTime::from_ns(next_seq as f64),
+                                gen: SimTime::from_ns(next_seq as f64),
+                                seq: next_seq,
+                                desc_addr: 0,
+                            });
+                            expected_reap.push_back(next_seq);
+                            next_seq += 1;
+                        }
+                    }
+                    _ => {
+                        for c in ring.reap(4) {
+                            let want = expected_reap.pop_front();
+                            prop_assert_eq!(Some(c.seq), want, "FIFO violated");
+                        }
+                    }
+                }
+                prop_assert!(
+                    ring.posted_count() + ring.pending_completions() <= 16,
+                    "capacity exceeded"
+                );
+            }
+        }
+    }
+}
+
+mod batches {
+    use super::*;
+    use pm_click::{BatchArena, LinkedBatch, VectorBatch};
+
+    proptest! {
+        /// The linked-list and vector chaining models stay equivalent
+        /// under arbitrary sequences of pushes, splits, and merges.
+        #[test]
+        fn chaining_models_equivalent(
+            ids in proptest::collection::vec(0u32..256, 1..128),
+            pivot in any::<u32>(),
+        ) {
+            let pivot = pivot % 256;
+            let mut arena = BatchArena::new(256);
+            // De-duplicate: a packet id can be on only one list at a time.
+            let mut seen = std::collections::HashSet::new();
+            let ids: Vec<u32> = ids.into_iter().filter(|i| seen.insert(*i)).collect();
+
+            let v = VectorBatch::from_ids(ids.clone());
+            let l = LinkedBatch::from_ids(&mut arena, &ids);
+            let (vl, vr) = v.split(|id| id < pivot);
+            let (ll, lr) = l.split(&mut arena, |id| id < pivot);
+            prop_assert_eq!(
+                vl.iter().collect::<Vec<_>>(),
+                ll.iter(&arena).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                vr.iter().collect::<Vec<_>>(),
+                lr.iter(&arena).collect::<Vec<_>>()
+            );
+            // Merge back: both models restore the full set in split order.
+            let mut vm = vl;
+            vm.merge(vr);
+            let mut lm = ll;
+            lm.merge(&mut arena, lr);
+            prop_assert_eq!(
+                vm.iter().collect::<Vec<_>>(),
+                lm.iter(&arena).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(vm.len(), ids.len());
+        }
+    }
+}
+
+mod replay {
+    use super::*;
+    use packetmill::{Trace, TraceConfig, TrafficProfile};
+
+    proptest! {
+        /// Replay arrival times are strictly ordered and track the
+        /// offered rate within rounding, for any rate and packet count.
+        #[test]
+        fn replay_paces_correctly(
+            gbps in 1.0f64..400.0,
+            n in 2usize..200,
+            size in 64usize..1500,
+        ) {
+            let t = Trace::synthesize(&TraceConfig {
+                packets: 32,
+                profile: TrafficProfile::FixedSize(size),
+                ..TraceConfig::default()
+            });
+            let times: Vec<_> = t.replay(gbps, n).map(|(at, _)| at).collect();
+            prop_assert!(times.windows(2).all(|w| w[0] < w[1]));
+            let expect_ns = ((size + 20) * 8) as f64 / gbps;
+            let gap = (times[n - 1] - times[0]).as_ns() / (n - 1) as f64;
+            prop_assert!(
+                (gap - expect_ns).abs() < 1.0,
+                "gap {gap:.2} vs expected {expect_ns:.2}"
+            );
+        }
+    }
+}
