@@ -27,11 +27,25 @@ fn bench_lpm_trie(c: &mut Criterion) {
     use pm_sim::SplitMix64;
     let mut t = RadixTrie::new();
     let mut rng = SplitMix64::new(7);
-    t.insert(0, 0, Route { port: 0, gateway: 0 });
+    t.insert(
+        0,
+        0,
+        Route {
+            port: 0,
+            gateway: 0,
+        },
+    );
     for _ in 0..1_000 {
         let p = rng.next_u32();
         let len = 8 + (rng.next_u64() % 17) as u8;
-        t.insert(p, len, Route { port: (p % 4) as u16, gateway: 0 });
+        t.insert(
+            p,
+            len,
+            Route {
+                port: (p % 4) as u16,
+                gateway: 0,
+            },
+        );
     }
     let ips: Vec<u32> = (0..1024).map(|_| rng.next_u32()).collect();
     c.bench_function("lpm_trie_lookup_1k_routes", |b| {

@@ -1,15 +1,18 @@
 //! Ablation studies for the design choices DESIGN.md calls out — the
 //! knobs the paper discusses but does not sweep (§3.1 bullet list, §4.1
 //! "reordering contributes one third", the testbed's `IIO LLC WAYS`
-//! setting). Run with `cargo run --release -p pm-bench --bin ablations`.
+//! setting). Runs on the parallel sweep runner; invoke with
+//! `cargo run --release -p pm-bench --bin ablations [-- --threads N]`.
 
 use packetmill::{
-    ExperimentBuilder, MempoolMode, MetaField, MetadataModel, MetadataSpec, Nf, OptLevel, Table,
+    ExperimentBuilder, MempoolMode, MetaField, MetadataModel, MetadataSpec, Nf, OptLevel,
+    SweepSpec, Table,
 };
 
 const PACKETS: usize = 40_000;
 
 fn main() {
+    packetmill::sweep::configure_threads_from_args();
     reorder_contribution();
     ddio_ways();
     burst_size();
@@ -18,25 +21,37 @@ fn main() {
     ring_size_latency();
 }
 
+fn run(spec: SweepSpec) -> Vec<packetmill::Measurement> {
+    let results = spec.run();
+    eprintln!("sweep report:\n{}", results.report());
+    results.expect_all()
+}
+
 /// §4.1: "Reordering contributes to one third of the improvements" of
 /// LTO. Compare vanilla vs vanilla+reorder vs all-source on the router.
 fn reorder_contribution() {
-    let mut t = Table::new(vec!["variant", "Mpps", "p50 lat (us)"]);
-    for (name, opt) in [
+    let variants = [
         ("vanilla", OptLevel::Vanilla),
         ("vanilla + reorder", OptLevel::Reorder),
         ("all source opts", OptLevel::AllSource),
         ("all + reorder (Full)", OptLevel::Full),
-    ] {
-        let m = ExperimentBuilder::new(Nf::Router)
-            .metadata_model(MetadataModel::Copying)
-            .optimization(opt)
-            .frequency_ghz(3.0)
-            .packets(PACKETS)
-            .run()
-            .expect(name);
+    ];
+    let mut s = SweepSpec::new();
+    for (name, opt) in variants {
+        s.push(
+            format!("reorder {name}"),
+            ExperimentBuilder::new(Nf::Router)
+                .metadata_model(MetadataModel::Copying)
+                .optimization(opt)
+                .frequency_ghz(3.0)
+                .packets(PACKETS),
+        );
+    }
+    let ms = run(s);
+    let mut t = Table::new(vec!["variant", "Mpps", "p50 lat (us)"]);
+    for ((name, _), m) in variants.iter().zip(&ms) {
         t.row(vec![
-            name.to_string(),
+            (*name).to_string(),
             format!("{:.2}", m.mpps),
             format!("{:.0}", m.median_latency_us),
         ]);
@@ -47,16 +62,22 @@ fn reorder_contribution() {
 /// The testbed sets `IIO LLC WAYS` to widen DDIO. Sweep the DMA way
 /// partition and watch the router's miss rate and throughput.
 fn ddio_ways() {
+    let ways_sweep = [1usize, 2, 4, 6, 8];
+    let mut s = SweepSpec::new();
+    for ways in ways_sweep {
+        s.push(
+            format!("ddio {ways} ways"),
+            ExperimentBuilder::new(Nf::Router)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .frequency_ghz(2.3)
+                .ddio_ways(ways)
+                .packets(PACKETS),
+        );
+    }
+    let ms = run(s);
     let mut t = Table::new(vec!["ddio ways", "Gbps", "LLC miss (%)"]);
-    for ways in [1usize, 2, 4, 6, 8] {
-        let m = ExperimentBuilder::new(Nf::Router)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .frequency_ghz(2.3)
-            .ddio_ways(ways)
-            .packets(PACKETS)
-            .run()
-            .expect("ddio run");
+    for (ways, m) in ways_sweep.iter().zip(&ms) {
         t.row(vec![
             format!("{ways}"),
             format!("{:.1}", m.throughput_gbps),
@@ -68,27 +89,34 @@ fn ddio_ways() {
 
 /// BURST is a constant the paper embeds; sweep it.
 fn burst_size() {
+    let bursts = [4usize, 8, 16, 32, 64];
+    let mut s = SweepSpec::new();
+    for burst in bursts {
+        s.push(
+            format!("burst {burst} vanilla"),
+            ExperimentBuilder::new(Nf::Router)
+                .metadata_model(MetadataModel::Copying)
+                .frequency_ghz(2.3)
+                .burst(burst)
+                .packets(PACKETS),
+        );
+        s.push(
+            format!("burst {burst} packetmill"),
+            ExperimentBuilder::new(Nf::Router)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .frequency_ghz(2.3)
+                .burst(burst)
+                .packets(PACKETS),
+        );
+    }
+    let ms = run(s);
     let mut t = Table::new(vec!["burst", "vanilla Gbps", "packetmill Gbps"]);
-    for burst in [4usize, 8, 16, 32, 64] {
-        let v = ExperimentBuilder::new(Nf::Router)
-            .metadata_model(MetadataModel::Copying)
-            .frequency_ghz(2.3)
-            .burst(burst)
-            .packets(PACKETS)
-            .run()
-            .expect("vanilla");
-        let p = ExperimentBuilder::new(Nf::Router)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .frequency_ghz(2.3)
-            .burst(burst)
-            .packets(PACKETS)
-            .run()
-            .expect("packetmill");
+    for (burst, pair) in bursts.iter().zip(ms.chunks_exact(2)) {
         t.row(vec![
             format!("{burst}"),
-            format!("{:.1}", v.throughput_gbps),
-            format!("{:.1}", p.throughput_gbps),
+            format!("{:.1}", pair[0].throughput_gbps),
+            format!("{:.1}", pair[1].throughput_gbps),
         ]);
     }
     println!("== Ablation: RX/TX burst size (router @2.3 GHz) ==\n\n{t}");
@@ -98,17 +126,26 @@ fn burst_size() {
 /// path) keeps buffers warm — quantifying the pool-cycling cost the
 /// paper attributes to the Copying model.
 fn pool_mode() {
+    let modes = [
+        ("fifo (ring)", MempoolMode::Fifo),
+        ("lifo (stack)", MempoolMode::Lifo),
+    ];
+    let mut s = SweepSpec::new();
+    for (name, mode) in modes {
+        s.push(
+            format!("pool {name}"),
+            ExperimentBuilder::new(Nf::Router)
+                .metadata_model(MetadataModel::Copying)
+                .frequency_ghz(2.3)
+                .pool_mode(mode)
+                .packets(PACKETS),
+        );
+    }
+    let ms = run(s);
     let mut t = Table::new(vec!["pool order", "Gbps", "LLC loads (k/100ms)"]);
-    for (name, mode) in [("fifo (ring)", MempoolMode::Fifo), ("lifo (stack)", MempoolMode::Lifo)] {
-        let m = ExperimentBuilder::new(Nf::Router)
-            .metadata_model(MetadataModel::Copying)
-            .frequency_ghz(2.3)
-            .pool_mode(mode)
-            .packets(PACKETS)
-            .run()
-            .expect(name);
+    for ((name, _), m) in modes.iter().zip(&ms) {
         t.row(vec![
-            name.to_string(),
+            (*name).to_string(),
             format!("{:.1}", m.throughput_gbps),
             format!("{:.0}", m.llc_loads_per_100ms / 1e3),
         ]);
@@ -119,25 +156,33 @@ fn pool_mode() {
 /// X-Change lets the NF declare exactly the fields it needs; sweep the
 /// spec width from the two-field minimum to the full mbuf set.
 fn xchange_spec_width() {
-    let mut t = Table::new(vec!["spec", "fields", "Gbps @1.2 GHz, 128B"]);
-    for (name, spec) in [
+    let specs = [
         ("minimal (l2fwd-xchg)", MetadataSpec::minimal()),
         ("routing", MetadataSpec::routing()),
-        ("full rte_mbuf set", MetadataSpec::custom(MetaField::RX_FULL.to_vec())),
-    ] {
-        let fields = spec.len();
-        let m = ExperimentBuilder::new(Nf::Forwarder)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .frequency_ghz(1.2)
-            .traffic(packetmill::TrafficProfile::FixedSize(128))
-            .metadata_spec(spec)
-            .packets(PACKETS * 4)
-            .run()
-            .expect(name);
+        (
+            "full rte_mbuf set",
+            MetadataSpec::custom(MetaField::RX_FULL.to_vec()),
+        ),
+    ];
+    let mut s = SweepSpec::new();
+    for (name, spec) in &specs {
+        s.push(
+            format!("spec {name}"),
+            ExperimentBuilder::new(Nf::Forwarder)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .frequency_ghz(1.2)
+                .traffic(packetmill::TrafficProfile::FixedSize(128))
+                .metadata_spec(spec.clone())
+                .packets(PACKETS * 4),
+        );
+    }
+    let ms = run(s);
+    let mut t = Table::new(vec!["spec", "fields", "Gbps @1.2 GHz, 128B"]);
+    for ((name, spec), m) in specs.iter().zip(&ms) {
         t.row(vec![
-            name.to_string(),
-            format!("{fields}"),
+            (*name).to_string(),
+            format!("{}", spec.len()),
             format!("{:.1}", m.throughput_gbps),
         ]);
     }
@@ -147,15 +192,21 @@ fn xchange_spec_width() {
 /// The RX descriptor ring bounds the standing queue, trading drops for
 /// tail latency (the knee depth of Fig. 1).
 fn ring_size_latency() {
+    let rings = [256usize, 1024, 4096];
+    let mut s = SweepSpec::new();
+    for ring in rings {
+        s.push(
+            format!("rx ring {ring}"),
+            ExperimentBuilder::new(Nf::Router)
+                .metadata_model(MetadataModel::Copying)
+                .frequency_ghz(2.3)
+                .rx_ring(ring)
+                .packets(PACKETS),
+        );
+    }
+    let ms = run(s);
     let mut t = Table::new(vec!["rx ring", "Gbps", "p50 (us)", "p99 (us)"]);
-    for ring in [256usize, 1024, 4096] {
-        let m = ExperimentBuilder::new(Nf::Router)
-            .metadata_model(MetadataModel::Copying)
-            .frequency_ghz(2.3)
-            .rx_ring(ring)
-            .packets(PACKETS)
-            .run()
-            .expect("ring run");
+    for (ring, m) in rings.iter().zip(&ms) {
         t.row(vec![
             format!("{ring}"),
             format!("{:.1}", m.throughput_gbps),

@@ -1,6 +1,8 @@
-//! Regenerates the paper's fig10 artifact. Run with
-//! `cargo run --release -p pm-bench --bin fig10`.
+//! Regenerates the paper's fig10 artifact on the parallel sweep runner.
+//! Run with `cargo run --release -p pm-bench --bin fig10 [-- --threads N]`
+//! (`PM_THREADS` works too; default: all cores).
 
 fn main() {
-    println!("{}", pm_bench::figures::fig10());
+    packetmill::sweep::configure_threads_from_args();
+    pm_bench::figures::fig10().emit();
 }

@@ -1,6 +1,8 @@
-//! Regenerates the paper's fig11a artifact. Run with
-//! `cargo run --release -p pm-bench --bin fig11a`.
+//! Regenerates the paper's fig11a artifact on the parallel sweep runner.
+//! Run with `cargo run --release -p pm-bench --bin fig11a [-- --threads N]`
+//! (`PM_THREADS` works too; default: all cores).
 
 fn main() {
-    println!("{}", pm_bench::figures::fig11a());
+    packetmill::sweep::configure_threads_from_args();
+    pm_bench::figures::fig11a().emit();
 }

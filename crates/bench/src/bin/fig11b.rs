@@ -1,6 +1,8 @@
-//! Regenerates the paper's fig11b artifact. Run with
-//! `cargo run --release -p pm-bench --bin fig11b`.
+//! Regenerates the paper's fig11b artifact on the parallel sweep runner.
+//! Run with `cargo run --release -p pm-bench --bin fig11b [-- --threads N]`
+//! (`PM_THREADS` works too; default: all cores).
 
 fn main() {
-    println!("{}", pm_bench::figures::fig11b());
+    packetmill::sweep::configure_threads_from_args();
+    pm_bench::figures::fig11b().emit();
 }

@@ -1,6 +1,8 @@
-//! Regenerates the paper's fig5a artifact. Run with
-//! `cargo run --release -p pm-bench --bin fig5a`.
+//! Regenerates the paper's fig5a artifact on the parallel sweep runner.
+//! Run with `cargo run --release -p pm-bench --bin fig5a [-- --threads N]`
+//! (`PM_THREADS` works too; default: all cores).
 
 fn main() {
-    println!("{}", pm_bench::figures::fig5a());
+    packetmill::sweep::configure_threads_from_args();
+    pm_bench::figures::fig5a().emit();
 }

@@ -1,7 +1,12 @@
-//! Regenerates the paper's Figure 7 surfaces (N = 1 and N = 5). Run with
-//! `cargo run --release -p pm-bench --bin fig7`.
+//! Regenerates the paper's Figure 7 surfaces (N = 1 and N = 5) on the
+//! parallel sweep runner. Run with
+//! `cargo run --release -p pm-bench --bin fig7 [-- --threads N]`
+//! (`PM_THREADS` works too; default: all cores).
 
 fn main() {
-    println!("== N = 1 ==\n{}", pm_bench::figures::fig7(1));
-    println!("== N = 5 ==\n{}", pm_bench::figures::fig7(5));
+    packetmill::sweep::configure_threads_from_args();
+    println!("== N = 1 ==\n");
+    pm_bench::figures::fig7(1).emit();
+    println!("== N = 5 ==\n");
+    pm_bench::figures::fig7(5).emit();
 }

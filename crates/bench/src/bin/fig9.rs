@@ -1,6 +1,8 @@
-//! Regenerates the paper's fig9 artifact. Run with
-//! `cargo run --release -p pm-bench --bin fig9`.
+//! Regenerates the paper's fig9 artifact on the parallel sweep runner.
+//! Run with `cargo run --release -p pm-bench --bin fig9 [-- --threads N]`
+//! (`PM_THREADS` works too; default: all cores).
 
 fn main() {
-    println!("{}", pm_bench::figures::fig9());
+    packetmill::sweep::configure_threads_from_args();
+    pm_bench::figures::fig9().emit();
 }

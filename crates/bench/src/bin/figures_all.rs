@@ -1,0 +1,8 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! go (tables on stdout, sweep telemetry on stderr). Run with
+//! `cargo run --release -p pm-bench --bin figures_all [-- --threads N]`.
+
+fn main() {
+    packetmill::sweep::configure_threads_from_args();
+    pm_bench::figures::run_all();
+}

@@ -1,6 +1,8 @@
-//! Regenerates the paper's table1 artifact. Run with
-//! `cargo run --release -p pm-bench --bin table1`.
+//! Regenerates the paper's table1 artifact on the parallel sweep runner.
+//! Run with `cargo run --release -p pm-bench --bin table1 [-- --threads N]`
+//! (`PM_THREADS` works too; default: all cores).
 
 fn main() {
-    println!("{}", pm_bench::figures::table1());
+    packetmill::sweep::configure_threads_from_args();
+    pm_bench::figures::table1().emit();
 }

@@ -5,10 +5,15 @@
 //! come from the simulated testbed, so the *shape* (orderings, factors,
 //! crossovers) is the claim, not the exact values. `EXPERIMENTS.md`
 //! records paper-vs-measured for each.
+//!
+//! Each artifact declares its full experiment grid as a
+//! [`SweepSpec`] and executes it on the parallel sweep runner; the
+//! table rows are assembled from the in-input-order results, so the
+//! printed artifact is byte-identical at any `--threads` setting.
 
 use packetmill::{
     BessEngine, Dataplane, ExperimentBuilder, L2Fwd, Measurement, MetadataModel, Nf, OptLevel,
-    Table, TrafficProfile, VppEngine,
+    SweepReport, SweepSpec, Table, TrafficProfile, VppEngine,
 };
 
 /// Packets per data point (per NIC). Chosen so every figure regenerates
@@ -17,6 +22,35 @@ const PACKETS: usize = 40_000;
 
 /// The frequency sweep used by Figs. 4, 5, and 8 (GHz).
 pub const FREQS: [f64; 7] = [1.2, 1.5, 1.8, 2.1, 2.3, 2.6, 3.0];
+
+/// One generated artifact: the paper-style table plus the telemetry of
+/// the sweep that produced it.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The paper-style rows (deterministic: independent of threading).
+    pub table: Table,
+    /// Aggregate sweep telemetry (runs, failures, wall-clock, speedup).
+    pub report: SweepReport,
+}
+
+impl Artifact {
+    /// Prints the table to stdout and the sweep report to stderr, so
+    /// redirected artifact output stays byte-identical across thread
+    /// counts while the telemetry remains visible.
+    pub fn emit(&self) {
+        println!("{}", self.table);
+        eprintln!("sweep report:\n{}", self.report);
+    }
+}
+
+/// Per-run progress lines are on unless `PM_PROGRESS=0`.
+fn progress_enabled() -> bool {
+    std::env::var("PM_PROGRESS").map_or(true, |v| v != "0")
+}
+
+fn sweep() -> SweepSpec {
+    SweepSpec::new().progress(progress_enabled())
+}
 
 /// Fixed-size sweeps drop most arrivals at small sizes; scale the run so
 /// the post-warm-up window still observes tens of thousands of packets.
@@ -34,7 +68,22 @@ fn router(model: MetadataModel, opt: OptLevel, f: f64) -> ExperimentBuilder {
 
 /// Figure 1: 99th-percentile latency vs throughput for the router on one
 /// 2.3-GHz core, vanilla FastClick vs full PacketMill, offered-load sweep.
-pub fn fig1() -> Table {
+pub fn fig1() -> Artifact {
+    const OFFERED: [f64; 10] = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+    let mut s = sweep();
+    for offered in OFFERED {
+        s.push(
+            format!("fig1 {offered:.0}G vanilla"),
+            router(MetadataModel::Copying, OptLevel::Vanilla, 2.3).offered_gbps(offered),
+        );
+        s.push(
+            format!("fig1 {offered:.0}G packetmill"),
+            router(MetadataModel::XChange, OptLevel::AllSource, 2.3).offered_gbps(offered),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "offered (Gbps)",
         "vanilla tput",
@@ -42,15 +91,8 @@ pub fn fig1() -> Table {
         "packetmill tput",
         "packetmill p99 (us)",
     ]);
-    for offered in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0] {
-        let v = router(MetadataModel::Copying, OptLevel::Vanilla, 2.3)
-            .offered_gbps(offered)
-            .run()
-            .expect("vanilla run");
-        let p = router(MetadataModel::XChange, OptLevel::AllSource, 2.3)
-            .offered_gbps(offered)
-            .run()
-            .expect("packetmill run");
+    for (offered, pair) in OFFERED.iter().zip(ms.chunks_exact(2)) {
+        let (v, p) = (&pair[0], &pair[1]);
         t.row(vec![
             format!("{offered:.0}"),
             format!("{:.1}", v.throughput_gbps),
@@ -59,19 +101,36 @@ pub fn fig1() -> Table {
             format!("{:.0}", p.p99_latency_us),
         ]);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
+
+/// The five source-optimization variants of Fig. 4 / Table 1.
+const VARIANTS: [(&str, OptLevel); 5] = [
+    ("vanilla", OptLevel::Vanilla),
+    ("devirtualize", OptLevel::Devirtualize),
+    ("constants", OptLevel::ConstantEmbed),
+    ("static-graph", OptLevel::StaticGraph),
+    ("all", OptLevel::AllSource),
+];
 
 /// Figure 4: router throughput and median latency vs core frequency for
 /// the five source-optimization variants (Copying model).
-pub fn fig4() -> Table {
-    let variants = [
-        ("vanilla", OptLevel::Vanilla),
-        ("devirtualize", OptLevel::Devirtualize),
-        ("constants", OptLevel::ConstantEmbed),
-        ("static-graph", OptLevel::StaticGraph),
-        ("all", OptLevel::AllSource),
-    ];
+pub fn fig4() -> Artifact {
+    let mut s = sweep();
+    for &f in &FREQS {
+        for (name, opt) in VARIANTS {
+            s.push(
+                format!("fig4 {f:.1}GHz {name}"),
+                router(MetadataModel::Copying, opt, f),
+            );
+        }
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "freq (GHz)",
         "variant",
@@ -79,9 +138,10 @@ pub fn fig4() -> Table {
         "Mpps",
         "p50 lat (us)",
     ]);
+    let mut it = ms.iter();
     for &f in &FREQS {
-        for (name, opt) in variants {
-            let m = router(MetadataModel::Copying, opt, f).run().expect(name);
+        for (name, _) in VARIANTS {
+            let m = it.next().expect("one result per (freq, variant)");
             t.row(vec![
                 format!("{f:.1}"),
                 name.to_string(),
@@ -91,18 +151,24 @@ pub fn fig4() -> Table {
             ]);
         }
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
 /// Table 1: micro-architectural metrics at 3 GHz for the five variants.
-pub fn table1() -> Table {
-    let variants = [
-        ("vanilla", OptLevel::Vanilla),
-        ("devirtualization", OptLevel::Devirtualize),
-        ("constant-embedding", OptLevel::ConstantEmbed),
-        ("static-graph", OptLevel::StaticGraph),
-        ("all", OptLevel::AllSource),
-    ];
+pub fn table1() -> Artifact {
+    let mut s = sweep();
+    for (name, opt) in VARIANTS {
+        s.push(
+            format!("table1 {name}"),
+            router(MetadataModel::Copying, opt, 3.0),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "metric",
         "vanilla",
@@ -111,85 +177,97 @@ pub fn table1() -> Table {
         "static",
         "all",
     ]);
-    let ms: Vec<Measurement> = variants
-        .iter()
-        .map(|(name, opt)| {
-            router(MetadataModel::Copying, *opt, 3.0)
-                .run()
-                .expect(name)
-        })
-        .collect();
     t.row_f64(
         "LLC kilo loads / 100ms",
-        &ms.iter().map(|m| m.llc_loads_per_100ms / 1e3).collect::<Vec<_>>(),
+        &ms.iter()
+            .map(|m| m.llc_loads_per_100ms / 1e3)
+            .collect::<Vec<_>>(),
         0,
     );
     t.row_f64(
         "LLC kilo load-misses / 100ms",
-        &ms.iter().map(|m| m.llc_misses_per_100ms / 1e3).collect::<Vec<_>>(),
+        &ms.iter()
+            .map(|m| m.llc_misses_per_100ms / 1e3)
+            .collect::<Vec<_>>(),
         1,
     );
     t.row_f64("IPC", &ms.iter().map(|m| m.ipc).collect::<Vec<_>>(), 2);
     t.row_f64("Mpps", &ms.iter().map(|m| m.mpps).collect::<Vec<_>>(), 2);
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
+
+/// The three metadata-management models, in presentation order.
+const MODELS: [MetadataModel; 3] = [
+    MetadataModel::Copying,
+    MetadataModel::Overlaying,
+    MetadataModel::XChange,
+];
 
 /// Figure 5a: forwarder throughput vs frequency for the three metadata
 /// models (no source optimizations — isolating metadata management).
-pub fn fig5a() -> Table {
-    let mut t = Table::new(vec!["freq (GHz)", "copying", "overlaying", "x-change"]);
+pub fn fig5a() -> Artifact {
+    let mut s = sweep();
     for &f in &FREQS {
-        let vals: Vec<f64> = [
-            MetadataModel::Copying,
-            MetadataModel::Overlaying,
-            MetadataModel::XChange,
-        ]
-        .iter()
-        .map(|&model| {
-            ExperimentBuilder::new(Nf::Forwarder)
-                .metadata_model(model)
-                .frequency_ghz(f)
-                .packets(PACKETS)
-                .run()
-                .expect("fig5a run")
-                .throughput_gbps
-        })
-        .collect();
+        for model in MODELS {
+            s.push(
+                format!("fig5a {f:.1}GHz {model:?}"),
+                ExperimentBuilder::new(Nf::Forwarder)
+                    .metadata_model(model)
+                    .frequency_ghz(f)
+                    .packets(PACKETS),
+            );
+        }
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
+    let mut t = Table::new(vec!["freq (GHz)", "copying", "overlaying", "x-change"]);
+    for (&f, triple) in FREQS.iter().zip(ms.chunks_exact(3)) {
+        let vals: Vec<f64> = triple.iter().map(|m| m.throughput_gbps).collect();
         t.row_f64(format!("{f:.1}"), &vals, 1);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
 /// Figure 5b: the same sweep with two 100-Gbps NICs polled by one core —
 /// total throughput exceeds 100 Gbps only under X-Change.
-pub fn fig5b() -> Table {
+pub fn fig5b() -> Artifact {
+    let mut s = sweep();
+    for &f in &FREQS {
+        for model in MODELS {
+            s.push(
+                format!("fig5b {f:.1}GHz {model:?} 2xNIC"),
+                ExperimentBuilder::new(Nf::Forwarder)
+                    .metadata_model(model)
+                    .frequency_ghz(f)
+                    .nics(2)
+                    .packets(PACKETS / 2),
+            );
+        }
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "freq (GHz)",
         "copying total",
         "overlaying total",
         "x-change total",
     ]);
-    for &f in &FREQS {
-        let vals: Vec<f64> = [
-            MetadataModel::Copying,
-            MetadataModel::Overlaying,
-            MetadataModel::XChange,
-        ]
-        .iter()
-        .map(|&model| {
-            ExperimentBuilder::new(Nf::Forwarder)
-                .metadata_model(model)
-                .frequency_ghz(f)
-                .nics(2)
-                .packets(PACKETS / 2)
-                .run()
-                .expect("fig5b run")
-                .throughput_gbps
-        })
-        .collect();
+    for (&f, triple) in FREQS.iter().zip(ms.chunks_exact(3)) {
+        let vals: Vec<f64> = triple.iter().map(|m| m.throughput_gbps).collect();
         t.row_f64(format!("{f:.1}"), &vals, 1);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
 /// Packet sizes for the fixed-size sweeps (Figs. 6 and 11).
@@ -197,7 +275,25 @@ pub const SIZES: [usize; 12] = [64, 128, 192, 320, 448, 576, 704, 832, 960, 1088
 
 /// Figure 6: router @2.3 GHz, Gbps and Mpps vs fixed packet size,
 /// vanilla vs PacketMill.
-pub fn fig6() -> Table {
+pub fn fig6() -> Artifact {
+    let mut s = sweep();
+    for &size in &SIZES {
+        s.push(
+            format!("fig6 {size}B vanilla"),
+            router(MetadataModel::Copying, OptLevel::Vanilla, 2.3)
+                .traffic(TrafficProfile::FixedSize(size))
+                .packets(packets_for_size(size)),
+        );
+        s.push(
+            format!("fig6 {size}B packetmill"),
+            router(MetadataModel::XChange, OptLevel::AllSource, 2.3)
+                .traffic(TrafficProfile::FixedSize(size))
+                .packets(packets_for_size(size)),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "size (B)",
         "vanilla Gbps",
@@ -205,17 +301,8 @@ pub fn fig6() -> Table {
         "packetmill Gbps",
         "packetmill Mpps",
     ]);
-    for &size in &SIZES {
-        let v = router(MetadataModel::Copying, OptLevel::Vanilla, 2.3)
-            .traffic(TrafficProfile::FixedSize(size))
-            .packets(packets_for_size(size))
-            .run()
-            .expect("vanilla");
-        let p = router(MetadataModel::XChange, OptLevel::AllSource, 2.3)
-            .traffic(TrafficProfile::FixedSize(size))
-            .packets(packets_for_size(size))
-            .run()
-            .expect("packetmill");
+    for (&size, pair) in SIZES.iter().zip(ms.chunks_exact(2)) {
+        let (v, p) = (&pair[0], &pair[1]);
         t.row(vec![
             format!("{size}"),
             format!("{:.1}", v.throughput_gbps),
@@ -224,8 +311,15 @@ pub fn fig6() -> Table {
             format!("{:.2}", p.mpps),
         ]);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
+
+/// The (W, S) grid of the Fig. 7 surfaces.
+const FIG7_W: [u32; 5] = [0, 4, 8, 16, 20];
+const FIG7_S: [u32; 5] = [1, 4, 8, 12, 16];
 
 /// Figure 7: PacketMill's improvement (%) over vanilla for the synthetic
 /// WorkPackage NF over (W, S) grids, at `n` accesses per packet.
@@ -235,7 +329,32 @@ pub fn fig6() -> Table {
 /// plateau), which flattens its absolute numbers there; the N = 5
 /// surface is fully CPU/memory-bound and shows the paper's decay
 /// structure cleanly (see EXPERIMENTS.md).
-pub fn fig7(n: u32) -> Table {
+pub fn fig7(n: u32) -> Artifact {
+    let mut s = sweep();
+    for &w in &FIG7_W {
+        for &sz in &FIG7_S {
+            let nf = Nf::WorkPackage { w, s_mb: sz, n };
+            s.push(
+                format!("fig7 N={n} W={w} S={sz} vanilla"),
+                ExperimentBuilder::new(nf.clone())
+                    .metadata_model(MetadataModel::Copying)
+                    .optimization(OptLevel::Vanilla)
+                    .frequency_ghz(2.3)
+                    .packets(PACKETS),
+            );
+            s.push(
+                format!("fig7 N={n} W={w} S={sz} packetmill"),
+                ExperimentBuilder::new(nf)
+                    .metadata_model(MetadataModel::XChange)
+                    .optimization(OptLevel::AllSource)
+                    .frequency_ghz(2.3)
+                    .packets(PACKETS),
+            );
+        }
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "W (rands)",
         "S (MB)",
@@ -243,38 +362,51 @@ pub fn fig7(n: u32) -> Table {
         "packetmill Gbps",
         "improvement (%)",
     ]);
-    for &w in &[0u32, 4, 8, 16, 20] {
-        for &s in &[1u32, 4, 8, 12, 16] {
-            let nf = Nf::WorkPackage { w, s_mb: s, n };
-            let v = ExperimentBuilder::new(nf.clone())
-                .metadata_model(MetadataModel::Copying)
-                .optimization(OptLevel::Vanilla)
-                .frequency_ghz(2.3)
-                .packets(PACKETS)
-                .run()
-                .expect("vanilla");
-            let p = ExperimentBuilder::new(nf)
-                .metadata_model(MetadataModel::XChange)
-                .optimization(OptLevel::AllSource)
-                .frequency_ghz(2.3)
-                .packets(PACKETS)
-                .run()
-                .expect("packetmill");
+    let mut it = ms.chunks_exact(2);
+    for &w in &FIG7_W {
+        for &sz in &FIG7_S {
+            let pair = it.next().expect("one pair per (W, S)");
+            let (v, p) = (&pair[0], &pair[1]);
             let imp = (p.throughput_gbps / v.throughput_gbps - 1.0) * 100.0;
             t.row(vec![
                 format!("{w}"),
-                format!("{s}"),
+                format!("{sz}"),
                 format!("{:.1}", v.throughput_gbps),
                 format!("{:.1}", p.throughput_gbps),
                 format!("{imp:.1}"),
             ]);
         }
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
 /// Figure 8: IDS+router throughput and median latency vs frequency.
-pub fn fig8() -> Table {
+pub fn fig8() -> Artifact {
+    let mut s = sweep();
+    for &f in &FREQS {
+        s.push(
+            format!("fig8 {f:.1}GHz vanilla"),
+            ExperimentBuilder::new(Nf::IdsRouter)
+                .metadata_model(MetadataModel::Copying)
+                .optimization(OptLevel::Vanilla)
+                .frequency_ghz(f)
+                .packets(PACKETS),
+        );
+        s.push(
+            format!("fig8 {f:.1}GHz packetmill"),
+            ExperimentBuilder::new(Nf::IdsRouter)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .frequency_ghz(f)
+                .packets(PACKETS),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "freq (GHz)",
         "vanilla Gbps",
@@ -282,21 +414,8 @@ pub fn fig8() -> Table {
         "packetmill Gbps",
         "packetmill p50 (us)",
     ]);
-    for &f in &FREQS {
-        let v = ExperimentBuilder::new(Nf::IdsRouter)
-            .metadata_model(MetadataModel::Copying)
-            .optimization(OptLevel::Vanilla)
-            .frequency_ghz(f)
-            .packets(PACKETS)
-            .run()
-            .expect("vanilla");
-        let p = ExperimentBuilder::new(Nf::IdsRouter)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .frequency_ghz(f)
-            .packets(PACKETS)
-            .run()
-            .expect("packetmill");
+    for (&f, pair) in FREQS.iter().zip(ms.chunks_exact(2)) {
+        let (v, p) = (&pair[0], &pair[1]);
         t.row(vec![
             format!("{f:.1}"),
             format!("{:.1}", v.throughput_gbps),
@@ -305,12 +424,43 @@ pub fn fig8() -> Table {
             format!("{:.0}", p.median_latency_us),
         ]);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
 /// Figure 9: zooming into the N=1, W=4 slice — throughput, LLC-load-miss
 /// percentage, and LLC loads vs memory footprint.
-pub fn fig9() -> Table {
+pub fn fig9() -> Artifact {
+    let sizes_kb: [u64; 12] = [
+        256, 512, 1024, 2048, 3072, 5120, 8192, 10240, 12288, 14336, 16384, 20480,
+    ];
+    let mut s = sweep();
+    for &kb in &sizes_kb {
+        let nf = Nf::WorkPackageKb {
+            w: 4,
+            s_kb: kb,
+            n: 1,
+        };
+        s.push(
+            format!("fig9 {kb}KB vanilla"),
+            ExperimentBuilder::new(nf.clone())
+                .metadata_model(MetadataModel::Copying)
+                .optimization(OptLevel::Vanilla)
+                .packets(PACKETS),
+        );
+        s.push(
+            format!("fig9 {kb}KB packetmill"),
+            ExperimentBuilder::new(nf)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .packets(PACKETS),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "S (MB)",
         "vanilla Gbps",
@@ -320,23 +470,8 @@ pub fn fig9() -> Table {
         "vanilla loads (k/100ms)",
         "packetmill loads (k/100ms)",
     ]);
-    let sizes_kb: [u64; 12] = [
-        256, 512, 1024, 2048, 3072, 5120, 8192, 10240, 12288, 14336, 16384, 20480,
-    ];
-    for &kb in &sizes_kb {
-        let nf = Nf::WorkPackageKb { w: 4, s_kb: kb, n: 1 };
-        let v = ExperimentBuilder::new(nf.clone())
-            .metadata_model(MetadataModel::Copying)
-            .optimization(OptLevel::Vanilla)
-            .packets(PACKETS)
-            .run()
-            .expect("vanilla");
-        let p = ExperimentBuilder::new(nf)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .packets(PACKETS)
-            .run()
-            .expect("packetmill");
+    for (&kb, pair) in sizes_kb.iter().zip(ms.chunks_exact(2)) {
+        let (v, p) = (&pair[0], &pair[1]);
         t.row(vec![
             format!("{:.2}", kb as f64 / 1024.0),
             format!("{:.1}", v.throughput_gbps),
@@ -347,39 +482,100 @@ pub fn fig9() -> Table {
             format!("{:.0}", p.llc_loads_per_100ms / 1e3),
         ]);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
 /// Figure 10: NAT throughput vs core count @2.3 GHz (RSS spreads flows).
-pub fn fig10() -> Table {
-    let mut t = Table::new(vec!["cores", "vanilla Gbps", "packetmill Gbps"]);
+pub fn fig10() -> Artifact {
+    let mut s = sweep();
     for cores in 1..=4usize {
-        let v = ExperimentBuilder::new(Nf::Nat)
-            .metadata_model(MetadataModel::Copying)
-            .optimization(OptLevel::Vanilla)
-            .cores(cores)
-            .packets(PACKETS)
-            .run()
-            .expect("vanilla");
-        let p = ExperimentBuilder::new(Nf::Nat)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .cores(cores)
-            .packets(PACKETS)
-            .run()
-            .expect("packetmill");
+        s.push(
+            format!("fig10 {cores}c vanilla"),
+            ExperimentBuilder::new(Nf::Nat)
+                .metadata_model(MetadataModel::Copying)
+                .optimization(OptLevel::Vanilla)
+                .cores(cores)
+                .packets(PACKETS),
+        );
+        s.push(
+            format!("fig10 {cores}c packetmill"),
+            ExperimentBuilder::new(Nf::Nat)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .cores(cores)
+                .packets(PACKETS),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
+    let mut t = Table::new(vec!["cores", "vanilla Gbps", "packetmill Gbps"]);
+    for (cores, pair) in (1..=4usize).zip(ms.chunks_exact(2)) {
         t.row(vec![
             format!("{cores}"),
-            format!("{:.1}", v.throughput_gbps),
-            format!("{:.1}", p.throughput_gbps),
+            format!("{:.1}", pair[0].throughput_gbps),
+            format!("{:.1}", pair[1].throughput_gbps),
         ]);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
+}
+
+/// A comparator job for the Fig. 11 framework comparison: the forwarder
+/// experiment run over an arbitrary dataplane instead of FastClick.
+fn comparator_job(
+    size: usize,
+    packets: usize,
+    dp: fn() -> Box<dyn Dataplane>,
+) -> impl FnOnce() -> Result<Measurement, packetmill::ExperimentError> + Send + 'static {
+    move || {
+        ExperimentBuilder::new(Nf::Forwarder)
+            .frequency_ghz(1.2)
+            .traffic(TrafficProfile::FixedSize(size))
+            .packets(packets)
+            .run_with_dataplane(dp)
+    }
 }
 
 /// Figure 11a: FastClick vs `l2fwd` vs PacketMill vs `l2fwd-xchg`,
 /// fixed-size sweep on one 1.2-GHz core.
-pub fn fig11a() -> Table {
+pub fn fig11a() -> Artifact {
+    let mut s = sweep();
+    for &size in &SIZES {
+        s.push(
+            format!("fig11a {size}B fastclick"),
+            ExperimentBuilder::new(Nf::Forwarder)
+                .metadata_model(MetadataModel::Copying)
+                .frequency_ghz(1.2)
+                .traffic(TrafficProfile::FixedSize(size))
+                .packets(PACKETS),
+        );
+        s.push(
+            format!("fig11a {size}B packetmill"),
+            ExperimentBuilder::new(Nf::Forwarder)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .frequency_ghz(1.2)
+                .traffic(TrafficProfile::FixedSize(size))
+                .packets(PACKETS),
+        );
+        s.push_job(
+            format!("fig11a {size}B l2fwd"),
+            comparator_job(size, packets_for_size(size), || Box::new(L2Fwd::plain())),
+        );
+        s.push_job(
+            format!("fig11a {size}B l2fwd-xchg"),
+            comparator_job(size, packets_for_size(size), || Box::new(L2Fwd::xchg())),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "size (B)",
         "FastClick (Copying)",
@@ -387,47 +583,58 @@ pub fn fig11a() -> Table {
         "PacketMill (X-Change)",
         "l2fwd-xchg",
     ]);
-    for &size in &SIZES {
-        let fastclick = ExperimentBuilder::new(Nf::Forwarder)
-            .metadata_model(MetadataModel::Copying)
-            .frequency_ghz(1.2)
-            .traffic(TrafficProfile::FixedSize(size))
-            .packets(PACKETS)
-            .run()
-            .expect("fastclick");
-        let packetmill = ExperimentBuilder::new(Nf::Forwarder)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .frequency_ghz(1.2)
-            .traffic(TrafficProfile::FixedSize(size))
-            .packets(PACKETS)
-            .run()
-            .expect("packetmill");
-        let comparator = |dp: fn() -> Box<dyn Dataplane>| {
-            ExperimentBuilder::new(Nf::Forwarder)
-                .frequency_ghz(1.2)
-                .traffic(TrafficProfile::FixedSize(size))
-                .packets(packets_for_size(size))
-                .run_with_dataplane(dp)
-                .expect("comparator")
-                .throughput_gbps
-        };
-        let l2fwd = comparator(|| Box::new(L2Fwd::plain()));
-        let l2fwd_xchg = comparator(|| Box::new(L2Fwd::xchg()));
+    for (&size, quad) in SIZES.iter().zip(ms.chunks_exact(4)) {
         t.row(vec![
             format!("{size}"),
-            format!("{:.1}", fastclick.throughput_gbps),
-            format!("{l2fwd:.1}"),
-            format!("{:.1}", packetmill.throughput_gbps),
-            format!("{l2fwd_xchg:.1}"),
+            format!("{:.1}", quad[0].throughput_gbps),
+            format!("{:.1}", quad[2].throughput_gbps),
+            format!("{:.1}", quad[1].throughput_gbps),
+            format!("{:.1}", quad[3].throughput_gbps),
         ]);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
 /// Figure 11b: VPP vs FastClick (Copying) vs FastClick-Light (Overlaying)
 /// vs BESS vs PacketMill, fixed-size sweep on one 1.2-GHz core.
-pub fn fig11b() -> Table {
+pub fn fig11b() -> Artifact {
+    let fc = |size: usize, model: MetadataModel, opt: OptLevel| {
+        ExperimentBuilder::new(Nf::Forwarder)
+            .metadata_model(model)
+            .optimization(opt)
+            .frequency_ghz(1.2)
+            .traffic(TrafficProfile::FixedSize(size))
+            .packets(packets_for_size(size))
+    };
+    let mut s = sweep();
+    for &size in &SIZES {
+        s.push_job(
+            format!("fig11b {size}B vpp"),
+            comparator_job(size, packets_for_size(size), || Box::new(VppEngine)),
+        );
+        s.push(
+            format!("fig11b {size}B fastclick"),
+            fc(size, MetadataModel::Copying, OptLevel::Vanilla),
+        );
+        s.push(
+            format!("fig11b {size}B fastclick-light"),
+            fc(size, MetadataModel::Overlaying, OptLevel::Vanilla),
+        );
+        s.push_job(
+            format!("fig11b {size}B bess"),
+            comparator_job(size, packets_for_size(size), || Box::new(BessEngine)),
+        );
+        s.push(
+            format!("fig11b {size}B packetmill"),
+            fc(size, MetadataModel::XChange, OptLevel::AllSource),
+        );
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
     let mut t = Table::new(vec![
         "size (B)",
         "VPP",
@@ -436,61 +643,81 @@ pub fn fig11b() -> Table {
         "BESS",
         "PacketMill (X-Change)",
     ]);
-    for &size in &SIZES {
-        let fc = |model: MetadataModel, opt: OptLevel| {
-            ExperimentBuilder::new(Nf::Forwarder)
-                .metadata_model(model)
-                .optimization(opt)
-                .frequency_ghz(1.2)
-                .traffic(TrafficProfile::FixedSize(size))
-                .packets(packets_for_size(size))
-                .run()
-                .expect("fastclick variant")
-                .throughput_gbps
-        };
-        let comparator = |dp: fn() -> Box<dyn Dataplane>| {
-            ExperimentBuilder::new(Nf::Forwarder)
-                .frequency_ghz(1.2)
-                .traffic(TrafficProfile::FixedSize(size))
-                .packets(packets_for_size(size))
-                .run_with_dataplane(dp)
-                .expect("comparator")
-                .throughput_gbps
-        };
-        t.row(vec![
-            format!("{size}"),
-            format!("{:.1}", comparator(|| Box::new(VppEngine))),
-            format!("{:.1}", fc(MetadataModel::Copying, OptLevel::Vanilla)),
-            format!("{:.1}", fc(MetadataModel::Overlaying, OptLevel::Vanilla)),
-            format!("{:.1}", comparator(|| Box::new(BessEngine))),
-            format!("{:.1}", fc(MetadataModel::XChange, OptLevel::AllSource)),
-        ]);
+    for (&size, five) in SIZES.iter().zip(ms.chunks_exact(5)) {
+        let mut row = vec![format!("{size}")];
+        row.extend(five.iter().map(|m| format!("{:.1}", m.throughput_gbps)));
+        t.row(row);
     }
-    t
+    Artifact {
+        table: t,
+        report: results.report(),
+    }
 }
 
-/// Runs every artifact and prints paper-style output.
+/// Runs every artifact and prints paper-style output (tables on stdout,
+/// sweep telemetry on stderr).
 pub fn run_all() {
-    let artifacts: Vec<(&str, Box<dyn Fn() -> Table>)> = vec![
-        ("Figure 1 — p99 latency vs throughput (router, 1 core @2.3 GHz)", Box::new(fig1)),
-        ("Figure 4 — source-code optimizations vs frequency (router)", Box::new(fig4)),
-        ("Table 1 — micro-architectural metrics @3 GHz (router)", Box::new(table1)),
-        ("Figure 5a — metadata models vs frequency (forwarder, 1 NIC)", Box::new(fig5a)),
-        ("Figure 5b — metadata models, two NICs, one core", Box::new(fig5b)),
-        ("Figure 6 — packet-size sweep (router @2.3 GHz)", Box::new(fig6)),
-        ("Figure 7a — WorkPackage improvement surface (N=1)", Box::new(|| fig7(1))),
-        ("Figure 7b — WorkPackage improvement surface (N=5)", Box::new(|| fig7(5))),
+    type ArtifactFn = Box<dyn Fn() -> Artifact>;
+    let artifacts: Vec<(&str, ArtifactFn)> = vec![
+        (
+            "Figure 1 — p99 latency vs throughput (router, 1 core @2.3 GHz)",
+            Box::new(fig1),
+        ),
+        (
+            "Figure 4 — source-code optimizations vs frequency (router)",
+            Box::new(fig4),
+        ),
+        (
+            "Table 1 — micro-architectural metrics @3 GHz (router)",
+            Box::new(table1),
+        ),
+        (
+            "Figure 5a — metadata models vs frequency (forwarder, 1 NIC)",
+            Box::new(fig5a),
+        ),
+        (
+            "Figure 5b — metadata models, two NICs, one core",
+            Box::new(fig5b),
+        ),
+        (
+            "Figure 6 — packet-size sweep (router @2.3 GHz)",
+            Box::new(fig6),
+        ),
+        (
+            "Figure 7a — WorkPackage improvement surface (N=1)",
+            Box::new(|| fig7(1)),
+        ),
+        (
+            "Figure 7b — WorkPackage improvement surface (N=5)",
+            Box::new(|| fig7(5)),
+        ),
         ("Figure 8 — IDS+router vs frequency", Box::new(fig8)),
-        ("Figure 9 — memory-footprint slice (N=1, W=4)", Box::new(fig9)),
+        (
+            "Figure 9 — memory-footprint slice (N=1, W=4)",
+            Box::new(fig9),
+        ),
         ("Figure 10 — multicore NAT @2.3 GHz", Box::new(fig10)),
-        ("Figure 11a — FastClick vs l2fwd vs PacketMill vs l2fwd-xchg @1.2 GHz", Box::new(fig11a)),
-        ("Figure 11b — framework comparison @1.2 GHz", Box::new(fig11b)),
+        (
+            "Figure 11a — FastClick vs l2fwd vs PacketMill vs l2fwd-xchg @1.2 GHz",
+            Box::new(fig11a),
+        ),
+        (
+            "Figure 11b — framework comparison @1.2 GHz",
+            Box::new(fig11b),
+        ),
     ];
     for (title, f) in artifacts {
-        let start = std::time::Instant::now();
-        let table = f();
+        let artifact = f();
         println!("== {title} ==\n");
-        println!("{table}");
-        println!("(generated in {:.1} s)\n", start.elapsed().as_secs_f64());
+        println!("{}", artifact.table);
+        // Timing goes to stderr so redirected artifact output stays
+        // byte-identical across runs and thread counts.
+        eprintln!(
+            "sweep report ({:.1} s wall, {:.1} s serial-equivalent, {} threads):\n{}",
+            artifact.report.wall_seconds,
+            artifact.report.serial_seconds,
+            artifact.report.threads,
+            artifact.report,
+        );
     }
 }

@@ -325,7 +325,13 @@ mod tests {
         );
         let (va, vb) = v.split(|id| id % 3 == 0);
         let (la, lb) = l.split(&mut arena, |id| id % 3 == 0);
-        assert_eq!(va.iter().collect::<Vec<_>>(), la.iter(&arena).collect::<Vec<_>>());
-        assert_eq!(vb.iter().collect::<Vec<_>>(), lb.iter(&arena).collect::<Vec<_>>());
+        assert_eq!(
+            va.iter().collect::<Vec<_>>(),
+            la.iter(&arena).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            vb.iter().collect::<Vec<_>>(),
+            lb.iter(&arena).collect::<Vec<_>>()
+        );
     }
 }

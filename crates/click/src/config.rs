@@ -84,7 +84,9 @@ impl Args {
             let first = parts.next().unwrap_or("");
             let rest = parts.next().map(str::trim).unwrap_or("");
             let is_key = !first.is_empty()
-                && first.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                && first
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
                 && first.chars().next().is_some_and(|c| c.is_ascii_uppercase())
                 && !rest.is_empty();
             if is_key {
@@ -225,7 +227,12 @@ impl ConfigGraph {
                     None => a.value.clone(),
                 })
                 .collect();
-            s.push_str(&format!("{} :: {}({});\n", d.name, d.class, args.join(", ")));
+            s.push_str(&format!(
+                "{} :: {}({});\n",
+                d.name,
+                d.class,
+                args.join(", ")
+            ));
         }
         for c in &self.connections {
             s.push_str(&format!(
@@ -336,10 +343,7 @@ impl<'a> Parser<'a> {
         }
         // Inline anonymous element: must look like a class reference
         // (leading uppercase) optionally with args.
-        let looks_class = r
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_ascii_uppercase());
+        let looks_class = r.chars().next().is_some_and(|c| c.is_ascii_uppercase());
         if !looks_class {
             return Err(ConfigError::Syntax {
                 line,
@@ -349,7 +353,9 @@ impl<'a> Parser<'a> {
         let (class, args) = parse_class_ref(r, line)?;
         self.anon_counter += 1;
         let name = format!("{class}@{}", self.anon_counter);
-        self.graph.declarations.push(Declaration { name, class, args });
+        self.graph
+            .declarations
+            .push(Declaration { name, class, args });
         Ok(self.graph.declarations.len() - 1)
     }
 }
@@ -385,7 +391,10 @@ fn parse_class_ref(text: &str, line: usize) -> Result<(String, Args), ConfigErro
 }
 
 /// Parses `[p] name [p]` endpoint syntax. Returns (in_port, ref, out_port).
-fn parse_endpoint(text: &str, line: usize) -> Result<(Option<u16>, String, Option<u16>), ConfigError> {
+fn parse_endpoint(
+    text: &str,
+    line: usize,
+) -> Result<(Option<u16>, String, Option<u16>), ConfigError> {
     let mut s = text.trim();
     let mut in_port = None;
     let mut out_port = None;

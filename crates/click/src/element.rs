@@ -354,7 +354,10 @@ mod tests {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
-        ctx.state = Region { base: 0x1000, size: 64 };
+        ctx.state = Region {
+            base: 0x1000,
+            size: 64,
+        };
         ctx.touch_state(60, 8, AccessKind::Load);
     }
 

@@ -65,8 +65,17 @@ pub fn default_packet_layout() -> StructLayout {
 /// The subset of `Packet` fields written when converting from an mbuf
 /// (the Copying model's per-packet copy).
 pub const COPY_FIELDS: [&str; 11] = [
-    "use_count", "pkt_len", "data_ptr", "buf_addr", "end", "mbuf", "data_len", "port",
-    "rss_hash", "mac_hdr", "timestamp",
+    "use_count",
+    "pkt_len",
+    "data_ptr",
+    "buf_addr",
+    "end",
+    "mbuf",
+    "data_len",
+    "port",
+    "rss_hash",
+    "mac_hdr",
+    "timestamp",
 ];
 
 /// A FIFO-cycling pool of `Packet` objects.
@@ -91,12 +100,7 @@ impl ClickPool {
 
     /// Like [`Self::new`], with `lifo = true` selecting stack recycling
     /// (most-recently-freed object reused first — the warm-pool ablation).
-    pub fn with_order(
-        space: &mut AddressSpace,
-        n: u32,
-        layout: &StructLayout,
-        lifo: bool,
-    ) -> Self {
+    pub fn with_order(space: &mut AddressSpace, n: u32, layout: &StructLayout, lifo: bool) -> Self {
         assert!(n > 0, "empty packet pool");
         let stride = u64::from(layout.size_lines());
         // Long-running pools interleave frees from many paths, so the
@@ -152,8 +156,8 @@ impl ClickPool {
         match self.free.pop_front() {
             Some(slot) => {
                 let addr = self.region.base + u64::from(slot) * self.stride;
-                let cost = Self::scaled(mem.access(core, addr, 8, AccessKind::Load))
-                    + Cost::compute(4);
+                let cost =
+                    Self::scaled(mem.access(core, addr, 8, AccessKind::Load)) + Cost::compute(4);
                 (Some(addr), cost)
             }
             None => (None, Cost::compute(4)),
@@ -167,7 +171,7 @@ impl ClickPool {
     /// Panics if `addr` is not an object base from this pool.
     pub fn free(&mut self, core: usize, mem: &mut MemoryHierarchy, addr: u64) -> Cost {
         assert!(
-            self.region.contains(addr) && (addr - self.region.base) % self.stride == 0,
+            self.region.contains(addr) && (addr - self.region.base).is_multiple_of(self.stride),
             "not a pool object address: {addr:#x}"
         );
         let slot = ((addr - self.region.base) / self.stride) as u32;
@@ -206,7 +210,10 @@ mod tests {
     fn reordering_collapses_hot_set() {
         let l = default_packet_layout();
         let r = l.reordered(&["data_ptr", "net_hdr", "dst_ip_anno", "paint_anno"]);
-        assert_eq!(r.lines_touched(&["data_ptr", "net_hdr", "dst_ip_anno", "paint_anno"]), 1);
+        assert_eq!(
+            r.lines_touched(&["data_ptr", "net_hdr", "dst_ip_anno", "paint_anno"]),
+            1
+        );
     }
 
     #[test]

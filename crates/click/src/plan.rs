@@ -109,11 +109,7 @@ impl ExecPlan {
 
     /// Short human-readable tag for tables.
     pub fn label(&self) -> String {
-        let opt = match (
-            self.dispatch,
-            self.constants_embedded,
-            self.static_graph,
-        ) {
+        let opt = match (self.dispatch, self.constants_embedded, self.static_graph) {
             (DispatchMode::Virtual, false, false) => "vanilla".to_string(),
             (DispatchMode::Direct, false, false) => "devirtualize".to_string(),
             (DispatchMode::Virtual, true, false) => "constants".to_string(),

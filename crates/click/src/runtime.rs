@@ -109,7 +109,9 @@ impl GraphRuntime {
                 .collect()
         };
 
-        // One vtable address per element class (shared, like C++).
+        // One vtable address per element class (shared, like C++). Class
+        // names are interned as indices into a scratch list borrowed from
+        // the graph — no allocation outlives this constructor.
         let vtable_region = space.alloc(4096);
         let mut classes: Vec<&str> = Vec::new();
         let vtable_addrs = graph
@@ -120,12 +122,13 @@ impl GraphRuntime {
                     .iter()
                     .position(|c| *c == e.class.as_str())
                     .unwrap_or_else(|| {
-                        classes.push(Box::leak(e.class.clone().into_boxed_str()));
+                        classes.push(e.class.as_str());
                         classes.len() - 1
                     });
                 vtable_region.at((idx as u64) * 64)
             })
             .collect();
+        drop(classes);
 
         // Large element state (tables, arrays).
         for e in &mut graph.elements {
@@ -187,12 +190,9 @@ impl GraphRuntime {
                 if self.plan.sroa_active() {
                     // Scalar replacement: the conversion lives in
                     // registers / one hot stack line.
-                    ctx.cost += ctx.mem.access(
-                        ctx.core,
-                        self.stack_region.base,
-                        16,
-                        AccessKind::Store,
-                    );
+                    ctx.cost +=
+                        ctx.mem
+                            .access(ctx.core, self.stack_region.base, 16, AccessKind::Store);
                     // The conversion work (field moves, annotation init)
                     // still executes — in registers. Only the memory
                     // traffic and pool management disappear.
@@ -205,7 +205,9 @@ impl GraphRuntime {
                     ctx.charge(c);
                     let addr = addr.unwrap_or(self.stack_region.base);
                     // Loads from the (just-written, hot) mbuf line…
-                    ctx.cost += ctx.mem.access(ctx.core, desc.meta_addr, 32, AccessKind::Load);
+                    ctx.cost += ctx
+                        .mem
+                        .access(ctx.core, desc.meta_addr, 32, AccessKind::Load);
                     // …object init + field copy: only the lines holding
                     // the bookkeeping fields are written here; annotation
                     // lines are touched lazily by the elements that use
@@ -315,9 +317,9 @@ impl GraphRuntime {
         let lat = *ctx.mem.latency_model();
         match self.plan.dispatch {
             DispatchMode::Virtual => {
-                ctx.cost +=
-                    ctx.mem
-                        .access(ctx.core, self.vtable_addrs[idx], 8, AccessKind::Load);
+                ctx.cost += ctx
+                    .mem
+                    .access(ctx.core, self.vtable_addrs[idx], 8, AccessKind::Load);
                 ctx.charge(lat.virtual_call());
             }
             DispatchMode::Direct => ctx.charge(lat.direct_call()),
@@ -344,16 +346,15 @@ impl GraphRuntime {
         let state = self.state_regions[idx];
         if !self.plan.constants_embedded {
             let words = self.graph.elements[idx].element.param_loads().max(1);
-            ctx.cost += ctx.mem.access(
-                ctx.core,
-                state.base,
-                u64::from(words) * 8,
-                AccessKind::Load,
-            );
+            ctx.cost +=
+                ctx.mem
+                    .access(ctx.core, state.base, u64::from(words) * 8, AccessKind::Load);
             ctx.compute(u64::from(words) * 3);
         } else {
             // The element object itself is still touched (counters etc.).
-            ctx.cost += ctx.mem.access(ctx.core, state.base + 8, 8, AccessKind::Load);
+            ctx.cost += ctx
+                .mem
+                .access(ctx.core, state.base + 8, 8, AccessKind::Load);
         }
     }
 }
@@ -489,6 +490,10 @@ mod tests {
         assert_eq!(meta, d.meta_addr, "X-Change uses the driver-written slot");
         let c = ctx.take_cost();
         assert_eq!(c.uncore_ns, 0.0);
-        assert!(c.instructions <= 8, "cast-only entry, got {}", c.instructions);
+        assert!(
+            c.instructions <= 8,
+            "cast-only entry, got {}",
+            c.instructions
+        );
     }
 }

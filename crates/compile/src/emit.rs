@@ -79,7 +79,12 @@ fn sanitize(name: &str) -> String {
 
 fn emit_chain(out: &mut String, ir: &MillIr, from: usize, depth: usize, seen: &mut Vec<usize>) {
     if seen.contains(&from) {
-        let _ = writeln!(out, "{}// (cycle back to {})", indent(depth), ir.config.declarations[from].name);
+        let _ = writeln!(
+            out,
+            "{}// (cycle back to {})",
+            indent(depth),
+            ir.config.declarations[from].name
+        );
         return;
     }
     seen.push(from);
@@ -93,9 +98,15 @@ fn emit_chain(out: &mut String, ir: &MillIr, from: usize, depth: usize, seen: &m
     for (port, to) in succs {
         let d = &ir.config.declarations[to];
         let call = match ir.plan.dispatch {
-            pm_click::DispatchMode::Virtual => format!("{}.process(pkt) /* virtual */", sanitize(&d.name)),
+            pm_click::DispatchMode::Virtual => {
+                format!("{}.process(pkt) /* virtual */", sanitize(&d.name))
+            }
             pm_click::DispatchMode::Direct => {
-                format!("{}::process(&mut {}, pkt) /* direct */", d.class, sanitize(&d.name))
+                format!(
+                    "{}::process(&mut {}, pkt) /* direct */",
+                    d.class,
+                    sanitize(&d.name)
+                )
             }
             pm_click::DispatchMode::Inlined => format!("inline_{}(pkt)", sanitize(&d.name)),
         };

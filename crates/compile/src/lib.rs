@@ -26,7 +26,6 @@ pub mod pipeline;
 
 pub use emit::emit_specialized_source;
 pub use passes::{
-    ConstantEmbedPass, DeadElementPass, DevirtualizePass, Pass, ReorderFieldsPass,
-    StaticGraphPass,
+    ConstantEmbedPass, DeadElementPass, DevirtualizePass, Pass, ReorderFieldsPass, StaticGraphPass,
 };
 pub use pipeline::{MillIr, Pipeline};

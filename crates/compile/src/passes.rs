@@ -184,7 +184,7 @@ impl ReorderFieldsPass {
             .collect();
         // Sort by count descending; ties keep original layout order
         // (sort is stable over the layout-ordered input).
-        hot.sort_by(|a, b| b.1.cmp(&a.1));
+        hot.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         hot.into_iter().map(|(n, _)| n).collect()
     }
 }
@@ -200,12 +200,9 @@ impl Pass for ReorderFieldsPass {
             ir.note("reorder-fields: no profile data; layout unchanged");
             return;
         }
-        let before = ir
-            .plan
-            .packet_layout
-            .lines_touched(&order.iter().copied().collect::<Vec<_>>());
+        let before = ir.plan.packet_layout.lines_touched(&order.to_vec());
         let new_layout = ir.plan.packet_layout.reordered(&order);
-        let after = new_layout.lines_touched(&order.iter().copied().collect::<Vec<_>>());
+        let after = new_layout.lines_touched(&order.to_vec());
         ir.plan.packet_layout = new_layout;
         ir.note(format!(
             "reorder-fields: {} hot field(s) moved to the front; hot set now spans {after} \

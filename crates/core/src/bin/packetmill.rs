@@ -205,12 +205,20 @@ fn main() -> ExitCode {
 
     match builder.run_with_handlers() {
         Ok((m, handlers)) => {
-            println!("configuration : {} / {:?} / {:?}", nf_name(&o.nf), o.model, o.opt);
+            println!(
+                "configuration : {} / {:?} / {:?}",
+                nf_name(&o.nf),
+                o.model,
+                o.opt
+            );
             println!(
                 "testbed       : {} core(s) @ {} GHz, {} NIC(s), {} Gbps offered",
                 o.cores, o.freq, o.nics, o.offered
             );
-            println!("throughput    : {:.2} Gbps ({:.2} Mpps)", m.throughput_gbps, m.mpps);
+            println!(
+                "throughput    : {:.2} Gbps ({:.2} Mpps)",
+                m.throughput_gbps, m.mpps
+            );
             println!(
                 "latency       : p50 {:.1} us   p99 {:.1} us   mean {:.1} us",
                 m.median_latency_us, m.p99_latency_us, m.mean_latency_us

@@ -201,8 +201,8 @@ impl Engine {
                 // Pool covers posted descriptors + TX in-flight + bursts
                 // (DPDK pools are sized to the rings; oversizing inflates
                 // the DMA working set past the DDIO ways for no benefit).
-                let n_bufs = ((cfg.rx_ring * qpn + cfg.tx_ring + 4 * cfg.burst) as u32)
-                    + cfg.pool_size;
+                let n_bufs =
+                    ((cfg.rx_ring * qpn + cfg.tx_ring + 4 * cfg.burst) as u32) + cfg.pool_size;
                 let dma = DmaMemory::new(space, n_bufs, 2176, 128);
                 let pmd_cfg = PmdConfig {
                     burst: cfg.burst,
@@ -307,11 +307,7 @@ impl Engine {
         // Round-robin cursor over each core's pairs.
         let mut rr = vec![0usize; cores];
         let core_pairs: Vec<Vec<usize>> = (0..cores)
-            .map(|c| {
-                (0..self.pairs.len())
-                    .filter(|p| p % cores == c)
-                    .collect()
-            })
+            .map(|c| (0..self.pairs.len()).filter(|p| p % cores == c).collect())
             .collect();
 
         let mut hist = LatencyHistogram::new();

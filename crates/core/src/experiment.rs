@@ -16,6 +16,10 @@ use pm_traffic::{Trace, TraceConfig, TrafficProfile};
 use std::error::Error;
 use std::fmt;
 
+/// Per-element `(name, packets, drops)` statistics, as exposed by the
+/// Click read handlers.
+pub type ElementStats = Vec<(String, u64, u64)>;
+
 /// Which network function to run (paper §A).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Nf {
@@ -380,9 +384,7 @@ impl ExperimentBuilder {
 
     /// Like [`Self::run`], also returning the per-element
     /// `(name, packets, drops)` statistics (Click read handlers).
-    pub fn run_with_handlers(
-        &self,
-    ) -> Result<(Measurement, Vec<(String, u64, u64)>), ExperimentError> {
+    pub fn run_with_handlers(&self) -> Result<(Measurement, ElementStats), ExperimentError> {
         let ir = self.build_ir()?;
         let mut engine = self.build_engine(&ir, self.packets, false)?;
         let m = engine.run();
@@ -407,8 +409,7 @@ impl ExperimentBuilder {
         drop(probe);
 
         let mut space = AddressSpace::new();
-        let dataplanes: Vec<Box<dyn Dataplane>> =
-            (0..self.nics * qpn).map(|_| factory()).collect();
+        let dataplanes: Vec<Box<dyn Dataplane>> = (0..self.nics * qpn).map(|_| factory()).collect();
         let traces: Vec<Trace> = (0..self.nics)
             .map(|n| match &self.custom_trace {
                 Some(t) => t.clone(),
@@ -431,19 +432,33 @@ mod tests {
 
     #[test]
     fn nf_presets_have_configs() {
-        for nf in [Nf::Forwarder, Nf::Router, Nf::IdsRouter, Nf::Nat, Nf::Firewall] {
+        for nf in [
+            Nf::Forwarder,
+            Nf::Router,
+            Nf::IdsRouter,
+            Nf::Nat,
+            Nf::Firewall,
+        ] {
             let text = nf.config_text();
             assert!(text.contains("FromDPDKDevice"), "{nf:?}");
             assert!(ConfigGraph::parse(&text).is_ok(), "{nf:?} parses");
         }
-        let wp = Nf::WorkPackage { w: 2, s_mb: 4, n: 1 }.config_text();
+        let wp = Nf::WorkPackage {
+            w: 2,
+            s_mb: 4,
+            n: 1,
+        }
+        .config_text();
         assert!(wp.contains("WorkPackage(W 2, S 4, N 1)"));
     }
 
     #[test]
     fn custom_config_round_trips() {
         let custom = Nf::Custom("a :: FromDPDKDevice(0); a -> Discard;".into());
-        assert_eq!(custom.config_text(), "a :: FromDPDKDevice(0); a -> Discard;");
+        assert_eq!(
+            custom.config_text(),
+            "a :: FromDPDKDevice(0); a -> Discard;"
+        );
     }
 
     #[test]
@@ -469,9 +484,22 @@ mod tests {
     #[test]
     fn pipeline_matches_opt_level() {
         let b = ExperimentBuilder::new(Nf::Forwarder);
-        assert!(b.clone().optimization(OptLevel::Vanilla).pipeline().is_empty());
-        assert_eq!(b.clone().optimization(OptLevel::Devirtualize).pipeline().len(), 1);
-        assert_eq!(b.clone().optimization(OptLevel::AllSource).pipeline().len(), 4);
+        assert!(b
+            .clone()
+            .optimization(OptLevel::Vanilla)
+            .pipeline()
+            .is_empty());
+        assert_eq!(
+            b.clone()
+                .optimization(OptLevel::Devirtualize)
+                .pipeline()
+                .len(),
+            1
+        );
+        assert_eq!(
+            b.clone().optimization(OptLevel::AllSource).pipeline().len(),
+            4
+        );
         assert_eq!(b.optimization(OptLevel::Full).pipeline().len(), 4);
     }
 

@@ -38,10 +38,12 @@
 pub mod click_dataplane;
 pub mod engine;
 pub mod experiment;
+pub mod sweep;
 
 pub use click_dataplane::ClickDataplane;
 pub use engine::{Engine, EngineConfig, Measurement};
 pub use experiment::{ExperimentBuilder, ExperimentError, Nf, OptLevel};
+pub use sweep::{RunOutcome, SweepReport, SweepResults, SweepSpec};
 
 // Re-exports so examples and tests need only this crate.
 pub use pm_click::{ConfigGraph, DispatchMode, ExecPlan, Graph};

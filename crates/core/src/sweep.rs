@@ -1,0 +1,435 @@
+//! Deterministic parallel sweep runner.
+//!
+//! The paper's evaluation is a grid of *independent* experiment
+//! configurations (NF × metadata model × optimization level × frequency
+//! × traffic). Each experiment is a self-contained, seeded, event-driven
+//! simulation with no shared mutable state, so a sweep parallelizes
+//! perfectly **across** runs while every individual run stays exactly as
+//! serial — and therefore bit-identical — as before.
+//!
+//! [`SweepSpec`] collects labelled runs (an [`ExperimentBuilder`] per
+//! run, each carrying its own explicit seed, or an arbitrary job closure
+//! for non-FastClick dataplanes) and executes them on a pool of
+//! work-stealing `std::thread` workers. Results are returned **in input
+//! order** regardless of thread count or completion order, so output
+//! built from a sweep is byte-identical at `threads = 1` and
+//! `threads = N`.
+//!
+//! The worker count comes from, in priority order: an explicit
+//! [`SweepSpec::run_with_threads`] argument, [`set_default_threads`]
+//! (set by the `--threads` CLI flag via
+//! [`configure_threads_from_args`]), the `PM_THREADS` environment
+//! variable, and finally [`std::thread::available_parallelism`].
+
+use crate::engine::Measurement;
+use crate::experiment::{ExperimentBuilder, ExperimentError};
+use pm_telemetry::Table;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() -> Result<Measurement, ExperimentError> + Send + 'static>;
+
+/// Process-wide default worker count override (0 = unset).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the default worker count for subsequent sweeps (takes
+/// precedence over `PM_THREADS`). `0` clears the override.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count a sweep uses when none is given explicitly:
+/// [`set_default_threads`], else `PM_THREADS`, else
+/// [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    let forced = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("PM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses `--threads N` / `--threads=N` from the process arguments,
+/// installs the result via [`set_default_threads`], and returns the
+/// resolved worker count. Call once from a sweep binary's `main`.
+pub fn configure_threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        let parsed = if let Some(v) = arg.strip_prefix("--threads=") {
+            v.parse::<usize>().ok()
+        } else if arg == "--threads" {
+            args.get(i + 1).and_then(|v| v.parse::<usize>().ok())
+        } else {
+            None
+        };
+        if let Some(n) = parsed.filter(|&n| n > 0) {
+            set_default_threads(n);
+            return n;
+        }
+        i += 1;
+    }
+    default_threads()
+}
+
+/// A declarative list of labelled experiment runs.
+#[derive(Default)]
+pub struct SweepSpec {
+    runs: Vec<(String, Job)>,
+    progress: bool,
+}
+
+impl fmt::Debug for SweepSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepSpec")
+            .field("runs", &self.runs.len())
+            .field("progress", &self.progress)
+            .finish()
+    }
+}
+
+impl SweepSpec {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables per-run progress lines on stderr.
+    #[must_use]
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Appends one experiment. The builder carries every parameter of
+    /// the run, including its explicit RNG seed, so the run's result
+    /// does not depend on where or when a worker picks it up.
+    pub fn push(&mut self, label: impl Into<String>, builder: ExperimentBuilder) -> &mut Self {
+        self.runs
+            .push((label.into(), Box::new(move || builder.run())));
+        self
+    }
+
+    /// Appends an arbitrary job (e.g. [`ExperimentBuilder::run_with_dataplane`]
+    /// for the Fig. 11 framework comparators). The job must be
+    /// self-contained: it is executed at most once, on any worker.
+    pub fn push_job<F>(&mut self, label: impl Into<String>, job: F) -> &mut Self
+    where
+        F: FnOnce() -> Result<Measurement, ExperimentError> + Send + 'static,
+    {
+        self.runs.push((label.into(), Box::new(job)));
+        self
+    }
+
+    /// Number of queued runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if no runs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Executes the sweep with [`default_threads`] workers.
+    pub fn run(self) -> SweepResults {
+        let threads = default_threads();
+        self.run_with_threads(threads)
+    }
+
+    /// Executes the sweep on `threads` workers and returns outcomes in
+    /// input order.
+    ///
+    /// Workers steal the next unclaimed run from a shared cursor, so
+    /// load imbalance (experiments vary widely in cost) never idles a
+    /// core while work remains. A panicking run is caught and reported
+    /// as a failed [`RunOutcome`]; the rest of the sweep proceeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn run_with_threads(self, threads: usize) -> SweepResults {
+        assert!(threads > 0, "a sweep needs at least one worker");
+        let n = self.runs.len();
+        let progress = self.progress;
+        let started = Instant::now();
+
+        let slots: Vec<(String, Mutex<Option<Job>>)> = self
+            .runs
+            .into_iter()
+            .map(|(label, job)| (label, Mutex::new(Some(job))))
+            .collect();
+        let outcomes: Vec<Mutex<Option<RunOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+
+        let worker = |_worker_id: usize| loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= n {
+                break;
+            }
+            let (label, slot) = &slots[idx];
+            let job = slot
+                .lock()
+                .expect("job slot")
+                .take()
+                .expect("each run claimed once");
+            let run_started = Instant::now();
+            let result = match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(Ok(m)) => Ok(m),
+                Ok(Err(e)) => Err(format!("experiment error: {e}")),
+                Err(payload) => Err(format!("panicked: {}", panic_message(payload.as_ref()))),
+            };
+            let seconds = run_started.elapsed().as_secs_f64();
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            if progress {
+                match &result {
+                    Ok(m) => eprintln!(
+                        "[{done}/{n}] {label}: {:.1} Gbps, {:.2} Mpps ({seconds:.2} s)",
+                        m.throughput_gbps, m.mpps
+                    ),
+                    Err(e) => eprintln!("[{done}/{n}] {label}: FAILED — {e} ({seconds:.2} s)"),
+                }
+            }
+            *outcomes[idx].lock().expect("outcome slot") = Some(RunOutcome {
+                label: label.clone(),
+                result,
+                seconds,
+            });
+        };
+
+        let threads = threads.min(n.max(1));
+        if threads <= 1 {
+            worker(0);
+        } else {
+            std::thread::scope(|s| {
+                for w in 0..threads {
+                    s.spawn(move || worker(w));
+                }
+            });
+        }
+
+        SweepResults {
+            outcomes: outcomes
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("no poison")
+                        .expect("all runs executed")
+                })
+                .collect(),
+            threads,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One finished run: its label, result, and wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The label given at [`SweepSpec::push`] time.
+    pub label: String,
+    /// The measurement, or a description of the failure (experiment
+    /// error or caught panic).
+    pub result: Result<Measurement, String>,
+    /// Wall-clock seconds this run took on its worker.
+    pub seconds: f64,
+}
+
+/// Every outcome of a sweep, in input order, plus aggregate timing.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// Per-run outcomes, in the order the runs were pushed.
+    pub outcomes: Vec<RunOutcome>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+}
+
+impl SweepResults {
+    /// The measurements in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the failing run's label if any run failed.
+    pub fn expect_all(&self) -> Vec<Measurement> {
+        self.outcomes
+            .iter()
+            .map(|o| match &o.result {
+                Ok(m) => *m,
+                Err(e) => panic!("sweep run '{}' failed: {e}", o.label),
+            })
+            .collect()
+    }
+
+    /// Number of failed runs.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_err()).count()
+    }
+
+    /// Sum of per-run wall-clock seconds — what a serial execution of
+    /// the same sweep would have cost.
+    pub fn serial_seconds(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.seconds).sum()
+    }
+
+    /// The aggregate report.
+    pub fn report(&self) -> SweepReport {
+        SweepReport {
+            runs: self.outcomes.len(),
+            failures: self.failures(),
+            threads: self.threads,
+            serial_seconds: self.serial_seconds(),
+            wall_seconds: self.wall_seconds,
+        }
+    }
+}
+
+/// Aggregate sweep telemetry: run counts and serial-equivalent vs.
+/// actual wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepReport {
+    /// Total runs executed.
+    pub runs: usize,
+    /// Runs that failed (experiment error or panic).
+    pub failures: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Sum of per-run seconds (serial-equivalent cost).
+    pub serial_seconds: f64,
+    /// Actual wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+impl SweepReport {
+    /// Serial-equivalent over actual wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.serial_seconds / self.wall_seconds.max(1e-9)
+    }
+
+    /// Renders as a `pm-telemetry` table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "runs",
+            "failures",
+            "threads",
+            "serial-equivalent (s)",
+            "wall-clock (s)",
+            "speedup",
+        ]);
+        t.row(vec![
+            format!("{}", self.runs),
+            format!("{}", self.failures),
+            format!("{}", self.threads),
+            format!("{:.2}", self.serial_seconds),
+            format!("{:.2}", self.wall_seconds),
+            format!("{:.2}x", self.speedup()),
+        ]);
+        t
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Nf;
+
+    fn mini_builder(i: usize) -> ExperimentBuilder {
+        ExperimentBuilder::new(Nf::Forwarder)
+            .frequency_ghz(1.2 + 0.3 * i as f64)
+            .packets(512)
+            .seed(0xCAFE + i as u64)
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let mut spec = SweepSpec::new();
+        for i in 0..4 {
+            spec.push(format!("run-{i}"), mini_builder(i));
+        }
+        let r = spec.run_with_threads(2);
+        let labels: Vec<&str> = r.outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels, ["run-0", "run-1", "run-2", "run-3"]);
+        assert_eq!(r.failures(), 0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut spec = SweepSpec::new();
+        spec.push("a", mini_builder(0));
+        spec.push("b", mini_builder(1));
+        let r = spec.run_with_threads(2);
+        let rep = r.report();
+        assert_eq!(rep.runs, 2);
+        assert_eq!(rep.failures, 0);
+        assert_eq!(rep.threads, 2);
+        assert!(rep.serial_seconds > 0.0);
+        assert!(rep.wall_seconds > 0.0);
+        let rendered = rep.to_table().to_string();
+        assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
+    fn thread_count_never_exceeds_runs() {
+        let mut spec = SweepSpec::new();
+        spec.push("only", mini_builder(0));
+        let r = spec.run_with_threads(8);
+        assert_eq!(r.threads, 1, "clamped to the number of runs");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        SweepSpec::new().run_with_threads(0);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let r = SweepSpec::new().run_with_threads(4);
+        assert!(r.outcomes.is_empty());
+        assert_eq!(r.report().runs, 0);
+    }
+
+    #[test]
+    fn experiment_error_is_reported_not_fatal() {
+        let mut spec = SweepSpec::new();
+        spec.push("bad", ExperimentBuilder::new(Nf::Custom("x -> ;".into())));
+        spec.push("good", mini_builder(0));
+        let r = spec.run_with_threads(2);
+        assert_eq!(r.failures(), 1);
+        assert!(r.outcomes[0]
+            .result
+            .as_ref()
+            .unwrap_err()
+            .contains("experiment error"));
+        assert!(r.outcomes[1].result.is_ok());
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use:
+//! `Criterion::{default, sample_size, bench_function, benchmark_group}`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros. Each benchmark runs a calibrated batch per sample and prints
+//! mean ± spread of per-iteration wall-clock time; there are no plots,
+//! baselines, or statistical tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per sample when calibrating iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group; benches in it print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.criterion.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Iterations to run this sample (set by the driver).
+    iters: u64,
+    /// Measured wall-clock for the sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Calibrate: grow the iteration count until one sample is long
+    // enough to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            (TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64 + 1
+        };
+        iters = iters.saturating_mul(grow.clamp(2, 100));
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<40} time: [{} {} {}]  ({iters} iters/sample, {samples} samples)",
+        fmt_time(lo),
+        fmt_time(mean),
+        fmt_time(hi),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::std::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a benchmark binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -41,7 +41,10 @@ impl StructLayout {
         let mut out = Vec::with_capacity(fields.len());
         let mut off = 0u32;
         for &(fname, size) in fields {
-            assert!(size.is_power_of_two(), "field {fname}: size must be a power of two");
+            assert!(
+                size.is_power_of_two(),
+                "field {fname}: size must be a power of two"
+            );
             assert!(
                 !out.iter().any(|f: &FieldDef| f.name == fname),
                 "duplicate field {fname}"
@@ -192,8 +195,8 @@ mod tests {
         // A 200-byte struct whose two hot fields start and end it.
         let mut spec: Vec<(&'static str, u32)> = vec![("hot1", 4)];
         const COLD: [&str; 24] = [
-            "c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
-            "c13", "c14", "c15", "c16", "c17", "c18", "c19", "c20", "c21", "c22", "c23",
+            "c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12", "c13",
+            "c14", "c15", "c16", "c17", "c18", "c19", "c20", "c21", "c22", "c23",
         ];
         for c in COLD {
             spec.push((c, 8));

@@ -83,7 +83,9 @@ mod tests {
     #[test]
     fn rx_hot_fields_in_first_line() {
         let l = rte_mbuf_layout();
-        for f in ["buf_addr", "data_off", "pkt_len", "data_len", "rss_hash", "vlan_tci"] {
+        for f in [
+            "buf_addr", "data_off", "pkt_len", "data_len", "rss_hash", "vlan_tci",
+        ] {
             assert_eq!(l.line_of(f), 0, "{f} must be in the first line");
         }
     }

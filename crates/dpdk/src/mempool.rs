@@ -112,10 +112,7 @@ impl Mempool {
     ///
     /// Panics (in debug builds) on double free.
     pub fn free(&mut self, core: usize, mem: &mut MemoryHierarchy, id: u32) -> Cost {
-        debug_assert!(
-            !self.free.contains(&id),
-            "double free of buffer {id}"
-        );
+        debug_assert!(!self.free.contains(&id), "double free of buffer {id}");
         let cost = self.ring_touch(core, mem, AccessKind::Store);
         match self.mode {
             MempoolMode::Fifo => self.free.push_back(id),
@@ -132,7 +129,10 @@ mod tests {
 
     fn rig(mode: MempoolMode) -> (Mempool, MemoryHierarchy) {
         let mut space = AddressSpace::new();
-        (Mempool::new(&mut space, 8, mode), MemoryHierarchy::skylake(1))
+        (
+            Mempool::new(&mut space, 8, mode),
+            MemoryHierarchy::skylake(1),
+        )
     }
 
     #[test]

@@ -244,7 +244,7 @@ impl Pmd {
     ) -> (Vec<RxDesc>, Cost) {
         let lat = *mem.latency_model();
         let mut cost = Cost::compute(8); // poll-loop entry
-        // Poll the next CQE slot (read happens even when empty).
+                                         // Poll the next CQE slot (read happens even when empty).
         cost += mem.access(core, nic.rx_ring_mut(q).poll_addr(), 8, AccessKind::Load);
 
         let comps = nic.rx_ring_mut(q).reap_until(self.cfg.burst, now);
@@ -288,7 +288,10 @@ impl Pmd {
                     (addr, None)
                 }
                 MetadataModel::XChange => {
-                    let ring = self.xchg.as_mut().expect("xchg ring exists in XChange mode");
+                    let ring = self
+                        .xchg
+                        .as_mut()
+                        .expect("xchg ring exists in XChange mode");
                     let slot = ring
                         .take()
                         .expect("xchg ring exhausted: sized >= 2 bursts by construction");
@@ -503,12 +506,19 @@ mod tests {
     fn rx_burst_returns_packets_with_data() {
         let mut r = rig(MetadataModel::Copying);
         deliver(&mut r, 5);
-        let (pkts, cost) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let (pkts, cost) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
         assert_eq!(pkts.len(), 5);
         assert!(cost.instructions > 0);
         for p in &pkts {
             assert_eq!(p.len, 128);
-            assert_eq!(r.dma.data(p.buf_id).len() >= 128, true);
+            assert!(r.dma.data(p.buf_id).len() >= 128);
             assert!(p.xslot.is_none());
         }
     }
@@ -516,7 +526,14 @@ mod tests {
     #[test]
     fn empty_poll_counted_and_cheap() {
         let mut r = rig(MetadataModel::Copying);
-        let (pkts, cost) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let (pkts, cost) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
         assert!(pkts.is_empty());
         assert_eq!(r.pmd.stats().empty_polls, 1);
         assert!(cost.instructions < 20, "empty poll must be cheap");
@@ -526,9 +543,23 @@ mod tests {
     fn burst_size_respected() {
         let mut r = rig(MetadataModel::Copying);
         deliver(&mut r, 40);
-        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let (pkts, _) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
         assert_eq!(pkts.len(), 32);
-        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let (pkts, _) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
         assert_eq!(pkts.len(), 8);
     }
 
@@ -536,13 +567,26 @@ mod tests {
     fn xchange_assigns_slots_and_returns_them_at_tx() {
         let mut r = rig(MetadataModel::XChange);
         deliver(&mut r, 32);
-        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let (pkts, _) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
         assert!(pkts.iter().all(|p| p.xslot.is_some()));
         let avail_before = r.pmd.xchg_ring().unwrap().available();
-        let sends: Vec<TxSend> = pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
-        let (deps, _) = r
-            .pmd
-            .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_us(10.0), &sends);
+        let sends: Vec<TxSend> = pkts
+            .iter()
+            .map(|&desc| TxSend {
+                desc,
+                len: desc.len,
+            })
+            .collect();
+        let (deps, _) =
+            r.pmd
+                .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_us(10.0), &sends);
         assert!(deps.iter().all(|d| d.is_some()));
         assert_eq!(
             r.pmd.xchg_ring().unwrap().available(),
@@ -558,12 +602,24 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..4 {
             deliver(&mut r, 32);
-            let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+            let (pkts, _) = r.pmd.rx_burst(
+                0,
+                &mut r.nic,
+                0,
+                &r.dma,
+                &mut r.mem,
+                SimTime::from_ms(100.0),
+            );
             for p in &pkts {
                 seen.insert(p.meta_addr);
             }
-            let sends: Vec<TxSend> =
-                pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+            let sends: Vec<TxSend> = pkts
+                .iter()
+                .map(|&desc| TxSend {
+                    desc,
+                    len: desc.len,
+                })
+                .collect();
             let now = SimTime::from_ms(1.0);
             r.pmd.tx_burst(0, &mut r.nic, 0, &mut r.mem, now, &sends);
         }
@@ -580,12 +636,24 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..8 {
             deliver(&mut r, 32);
-            let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+            let (pkts, _) = r.pmd.rx_burst(
+                0,
+                &mut r.nic,
+                0,
+                &r.dma,
+                &mut r.mem,
+                SimTime::from_ms(100.0),
+            );
             for p in &pkts {
                 seen.insert(p.meta_addr);
             }
-            let sends: Vec<TxSend> =
-                pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+            let sends: Vec<TxSend> = pkts
+                .iter()
+                .map(|&desc| TxSend {
+                    desc,
+                    len: desc.len,
+                })
+                .collect();
             r.pmd
                 .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_ms(1.0), &sends);
         }
@@ -600,14 +668,40 @@ mod tests {
     fn tx_free_returns_buffers_to_pool() {
         let mut r = rig(MetadataModel::Copying);
         deliver(&mut r, 8);
-        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
-        let sends: Vec<TxSend> = pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+        let (pkts, _) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
+        let sends: Vec<TxSend> = pkts
+            .iter()
+            .map(|&desc| TxSend {
+                desc,
+                len: desc.len,
+            })
+            .collect();
         r.pmd
             .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::ZERO, &sends);
         // Frames depart quickly; a later burst reaps them back to the pool.
         deliver(&mut r, 1);
-        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
-        let sends: Vec<TxSend> = pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+        let (pkts, _) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
+        let sends: Vec<TxSend> = pkts
+            .iter()
+            .map(|&desc| TxSend {
+                desc,
+                len: desc.len,
+            })
+            .collect();
         r.pmd
             .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_ms(5.0), &sends);
         assert!(r.pmd.pool.stats().frees >= 8);
@@ -617,7 +711,14 @@ mod tests {
     fn release_frees_dropped_packets() {
         let mut r = rig(MetadataModel::XChange);
         deliver(&mut r, 2);
-        let (pkts, _) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
+        let (pkts, _) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
         let avail = r.pmd.xchg_ring().unwrap().available();
         r.pmd.release(0, &mut r.mem, &pkts[0]);
         assert_eq!(r.pmd.xchg_ring().unwrap().available(), avail + 1);
@@ -633,9 +734,21 @@ mod tests {
             let mut n = 0u64;
             for round in 0..64 {
                 deliver(&mut r, 32);
-                let (pkts, c1) = r.pmd.rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(100.0));
-                let sends: Vec<TxSend> =
-                    pkts.iter().map(|&desc| TxSend { desc, len: desc.len }).collect();
+                let (pkts, c1) = r.pmd.rx_burst(
+                    0,
+                    &mut r.nic,
+                    0,
+                    &r.dma,
+                    &mut r.mem,
+                    SimTime::from_ms(100.0),
+                );
+                let sends: Vec<TxSend> = pkts
+                    .iter()
+                    .map(|&desc| TxSend {
+                        desc,
+                        len: desc.len,
+                    })
+                    .collect();
                 let now = SimTime::from_us(10.0 * (round + 1) as f64);
                 let (_, c2) = r.pmd.tx_burst(0, &mut r.nic, 0, &mut r.mem, now, &sends);
                 if round >= 16 {

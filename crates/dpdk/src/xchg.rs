@@ -273,7 +273,10 @@ impl XchgRing {
     ///
     /// Panics (in debug builds) on double return.
     pub fn give_back(&mut self, slot: u32) {
-        debug_assert!(!self.free.contains(&slot), "double give_back of slot {slot}");
+        debug_assert!(
+            !self.free.contains(&slot),
+            "double give_back of slot {slot}"
+        );
         debug_assert!(slot < self.n, "slot out of range");
         self.free.push_back(slot);
     }

@@ -181,7 +181,10 @@ mod tests {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
-        ctx.state = pm_mem::Region { base: 0xb00, size: 64 };
+        ctx.state = pm_mem::Region {
+            base: 0xb00,
+            size: 64,
+        };
         let len = frame.len();
         let mut pkt = Pkt {
             data: frame,
@@ -282,6 +285,8 @@ mod tests {
     fn bad_config_rejected() {
         let mut el = ArpQuerier::default();
         assert!(el.configure(&Args::parse("10.0.0.1 nonsense")).is_err());
-        assert!(el.configure(&Args::parse("not.an.ip aa:bb:cc:dd:ee:ff")).is_err());
+        assert!(el
+            .configure(&Args::parse("not.an.ip aa:bb:cc:dd:ee:ff"))
+            .is_err());
     }
 }

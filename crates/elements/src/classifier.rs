@@ -90,7 +90,7 @@ impl Pattern {
 
 fn parse_hex(s: &str) -> Result<Vec<u8>, ConfigError> {
     let s = s.trim();
-    if s.is_empty() || s.len() % 2 != 0 {
+    if s.is_empty() || !s.len().is_multiple_of(2) {
         return Err(ConfigError::Element {
             element: String::new(),
             message: format!("bad hex string {s:?}"),
@@ -313,7 +313,10 @@ mod tests {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
-        ctx.state = pm_mem::Region { base: 0x1000, size: 64 };
+        ctx.state = pm_mem::Region {
+            base: 0x1000,
+            size: 64,
+        };
         let mut data = vec![0u8; 100];
         let mut pkt = Pkt {
             data: &mut data,

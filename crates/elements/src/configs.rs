@@ -12,8 +12,7 @@ input -> EtherMirror -> output;
 
 /// The default route set: one rule per port, as in the paper's router
 /// ("with only one rule per port").
-pub const ROUTES: &str =
-    "0.0.0.0/0 0, 10.0.0.0/8 0, 172.16.0.0/12 0, 192.168.0.0/16 0";
+pub const ROUTES: &str = "0.0.0.0/0 0, 10.0.0.0/8 0, 172.16.0.0/12 0, 192.168.0.0/16 0";
 
 /// §A.2 — the standard Click IP router: ARP handling, header check,
 /// LPM lookup, TTL decrement, re-encapsulation.
@@ -129,8 +128,7 @@ mod tests {
 
     fn builds(cfg: &str) -> Graph {
         let parsed = ConfigGraph::parse(cfg).unwrap_or_else(|e| panic!("parse: {e}\n{cfg}"));
-        Graph::build(&parsed, &standard_registry())
-            .unwrap_or_else(|e| panic!("build: {e}\n{cfg}"))
+        Graph::build(&parsed, &standard_registry()).unwrap_or_else(|e| panic!("build: {e}\n{cfg}"))
     }
 
     #[test]

@@ -27,7 +27,9 @@ struct Bucket<K, V> {
 
 impl<K: Copy, V: Copy> Bucket<K, V> {
     fn empty() -> Self {
-        Bucket { slots: [None; SLOTS] }
+        Bucket {
+            slots: [None; SLOTS],
+        }
     }
 }
 
@@ -144,12 +146,10 @@ impl<K: Hash + Eq + Copy, V: Copy> CuckooHash<K, V> {
         probe(b2);
         // Replace in place if present.
         for b in [b1, b2] {
-            for slot in &mut self.buckets[b].slots {
-                if let Some(e) = slot {
-                    if e.key == key {
-                        e.value = value;
-                        return InsertOutcome::Replaced;
-                    }
+            for e in self.buckets[b].slots.iter_mut().flatten() {
+                if e.key == key {
+                    e.value = value;
+                    return InsertOutcome::Replaced;
                 }
             }
         }

@@ -42,7 +42,11 @@ impl Rule {
         let prefix_match = |p: Option<(u32, u8)>, ip: u32| match p {
             None => true,
             Some((addr, len)) => {
-                let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+                let mask = if len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - u32::from(len))
+                };
                 ip & mask == addr & mask
             }
         };
@@ -67,7 +71,11 @@ pub fn parse_rule(text: &str) -> Result<Rule, ConfigError> {
     let verdict = match parts.next() {
         Some("allow") => Verdict::Allow,
         Some("deny") => Verdict::Deny,
-        other => return Err(bad(format!("rule must start with allow/deny, got {other:?}"))),
+        other => {
+            return Err(bad(format!(
+                "rule must start with allow/deny, got {other:?}"
+            )))
+        }
     };
     let mut rule = Rule {
         verdict,
@@ -166,9 +174,12 @@ impl Element for IpFilter {
         };
         let l4 = ETHER_LEN + ip.header_len;
         let dport = match ip.protocol {
-            IpProto::TCP | IpProto::UDP if pkt.len >= l4 + 4 && !ip.is_fragment() => Some(
-                u16::from_be_bytes([pkt.frame()[l4 + 2], pkt.frame()[l4 + 3]]),
-            ),
+            IpProto::TCP | IpProto::UDP if pkt.len >= l4 + 4 && !ip.is_fragment() => {
+                Some(u16::from_be_bytes([
+                    pkt.frame()[l4 + 2],
+                    pkt.frame()[l4 + 3],
+                ]))
+            }
             _ => None,
         };
         let region = self.rules_region.expect("setup() ran");
@@ -218,7 +229,10 @@ mod tests {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
-        ctx.state = pm_mem::Region { base: 0xc00, size: 64 };
+        ctx.state = pm_mem::Region {
+            base: 0xc00,
+            size: 64,
+        };
         let len = frame.len();
         let mut pkt = Pkt {
             data: frame,
@@ -255,11 +269,20 @@ mod tests {
     #[test]
     fn first_match_wins() {
         let mut el = filter("deny dst 192.168.0.0/16 proto tcp, allow proto tcp, deny proto udp");
-        let mut blocked = PacketBuilder::tcp().dst_ip([192, 168, 1, 1]).frame_len(128).build();
+        let mut blocked = PacketBuilder::tcp()
+            .dst_ip([192, 168, 1, 1])
+            .frame_len(128)
+            .build();
         assert_eq!(run(&mut el, &mut blocked), Action::Drop);
-        let mut ok = PacketBuilder::tcp().dst_ip([8, 8, 8, 8]).frame_len(128).build();
+        let mut ok = PacketBuilder::tcp()
+            .dst_ip([8, 8, 8, 8])
+            .frame_len(128)
+            .build();
         assert_eq!(run(&mut el, &mut ok), Action::Forward(0));
-        let mut udp = PacketBuilder::udp().dst_ip([8, 8, 8, 8]).frame_len(128).build();
+        let mut udp = PacketBuilder::udp()
+            .dst_ip([8, 8, 8, 8])
+            .frame_len(128)
+            .build();
         assert_eq!(run(&mut el, &mut udp), Action::Drop);
         assert_eq!(el.denied, 2);
     }
@@ -282,7 +305,11 @@ mod tests {
         assert_eq!(run(&mut el, &mut ping), Action::Forward(0));
         let mut el2 = filter("allow proto icmp dport 80");
         let mut ping2 = PacketBuilder::icmp().frame_len(128).build();
-        assert_eq!(run(&mut el2, &mut ping2), Action::Drop, "port rule can't match icmp");
+        assert_eq!(
+            run(&mut el2, &mut ping2),
+            Action::Drop,
+            "port rule can't match icmp"
+        );
     }
 
     #[test]
@@ -294,8 +321,14 @@ mod tests {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
-        ctx.state = pm_mem::Region { base: 0xc00, size: 64 };
-        let mut f = PacketBuilder::tcp().dst_ip([8, 8, 8, 8]).frame_len(128).build();
+        ctx.state = pm_mem::Region {
+            base: 0xc00,
+            size: 64,
+        };
+        let mut f = PacketBuilder::tcp()
+            .dst_ip([8, 8, 8, 8])
+            .frame_len(128)
+            .build();
         let len = f.len();
         let mut pkt = Pkt {
             data: &mut f,

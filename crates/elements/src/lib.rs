@@ -15,9 +15,9 @@
 pub mod arp_table;
 pub mod classifier;
 pub mod configs;
-pub mod firewall;
 pub mod cuckoo;
 pub mod ether;
+pub mod firewall;
 pub mod ids;
 pub mod ip;
 pub mod nat;
@@ -32,7 +32,7 @@ use pm_click::ElementRegistry;
 /// this crate.
 pub fn standard_registry() -> ElementRegistry {
     let mut r = ElementRegistry::with_basics();
-    r.register("EtherMirror", || Box::new(ether::EtherMirror::default()));
+    r.register("EtherMirror", || Box::new(ether::EtherMirror));
     r.register("EtherRewrite", || Box::new(ether::EtherRewrite::default()));
     r.register("EtherEncap", || Box::new(ether::EtherEncap::default()));
     r.register("Classifier", || Box::new(classifier::Classifier::default()));
@@ -40,15 +40,18 @@ pub fn standard_registry() -> ElementRegistry {
     r.register("Counter", || Box::new(classifier::Counter::default()));
     r.register("CheckIPHeader", || Box::new(ip::CheckIpHeader::default()));
     r.register("DecIPTTL", || Box::new(ip::DecIpTtl::default()));
-    r.register("GetIPAddress", || Box::new(ip::GetIpAddress::default()));
-    r.register("LookupIPRoute", || Box::new(route::LookupIpRoute::default()));
+    r.register("GetIPAddress", || Box::new(ip::GetIpAddress));
+    r.register(
+        "LookupIPRoute",
+        || Box::new(route::LookupIpRoute::default()),
+    );
     r.register("ARPResponder", || Box::new(ip::ArpResponder::default()));
     r.register("ARPQuerier", || Box::new(arp_table::ArpQuerier::default()));
     r.register("IPFilter", || Box::new(firewall::IpFilter::default()));
     r.register("IPRewriter", || Box::new(nat::IpRewriter::default()));
     r.register("CheckHeaders", || Box::new(ids::CheckHeaders::default()));
     r.register("VLANEncap", || Box::new(vlan::VlanEncap::default()));
-    r.register("VLANDecap", || Box::new(vlan::VlanDecap::default()));
+    r.register("VLANDecap", || Box::new(vlan::VlanDecap));
     r.register("WorkPackage", || Box::new(work::WorkPackage::default()));
     r
 }

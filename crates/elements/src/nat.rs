@@ -224,7 +224,10 @@ mod tests {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
-        ctx.state = pm_mem::Region { base: 0x900, size: 64 };
+        ctx.state = pm_mem::Region {
+            base: 0x900,
+            size: 64,
+        };
         let len = frame.len();
         let mut pkt = Pkt {
             data: frame,

@@ -111,7 +111,11 @@ impl Element for LookupIpRoute {
         ctx.compute(12 + visited * 3);
         match result {
             Some(route) => {
-                let next_hop = if route.gateway != 0 { route.gateway } else { dst };
+                let next_hop = if route.gateway != 0 {
+                    route.gateway
+                } else {
+                    dst
+                };
                 pkt.annos.dst_ip = next_hop.to_be_bytes();
                 ctx.write_meta(pkt, "dst_ip_anno");
                 pkt.annos.paint = route.port as u8;
@@ -147,7 +151,10 @@ mod tests {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
-        ctx.state = pm_mem::Region { base: 0x700, size: 64 };
+        ctx.state = pm_mem::Region {
+            base: 0x700,
+            size: 64,
+        };
         let len = f.len();
         let mut pkt = Pkt {
             data: &mut f,
@@ -213,7 +220,10 @@ mod tests {
         {
             let plan = ExecPlan::vanilla(MetadataModel::Copying);
             let mut ctx = Ctx::new(0, &mut mem, &plan);
-            ctx.state = pm_mem::Region { base: 0x700, size: 64 };
+            ctx.state = pm_mem::Region {
+                base: 0x700,
+                size: 64,
+            };
             let mut f = PacketBuilder::tcp().dst_ip([192, 168, 3, 4]).build();
             let len = f.len();
             let mut pkt = Pkt {

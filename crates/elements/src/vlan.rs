@@ -79,7 +79,9 @@ impl Element for VlanDecap {
             return Action::Forward(0);
         }
         ctx.read_data(pkt, 12, 6);
-        let tci = VlanTag::parse_frame(pkt.frame()).map(|t| t.tci()).unwrap_or(0);
+        let tci = VlanTag::parse_frame(pkt.frame())
+            .map(|t| t.tci())
+            .unwrap_or(0);
         let len = pkt.len;
         pkt.len = vlan::decap_in_place(pkt.data, len);
         ctx.write_data(pkt, 12, 8);
@@ -130,7 +132,8 @@ mod tests {
         data.resize(2048, 0); // buffer headroom for the tag
 
         let mut enc = VlanEncap::default();
-        enc.configure(&Args::parse("VLAN_ID 100, VLAN_PCP 3")).unwrap();
+        enc.configure(&Args::parse("VLAN_ID 100, VLAN_PCP 3"))
+            .unwrap();
         let (a, len, tci) = run(&mut enc, &mut data, 128);
         assert_eq!(a, Action::Forward(0));
         assert_eq!(len, 132);

@@ -62,9 +62,8 @@ impl Element for WorkPackage {
             })?;
             self.s_bytes = kb * 1024;
         } else {
-            self.s_bytes = u64::from(args.get_u32("S", (self.s_bytes / (1024 * 1024)) as u32)?)
-                * 1024
-                * 1024;
+            self.s_bytes =
+                u64::from(args.get_u32("S", (self.s_bytes / (1024 * 1024)) as u32)?) * 1024 * 1024;
         }
         self.n = args.get_u32("N", self.n)?;
         Ok(())
@@ -101,9 +100,7 @@ impl Element for WorkPackage {
         if let Some(array) = self.array {
             for _ in 0..self.n {
                 let off = self.rng.next_below(array.size.max(8) - 7) & !7;
-                ctx.cost += ctx
-                    .mem
-                    .access(ctx.core, array.at(off), 8, AccessKind::Load);
+                ctx.cost += ctx.mem.access(ctx.core, array.at(off), 8, AccessKind::Load);
                 ctx.compute(3);
             }
         }
@@ -177,9 +174,7 @@ mod tests {
         // Steady-state: a 256-KB array lives in L2; a 16-MB array misses.
         let mut mem_small = MemoryHierarchy::skylake(1);
         let mut small = WorkPackage::default();
-        small
-            .configure(&Args::parse("W 0, S_KB 256, N 1"))
-            .unwrap();
+        small.configure(&Args::parse("W 0, S_KB 256, N 1")).unwrap();
         small.setup(&mut AddressSpace::new());
         // Warm until the whole 4096-line array is L2-resident.
         run_n(&mut small, &mut mem_small, 40_000);

@@ -82,7 +82,10 @@ mod tests {
         let before_stores = mem.counters().stores;
         let r = BessEngine.process(0, &mut mem, &desc, &mut data);
         assert_eq!(r.tx_len, Some(256));
-        assert!(mem.counters().stores > before_stores, "overlay attrs written");
+        assert!(
+            mem.counters().stores > before_stores,
+            "overlay attrs written"
+        );
         assert_eq!(BessEngine.metadata_model(), MetadataModel::Overlaying);
     }
 }

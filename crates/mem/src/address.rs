@@ -30,7 +30,11 @@ impl Region {
     /// Panics if `off >= size`.
     #[inline]
     pub fn at(&self, off: u64) -> u64 {
-        assert!(off < self.size, "offset {off} out of region (size {})", self.size);
+        assert!(
+            off < self.size,
+            "offset {off} out of region (size {})",
+            self.size
+        );
         self.base + off
     }
 
@@ -40,7 +44,10 @@ impl Region {
     ///
     /// Panics if the region does not divide evenly.
     pub fn chunks(&self, n: u64) -> Vec<Region> {
-        assert!(n > 0 && self.size % n == 0, "region does not split into {n}");
+        assert!(
+            n > 0 && self.size.is_multiple_of(n),
+            "region does not split into {n}"
+        );
         let sz = self.size / n;
         (0..n)
             .map(|i| Region {
@@ -191,7 +198,10 @@ mod tests {
 
     #[test]
     fn region_at_and_contains() {
-        let r = Region { base: 0x1000, size: 64 };
+        let r = Region {
+            base: 0x1000,
+            size: 64,
+        };
         assert_eq!(r.at(0), 0x1000);
         assert_eq!(r.at(63), 0x103f);
         assert!(r.contains(0x1000));
@@ -207,7 +217,10 @@ mod tests {
 
     #[test]
     fn chunks_partition() {
-        let r = Region { base: 0x2000, size: 256 };
+        let r = Region {
+            base: 0x2000,
+            size: 256,
+        };
         let cs = r.chunks(4);
         assert_eq!(cs.len(), 4);
         assert_eq!(cs[0].base, 0x2000);
@@ -227,14 +240,20 @@ mod tests {
         }
         assert!(regions.iter().all(|r| heap.contains(r.base)));
         // Spread across many pages (that's the point).
-        let pages: std::collections::HashSet<u64> =
-            regions.iter().map(|r| r.base >> 12).collect();
-        assert!(pages.len() > 32, "expected scattered pages, got {}", pages.len());
+        let pages: std::collections::HashSet<u64> = regions.iter().map(|r| r.base >> 12).collect();
+        assert!(
+            pages.len() > 32,
+            "expected scattered pages, got {}",
+            pages.len()
+        );
     }
 
     #[test]
     fn scatter_deterministic() {
-        let heap = Region { base: 0, size: 1 << 20 };
+        let heap = Region {
+            base: 0,
+            size: 1 << 20,
+        };
         let mut a = ScatterAlloc::new(heap, 7);
         let mut b = ScatterAlloc::new(heap, 7);
         for _ in 0..16 {
@@ -245,7 +264,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "exhausted")]
     fn scatter_exhaustion_detected() {
-        let heap = Region { base: 0, size: 4096 };
+        let heap = Region {
+            base: 0,
+            size: 4096,
+        };
         let mut s = ScatterAlloc::new(heap, 1);
         for _ in 0..1000 {
             let _ = s.alloc(512);

@@ -190,7 +190,8 @@ impl MemoryHierarchy {
     /// Marks a region as 2-MiB-hugepage-backed for TLB purposes (DPDK
     /// allocates its mempools, rings, and DMA memory from hugepages).
     pub fn mark_hugepages(&mut self, region: crate::Region) {
-        self.huge_ranges.push((region.base, region.base + region.size));
+        self.huge_ranges
+            .push((region.base, region.base + region.size));
         self.huge_ranges.sort_unstable();
     }
 
@@ -527,7 +528,10 @@ mod tests {
         let resident = (0..1024u64)
             .filter(|i| m.probe_level(0, 0x100_000 + i * 64) == Level::Llc)
             .count();
-        assert!(resident <= 64, "DDIO lines exceed restricted ways: {resident}");
+        assert!(
+            resident <= 64,
+            "DDIO lines exceed restricted ways: {resident}"
+        );
     }
 
     #[test]

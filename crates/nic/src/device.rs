@@ -101,9 +101,7 @@ impl Nic {
             tx_pcie_free: SimTime::ZERO,
             tx_link_free: SimTime::ZERO,
             rx_queue_free: vec![SimTime::ZERO; cfg.queues],
-            queue_slot: cfg
-                .max_pps_per_queue
-                .map(|pps| SimTime::from_ns(1e9 / pps)),
+            queue_slot: cfg.max_pps_per_queue.map(|pps| SimTime::from_ns(1e9 / pps)),
             stats: NicStats::default(),
             seq: 0,
         }
@@ -353,8 +351,14 @@ mod tests {
         }
         let mut hit = [false; 4];
         for p in 0..64u16 {
-            let frame = PacketBuilder::udp().src_port(3000 + p).frame_len(128).build();
-            if let Some(q) = r.nic.rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma) {
+            let frame = PacketBuilder::udp()
+                .src_port(3000 + p)
+                .frame_len(128)
+                .build();
+            if let Some(q) = r
+                .nic
+                .rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma)
+            {
                 hit[q] = true;
             }
         }

@@ -145,7 +145,9 @@ impl RxRing {
     /// Driver side: address of the completion descriptor the PMD will
     /// poll next (read even when empty — that's the poll loop).
     pub fn poll_addr(&self) -> u64 {
-        let slot = self.next_cq_slot.saturating_sub(self.completions.len() as u64)
+        let slot = self
+            .next_cq_slot
+            .saturating_sub(self.completions.len() as u64)
             % self.size as u64;
         self.desc_region.base + slot * DESC_BYTES
     }
@@ -299,7 +301,10 @@ mod tests {
     #[test]
     fn post_take_cycle() {
         let mut r = rx();
-        assert!(r.post(PostedBuffer { buf_id: 1, data_addr: 0x1000 }));
+        assert!(r.post(PostedBuffer {
+            buf_id: 1,
+            data_addr: 0x1000
+        }));
         assert_eq!(r.posted_count(), 1);
         let b = r.take_posted().unwrap();
         assert_eq!(b.buf_id, 1);
@@ -317,24 +322,42 @@ mod tests {
     fn capacity_includes_unreaped_completions() {
         let mut r = rx();
         for i in 0..8 {
-            assert!(r.post(PostedBuffer { buf_id: i, data_addr: 0 }));
+            assert!(r.post(PostedBuffer {
+                buf_id: i,
+                data_addr: 0
+            }));
         }
-        assert!(!r.post(PostedBuffer { buf_id: 9, data_addr: 0 }), "full");
+        assert!(
+            !r.post(PostedBuffer {
+                buf_id: 9,
+                data_addr: 0
+            }),
+            "full"
+        );
         // Consume all and complete them; ring stays full until reaped.
         for i in 0..8 {
             r.take_posted().unwrap();
             r.push_completion(completion(i));
         }
-        assert!(!r.post(PostedBuffer { buf_id: 10, data_addr: 0 }));
+        assert!(!r.post(PostedBuffer {
+            buf_id: 10,
+            data_addr: 0
+        }));
         r.reap(4);
-        assert!(r.post(PostedBuffer { buf_id: 11, data_addr: 0 }));
+        assert!(r.post(PostedBuffer {
+            buf_id: 11,
+            data_addr: 0
+        }));
     }
 
     #[test]
     fn completions_fifo() {
         let mut r = rx();
         for i in 0..3 {
-            r.post(PostedBuffer { buf_id: i, data_addr: 0 });
+            r.post(PostedBuffer {
+                buf_id: i,
+                data_addr: 0,
+            });
             r.take_posted();
             r.push_completion(completion(i as u64));
         }
@@ -351,7 +374,10 @@ mod tests {
         let mut r = rx();
         let mut addrs = Vec::new();
         for i in 0..16 {
-            r.post(PostedBuffer { buf_id: i, data_addr: 0 });
+            r.post(PostedBuffer {
+                buf_id: i,
+                data_addr: 0,
+            });
             r.take_posted();
             addrs.push(r.push_completion(completion(i as u64)));
             r.reap(1);

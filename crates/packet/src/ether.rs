@@ -124,7 +124,10 @@ mod tests {
         assert_eq!(h.src, MacAddr([1, 2, 3, 4, 5, 6]));
         // Mirror twice restores the original.
         mirror_in_place(&mut buf);
-        assert_eq!(EtherHeader::parse(&buf).unwrap().dst, MacAddr([1, 2, 3, 4, 5, 6]));
+        assert_eq!(
+            EtherHeader::parse(&buf).unwrap().dst,
+            MacAddr([1, 2, 3, 4, 5, 6])
+        );
     }
 
     #[test]

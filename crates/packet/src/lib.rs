@@ -35,10 +35,10 @@ pub mod builder;
 pub mod checksum;
 pub mod ether;
 pub mod icmp;
-pub mod vlan;
 pub mod ipv4;
 pub mod tcp;
 pub mod udp;
+pub mod vlan;
 
 use std::error::Error;
 use std::fmt;

@@ -32,9 +32,7 @@ impl TcpFlags {
     /// (SYN+FIN, SYN+RST, or no flags at all — "null" scans).
     pub fn is_illegal(self) -> bool {
         let f = self.0;
-        (f & Self::SYN != 0 && f & Self::FIN != 0)
-            || (f & Self::SYN != 0 && f & Self::RST != 0)
-            || f & 0x3f == 0
+        (f & Self::SYN != 0 && (f & Self::FIN != 0 || f & Self::RST != 0)) || f & 0x3f == 0
     }
 }
 

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the proptest API its tests use: `proptest!`,
+//! `any::<T>()`, range/tuple/string-pattern strategies, `prop_map`,
+//! `prop_oneof!`, `proptest::collection::{vec, hash_set}`,
+//! `proptest::sample::Index`, and the `prop_assert*` macros.
+//!
+//! Inputs are generated from a per-test deterministic RNG (seeded from
+//! the test name), so failures reproduce across runs. Unlike real
+//! proptest there is no shrinking: a failing case reports the assertion
+//! message only. The case count defaults to 128 and can be overridden
+//! with `PROPTEST_CASES`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::{any, Strategy};
+
+/// What a failed property returns through the generated test body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// SplitMix64 — small, fast, deterministic; good enough for test-input
+/// generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A deterministic RNG seeded from the test name.
+    pub fn default_for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// The commonly-imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            let mut rng = $crate::TestRng::default_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..$crate::cases() {
+                let run = |rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $crate::Strategy::generate(&$strat, rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let Err(e) = run(&mut rng) {
+                    panic!("property {} failed on case {}: {}", stringify!($name), case, e);
+                }
+            }
+        }
+        $crate::proptest!{$($rest)*}
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    [$($s:expr),+ $(,)?] => {
+        $crate::strategy::union(vec![$($crate::strategy::boxed($s)),+])
+    };
+}

@@ -1,0 +1,27 @@
+//! Sampling helpers: the collection-agnostic [`Index`].
+
+use crate::strategy::Arbitrary;
+use crate::TestRng;
+
+/// An abstract index into a collection of yet-unknown size, resolved
+/// with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves to a concrete index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

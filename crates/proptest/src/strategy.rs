@@ -1,0 +1,259 @@
+//! Value-generation strategies: `any`, ranges, tuples, string patterns,
+//! `prop_map`, and unions.
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Produces random values of an associated type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.as_ref().generate(rng)
+    }
+}
+
+/// A boxed strategy (used by `prop_oneof!`).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Boxes a strategy.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Picks uniformly among `arms` each draw.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+/// Builds a [`Union`]; used by `prop_oneof!`.
+pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Union { arms }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a default "whole domain" strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The default strategy for `T`: the whole value domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning a broad magnitude range.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi - lo + 1;
+                if span == 0 {
+                    // Full-domain u64 range.
+                    rng.next_u64() as $t
+                } else {
+                    (lo + rng.below(span)) as $t
+                }
+            }
+        }
+    )+};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `&str` patterns act as string strategies. Supported syntax: a
+/// sequence of atoms, each a literal character or a `[...]` class
+/// (ranges and single characters), optionally followed by `{m,n}`
+/// repetition. This covers patterns like `"[a-z][a-z0-9_]{0,8}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below(u64::from(atom.max - atom.min + 1)) as u32;
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = if c == '[' {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            while let Some(d) = it.next() {
+                if d == ']' {
+                    break;
+                }
+                if d == '-' {
+                    if let (Some(lo), Some(&hi)) = (prev, it.peek()) {
+                        if hi != ']' {
+                            it.next();
+                            for x in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(x).expect("valid range"));
+                            }
+                            prev = None;
+                            continue;
+                        }
+                    }
+                    set.push('-');
+                    prev = Some('-');
+                } else {
+                    set.push(d);
+                    prev = Some(d);
+                }
+            }
+            assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+            set
+        } else {
+            vec![c]
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let spec: String = it.by_ref().take_while(|&d| d != '}').collect();
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat min"),
+                    n.trim().parse().expect("repeat max"),
+                ),
+                None => {
+                    let m: u32 = spec.trim().parse().expect("repeat count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}

@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimTime = (1..=4).map(|i| SimTime::from_ps(i)).sum();
+        let total: SimTime = (1..=4).map(SimTime::from_ps).sum();
         assert_eq!(total.as_ps(), 10);
     }
 

@@ -87,7 +87,10 @@ impl WindowSampler {
         if self.samples.is_empty() {
             None
         } else {
-            Some(self.samples.iter().map(|s| s.delta as f64).sum::<f64>() / self.samples.len() as f64)
+            Some(
+                self.samples.iter().map(|s| s.delta as f64).sum::<f64>()
+                    / self.samples.len() as f64,
+            )
         }
     }
 }

@@ -109,7 +109,7 @@ pub fn read_pcap(path: &Path) -> Result<(Vec<Vec<u8>>, usize), PcapError> {
         let orig = u32_at(&rec, 12) as usize;
         let mut data = vec![0u8; incl];
         r.read_exact(&mut data)?;
-        if incl != orig || incl > MAX_FRAME || incl < 14 {
+        if incl != orig || !(14..=MAX_FRAME).contains(&incl) {
             skipped += 1;
             continue;
         }

@@ -69,10 +69,10 @@ pub struct Trace {
 /// Destination prefixes the synthesizer draws from; these match the
 /// router preset's route table so every packet is routable.
 const DST_PREFIXES: [([u8; 2], u8); 4] = [
-    ([10, 0], 1),     // 10.0.x.x
-    ([10, 200], 1),   // deeper in 10/8
-    ([172, 16], 2),   // 172.16/12
-    ([192, 168], 3),  // 192.168/16
+    ([10, 0], 1),    // 10.0.x.x
+    ([10, 200], 1),  // deeper in 10/8
+    ([172, 16], 2),  // 172.16/12
+    ([192, 168], 3), // 192.168/16
 ];
 
 impl Trace {
@@ -129,7 +129,7 @@ impl Trace {
                 TrafficProfile::CampusMix => {
                     // Occasional ARP keeps the router's ARP path warm
                     // (≈0.5% of packets).
-                    if rng.next_u64() % 200 == 0 {
+                    if rng.next_u64().is_multiple_of(200) {
                         PacketBuilder::arp()
                             .src_ip(flow.src_ip)
                             .dst_ip([10, 0, 0, 254])

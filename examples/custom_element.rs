@@ -58,11 +58,7 @@ fn main() {
 
     // 3. Run packets through it.
     let mut space = AddressSpace::new();
-    let rt = GraphRuntime::new(
-        graph,
-        ExecPlan::vanilla(MetadataModel::Copying),
-        &mut space,
-    );
+    let rt = GraphRuntime::new(graph, ExecPlan::vanilla(MetadataModel::Copying), &mut space);
     let mut dp = ClickDataplane::new(rt, 0, "ttl64-forwarder");
     let mut mem = MemoryHierarchy::skylake(1);
 
@@ -83,7 +79,10 @@ fn main() {
     let after = Ipv4Header::parse(&frame[14..]).unwrap();
 
     println!("TTL before: {}   TTL after: {}", before.ttl, after.ttl);
-    println!("checksum still valid: {}", after.verify_checksum(&frame[14..]));
+    println!(
+        "checksum still valid: {}",
+        after.verify_checksum(&frame[14..])
+    );
     println!("forwarded: {}", result.tx_len.is_some());
     println!(
         "charged: {} instructions, {:.1} core cycles, {:.1} ns uncore",

@@ -14,7 +14,11 @@ fn main() {
         "p99 (us)",
     ]);
     for (label, model, opt) in [
-        ("Vanilla (Copying)", MetadataModel::Copying, OptLevel::Vanilla),
+        (
+            "Vanilla (Copying)",
+            MetadataModel::Copying,
+            OptLevel::Vanilla,
+        ),
         (
             "PacketMill (X-Change + all)",
             MetadataModel::XChange,

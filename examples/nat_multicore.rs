@@ -2,34 +2,44 @@
 //! 1–4 cores; the stateful NAT (cuckoo flow table) scales, and
 //! PacketMill's gains persist across core counts.
 //!
-//! Run with: `cargo run --release --example nat_multicore`
+//! The eight (cores, variant) configurations are independent, so they
+//! run on the parallel sweep runner — parallelism across experiments,
+//! never inside one, so each simulated run stays deterministic.
+//!
+//! Run with: `cargo run --release --example nat_multicore [-- --threads N]`
 
-use packetmill::{ExperimentBuilder, MetadataModel, Nf, OptLevel, Table};
+use packetmill::{ExperimentBuilder, MetadataModel, Nf, OptLevel, SweepSpec, Table};
 
 fn main() {
-    let mut table = Table::new(vec![
-        "cores",
-        "vanilla Gbps",
-        "packetmill Gbps",
-        "speedup",
-    ]);
+    let threads = packetmill::sweep::configure_threads_from_args();
+
+    let mut spec = SweepSpec::new().progress(true);
     for cores in 1..=4usize {
-        let vanilla = ExperimentBuilder::new(Nf::Nat)
-            .metadata_model(MetadataModel::Copying)
-            .optimization(OptLevel::Vanilla)
-            .cores(cores)
-            .frequency_ghz(2.3)
-            .packets(40_000)
-            .run()
-            .expect("vanilla run");
-        let packetmill = ExperimentBuilder::new(Nf::Nat)
-            .metadata_model(MetadataModel::XChange)
-            .optimization(OptLevel::AllSource)
-            .cores(cores)
-            .frequency_ghz(2.3)
-            .packets(40_000)
-            .run()
-            .expect("packetmill run");
+        spec.push(
+            format!("{cores}c vanilla"),
+            ExperimentBuilder::new(Nf::Nat)
+                .metadata_model(MetadataModel::Copying)
+                .optimization(OptLevel::Vanilla)
+                .cores(cores)
+                .frequency_ghz(2.3)
+                .packets(40_000),
+        );
+        spec.push(
+            format!("{cores}c packetmill"),
+            ExperimentBuilder::new(Nf::Nat)
+                .metadata_model(MetadataModel::XChange)
+                .optimization(OptLevel::AllSource)
+                .cores(cores)
+                .frequency_ghz(2.3)
+                .packets(40_000),
+        );
+    }
+    let results = spec.run_with_threads(threads);
+    let ms = results.expect_all();
+
+    let mut table = Table::new(vec!["cores", "vanilla Gbps", "packetmill Gbps", "speedup"]);
+    for (cores, pair) in (1..=4usize).zip(ms.chunks_exact(2)) {
+        let (vanilla, packetmill) = (&pair[0], &pair[1]);
         table.row(vec![
             format!("{cores}"),
             format!("{:.1}", vanilla.throughput_gbps),
@@ -42,4 +52,5 @@ fn main() {
     }
     println!("Stateful NAT @2.3 GHz, RSS over cores (paper Fig. 10)\n");
     println!("{table}");
+    eprintln!("{}", results.report());
 }

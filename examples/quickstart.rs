@@ -18,7 +18,11 @@ fn main() {
     ]);
 
     for (label, model, opt) in [
-        ("Vanilla (Copying)", MetadataModel::Copying, OptLevel::Vanilla),
+        (
+            "Vanilla (Copying)",
+            MetadataModel::Copying,
+            OptLevel::Vanilla,
+        ),
         (
             "PacketMill (X-Change + source opts)",
             MetadataModel::XChange,

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example xchange_forwarder`
 
-use packetmill::{
-    emit_specialized_source, ExperimentBuilder, MetadataModel, Nf, OptLevel, Table,
-};
+use packetmill::{emit_specialized_source, ExperimentBuilder, MetadataModel, Nf, OptLevel, Table};
 
 fn main() {
     let mut table = Table::new(vec!["freq (GHz)", "copying", "overlaying", "x-change"]);

@@ -3,8 +3,8 @@
 //! accounting invariants.
 
 use packetmill::{
-    standard_registry, ClickDataplane, ConfigGraph, Dataplane, ExecPlan, ExperimentBuilder,
-    Graph, MetadataModel, Nf, OptLevel,
+    standard_registry, ClickDataplane, ConfigGraph, Dataplane, ExecPlan, ExperimentBuilder, Graph,
+    MetadataModel, Nf, OptLevel,
 };
 use pm_click::GraphRuntime;
 use pm_dpdk::RxDesc;
@@ -57,7 +57,10 @@ fn nat_pipeline_end_to_end() {
         assert_eq!(ip.ttl, 63, "router path decremented TTL");
         ports.push(TcpHeader::parse(&f[34..]).unwrap().src_port);
     }
-    assert!(ports.windows(2).all(|w| w[0] == w[1]), "stable binding: {ports:?}");
+    assert!(
+        ports.windows(2).all(|w| w[0] == w[1]),
+        "stable binding: {ports:?}"
+    );
 
     // A different flow gets a different external port.
     let mut f = PacketBuilder::tcp()
@@ -78,7 +81,10 @@ fn ids_router_tags_and_filters() {
     let mut dp = dataplane(&Nf::IdsRouter, ExecPlan::vanilla(MetadataModel::Copying));
     let mut mem = MemoryHierarchy::skylake(1);
 
-    let mut ok = PacketBuilder::tcp().dst_ip([10, 5, 5, 5]).frame_len(256).build();
+    let mut ok = PacketBuilder::tcp()
+        .dst_ip([10, 5, 5, 5])
+        .frame_len(256)
+        .build();
     ok.resize(2176, 0); // buffer headroom for the VLAN tag
     let r = dp.process(0, &mut mem, &desc(0, 256), &mut ok);
     assert_eq!(r.tx_len, Some(260), "VLAN tag adds 4 bytes");
@@ -159,7 +165,10 @@ fn engine_accounting_invariants() {
     assert_eq!(a, b, "identical seeds must give identical measurements");
 
     assert!(a.tx_packets > 0);
-    assert!(a.median_latency_us >= 4.0, "latency floor is the base latency");
+    assert!(
+        a.median_latency_us >= 4.0,
+        "latency floor is the base latency"
+    );
     assert!(a.p99_latency_us >= a.median_latency_us);
     assert!(a.mean_latency_us > 0.0);
     assert!(a.throughput_gbps > 0.0 && a.throughput_gbps < 100.5);
@@ -242,7 +251,11 @@ fn element_handlers_conserve_packets() {
     let (_, rt_seen, _) = get("rt");
     assert_eq!(fw_seen - fw_drops, *rt_seen, "firewall out == router in");
     let (_, check_seen, check_drops) = get("CheckIPHeader@3");
-    assert_eq!(check_seen - check_drops, *fw_seen, "check out == firewall in");
+    assert_eq!(
+        check_seen - check_drops,
+        *fw_seen,
+        "check out == firewall in"
+    );
     assert!(m.nf_dropped >= *fw_drops / 2, "NF drops include denials");
 }
 

@@ -58,7 +58,10 @@ fn source_optimization_ordering() {
     let all = router(MetadataModel::Copying, OptLevel::AllSource, 3.0);
     assert!(devirt.mpps > vanilla.mpps, "devirtualization helps");
     assert!(consts.mpps > vanilla.mpps, "constant embedding helps");
-    assert!(stat.mpps > devirt.mpps, "static graph beats devirtualization");
+    assert!(
+        stat.mpps > devirt.mpps,
+        "static graph beats devirtualization"
+    );
     assert!(all.mpps >= stat.mpps * 0.98, "all is at least static graph");
     assert!(all.mpps > consts.mpps, "all beats constants alone");
 }
@@ -241,7 +244,7 @@ fn framework_comparison_ordering() {
     };
     let fastclick = fc(MetadataModel::Copying, OptLevel::Vanilla);
     let packetmill = fc(MetadataModel::XChange, OptLevel::AllSource);
-    let mut comp = |f: fn() -> Box<dyn packetmill::Dataplane>| {
+    let comp = |f: fn() -> Box<dyn packetmill::Dataplane>| {
         ExperimentBuilder::new(Nf::Forwarder)
             .frequency_ghz(1.2)
             .traffic(TrafficProfile::FixedSize(256))
@@ -257,8 +260,14 @@ fn framework_comparison_ordering() {
 
     assert!(packetmill > fastclick, "PacketMill beats vanilla FastClick");
     assert!(l2fwd_xchg > l2fwd, "X-Change speeds up even plain l2fwd");
-    assert!(l2fwd > fastclick, "lean l2fwd beats modular vanilla FastClick");
-    assert!(bess > fastclick, "BESS (overlaying) beats Copying FastClick");
+    assert!(
+        l2fwd > fastclick,
+        "lean l2fwd beats modular vanilla FastClick"
+    );
+    assert!(
+        bess > fastclick,
+        "BESS (overlaying) beats Copying FastClick"
+    );
     assert!(vpp < bess, "VPP's extra copy keeps it below BESS");
 }
 

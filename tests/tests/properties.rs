@@ -13,7 +13,11 @@ mod lpm {
         prefixes
             .iter()
             .filter(|&&(p, l, _)| {
-                let mask = if l == 0 { 0 } else { u32::MAX << (32 - u32::from(l)) };
+                let mask = if l == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - u32::from(l))
+                };
                 ip & mask == p & mask
             })
             .max_by_key(|&&(_, l, _)| l)

@@ -1,0 +1,111 @@
+//! The parallel sweep runner's contract: bit-identical results at any
+//! thread count, input-order collection, and panic isolation.
+
+use packetmill::{ExperimentBuilder, Measurement, MetadataModel, Nf, OptLevel, SweepSpec};
+
+/// A 12-configuration mini-sweep spanning NFs, metadata models, and
+/// optimization levels — small enough to run three times in a test,
+/// varied enough that a scheduling-dependent bug would show up as a
+/// field mismatch somewhere.
+fn mini_sweep() -> SweepSpec {
+    let nfs = [Nf::Forwarder, Nf::Router, Nf::Nat];
+    let variants = [
+        (MetadataModel::Copying, OptLevel::Vanilla),
+        (MetadataModel::Overlaying, OptLevel::Vanilla),
+        (MetadataModel::XChange, OptLevel::AllSource),
+        (MetadataModel::XChange, OptLevel::Full),
+    ];
+    let mut spec = SweepSpec::new();
+    for (i, nf) in nfs.into_iter().enumerate() {
+        for (model, opt) in variants {
+            spec.push(
+                format!("{nf:?}/{model:?}/{opt:?}"),
+                ExperimentBuilder::new(nf.clone())
+                    .metadata_model(model)
+                    .optimization(opt)
+                    .frequency_ghz(2.3)
+                    .packets(4_000)
+                    .seed(0x5EED ^ i as u64),
+            );
+        }
+    }
+    assert_eq!(spec.len(), 12);
+    spec
+}
+
+fn assert_measurements_identical(a: &[Measurement], b: &[Measurement], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: run counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        // Measurement is PartialEq over every field; compare via Debug on
+        // mismatch so the failing field is visible in the assertion output.
+        assert_eq!(x, y, "{what}: run {i} differs:\n  {x:?}\n  {y:?}");
+    }
+}
+
+#[test]
+fn sweep_is_deterministic_across_thread_counts() {
+    let serial = mini_sweep().run_with_threads(1).expect_all();
+    let two = mini_sweep().run_with_threads(2).expect_all();
+    let eight = mini_sweep().run_with_threads(8).expect_all();
+    assert_measurements_identical(&serial, &two, "threads=1 vs threads=2");
+    assert_measurements_identical(&serial, &eight, "threads=1 vs threads=8");
+}
+
+#[test]
+fn sweep_results_are_in_input_order() {
+    let results = mini_sweep().run_with_threads(8);
+    let labels: Vec<&str> = results.outcomes.iter().map(|o| o.label.as_str()).collect();
+    let expected: Vec<String> = mini_sweep()
+        .run_with_threads(1)
+        .outcomes
+        .into_iter()
+        .map(|o| o.label)
+        .collect();
+    assert_eq!(labels, expected);
+}
+
+#[test]
+fn panicking_experiment_is_reported_without_poisoning_the_sweep() {
+    let mut spec = SweepSpec::new();
+    spec.push(
+        "healthy-before",
+        ExperimentBuilder::new(Nf::Forwarder).packets(2_000),
+    );
+    spec.push_job("deliberate-panic", || panic!("injected failure for test"));
+    spec.push(
+        "healthy-after",
+        ExperimentBuilder::new(Nf::Router).packets(2_000),
+    );
+
+    let results = spec.run_with_threads(4);
+    assert_eq!(results.outcomes.len(), 3);
+
+    assert_eq!(
+        results.failures(),
+        1,
+        "exactly the injected panic should fail"
+    );
+    let failed: Vec<_> = results
+        .outcomes
+        .iter()
+        .filter(|o| o.result.is_err())
+        .collect();
+    assert_eq!(failed[0].label, "deliberate-panic");
+    let err = failed[0].result.as_ref().unwrap_err();
+    assert!(
+        err.contains("injected failure for test"),
+        "panic message should be captured, got: {err}"
+    );
+
+    // The healthy runs on either side of the panic still completed.
+    assert!(
+        results.outcomes[0].result.is_ok(),
+        "run before panic poisoned"
+    );
+    assert!(
+        results.outcomes[2].result.is_ok(),
+        "run after panic poisoned"
+    );
+    assert_eq!(results.report().runs, 3);
+    assert_eq!(results.report().failures, 1);
+}
