@@ -2,34 +2,48 @@
 //! knobs the paper discusses but does not sweep (§3.1 bullet list, §4.1
 //! "reordering contributes one third", the testbed's `IIO LLC WAYS`
 //! setting). Runs on the parallel sweep runner; invoke with
-//! `cargo run --release -p pm-bench --bin ablations [-- --threads N]`.
+//! `cargo run --release -p pm-bench --bin ablations
+//! [-- --threads N --profile --json out.json]`.
 
 use packetmill::{
     ExperimentBuilder, MempoolMode, MetaField, MetadataModel, MetadataSpec, Nf, OptLevel,
-    SweepSpec, Table,
+    SweepResults, SweepSpec, Table,
 };
+use pm_bench::figures::{write_artifacts, Artifact};
 
 const PACKETS: usize = 40_000;
 
 fn main() {
-    packetmill::sweep::configure_threads_from_args();
-    reorder_contribution();
-    ddio_ways();
-    burst_size();
-    pool_mode();
-    xchange_spec_width();
-    ring_size_latency();
+    let cli = packetmill::sweep::configure_from_args();
+    let groups = [
+        ("reorder", reorder_contribution()),
+        ("ddio-ways", ddio_ways()),
+        ("burst", burst_size()),
+        ("pool-mode", pool_mode()),
+        ("xchg-spec", xchange_spec_width()),
+        ("rx-ring", ring_size_latency()),
+    ];
+    if let Some(path) = cli.json {
+        let refs: Vec<(&str, &Artifact)> = groups.iter().map(|(n, a)| (*n, a)).collect();
+        write_artifacts(&path, &refs).expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
 }
 
-fn run(spec: SweepSpec) -> Vec<packetmill::Measurement> {
+fn run(spec: SweepSpec) -> SweepResults {
     let results = spec.run();
+    for o in &results.outcomes {
+        if let Some(p) = o.report.as_ref().and_then(|r| r.profile.as_ref()) {
+            eprintln!("profile — {}:\n{}", o.label, p.to_table());
+        }
+    }
     eprintln!("sweep report:\n{}", results.report());
-    results.expect_all()
+    results
 }
 
 /// §4.1: "Reordering contributes to one third of the improvements" of
 /// LTO. Compare vanilla vs vanilla+reorder vs all-source on the router.
-fn reorder_contribution() {
+fn reorder_contribution() -> Artifact {
     let variants = [
         ("vanilla", OptLevel::Vanilla),
         ("vanilla + reorder", OptLevel::Reorder),
@@ -47,7 +61,8 @@ fn reorder_contribution() {
                 .packets(PACKETS),
         );
     }
-    let ms = run(s);
+    let results = run(s);
+    let ms = results.expect_all();
     let mut t = Table::new(vec!["variant", "Mpps", "p50 lat (us)"]);
     for ((name, _), m) in variants.iter().zip(&ms) {
         t.row(vec![
@@ -57,11 +72,12 @@ fn reorder_contribution() {
         ]);
     }
     println!("== Ablation: struct reordering (router @3 GHz, Copying) ==\n\n{t}");
+    Artifact::new(t, results)
 }
 
 /// The testbed sets `IIO LLC WAYS` to widen DDIO. Sweep the DMA way
 /// partition and watch the router's miss rate and throughput.
-fn ddio_ways() {
+fn ddio_ways() -> Artifact {
     let ways_sweep = [1usize, 2, 4, 6, 8];
     let mut s = SweepSpec::new();
     for ways in ways_sweep {
@@ -75,7 +91,8 @@ fn ddio_ways() {
                 .packets(PACKETS),
         );
     }
-    let ms = run(s);
+    let results = run(s);
+    let ms = results.expect_all();
     let mut t = Table::new(vec!["ddio ways", "Gbps", "LLC miss (%)"]);
     for (ways, m) in ways_sweep.iter().zip(&ms) {
         t.row(vec![
@@ -85,10 +102,11 @@ fn ddio_ways() {
         ]);
     }
     println!("== Ablation: DDIO way partition (PacketMill router @2.3 GHz) ==\n\n{t}");
+    Artifact::new(t, results)
 }
 
 /// BURST is a constant the paper embeds; sweep it.
-fn burst_size() {
+fn burst_size() -> Artifact {
     let bursts = [4usize, 8, 16, 32, 64];
     let mut s = SweepSpec::new();
     for burst in bursts {
@@ -110,7 +128,8 @@ fn burst_size() {
                 .packets(PACKETS),
         );
     }
-    let ms = run(s);
+    let results = run(s);
+    let ms = results.expect_all();
     let mut t = Table::new(vec!["burst", "vanilla Gbps", "packetmill Gbps"]);
     for (burst, pair) in bursts.iter().zip(ms.chunks_exact(2)) {
         t.row(vec![
@@ -120,12 +139,13 @@ fn burst_size() {
         ]);
     }
     println!("== Ablation: RX/TX burst size (router @2.3 GHz) ==\n\n{t}");
+    Artifact::new(t, results)
 }
 
 /// FIFO pool rings maximize reuse distance; a LIFO (per-core cache hit
 /// path) keeps buffers warm — quantifying the pool-cycling cost the
 /// paper attributes to the Copying model.
-fn pool_mode() {
+fn pool_mode() -> Artifact {
     let modes = [
         ("fifo (ring)", MempoolMode::Fifo),
         ("lifo (stack)", MempoolMode::Lifo),
@@ -141,7 +161,8 @@ fn pool_mode() {
                 .packets(PACKETS),
         );
     }
-    let ms = run(s);
+    let results = run(s);
+    let ms = results.expect_all();
     let mut t = Table::new(vec!["pool order", "Gbps", "LLC loads (k/100ms)"]);
     for ((name, _), m) in modes.iter().zip(&ms) {
         t.row(vec![
@@ -151,11 +172,12 @@ fn pool_mode() {
         ]);
     }
     println!("== Ablation: mempool recycling order (vanilla router @2.3 GHz) ==\n\n{t}");
+    Artifact::new(t, results)
 }
 
 /// X-Change lets the NF declare exactly the fields it needs; sweep the
 /// spec width from the two-field minimum to the full mbuf set.
-fn xchange_spec_width() {
+fn xchange_spec_width() -> Artifact {
     let specs = [
         ("minimal (l2fwd-xchg)", MetadataSpec::minimal()),
         ("routing", MetadataSpec::routing()),
@@ -177,7 +199,8 @@ fn xchange_spec_width() {
                 .packets(PACKETS * 4),
         );
     }
-    let ms = run(s);
+    let results = run(s);
+    let ms = results.expect_all();
     let mut t = Table::new(vec!["spec", "fields", "Gbps @1.2 GHz, 128B"]);
     for ((name, spec), m) in specs.iter().zip(&ms) {
         t.row(vec![
@@ -187,11 +210,12 @@ fn xchange_spec_width() {
         ]);
     }
     println!("== Ablation: X-Change metadata-spec width (forwarder @1.2 GHz) ==\n\n{t}");
+    Artifact::new(t, results)
 }
 
 /// The RX descriptor ring bounds the standing queue, trading drops for
 /// tail latency (the knee depth of Fig. 1).
-fn ring_size_latency() {
+fn ring_size_latency() -> Artifact {
     let rings = [256usize, 1024, 4096];
     let mut s = SweepSpec::new();
     for ring in rings {
@@ -204,7 +228,8 @@ fn ring_size_latency() {
                 .packets(PACKETS),
         );
     }
-    let ms = run(s);
+    let results = run(s);
+    let ms = results.expect_all();
     let mut t = Table::new(vec!["rx ring", "Gbps", "p50 (us)", "p99 (us)"]);
     for (ring, m) in rings.iter().zip(&ms) {
         t.row(vec![
@@ -215,4 +240,5 @@ fn ring_size_latency() {
         ]);
     }
     println!("== Ablation: RX ring depth under overload (vanilla router @2.3 GHz) ==\n\n{t}");
+    Artifact::new(t, results)
 }

@@ -1,0 +1,128 @@
+//! CI validator for `--json` sweep artifacts: checks the document is
+//! well-formed `packetmill-run-report/v1` JSON and that its schema (the
+//! set of key paths it uses) matches a checked-in golden list, so
+//! downstream consumers notice schema drift in review instead of in
+//! production.
+//!
+//! ```text
+//! check_artifact <artifact.json> <golden_keys.txt>            # validate
+//! check_artifact <artifact.json> <golden_keys.txt> --write    # regenerate
+//! ```
+
+use packetmill::Json;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+/// Collects every key path the document uses: object keys become dotted
+/// paths, array elements contribute under `[]`.
+fn collect_keys(j: &Json, prefix: &str, out: &mut BTreeSet<String>) {
+    match j {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.insert(path.clone());
+                collect_keys(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            let path = format!("{prefix}[]");
+            for v in items {
+                collect_keys(v, &path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("check_artifact: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (artifact_path, golden_path) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(g)) => (a, g),
+        _ => return fail("usage: check_artifact <artifact.json> <golden_keys.txt> [--write]"),
+    };
+    let write = args.iter().any(|a| a == "--write");
+
+    let text = match std::fs::read_to_string(artifact_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {artifact_path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{artifact_path} is not valid JSON: {e}")),
+    };
+
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == packetmill::report::SCHEMA => {}
+        other => {
+            return fail(&format!(
+                "schema field is {other:?}, expected {:?}",
+                packetmill::report::SCHEMA
+            ))
+        }
+    }
+    let groups = match doc.get("groups") {
+        Some(Json::Arr(g)) if !g.is_empty() => g,
+        _ => return fail("groups must be a non-empty array"),
+    };
+    for g in groups {
+        if g.get("name").is_none() || !matches!(g.get("runs"), Some(Json::Arr(_))) {
+            return fail("every group needs a name and a runs array");
+        }
+    }
+
+    let mut keys = BTreeSet::new();
+    collect_keys(&doc, "", &mut keys);
+    let rendered: String = keys.iter().map(|k| format!("{k}\n")).collect();
+
+    if write {
+        if let Err(e) = std::fs::write(golden_path, &rendered) {
+            return fail(&format!("cannot write {golden_path}: {e}"));
+        }
+        eprintln!("check_artifact: wrote {} keys to {golden_path}", keys.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let golden_text = match std::fs::read_to_string(golden_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {golden_path}: {e}")),
+    };
+    let golden: BTreeSet<String> = golden_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+
+    let missing: Vec<&String> = golden.difference(&keys).collect();
+    let extra: Vec<&String> = keys.difference(&golden).collect();
+    if !missing.is_empty() || !extra.is_empty() {
+        for k in &missing {
+            eprintln!("check_artifact: missing key path: {k}");
+        }
+        for k in &extra {
+            eprintln!("check_artifact: unexpected key path: {k}");
+        }
+        return fail(&format!(
+            "schema drift vs {golden_path} ({} missing, {} unexpected); \
+             re-run with --write if the change is intentional",
+            missing.len(),
+            extra.len()
+        ));
+    }
+
+    eprintln!(
+        "check_artifact: {artifact_path} OK ({} groups, {} key paths)",
+        groups.len(),
+        keys.len()
+    );
+    ExitCode::SUCCESS
+}

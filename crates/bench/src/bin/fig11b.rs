@@ -1,8 +1,16 @@
 //! Regenerates the paper's fig11b artifact on the parallel sweep runner.
-//! Run with `cargo run --release -p pm-bench --bin fig11b [-- --threads N]`
-//! (`PM_THREADS` works too; default: all cores).
+//! Run with `cargo run --release -p pm-bench --bin fig11b
+//! [-- --threads N] [--profile] [--json <path>]`
+//! (`PM_THREADS` / `PM_PROFILE=1` work too; default: all cores, no
+//! profiling).
 
 fn main() {
-    packetmill::sweep::configure_threads_from_args();
-    pm_bench::figures::fig11b().emit();
+    let cli = packetmill::sweep::configure_from_args();
+    let artifact = pm_bench::figures::fig11b();
+    artifact.emit();
+    if let Some(path) = cli.json {
+        pm_bench::figures::write_artifacts(&path, &[("fig11b", &artifact)])
+            .expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
 }

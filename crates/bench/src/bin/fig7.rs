@@ -1,12 +1,43 @@
 //! Regenerates the paper's Figure 7 surfaces (N = 1 and N = 5) on the
 //! parallel sweep runner. Run with
-//! `cargo run --release -p pm-bench --bin fig7 [-- --threads N]`
-//! (`PM_THREADS` works too; default: all cores).
+//! `cargo run --release -p pm-bench --bin fig7
+//! [-- --threads N] [--profile] [--json <path>] [--surface n1|n5|both]`
+//! (`PM_THREADS` / `PM_PROFILE=1` work too; default: all cores, no
+//! profiling, both surfaces).
 
 fn main() {
-    packetmill::sweep::configure_threads_from_args();
-    println!("== N = 1 ==\n");
-    pm_bench::figures::fig7(1).emit();
-    println!("== N = 5 ==\n");
-    pm_bench::figures::fig7(5).emit();
+    let cli = packetmill::sweep::configure_from_args();
+    let surface = std::env::args()
+        .skip_while(|a| a != "--surface")
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
+    let (n1, n5) = match surface.as_str() {
+        "n1" => (true, false),
+        "n5" => (false, true),
+        "both" => (true, true),
+        other => {
+            eprintln!("unknown --surface '{other}' (expected n1, n5, or both)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut groups: Vec<(&str, pm_bench::figures::Artifact)> = Vec::new();
+    if n1 {
+        println!("== N = 1 ==\n");
+        let a = pm_bench::figures::fig7(1);
+        a.emit();
+        groups.push(("fig7-n1", a));
+    }
+    if n5 {
+        println!("== N = 5 ==\n");
+        let a = pm_bench::figures::fig7(5);
+        a.emit();
+        groups.push(("fig7-n5", a));
+    }
+    if let Some(path) = cli.json {
+        let refs: Vec<(&str, &pm_bench::figures::Artifact)> =
+            groups.iter().map(|(n, a)| (*n, a)).collect();
+        pm_bench::figures::write_artifacts(&path, &refs).expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -1,8 +1,15 @@
 //! Regenerates every table and figure of the paper's evaluation in one
 //! go (tables on stdout, sweep telemetry on stderr). Run with
-//! `cargo run --release -p pm-bench --bin figures_all [-- --threads N]`.
+//! `cargo run --release -p pm-bench --bin figures_all
+//! [-- --threads N] [--profile] [--json <path>]`.
 
 fn main() {
-    packetmill::sweep::configure_threads_from_args();
-    pm_bench::figures::run_all();
+    let cli = packetmill::sweep::configure_from_args();
+    let groups = pm_bench::figures::run_all();
+    if let Some(path) = cli.json {
+        let refs: Vec<(&str, &pm_bench::figures::Artifact)> =
+            groups.iter().map(|(n, a)| (*n, a)).collect();
+        pm_bench::figures::write_artifacts(&path, &refs).expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -13,8 +13,9 @@
 
 use packetmill::{
     BessEngine, Dataplane, ExperimentBuilder, L2Fwd, Measurement, MetadataModel, Nf, OptLevel,
-    SweepReport, SweepSpec, Table, TrafficProfile, VppEngine,
+    SweepReport, SweepResults, SweepSpec, Table, TrafficProfile, VppEngine,
 };
+use std::path::Path;
 
 /// Packets per data point (per NIC). Chosen so every figure regenerates
 /// in minutes while past the warm-up transients.
@@ -23,24 +24,57 @@ const PACKETS: usize = 40_000;
 /// The frequency sweep used by Figs. 4, 5, and 8 (GHz).
 pub const FREQS: [f64; 7] = [1.2, 1.5, 1.8, 2.1, 2.3, 2.6, 3.0];
 
-/// One generated artifact: the paper-style table plus the telemetry of
-/// the sweep that produced it.
+/// One generated artifact: the paper-style table plus the full sweep
+/// results (per-run measurements, structured reports, profiles) that
+/// produced it.
 #[derive(Debug, Clone)]
 pub struct Artifact {
     /// The paper-style rows (deterministic: independent of threading).
     pub table: Table,
     /// Aggregate sweep telemetry (runs, failures, wall-clock, speedup).
     pub report: SweepReport,
+    /// The per-run outcomes the table was assembled from, in input
+    /// order — carries each run's [`packetmill::RunReport`].
+    pub results: SweepResults,
 }
 
 impl Artifact {
-    /// Prints the table to stdout and the sweep report to stderr, so
-    /// redirected artifact output stays byte-identical across thread
-    /// counts while the telemetry remains visible.
+    /// Wraps a rendered table with the sweep results that produced it.
+    pub fn new(table: Table, results: SweepResults) -> Self {
+        Artifact {
+            table,
+            report: results.report(),
+            results,
+        }
+    }
+
+    /// Prints the table to stdout and profile tables + the sweep report
+    /// to stderr, so redirected artifact output stays byte-identical
+    /// across thread counts while the telemetry remains visible.
     pub fn emit(&self) {
         println!("{}", self.table);
+        self.emit_profiles();
         eprintln!("sweep report:\n{}", self.report);
     }
+
+    /// Prints each profiled run's `perf report`-style table to stderr
+    /// (no-op when the sweep ran without `--profile`).
+    pub fn emit_profiles(&self) {
+        for o in &self.results.outcomes {
+            if let Some(p) = o.report.as_ref().and_then(|r| r.profile.as_ref()) {
+                eprintln!("profile — {}:\n{}", o.label, p.to_table());
+            }
+        }
+    }
+}
+
+/// Writes named artifact groups as one `packetmill-run-report/v1` JSON
+/// document (the `--json <path>` output of the benchmark binaries).
+pub fn write_artifacts(path: &Path, groups: &[(&str, &Artifact)]) -> std::io::Result<()> {
+    let doc = packetmill::sweep::artifact_document(
+        groups.iter().map(|(n, a)| a.results.to_json(n)).collect(),
+    );
+    std::fs::write(path, doc.to_pretty() + "\n")
 }
 
 /// Per-run progress lines are on unless `PM_PROGRESS=0`.
@@ -101,10 +135,7 @@ pub fn fig1() -> Artifact {
             format!("{:.0}", p.p99_latency_us),
         ]);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// The five source-optimization variants of Fig. 4 / Table 1.
@@ -151,10 +182,7 @@ pub fn fig4() -> Artifact {
             ]);
         }
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// Table 1: micro-architectural metrics at 3 GHz for the five variants.
@@ -193,10 +221,7 @@ pub fn table1() -> Artifact {
     );
     t.row_f64("IPC", &ms.iter().map(|m| m.ipc).collect::<Vec<_>>(), 2);
     t.row_f64("Mpps", &ms.iter().map(|m| m.mpps).collect::<Vec<_>>(), 2);
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// The three metadata-management models, in presentation order.
@@ -229,10 +254,7 @@ pub fn fig5a() -> Artifact {
         let vals: Vec<f64> = triple.iter().map(|m| m.throughput_gbps).collect();
         t.row_f64(format!("{f:.1}"), &vals, 1);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// Figure 5b: the same sweep with two 100-Gbps NICs polled by one core —
@@ -264,10 +286,7 @@ pub fn fig5b() -> Artifact {
         let vals: Vec<f64> = triple.iter().map(|m| m.throughput_gbps).collect();
         t.row_f64(format!("{f:.1}"), &vals, 1);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// Packet sizes for the fixed-size sweeps (Figs. 6 and 11).
@@ -311,10 +330,7 @@ pub fn fig6() -> Artifact {
             format!("{:.2}", p.mpps),
         ]);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// The (W, S) grid of the Fig. 7 surfaces.
@@ -377,10 +393,7 @@ pub fn fig7(n: u32) -> Artifact {
             ]);
         }
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// Figure 8: IDS+router throughput and median latency vs frequency.
@@ -424,10 +437,7 @@ pub fn fig8() -> Artifact {
             format!("{:.0}", p.median_latency_us),
         ]);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// Figure 9: zooming into the N=1, W=4 slice — throughput, LLC-load-miss
@@ -482,10 +492,7 @@ pub fn fig9() -> Artifact {
             format!("{:.0}", p.llc_loads_per_100ms / 1e3),
         ]);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// Figure 10: NAT throughput vs core count @2.3 GHz (RSS spreads flows).
@@ -520,10 +527,7 @@ pub fn fig10() -> Artifact {
             format!("{:.1}", pair[1].throughput_gbps),
         ]);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// A comparator job for the Fig. 11 framework comparison: the forwarder
@@ -592,10 +596,7 @@ pub fn fig11a() -> Artifact {
             format!("{:.1}", quad[3].throughput_gbps),
         ]);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
 /// Figure 11b: VPP vs FastClick (Copying) vs FastClick-Light (Overlaying)
@@ -648,70 +649,85 @@ pub fn fig11b() -> Artifact {
         row.extend(five.iter().map(|m| format!("{:.1}", m.throughput_gbps)));
         t.row(row);
     }
-    Artifact {
-        table: t,
-        report: results.report(),
-    }
+    Artifact::new(t, results)
 }
 
-/// Runs every artifact and prints paper-style output (tables on stdout,
-/// sweep telemetry on stderr).
-pub fn run_all() {
+/// Runs every artifact, prints paper-style output (tables on stdout,
+/// sweep telemetry on stderr), and returns the artifacts keyed by a
+/// stable group name for `--json` emission.
+pub fn run_all() -> Vec<(&'static str, Artifact)> {
     type ArtifactFn = Box<dyn Fn() -> Artifact>;
-    let artifacts: Vec<(&str, ArtifactFn)> = vec![
+    let artifacts: Vec<(&str, &str, ArtifactFn)> = vec![
         (
+            "fig1",
             "Figure 1 — p99 latency vs throughput (router, 1 core @2.3 GHz)",
             Box::new(fig1),
         ),
         (
+            "fig4",
             "Figure 4 — source-code optimizations vs frequency (router)",
             Box::new(fig4),
         ),
         (
+            "table1",
             "Table 1 — micro-architectural metrics @3 GHz (router)",
             Box::new(table1),
         ),
         (
+            "fig5a",
             "Figure 5a — metadata models vs frequency (forwarder, 1 NIC)",
             Box::new(fig5a),
         ),
         (
+            "fig5b",
             "Figure 5b — metadata models, two NICs, one core",
             Box::new(fig5b),
         ),
         (
+            "fig6",
             "Figure 6 — packet-size sweep (router @2.3 GHz)",
             Box::new(fig6),
         ),
         (
+            "fig7-n1",
             "Figure 7a — WorkPackage improvement surface (N=1)",
             Box::new(|| fig7(1)),
         ),
         (
+            "fig7-n5",
             "Figure 7b — WorkPackage improvement surface (N=5)",
             Box::new(|| fig7(5)),
         ),
-        ("Figure 8 — IDS+router vs frequency", Box::new(fig8)),
+        ("fig8", "Figure 8 — IDS+router vs frequency", Box::new(fig8)),
         (
+            "fig9",
             "Figure 9 — memory-footprint slice (N=1, W=4)",
             Box::new(fig9),
         ),
-        ("Figure 10 — multicore NAT @2.3 GHz", Box::new(fig10)),
         (
+            "fig10",
+            "Figure 10 — multicore NAT @2.3 GHz",
+            Box::new(fig10),
+        ),
+        (
+            "fig11a",
             "Figure 11a — FastClick vs l2fwd vs PacketMill vs l2fwd-xchg @1.2 GHz",
             Box::new(fig11a),
         ),
         (
+            "fig11b",
             "Figure 11b — framework comparison @1.2 GHz",
             Box::new(fig11b),
         ),
     ];
-    for (title, f) in artifacts {
+    let mut out = Vec::new();
+    for (key, title, f) in artifacts {
         let artifact = f();
         println!("== {title} ==\n");
         println!("{}", artifact.table);
         // Timing goes to stderr so redirected artifact output stays
         // byte-identical across runs and thread counts.
+        artifact.emit_profiles();
         eprintln!(
             "sweep report ({:.1} s wall, {:.1} s serial-equivalent, {} threads):\n{}",
             artifact.report.wall_seconds,
@@ -719,5 +735,7 @@ pub fn run_all() {
             artifact.report.threads,
             artifact.report,
         );
+        out.push((key, artifact));
     }
+    out
 }

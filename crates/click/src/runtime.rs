@@ -22,7 +22,9 @@ use crate::graph::Graph;
 use crate::packet::{ClickPool, COPY_FIELDS};
 use crate::plan::{DispatchMode, ExecPlan};
 use pm_dpdk::{MetadataModel, RxDesc};
-use pm_mem::{AccessKind, AddressSpace, Region, ScatterAlloc};
+use pm_mem::{
+    AccessKind, AddressSpace, Cost, MemoryHierarchy, Region, ScatterAlloc, ScopeId, SCOPE_METADATA,
+};
 
 /// Where a packet ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,9 @@ pub struct GraphRuntime {
     /// Per-element (packets seen, packets dropped here) — the Click
     /// read-handler equivalent.
     element_counts: Vec<(u64, u64)>,
+    /// Attribution scopes per element, registered lazily on the first run
+    /// against a hierarchy with profiling enabled.
+    element_scopes: Option<Vec<ScopeId>>,
 }
 
 impl std::fmt::Debug for GraphRuntime {
@@ -153,6 +158,7 @@ impl GraphRuntime {
             stack_region,
             stats: RuntimeStats::default(),
             element_counts,
+            element_scopes: None,
         }
     }
 
@@ -182,9 +188,58 @@ impl GraphRuntime {
             .collect()
     }
 
+    /// Registers one attribution scope per element (idempotent; no-op
+    /// until the hierarchy has profiling enabled). Named elements render
+    /// as `Class(name)`, anonymous ones keep their `Class@N` form.
+    fn ensure_scopes(&mut self, mem: &mut MemoryHierarchy) {
+        if !mem.attribution_enabled() || self.element_scopes.is_some() {
+            return;
+        }
+        self.element_scopes = Some(
+            self.graph
+                .elements
+                .iter()
+                .map(|e| {
+                    let label = if e.name.contains('@') {
+                        e.name.clone()
+                    } else {
+                        format!("{}({})", e.class, e.name)
+                    };
+                    mem.register_scope(&label)
+                })
+                .collect(),
+        );
+    }
+
+    /// The attribution scope of element `idx`, or `None` while profiling
+    /// is off. Used by the dataplane to tag its source-side entry work.
+    pub fn element_scope(&mut self, mem: &mut MemoryHierarchy, idx: usize) -> Option<ScopeId> {
+        self.ensure_scopes(mem);
+        self.element_scopes.as_ref().map(|s| s[idx])
+    }
+
+    /// Attributes the cost accumulated since `before` (plus one packet)
+    /// to `scope`.
+    fn attribute_hop(ctx: &mut Ctx<'_>, scope: Option<ScopeId>, before: Cost) {
+        if let Some(s) = scope {
+            ctx.mem.profile_charge_at(s, ctx.cost - before);
+            ctx.mem.profile_packets_at(s, 1);
+        }
+    }
+
     /// Performs the metadata-model work for a packet entering the
     /// framework and returns the address of its `Packet` object.
     pub fn begin_packet(&mut self, ctx: &mut Ctx<'_>, desc: &RxDesc) -> u64 {
+        let before = ctx.cost;
+        let prev = ctx.mem.set_scope(SCOPE_METADATA);
+        let addr = self.begin_packet_inner(ctx, desc);
+        ctx.mem.profile_charge_at(SCOPE_METADATA, ctx.cost - before);
+        ctx.mem.profile_packets_at(SCOPE_METADATA, 1);
+        ctx.mem.set_scope(prev);
+        addr
+    }
+
+    fn begin_packet_inner(&mut self, ctx: &mut Ctx<'_>, desc: &RxDesc) -> u64 {
         match self.plan.metadata_model {
             MetadataModel::Copying => {
                 if self.plan.sroa_active() {
@@ -252,8 +307,12 @@ impl GraphRuntime {
             && !self.plan.sroa_active()
             && meta_addr != self.stack_region.base
         {
+            let before = ctx.cost;
+            let prev = ctx.mem.set_scope(SCOPE_METADATA);
             let c = self.pool.free(ctx.core, ctx.mem, meta_addr);
             ctx.charge(c);
+            ctx.mem.profile_charge_at(SCOPE_METADATA, ctx.cost - before);
+            ctx.mem.set_scope(prev);
         }
     }
 
@@ -263,9 +322,18 @@ impl GraphRuntime {
     ///
     /// Panics if the walk exceeds `MAX_HOPS` (64 — a configuration cycle).
     pub fn run(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>, source: usize) -> PacketFate {
+        self.ensure_scopes(ctx.mem);
         self.stats.processed += 1;
         let (mut idx, _port) = self.graph.entry_of(source);
         for _ in 0..MAX_HOPS {
+            // Everything charged during this hop — dispatch, state touch,
+            // the element's own work, and next-hop resolution — is
+            // attributed to the executing element.
+            let hop_start = ctx.cost;
+            let scope = self.element_scopes.as_ref().map(|s| s[idx]);
+            if let Some(s) = scope {
+                ctx.mem.set_scope(s);
+            }
             self.charge_hop(ctx, idx);
             ctx.state = self.state_regions[idx];
             self.element_counts[idx].0 += 1;
@@ -276,11 +344,13 @@ impl GraphRuntime {
                 Action::Drop => {
                     self.stats.dropped += 1;
                     self.element_counts[idx].1 += 1;
+                    Self::attribute_hop(ctx, scope, hop_start);
                     return PacketFate::Dropped { at: idx };
                 }
                 Action::Forward(p) => {
                     if kind == ElementKind::Sink {
                         self.stats.to_tx += 1;
+                        Self::attribute_hop(ctx, scope, hop_start);
                         return PacketFate::Tx {
                             sink: idx,
                             len: pkt.len,
@@ -298,6 +368,7 @@ impl GraphRuntime {
                         );
                         ctx.compute(2);
                     }
+                    Self::attribute_hop(ctx, scope, hop_start);
                     match self.graph.adj[idx].get(p as usize).copied().flatten() {
                         Some((next, _in_port)) => idx = next,
                         None => {
@@ -477,6 +548,49 @@ mod tests {
             push_one(&mut rtm, &mut mem);
         }
         assert_eq!(rtm.pool.available(), before, "alloc/free balanced");
+    }
+
+    #[test]
+    fn profiled_run_attributes_every_cost() {
+        let mut mem = MemoryHierarchy::skylake(1);
+        mem.enable_attribution();
+        let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::Copying));
+        let mut total = Cost::ZERO;
+        for _ in 0..64 {
+            let (_, c) = push_one(&mut rtm, &mut mem);
+            total += c;
+        }
+        let recs = mem.profile_records();
+        // Per-element names exist and the per-hop packet counts match.
+        let null = recs.iter().find(|(n, _)| n.starts_with("Null@")).unwrap();
+        assert_eq!(null.1.packets, 64);
+        let sink = recs.iter().find(|(n, _)| n == "ToDPDKDevice(out)").unwrap();
+        assert_eq!(sink.1.packets, 64);
+        let meta = recs.iter().find(|(n, _)| n == "metadata").unwrap();
+        assert!(meta.1.cost.instructions > 0, "begin/end_packet attributed");
+        // Attributed costs sum to exactly what the packets were charged.
+        let sum = recs.iter().fold(Cost::ZERO, |acc, (_, p)| acc + p.cost);
+        assert_eq!(sum.instructions, total.instructions);
+        assert!((sum.cycles - total.cycles).abs() < 1e-6);
+        assert!((sum.uncore_ns - total.uncore_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attribution_does_not_change_charges() {
+        let run = |profile: bool| {
+            let mut mem = MemoryHierarchy::skylake(1);
+            if profile {
+                mem.enable_attribution();
+            }
+            let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::Copying));
+            let mut total = Cost::ZERO;
+            for _ in 0..128 {
+                let (_, c) = push_one(&mut rtm, &mut mem);
+                total += c;
+            }
+            (total, mem.counters())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl Dataplane for ClickDataplane {
         desc: &RxDesc,
         data: &mut [u8],
     ) -> ProcessResult {
+        let src_scope = self.rt.element_scope(mem, self.source);
         let mut ctx = Ctx::new(core, mem, &self.plan);
         if self.profiling {
             ctx.profile = Some(std::mem::take(&mut self.profile));
@@ -87,7 +88,11 @@ impl Dataplane for ClickDataplane {
         // FromDPDKDevice's per-packet RX loop: batch assembly, packet
         // type + timestamp annotations (partially folded away when the
         // static graph inlines the whole path).
+        let entry_start = ctx.cost;
         ctx.compute(if self.plan.static_graph { 24 } else { 40 });
+        if let Some(s) = src_scope {
+            ctx.mem.profile_charge_at(s, ctx.cost - entry_start);
+        }
         let meta_addr = self.rt.begin_packet(&mut ctx, desc);
         let mut pkt = Pkt {
             data,

@@ -10,11 +10,12 @@
 
 use pm_dpdk::{MetadataModel, MetadataSpec, Pmd, PmdConfig, TxSend};
 use pm_frameworks::Dataplane;
-use pm_mem::{AddressSpace, Cost, MemCounters, MemoryHierarchy};
+use pm_mem::{AddressSpace, Cost, MemCounters, MemoryHierarchy, SCOPE_SCHEDULER};
 use pm_nic::{DmaMemory, Nic, NicConfig};
 use pm_sim::{Frequency, SimTime};
-use pm_telemetry::LatencyHistogram;
+use pm_telemetry::{LatencyHistogram, ProfileRecord, ProfileReport};
 use pm_traffic::Trace;
+use std::collections::BTreeMap;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -53,6 +54,9 @@ pub struct EngineConfig {
     pub ddio_ways: Option<usize>,
     /// Override the mempool recycling order (None = FIFO).
     pub pool_mode: Option<pm_dpdk::MempoolMode>,
+    /// Attribute every charged cost and cache event to the executing
+    /// element/stage and collect a per-element [`ProfileReport`].
+    pub profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +78,7 @@ impl Default for EngineConfig {
             base_latency: SimTime::from_us(4.0),
             ddio_ways: None,
             pool_mode: None,
+            profile: false,
         }
     }
 }
@@ -138,6 +143,8 @@ pub struct Engine {
     traces: Vec<Trace>,
     /// Generation timestamp of the first post-warmup packet.
     measure_gen_start: Option<SimTime>,
+    /// RX batch-size histogram over the measured window (profiled runs).
+    batches: BTreeMap<u64, u64>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -240,6 +247,10 @@ impl Engine {
             })
             .collect();
 
+        if cfg.profile {
+            mem.enable_attribution();
+        }
+
         Engine {
             cfg,
             mem,
@@ -248,6 +259,7 @@ impl Engine {
             pairs,
             traces,
             measure_gen_start: None,
+            batches: BTreeMap::new(),
         }
     }
 
@@ -365,8 +377,20 @@ impl Engine {
 
             // Measurement window bookkeeping.
             let any_measured = pkts.iter().any(|p| p.seq >= warmup_seq);
-            if any_measured && counters_at_start.is_none() {
+            let first_measured = any_measured && counters_at_start.is_none();
+            if first_measured {
                 counters_at_start = Some(self.mem.counters());
+                // Align the profile with the measured window. (The rx cost
+                // of this first burst stays in `measured_cost` but its
+                // attribution is wiped — a one-burst edge, well under the
+                // 1% tolerance the profile is reported at. The batch
+                // histogram skips the same burst so it stays consistent
+                // with the attributed rx/pmd packet count.)
+                self.mem.profile_reset();
+                self.batches.clear();
+            }
+            if self.cfg.profile && any_measured && !first_measured {
+                *self.batches.entry(pkts.len() as u64).or_insert(0) += 1;
             }
             if first_measured_arrival.is_none() {
                 if let Some(p) = pkts.iter().find(|p| p.seq >= warmup_seq) {
@@ -391,7 +415,9 @@ impl Engine {
                     }
                 }
             }
-            cost += dp.per_batch_cost(pkts.len());
+            let batch_cost = dp.per_batch_cost(pkts.len());
+            cost += batch_cost;
+            self.mem.profile_charge_at(SCOPE_SCHEDULER, batch_cost);
 
             // Advance the core clock by the batch's service time, then
             // hand the frames to the NIC at that instant. ToDPDKDevice
@@ -517,6 +543,49 @@ impl Engine {
         for d in &mut self.dataplanes {
             d.set_profiling(on);
         }
+    }
+
+    /// The per-element profile accumulated over the measured window, or
+    /// `None` unless the engine was built with [`EngineConfig::profile`].
+    ///
+    /// Scopes that saw no work are dropped; the RX batch-size histogram
+    /// is attached to the `rx/pmd` stage record.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        if !self.cfg.profile {
+            return None;
+        }
+        let records = self
+            .mem
+            .profile_records()
+            .into_iter()
+            .filter(|(_, p)| *p != pm_mem::ScopeProfile::default())
+            .map(|(name, p)| {
+                let batches = if name == "rx/pmd" {
+                    self.batches.iter().map(|(&k, &v)| (k, v)).collect()
+                } else {
+                    Vec::new()
+                };
+                ProfileRecord {
+                    name,
+                    cycles: p.cost.cycles,
+                    stall_ns: p.cost.uncore_ns,
+                    instructions: p.cost.instructions,
+                    loads: p.counters.loads,
+                    stores: p.counters.stores,
+                    l2_loads: p.counters.l1d_load_misses,
+                    llc_loads: p.counters.llc_loads,
+                    llc_load_misses: p.counters.llc_load_misses,
+                    llc_stores: p.counters.llc_stores,
+                    dtlb_misses: p.counters.dtlb_misses,
+                    packets: p.packets,
+                    batches,
+                }
+            })
+            .collect();
+        Some(ProfileReport {
+            freq_ghz: self.cfg.freq.as_ghz(),
+            records,
+        })
     }
 }
 

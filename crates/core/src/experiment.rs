@@ -5,6 +5,7 @@
 
 use crate::click_dataplane::ClickDataplane;
 use crate::engine::{Engine, EngineConfig, Measurement};
+use crate::report::RunReport;
 use pm_click::{ConfigError, ConfigGraph, Graph, GraphRuntime};
 use pm_compile::{MillIr, Pass, Pipeline, ReorderFieldsPass};
 use pm_dpdk::{MetadataModel, MetadataSpec};
@@ -149,6 +150,7 @@ pub struct ExperimentBuilder {
     pool_mode: Option<pm_dpdk::MempoolMode>,
     spec: Option<MetadataSpec>,
     custom_trace: Option<Trace>,
+    profile: Option<bool>,
 }
 
 impl ExperimentBuilder {
@@ -174,6 +176,7 @@ impl ExperimentBuilder {
             pool_mode: None,
             spec: None,
             custom_trace: None,
+            profile: None,
         }
     }
 
@@ -269,6 +272,20 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables (or disables) per-element profiling for this run,
+    /// overriding the process default ([`crate::sweep::default_profile`],
+    /// set by `--profile` or `PM_PROFILE=1`).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = Some(on);
+        self
+    }
+
+    /// Whether this run collects a per-element profile: the explicit
+    /// [`Self::profile`] override, else the process default.
+    pub fn profile_effective(&self) -> bool {
+        self.profile.unwrap_or_else(crate::sweep::default_profile)
+    }
+
     fn pipeline(&self) -> Pipeline {
         match self.opt {
             OptLevel::Vanilla => Pipeline::new(),
@@ -326,7 +343,29 @@ impl ExperimentBuilder {
             base_latency: SimTime::from_us(4.0),
             ddio_ways: self.ddio_ways,
             pool_mode: self.pool_mode,
+            profile: self.profile_effective(),
         }
+    }
+
+    /// The configuration as stable key/value pairs (for [`RunReport`]).
+    /// Every key is always present so artifact schemas stay stable.
+    fn config_entries(&self) -> Vec<(String, String)> {
+        let kv: Vec<(&str, String)> = vec![
+            ("nf", format!("{:?}", self.nf)),
+            ("model", format!("{:?}", self.model)),
+            ("opt", format!("{:?}", self.opt)),
+            ("freq_ghz", format!("{}", self.freq_ghz)),
+            ("cores", format!("{}", self.cores)),
+            ("nics", format!("{}", self.nics)),
+            ("offered_gbps", format!("{}", self.offered_gbps)),
+            ("packets", format!("{}", self.packets)),
+            ("traffic", format!("{:?}", self.traffic)),
+            ("rx_ring", format!("{}", self.rx_ring)),
+            ("burst", format!("{}", self.burst)),
+            ("ddio_ways", format!("{:?}", self.ddio_ways)),
+            ("pool_mode", format!("{:?}", self.pool_mode)),
+        ];
+        kv.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
     }
 
     fn build_engine(
@@ -371,7 +410,10 @@ impl ExperimentBuilder {
 
         let mut cfg = cfg;
         if for_profiling {
+            // The field-access profiling pre-run is internal plumbing for
+            // the reordering pass, not a reported run.
             cfg.warmup = 0;
+            cfg.profile = false;
         }
         Ok(Engine::new(cfg, dataplanes, traces, &mut space))
     }
@@ -389,6 +431,23 @@ impl ExperimentBuilder {
         let mut engine = self.build_engine(&ir, self.packets, false)?;
         let m = engine.run();
         Ok((m, engine.element_stats()))
+    }
+
+    /// Like [`Self::run`], also returning the structured [`RunReport`]
+    /// artifact (configuration + seed + measurement + per-element
+    /// profile when [`Self::profile_effective`] is on).
+    pub fn run_with_report(&self) -> Result<(Measurement, RunReport), ExperimentError> {
+        let ir = self.build_ir()?;
+        let mut engine = self.build_engine(&ir, self.packets, false)?;
+        let m = engine.run();
+        let report = RunReport {
+            label: format!("{:?} [{}]", self.nf, ir.plan.label()),
+            config: self.config_entries(),
+            seed: self.seed,
+            measurement: m,
+            profile: engine.profile_report(),
+        };
+        Ok((m, report))
     }
 
     /// Runs the experiment with an arbitrary dataplane factory instead of

@@ -38,12 +38,14 @@
 pub mod click_dataplane;
 pub mod engine;
 pub mod experiment;
+pub mod report;
 pub mod sweep;
 
 pub use click_dataplane::ClickDataplane;
 pub use engine::{Engine, EngineConfig, Measurement};
 pub use experiment::{ExperimentBuilder, ExperimentError, Nf, OptLevel};
-pub use sweep::{RunOutcome, SweepReport, SweepResults, SweepSpec};
+pub use report::RunReport;
+pub use sweep::{RunOutcome, SweepCli, SweepReport, SweepResults, SweepSpec};
 
 // Re-exports so examples and tests need only this crate.
 pub use pm_click::{ConfigGraph, DispatchMode, ExecPlan, Graph};
@@ -52,5 +54,5 @@ pub use pm_dpdk::{MempoolMode, MetaField, MetadataModel, MetadataSpec};
 pub use pm_elements::{configs, standard_registry};
 pub use pm_frameworks::{BessEngine, Dataplane, L2Fwd, VppEngine};
 pub use pm_sim::{Frequency, SimTime};
-pub use pm_telemetry::Table;
+pub use pm_telemetry::{Json, ProfileReport, Table};
 pub use pm_traffic::{Trace, TraceConfig, TrafficProfile};

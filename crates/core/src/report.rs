@@ -1,0 +1,140 @@
+//! Structured run artifacts: everything one experiment produced —
+//! configuration, seed, measurement, optional per-element profile — in a
+//! stable, hand-serialized JSON shape (`packetmill-run-report/v1`).
+//!
+//! The artifact deliberately carries **no wall-clock or host timing**:
+//! every field is a function of the simulation alone, so the same sweep
+//! serializes byte-identically regardless of worker count or machine.
+
+use crate::engine::Measurement;
+use pm_telemetry::{Json, ProfileReport};
+
+/// Schema identifier stamped into every sweep artifact.
+pub const SCHEMA: &str = "packetmill-run-report/v1";
+
+/// The structured artifact of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Human-readable run label (the sweep label when run via a sweep).
+    pub label: String,
+    /// The experiment configuration as stable key/value pairs.
+    pub config: Vec<(String, String)>,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// The run's measurements.
+    pub measurement: Measurement,
+    /// Per-element profile, when the run was profiled.
+    pub profile: Option<ProfileReport>,
+}
+
+impl RunReport {
+    /// Serializes the report. Key order is fixed, so equal runs produce
+    /// byte-identical JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("seed", Json::U64(self.seed)),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("measurement", measurement_to_json(&self.measurement)),
+            (
+                "profile",
+                match &self.profile {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Serializes a [`Measurement`] with one key per field.
+pub fn measurement_to_json(m: &Measurement) -> Json {
+    Json::obj(vec![
+        ("throughput_gbps", Json::F64(m.throughput_gbps)),
+        ("mpps", Json::F64(m.mpps)),
+        ("median_latency_us", Json::F64(m.median_latency_us)),
+        ("p99_latency_us", Json::F64(m.p99_latency_us)),
+        ("mean_latency_us", Json::F64(m.mean_latency_us)),
+        ("ipc", Json::F64(m.ipc)),
+        ("llc_loads_per_100ms", Json::F64(m.llc_loads_per_100ms)),
+        ("llc_misses_per_100ms", Json::F64(m.llc_misses_per_100ms)),
+        ("llc_miss_pct", Json::F64(m.llc_miss_pct)),
+        ("rx_dropped", Json::U64(m.rx_dropped)),
+        ("nf_dropped", Json::U64(m.nf_dropped)),
+        ("tx_dropped", Json::U64(m.tx_dropped)),
+        ("tx_packets", Json::U64(m.tx_packets)),
+        ("elapsed_ms", Json::F64(m.elapsed_ms)),
+        ("instr_per_packet", Json::F64(m.instr_per_packet)),
+        ("cycles_per_packet", Json::F64(m.cycles_per_packet)),
+        ("uncore_ns_per_packet", Json::F64(m.uncore_ns_per_packet)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement() -> Measurement {
+        Measurement {
+            throughput_gbps: 42.5,
+            mpps: 7.0,
+            median_latency_us: 5.0,
+            p99_latency_us: 9.0,
+            mean_latency_us: 6.0,
+            ipc: 2.5,
+            llc_loads_per_100ms: 1000.0,
+            llc_misses_per_100ms: 10.0,
+            llc_miss_pct: 1.0,
+            rx_dropped: 0,
+            nf_dropped: 3,
+            tx_dropped: 0,
+            tx_packets: 80_000,
+            elapsed_ms: 1.5,
+            instr_per_packet: 500.0,
+            cycles_per_packet: 150.0,
+            uncore_ns_per_packet: 20.0,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_parser() {
+        let r = RunReport {
+            label: "router/copying".into(),
+            config: vec![("nf".into(), "Router".into())],
+            seed: 0xCAFE,
+            measurement: measurement(),
+            profile: None,
+        };
+        let text = r.to_json().to_compact();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed.get("label"),
+            Some(&Json::Str("router/copying".into()))
+        );
+        assert_eq!(parsed.get("seed"), Some(&Json::U64(0xCAFE)));
+        assert_eq!(parsed.get("profile"), Some(&Json::Null));
+        let m = parsed.get("measurement").expect("measurement");
+        assert_eq!(m.get("throughput_gbps").unwrap().as_f64(), Some(42.5));
+        assert_eq!(m.get("tx_packets"), Some(&Json::U64(80_000)));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let r = RunReport {
+            label: "x".into(),
+            config: vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+            seed: 1,
+            measurement: measurement(),
+            profile: Some(ProfileReport::default()),
+        };
+        assert_eq!(r.to_json().to_compact(), r.to_json().to_compact());
+    }
+}

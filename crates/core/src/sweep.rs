@@ -23,17 +23,40 @@
 
 use crate::engine::Measurement;
 use crate::experiment::{ExperimentBuilder, ExperimentError};
-use pm_telemetry::Table;
+use crate::report::{measurement_to_json, RunReport, SCHEMA};
+use pm_telemetry::{Json, Table};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-type Job = Box<dyn FnOnce() -> Result<Measurement, ExperimentError> + Send + 'static>;
+type Job =
+    Box<dyn FnOnce() -> Result<(Measurement, Option<RunReport>), ExperimentError> + Send + 'static>;
 
 /// Process-wide default worker count override (0 = unset).
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide default for per-element profiling:
+/// 0 = unset (fall back to `PM_PROFILE`), 1 = off, 2 = on.
+static DEFAULT_PROFILE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the process-wide profiling default for runs that don't set
+/// [`ExperimentBuilder::profile`] explicitly.
+pub fn set_default_profile(on: bool) {
+    DEFAULT_PROFILE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The profiling default: [`set_default_profile`] (set by the
+/// `--profile` CLI flag), else `PM_PROFILE=1`, else off.
+pub fn default_profile() -> bool {
+    match DEFAULT_PROFILE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => std::env::var("PM_PROFILE").is_ok_and(|v| v == "1"),
+    }
+}
 
 /// Overrides the default worker count for subsequent sweeps (takes
 /// precedence over `PM_THREADS`). `0` clears the override.
@@ -83,6 +106,68 @@ pub fn configure_threads_from_args() -> usize {
     default_threads()
 }
 
+/// The sweep-relevant command line of a benchmark binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepCli {
+    /// Resolved worker count (`--threads`, `PM_THREADS`, or all cores).
+    pub threads: usize,
+    /// Whether runs collect per-element profiles (`--profile` or
+    /// `PM_PROFILE=1`).
+    pub profile: bool,
+    /// Where to write the JSON run-report artifact (`--json <path>`).
+    pub json: Option<PathBuf>,
+}
+
+/// Parses `--threads N`, `--profile`, and `--json <path>` from the
+/// process arguments, installs the thread and profile defaults
+/// process-wide, and returns the resolved settings. Call once from a
+/// benchmark binary's `main`.
+pub fn configure_from_args() -> SweepCli {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cli = SweepCli::default();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            if let Some(n) = v.parse::<usize>().ok().filter(|&n| n > 0) {
+                set_default_threads(n);
+            }
+        } else if arg == "--threads" {
+            if let Some(n) = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+            {
+                set_default_threads(n);
+                i += 1;
+            }
+        } else if arg == "--profile" {
+            set_default_profile(true);
+        } else if let Some(v) = arg.strip_prefix("--json=") {
+            cli.json = Some(PathBuf::from(v));
+        } else if arg == "--json" {
+            if let Some(p) = args.get(i + 1) {
+                cli.json = Some(PathBuf::from(p));
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    cli.threads = default_threads();
+    cli.profile = default_profile();
+    cli
+}
+
+/// Wraps per-sweep groups (from [`SweepResults::to_json`]) into the
+/// top-level artifact document:
+/// `{"schema": "packetmill-run-report/v1", "groups": […]}`.
+pub fn artifact_document(groups: Vec<Json>) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("groups", Json::Arr(groups)),
+    ])
+}
+
 /// A declarative list of labelled experiment runs.
 #[derive(Default)]
 pub struct SweepSpec {
@@ -116,19 +201,24 @@ impl SweepSpec {
     /// the run, including its explicit RNG seed, so the run's result
     /// does not depend on where or when a worker picks it up.
     pub fn push(&mut self, label: impl Into<String>, builder: ExperimentBuilder) -> &mut Self {
-        self.runs
-            .push((label.into(), Box::new(move || builder.run())));
+        self.runs.push((
+            label.into(),
+            Box::new(move || builder.run_with_report().map(|(m, r)| (m, Some(r)))),
+        ));
         self
     }
 
     /// Appends an arbitrary job (e.g. [`ExperimentBuilder::run_with_dataplane`]
     /// for the Fig. 11 framework comparators). The job must be
-    /// self-contained: it is executed at most once, on any worker.
+    /// self-contained: it is executed at most once, on any worker. Jobs
+    /// produce no [`RunReport`]; their artifact carries the measurement
+    /// only.
     pub fn push_job<F>(&mut self, label: impl Into<String>, job: F) -> &mut Self
     where
         F: FnOnce() -> Result<Measurement, ExperimentError> + Send + 'static,
     {
-        self.runs.push((label.into(), Box::new(job)));
+        self.runs
+            .push((label.into(), Box::new(move || job().map(|m| (m, None)))));
         self
     }
 
@@ -186,10 +276,19 @@ impl SweepSpec {
                 .take()
                 .expect("each run claimed once");
             let run_started = Instant::now();
-            let result = match catch_unwind(AssertUnwindSafe(job)) {
-                Ok(Ok(m)) => Ok(m),
-                Ok(Err(e)) => Err(format!("experiment error: {e}")),
-                Err(payload) => Err(format!("panicked: {}", panic_message(payload.as_ref()))),
+            let (result, report) = match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(Ok((m, r))) => (
+                    Ok(m),
+                    r.map(|mut r| {
+                        r.label = label.clone();
+                        r
+                    }),
+                ),
+                Ok(Err(e)) => (Err(format!("experiment error: {e}")), None),
+                Err(payload) => (
+                    Err(format!("panicked: {}", panic_message(payload.as_ref()))),
+                    None,
+                ),
             };
             let seconds = run_started.elapsed().as_secs_f64();
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -206,6 +305,7 @@ impl SweepSpec {
                 label: label.clone(),
                 result,
                 seconds,
+                report,
             });
         };
 
@@ -255,6 +355,29 @@ pub struct RunOutcome {
     pub result: Result<Measurement, String>,
     /// Wall-clock seconds this run took on its worker.
     pub seconds: f64,
+    /// The structured run artifact ([`SweepSpec::push`] runs only).
+    pub report: Option<RunReport>,
+}
+
+impl RunOutcome {
+    /// Serializes this outcome for the sweep artifact. Successful
+    /// builder runs emit their full [`RunReport`]; job runs emit label +
+    /// measurement; failures emit label + error. Wall-clock time is
+    /// deliberately excluded so artifacts are byte-identical across
+    /// worker counts and machines.
+    pub fn to_json(&self) -> Json {
+        match (&self.result, &self.report) {
+            (Ok(_), Some(r)) => r.to_json(),
+            (Ok(m), None) => Json::obj(vec![
+                ("label", Json::Str(self.label.clone())),
+                ("measurement", measurement_to_json(m)),
+            ]),
+            (Err(e), _) => Json::obj(vec![
+                ("label", Json::Str(self.label.clone())),
+                ("error", Json::Str(e.clone())),
+            ]),
+        }
+    }
 }
 
 /// Every outcome of a sweep, in input order, plus aggregate timing.
@@ -293,6 +416,20 @@ impl SweepResults {
     /// the same sweep would have cost.
     pub fn serial_seconds(&self) -> f64 {
         self.outcomes.iter().map(|o| o.seconds).sum()
+    }
+
+    /// Serializes the sweep as one named artifact group:
+    /// `{"name": …, "runs": [RunOutcome::to_json(), …]}` in input order.
+    /// Contains no timing or thread-count fields, so the same sweep is
+    /// byte-identical at any `--threads`.
+    pub fn to_json(&self, name: &str) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            (
+                "runs",
+                Json::Arr(self.outcomes.iter().map(|o| o.to_json()).collect()),
+            ),
+        ])
     }
 
     /// The aggregate report.

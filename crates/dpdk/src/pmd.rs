@@ -23,7 +23,9 @@
 use crate::mbuf::MbufMeta;
 use crate::mempool::{Mempool, MempoolMode};
 use crate::xchg::{MetadataModel, MetadataSpec, XchgRing};
-use pm_mem::{AccessKind, AddressSpace, Cost, MemoryHierarchy, Region};
+use pm_mem::{
+    AccessKind, AddressSpace, Cost, MemoryHierarchy, Region, SCOPE_MEMPOOL, SCOPE_RX, SCOPE_TX,
+};
 use pm_nic::{DmaMemory, Nic, PostedBuffer, TxRequest};
 use pm_sim::SimTime;
 use std::collections::VecDeque;
@@ -243,6 +245,10 @@ impl Pmd {
         now: SimTime,
     ) -> (Vec<RxDesc>, Cost) {
         let lat = *mem.latency_model();
+        // Attribution: everything in here is the RX stage except
+        // pool-ring traffic, which belongs to the mempool stage.
+        let outer_scope = mem.set_scope(SCOPE_RX);
+        let mut pool_cost = Cost::ZERO;
         let mut cost = Cost::compute(8); // poll-loop entry
                                          // Poll the next CQE slot (read happens even when empty).
         cost += mem.access(core, nic.rx_ring_mut(q).poll_addr(), 8, AccessKind::Load);
@@ -340,13 +346,15 @@ impl Pmd {
                     Some(b) => Some(b),
                     None => {
                         self.stats.xchg_pool_fallbacks += 1;
-                        let (b, c2) = self.pool.alloc(core, mem);
+                        let (b, c2) = Self::pool_alloc(&mut self.pool, core, mem);
+                        pool_cost += c2;
                         cost += c2;
                         b
                     }
                 },
                 _ => {
-                    let (b, c2) = self.pool.alloc(core, mem);
+                    let (b, c2) = Self::pool_alloc(&mut self.pool, core, mem);
+                    pool_cost += c2;
                     cost += c2;
                     b
                 }
@@ -367,8 +375,35 @@ impl Pmd {
             // write, amortized over the burst).
             cost += Cost::compute(22);
             cost += Cost::stall_ns(lat.llc_hit_ns * 0.25);
+            // Attribute only non-empty bursts: the engine discards the
+            // cost of empty polls, and the profile must match what is
+            // actually measured.
+            mem.profile_charge_at(SCOPE_RX, cost - pool_cost);
+            mem.profile_charge_at(SCOPE_MEMPOOL, pool_cost);
+            mem.profile_packets_at(SCOPE_RX, out.len() as u64);
         }
+        mem.set_scope(outer_scope);
         (out, cost)
+    }
+
+    /// Pool allocation with its ring traffic tagged to the mempool stage.
+    fn pool_alloc(
+        pool: &mut Mempool,
+        core: usize,
+        mem: &mut MemoryHierarchy,
+    ) -> (Option<u32>, Cost) {
+        let prev = mem.set_scope(SCOPE_MEMPOOL);
+        let out = pool.alloc(core, mem);
+        mem.set_scope(prev);
+        out
+    }
+
+    /// Pool free with its ring traffic tagged to the mempool stage.
+    fn pool_free(pool: &mut Mempool, core: usize, mem: &mut MemoryHierarchy, id: u32) -> Cost {
+        let prev = mem.set_scope(SCOPE_MEMPOOL);
+        let c = pool.free(core, mem, id);
+        mem.set_scope(prev);
+        c
     }
 
     /// Transmits a burst on queue `q`. Returns per-packet wire-departure
@@ -384,6 +419,8 @@ impl Pmd {
         sends: &[TxSend],
     ) -> (Vec<Option<SimTime>>, Cost) {
         let lat = *mem.latency_model();
+        let outer_scope = mem.set_scope(SCOPE_TX);
+        let mut pool_cost = Cost::ZERO;
         let mut cost = Cost::ZERO;
         let mut departures = Vec::with_capacity(sends.len());
 
@@ -412,7 +449,11 @@ impl Pmd {
                     // buffer so the pool does not leak.
                     match self.cfg.model {
                         MetadataModel::XChange => self.recycled.push_back(s.desc.buf_id),
-                        _ => cost += self.pool.free(core, mem, s.desc.buf_id),
+                        _ => {
+                            let c = Self::pool_free(&mut self.pool, core, mem, s.desc.buf_id);
+                            pool_cost += c;
+                            cost += c;
+                        }
                     }
                     departures.push(None);
                 }
@@ -432,20 +473,29 @@ impl Pmd {
         for done in nic.tx_reap(q, now) {
             match self.cfg.model {
                 MetadataModel::XChange => self.recycled.push_back(done.req.buf_id),
-                _ => cost += self.pool.free(core, mem, done.req.buf_id),
+                _ => {
+                    let c = Self::pool_free(&mut self.pool, core, mem, done.req.buf_id);
+                    pool_cost += c;
+                    cost += c;
+                }
             }
         }
 
         // TX doorbell, once per burst.
         cost += Cost::compute(22);
         cost += Cost::stall_ns(lat.llc_hit_ns * 0.25);
+        let sent = departures.iter().filter(|d| d.is_some()).count() as u64;
+        mem.profile_charge_at(SCOPE_TX, cost - pool_cost);
+        mem.profile_charge_at(SCOPE_MEMPOOL, pool_cost);
+        mem.profile_packets_at(SCOPE_TX, sent);
+        mem.set_scope(outer_scope);
         (departures, cost)
     }
 
     /// Releases a packet the NF dropped (frees its buffer + descriptor).
     pub fn release(&mut self, core: usize, mem: &mut MemoryHierarchy, desc: &RxDesc) -> Cost {
         self.stats.released += 1;
-        if let Some(slot) = desc.xslot {
+        let cost = if let Some(slot) = desc.xslot {
             self.xchg
                 .as_mut()
                 .expect("xslot implies XChange mode")
@@ -453,8 +503,10 @@ impl Pmd {
             self.recycled.push_back(desc.buf_id);
             Cost::compute(2)
         } else {
-            self.pool.free(core, mem, desc.buf_id)
-        }
+            Self::pool_free(&mut self.pool, core, mem, desc.buf_id)
+        };
+        mem.profile_charge_at(SCOPE_MEMPOOL, cost);
+        cost
     }
 }
 
@@ -764,6 +816,65 @@ mod tests {
             xchange < copying,
             "x-change {xchange:.1} ns/pkt should beat copying {copying:.1} ns/pkt"
         );
+    }
+
+    #[test]
+    fn stage_attribution_splits_rx_tx_mempool() {
+        let mut r = rig(MetadataModel::Copying);
+        r.mem.enable_attribution();
+        deliver(&mut r, 32);
+        let (pkts, rx_cost) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
+        let sends: Vec<TxSend> = pkts
+            .iter()
+            .map(|&desc| TxSend {
+                desc,
+                len: desc.len,
+            })
+            .collect();
+        let (_, tx_cost) =
+            r.pmd
+                .tx_burst(0, &mut r.nic, 0, &mut r.mem, SimTime::from_ms(1.0), &sends);
+        let recs = r.mem.profile_records();
+        let get = |name: &str| {
+            recs.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| *p)
+                .unwrap()
+        };
+        let (rx, tx, pool) = (get("rx/pmd"), get("tx"), get("mempool"));
+        assert_eq!(rx.packets, 32);
+        assert_eq!(tx.packets, 32);
+        assert!(rx.cost.instructions > 0 && tx.cost.instructions > 0);
+        assert!(
+            pool.cost.instructions > 0,
+            "replenish allocs must be tagged mempool"
+        );
+        assert!(pool.counters.loads > 0, "pool-ring events tagged mempool");
+        // The three stages account for exactly what the PMD charged.
+        let sum = rx.cost + tx.cost + pool.cost;
+        let total = rx_cost + tx_cost;
+        assert_eq!(sum.instructions, total.instructions);
+        assert!((sum.cycles - total.cycles).abs() < 1e-6);
+        assert!((sum.uncore_ns - total.uncore_ns).abs() < 1e-6);
+        // Empty polls are charged to the caller but never attributed.
+        let before = get("rx/pmd");
+        let (empty, _) = r.pmd.rx_burst(
+            0,
+            &mut r.nic,
+            0,
+            &r.dma,
+            &mut r.mem,
+            SimTime::from_ms(100.0),
+        );
+        assert!(empty.is_empty());
+        assert_eq!(get("rx/pmd").cost, before.cost);
     }
 
     #[test]

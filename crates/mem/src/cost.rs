@@ -14,7 +14,7 @@
 //! memory time dominates (Figs. 4, 5, 8).
 
 use pm_sim::{Frequency, SimTime};
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// Baseline superscalar throughput used to convert an instruction count
 /// into execution cycles in the absence of stalls (instructions per cycle
@@ -124,6 +124,29 @@ impl AddAssign for Cost {
         self.instructions += rhs.instructions;
         self.cycles += rhs.cycles;
         self.uncore_ns += rhs.uncore_ns;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    /// Difference of two accumulated costs — used by the profiler to
+    /// attribute the work charged between two snapshots of an
+    /// accumulator. Instruction counts saturate at zero so a snapshot
+    /// taken out of order cannot underflow.
+    #[inline]
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost {
+            instructions: self.instructions.saturating_sub(rhs.instructions),
+            cycles: self.cycles - rhs.cycles,
+            uncore_ns: self.uncore_ns - rhs.uncore_ns,
+        }
+    }
+}
+
+impl SubAssign for Cost {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cost) {
+        *self = *self - rhs;
     }
 }
 
@@ -252,6 +275,22 @@ mod tests {
         assert_eq!(c.instructions, 4);
         assert!((c.cycles - 6.0).abs() < 1e-9);
         assert!((c.uncore_ns - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_inverts_add() {
+        let a = Cost {
+            instructions: 10,
+            cycles: 8.0,
+            uncore_ns: 4.0,
+        };
+        let b = Cost::compute(4);
+        let d = (a + b) - b;
+        assert_eq!(d.instructions, a.instructions);
+        assert!((d.cycles - a.cycles).abs() < 1e-9);
+        assert!((d.uncore_ns - a.uncore_ns).abs() < 1e-9);
+        // Instructions saturate rather than underflow.
+        assert_eq!((Cost::compute(1) - Cost::compute(5)).instructions, 0);
     }
 
     #[test]

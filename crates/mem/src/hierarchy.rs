@@ -14,6 +14,7 @@
 
 use crate::cache::{CacheParams, SetAssocCache};
 use crate::cost::{Cost, LatencyModel};
+use crate::profile::{Attribution, ScopeId, ScopeProfile};
 use crate::tlb::{Tlb, TlbOutcome};
 use crate::{lines_spanned, LINE};
 
@@ -146,6 +147,8 @@ pub struct MemoryHierarchy {
     /// Sorted, disjoint `(start, end)` ranges backed by 2-MiB hugepages
     /// (DPDK mempools, rings, and DMA memory — as in a real deployment).
     huge_ranges: Vec<(u64, u64)>,
+    /// Per-scope attribution table; `None` unless profiling is enabled.
+    attribution: Option<Attribution>,
 }
 
 impl std::fmt::Debug for MemoryHierarchy {
@@ -184,6 +187,7 @@ impl MemoryHierarchy {
             lat: p.lat,
             counters: MemCounters::default(),
             huge_ranges: Vec::new(),
+            attribution: None,
         }
     }
 
@@ -246,11 +250,18 @@ impl MemoryHierarchy {
 
     /// Accesses a single line. Prefer [`Self::access`] for ranged data.
     pub fn access_line(&mut self, core: usize, addr: u64, kind: AccessKind) -> Cost {
+        let before = self.attribution.is_some().then_some(self.counters);
         let mut cost = self.translate(core, addr);
         let (level, stall) = self.touch(core, addr, kind);
         cost += stall;
         // Bookkeeping only; `level` is also useful to callers via counters.
         let _ = level;
+        if let Some(before) = before {
+            let delta = self.counters.delta_since(&before);
+            if let Some(attr) = &mut self.attribution {
+                attr.add_counters(&delta);
+            }
+        }
         cost
     }
 
@@ -416,6 +427,7 @@ impl MemoryHierarchy {
         let mut cost = Cost::ZERO;
         let n = lines_spanned(addr, len);
         let mut line = addr & !(LINE - 1);
+        let mut missed = 0u64;
         for _ in 0..n {
             if !self.llc.probe(line)
                 && !self.cores[core].l2.probe(line)
@@ -423,8 +435,17 @@ impl MemoryHierarchy {
             {
                 cost += Cost::stall_ns(self.lat.dram_ns * 0.3);
                 self.counters.prefetch_misses += 1;
+                missed += 1;
             }
             line += LINE;
+        }
+        if missed > 0 {
+            if let Some(attr) = &mut self.attribution {
+                attr.add_counters(&MemCounters {
+                    prefetch_misses: missed,
+                    ..MemCounters::default()
+                });
+            }
         }
         self.warm(core, addr, len);
         cost
@@ -442,6 +463,81 @@ impl MemoryHierarchy {
             line += LINE;
         }
         self.counters = saved;
+    }
+
+    // ----- scoped attribution (profiling) -------------------------------
+    //
+    // All methods below are cheap no-ops until `enable_attribution` is
+    // called; enabling them changes bookkeeping only, never cache state or
+    // charged costs, so measurements are identical with or without
+    // profiling.
+
+    /// Turns on per-scope attribution. The built-in pipeline-stage scopes
+    /// ([`crate::SCOPE_RX`], [`crate::SCOPE_TX`], [`crate::SCOPE_MEMPOOL`],
+    /// [`crate::SCOPE_METADATA`], [`crate::SCOPE_SCHEDULER`]) are
+    /// registered immediately; element scopes are added via
+    /// [`Self::register_scope`]. Idempotent.
+    pub fn enable_attribution(&mut self) {
+        if self.attribution.is_none() {
+            self.attribution = Some(Attribution::new());
+        }
+    }
+
+    /// Whether attribution is currently enabled.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution.is_some()
+    }
+
+    /// Registers (or looks up) a named scope. Idempotent by name, so
+    /// several dataplanes sharing element names aggregate into the same
+    /// record. Returns [`crate::SCOPE_SCHEDULER`] when attribution is off.
+    pub fn register_scope(&mut self, name: &str) -> ScopeId {
+        match &mut self.attribution {
+            Some(attr) => attr.register(name),
+            None => crate::SCOPE_SCHEDULER,
+        }
+    }
+
+    /// Makes `id` the current scope for subsequent cache/TLB events and
+    /// returns the previous scope (restore it when the scoped section
+    /// ends). No-op returning `id` when attribution is off.
+    pub fn set_scope(&mut self, id: ScopeId) -> ScopeId {
+        match &mut self.attribution {
+            Some(attr) => attr.set_current(id),
+            None => id,
+        }
+    }
+
+    /// Attributes `cost` to scope `id`.
+    pub fn profile_charge_at(&mut self, id: ScopeId, cost: Cost) {
+        if let Some(attr) = &mut self.attribution {
+            attr.charge(id, cost);
+        }
+    }
+
+    /// Adds `n` to scope `id`'s packet count.
+    pub fn profile_packets_at(&mut self, id: ScopeId, n: u64) {
+        if let Some(attr) = &mut self.attribution {
+            attr.add_packets(id, n);
+        }
+    }
+
+    /// Zeroes every scope's accumulated profile (start of the measured
+    /// window). Registered scopes are kept.
+    pub fn profile_reset(&mut self) {
+        if let Some(attr) = &mut self.attribution {
+            attr.reset();
+        }
+    }
+
+    /// Snapshot of `(scope name, profile)` in registration order: the
+    /// built-in stages first, then element scopes in the order they were
+    /// registered. Empty when attribution is off.
+    pub fn profile_records(&self) -> Vec<(String, ScopeProfile)> {
+        self.attribution
+            .as_ref()
+            .map(|a| a.records())
+            .unwrap_or_default()
     }
 }
 
@@ -590,6 +686,74 @@ mod tests {
     fn skylake_constructor() {
         let m = MemoryHierarchy::skylake(1);
         assert_eq!(m.core_count(), 1);
+    }
+
+    #[test]
+    fn attribution_tags_events_by_scope() {
+        let mut m = tiny();
+        m.enable_attribution();
+        let el = m.register_scope("CheckIPHeader");
+        m.access(0, 0x10_000, 8, AccessKind::Load); // scheduler (default)
+        let prev = m.set_scope(el);
+        m.access(0, 0x20_000, 8, AccessKind::Load);
+        m.access(0, 0x20_000, 8, AccessKind::Load); // L1 hit, still a load
+        m.set_scope(prev);
+        let recs = m.profile_records();
+        let sched = &recs[crate::SCOPE_SCHEDULER.0];
+        assert_eq!(sched.0, "scheduler");
+        assert_eq!(sched.1.counters.loads, 1);
+        assert_eq!(sched.1.counters.llc_load_misses, 1);
+        let elem = recs.iter().find(|(n, _)| n == "CheckIPHeader").unwrap();
+        assert_eq!(elem.1.counters.loads, 2);
+        assert_eq!(elem.1.counters.llc_load_misses, 1);
+        // Scope totals equal the aggregate counters.
+        let total: u64 = recs.iter().map(|(_, p)| p.counters.loads).sum();
+        assert_eq!(total, m.counters().loads);
+    }
+
+    #[test]
+    fn attribution_is_pure_bookkeeping() {
+        // Identical access streams, with and without attribution, must
+        // produce identical costs and aggregate counters.
+        let run = |profile: bool| {
+            let mut m = tiny();
+            if profile {
+                m.enable_attribution();
+            }
+            let mut cost = Cost::ZERO;
+            for i in 0..64u64 {
+                cost += m.access(0, i * 192, 8, AccessKind::Load);
+                cost += m.access(0, 0x40_000 + i * 64, 16, AccessKind::Store);
+                cost += m.prefetch(0, i * 4096, 64);
+            }
+            (cost, m.counters())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn attribution_charge_reset_and_idempotent_register() {
+        let mut m = tiny();
+        assert!(!m.attribution_enabled());
+        // Disabled: everything is a no-op.
+        m.profile_charge_at(crate::SCOPE_RX, Cost::compute(10));
+        assert!(m.profile_records().is_empty());
+
+        m.enable_attribution();
+        let a = m.register_scope("Discard");
+        let b = m.register_scope("Discard");
+        assert_eq!(a, b, "re-registering a name must return the same scope");
+        m.profile_charge_at(a, Cost::compute(8));
+        m.profile_packets_at(a, 3);
+        let recs = m.profile_records();
+        let p = &recs.iter().find(|(n, _)| n == "Discard").unwrap().1;
+        assert_eq!(p.cost.instructions, 8);
+        assert_eq!(p.packets, 3);
+        m.profile_reset();
+        let recs = m.profile_records();
+        let p = &recs.iter().find(|(n, _)| n == "Discard").unwrap().1;
+        assert_eq!(p.cost, Cost::ZERO);
+        assert_eq!(p.packets, 0);
     }
 
     #[test]

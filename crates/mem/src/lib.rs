@@ -30,12 +30,16 @@ pub mod address;
 pub mod cache;
 pub mod cost;
 pub mod hierarchy;
+pub mod profile;
 pub mod tlb;
 
 pub use address::{AddressSpace, Region, ScatterAlloc};
 pub use cache::{CacheParams, SetAssocCache};
 pub use cost::{Cost, LatencyModel};
 pub use hierarchy::{AccessKind, HierarchyParams, Level, MemCounters, MemoryHierarchy};
+pub use profile::{
+    ScopeId, ScopeProfile, SCOPE_MEMPOOL, SCOPE_METADATA, SCOPE_RX, SCOPE_SCHEDULER, SCOPE_TX,
+};
 pub use tlb::Tlb;
 
 /// Cache-line size used throughout the simulator (bytes).

@@ -158,16 +158,13 @@ impl LatencyHistogram {
         }
     }
 
-    /// Returns the value at percentile `p` (0–100), or 0 if empty.
+    /// Returns the value at percentile `p`, or 0 for an empty histogram.
     ///
-    /// The returned value is the representative (upper bound) of the bucket
+    /// `p` is clamped to `0.0..=100.0` (a NaN is treated as 0). The
+    /// returned value is the representative (upper bound) of the bucket
     /// containing the `p`-th percentile sample, clamped to the observed max.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `0.0..=100.0`.
     pub fn percentile(&self, p: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         if self.count == 0 {
             return 0;
         }
@@ -192,15 +189,31 @@ impl LatencyHistogram {
         self.percentile(99.0)
     }
 
+    /// Convenience: 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
     /// Merges another histogram into this one.
     ///
-    /// # Panics
-    ///
-    /// Panics if the two histograms have different precision.
+    /// Histograms of equal precision merge bucket-for-bucket. When the
+    /// precisions differ, `other`'s buckets are renormalized through this
+    /// histogram's bucketing (each bucket is re-recorded at its
+    /// representative value, clamped to `other`'s observed max), so the
+    /// result is well-formed at this histogram's precision; count, sum,
+    /// min, and max remain exact.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        assert_eq!(self.sub_bits, other.sub_bits, "precision mismatch");
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+        if self.sub_bits == other.sub_bits {
+            for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+                *a += b;
+            }
+        } else {
+            for (i, &c) in other.buckets.iter().enumerate() {
+                if c > 0 {
+                    let idx = self.index_of(other.value_of(i).min(other.max));
+                    self.buckets[idx] += c;
+                }
+            }
         }
         self.count += other.count;
         self.sum += other.sum;
@@ -327,9 +340,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile out of range")]
-    fn bad_percentile_panics() {
-        LatencyHistogram::new().percentile(101.0);
+    fn out_of_range_percentile_clamps() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(101.0), h.percentile(100.0));
+        assert_eq!(h.percentile(f64::INFINITY), h.max());
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::NAN), h.percentile(0.0));
+        // Empty histograms return 0 at any percentile.
+        assert_eq!(LatencyHistogram::new().percentile(250.0), 0);
+    }
+
+    #[test]
+    fn p999_tracks_tail() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(100, 9_990);
+        h.record_n(10_000, 10);
+        assert!(relative_error(h.p99(), 100) < 0.02, "p99={}", h.p99());
+        assert!(relative_error(h.p999(), 10_000) < 0.02, "p999={}", h.p999());
+    }
+
+    #[test]
+    fn merge_differing_precision_renormalizes() {
+        let mut coarse = LatencyHistogram::with_precision(2);
+        let mut fine = LatencyHistogram::with_precision(8);
+        for v in 1..=10_000u64 {
+            fine.record(v);
+        }
+        coarse.record(5);
+        coarse.merge(&fine);
+        // Count/sum/min/max are exact.
+        assert_eq!(coarse.count(), 10_001);
+        assert_eq!(coarse.min(), 1);
+        assert_eq!(coarse.max(), 10_000);
+        assert!((coarse.mean() - (5.0 + 50_005_000.0) / 10_001.0).abs() < 1e-6);
+        // Percentiles stay within the coarse histogram's error bound
+        // (sub_bits=2 -> <= 1/4 relative error) and never exceed max.
+        let p50 = coarse.median();
+        assert!(relative_error(p50, 5_000) < 0.25, "p50={p50}");
+        assert!(coarse.percentile(100.0) <= 10_000);
+
+        // Merging an empty histogram of different precision is a no-op.
+        let empty = LatencyHistogram::with_precision(4);
+        let before = coarse.count();
+        coarse.merge(&empty);
+        assert_eq!(coarse.count(), before);
     }
 
     fn relative_error(got: u64, expect: u64) -> f64 {

@@ -12,10 +12,14 @@
 
 pub mod counters;
 pub mod histogram;
+pub mod json;
+pub mod profile;
 pub mod series;
 pub mod table;
 
 pub use counters::CounterSet;
 pub use histogram::LatencyHistogram;
+pub use json::{Json, JsonError};
+pub use profile::{ProfileRecord, ProfileReport};
 pub use series::{Sample, WindowSampler};
 pub use table::Table;

@@ -1,0 +1,237 @@
+//! Per-element profile records and a `perf report`-style renderer.
+//!
+//! The simulator's attribution layer (pm-mem) tags every charged cost and
+//! cache event with the executing element or pipeline stage; this module
+//! holds the framework-agnostic result — one [`ProfileRecord`] per scope —
+//! and renders it the way `perf report` would: rows sorted by time share,
+//! heaviest first.
+
+use crate::json::Json;
+use crate::table::Table;
+
+/// Everything attributed to one element or pipeline stage over the
+/// measured window of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileRecord {
+    /// Element name (e.g. `LookupIPRoute`) or synthetic stage
+    /// (`rx/pmd`, `tx`, `mempool`, `metadata`, `scheduler`).
+    pub name: String,
+    /// Core-domain cycles charged to this scope.
+    pub cycles: f64,
+    /// Uncore/memory stall time charged to this scope (ns).
+    pub stall_ns: f64,
+    /// Retired instructions charged to this scope.
+    pub instructions: u64,
+    /// Demand loads issued while this scope was executing.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Loads that missed L1D (= loads reaching L2).
+    pub l2_loads: u64,
+    /// Loads that reached the LLC (`perf`'s `LLC-loads`).
+    pub llc_loads: u64,
+    /// Loads that missed the LLC (`perf`'s `LLC-load-misses`).
+    pub llc_load_misses: u64,
+    /// Stores that reached the LLC.
+    pub llc_stores: u64,
+    /// DTLB misses.
+    pub dtlb_misses: u64,
+    /// Packets handled by this scope (hops for elements; received/sent
+    /// packets for the rx/tx stages).
+    pub packets: u64,
+    /// Batch-size histogram as sorted `(batch size, bursts)` pairs.
+    /// Populated only for the stage that batches (rx/pmd).
+    pub batches: Vec<(u64, u64)>,
+}
+
+impl ProfileRecord {
+    /// Wall time attributed to this scope at core frequency `freq_ghz`.
+    pub fn time_ns(&self, freq_ghz: f64) -> f64 {
+        self.cycles / freq_ghz + self.stall_ns
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("cycles", Json::F64(self.cycles)),
+            ("stall_ns", Json::F64(self.stall_ns)),
+            ("instructions", Json::U64(self.instructions)),
+            ("loads", Json::U64(self.loads)),
+            ("stores", Json::U64(self.stores)),
+            ("l2_loads", Json::U64(self.l2_loads)),
+            ("llc_loads", Json::U64(self.llc_loads)),
+            ("llc_load_misses", Json::U64(self.llc_load_misses)),
+            ("llc_stores", Json::U64(self.llc_stores)),
+            ("dtlb_misses", Json::U64(self.dtlb_misses)),
+            ("packets", Json::U64(self.packets)),
+            (
+                "batches",
+                Json::Arr(
+                    self.batches
+                        .iter()
+                        .map(|&(size, n)| Json::Arr(vec![Json::U64(size), Json::U64(n)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A full per-element profile for one run: the simulator's answer to
+/// `perf report`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Core frequency the run executed at (GHz) — needed to combine
+    /// core-domain cycles and uncore nanoseconds into one time share.
+    pub freq_ghz: f64,
+    /// One record per scope, in attribution-registration order (built-in
+    /// stages first, then elements in graph order).
+    pub records: Vec<ProfileRecord>,
+}
+
+impl ProfileReport {
+    /// Total attributed wall time (ns).
+    pub fn total_time_ns(&self) -> f64 {
+        self.records.iter().map(|r| r.time_ns(self.freq_ghz)).sum()
+    }
+
+    /// Records sorted for display: time share descending, name ascending
+    /// as the tiebreak (deterministic).
+    pub fn sorted_records(&self) -> Vec<&ProfileRecord> {
+        let mut v: Vec<&ProfileRecord> = self.records.iter().collect();
+        v.sort_by(|a, b| {
+            b.time_ns(self.freq_ghz)
+                .partial_cmp(&a.time_ns(self.freq_ghz))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        v
+    }
+
+    /// Renders the `perf report`-style table: one row per scope, heaviest
+    /// first, with overhead percentage, cycles, memory stall, the LLC
+    /// load/miss pair Table 1 is built on, and per-packet cycles.
+    pub fn to_table(&self) -> Table {
+        let total = self.total_time_ns();
+        let mut t = Table::new(vec![
+            "overhead",
+            "scope",
+            "cycles",
+            "stall (ns)",
+            "instrs",
+            "llc-loads",
+            "llc-misses",
+            "dtlb-miss",
+            "packets",
+            "cyc/pkt",
+        ]);
+        for r in self.sorted_records() {
+            let share = if total > 0.0 {
+                100.0 * r.time_ns(self.freq_ghz) / total
+            } else {
+                0.0
+            };
+            let cyc_pkt = if r.packets > 0 {
+                r.cycles / r.packets as f64
+            } else {
+                0.0
+            };
+            t.row(vec![
+                format!("{share:6.2}%"),
+                r.name.clone(),
+                format!("{:.0}", r.cycles),
+                format!("{:.0}", r.stall_ns),
+                r.instructions.to_string(),
+                r.llc_loads.to_string(),
+                r.llc_load_misses.to_string(),
+                r.dtlb_misses.to_string(),
+                r.packets.to_string(),
+                format!("{cyc_pkt:.1}"),
+            ]);
+        }
+        t
+    }
+
+    /// Serializes to a JSON object (records in sorted display order, so
+    /// the artifact reads like the table).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("freq_ghz", Json::F64(self.freq_ghz)),
+            ("total_time_ns", Json::F64(self.total_time_ns())),
+            (
+                "records",
+                Json::Arr(self.sorted_records().iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, cycles: f64, stall_ns: f64, packets: u64) -> ProfileRecord {
+        ProfileRecord {
+            name: name.into(),
+            cycles,
+            stall_ns,
+            instructions: (cycles * 2.0) as u64,
+            packets,
+            ..ProfileRecord::default()
+        }
+    }
+
+    fn report() -> ProfileReport {
+        ProfileReport {
+            freq_ghz: 2.0,
+            records: vec![
+                rec("light", 100.0, 0.0, 10),
+                rec("heavy", 1000.0, 500.0, 10),
+                rec("rx/pmd", 400.0, 100.0, 20),
+            ],
+        }
+    }
+
+    #[test]
+    fn time_combines_domains() {
+        // 1000 cycles @ 2 GHz = 500 ns, + 500 ns stall.
+        assert_eq!(rec("x", 1000.0, 500.0, 1).time_ns(2.0), 1000.0);
+    }
+
+    #[test]
+    fn table_sorted_heaviest_first() {
+        let r = report();
+        let names: Vec<&str> = r.sorted_records().iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["heavy", "rx/pmd", "light"]);
+        let table = r.to_table().to_string();
+        let heavy = table.find("heavy").unwrap();
+        let light = table.find("light").unwrap();
+        assert!(heavy < light, "rows must be sorted by time share:\n{table}");
+    }
+
+    #[test]
+    fn overhead_sums_to_100() {
+        let r = report();
+        let total = r.total_time_ns();
+        let sum: f64 = r
+            .records
+            .iter()
+            .map(|x| 100.0 * x.time_ns(r.freq_ghz) / total)
+            .sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = report().to_json();
+        assert_eq!(j.get("freq_ghz").unwrap().as_f64(), Some(2.0));
+        let records = match j.get("records").unwrap() {
+            crate::json::Json::Arr(v) => v,
+            other => panic!("records not an array: {other:?}"),
+        };
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].get("name").unwrap(), &Json::Str("heavy".into()));
+        // Byte-identical on re-serialization.
+        assert_eq!(j.to_compact(), report().to_json().to_compact());
+    }
+}

@@ -75,12 +75,21 @@ impl Table {
     }
 
     /// Renders as comma-separated values (header row first).
+    ///
+    /// Cells containing a comma, double quote, or line break are quoted
+    /// per RFC 4180 (embedded quotes doubled); plain cells are emitted
+    /// verbatim.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for r in &self.rows {
-            out.push_str(&r.join(","));
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            let mut first = true;
+            for cell in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                push_csv_cell(&mut out, cell);
+            }
             out.push('\n');
         }
         out
@@ -94,6 +103,23 @@ impl Table {
             }
         }
         w
+    }
+}
+
+/// Appends one CSV cell to `out`, quoting per RFC 4180 only when the cell
+/// contains a comma, a double quote, or a line break.
+fn push_csv_cell(out: &mut String, cell: &str) {
+    if cell.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(cell);
     }
 }
 
@@ -141,6 +167,24 @@ mod tests {
         let mut t = Table::new(vec!["x", "y"]);
         t.row(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["name", "note"]);
+        t.row(vec!["a,b".into(), "plain".into()]);
+        t.row(vec!["say \"hi\"".into(), "line\nbreak".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "name,note\n\"a,b\",plain\n\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+        );
+    }
+
+    #[test]
+    fn csv_quotes_headers_too() {
+        let mut t = Table::new(vec!["freq, GHz", "gbps"]);
+        t.row(vec!["1.2".into(), "33.9".into()]);
+        assert_eq!(t.to_csv(), "\"freq, GHz\",gbps\n1.2,33.9\n");
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! End-to-end contract of the per-element profiler: attributed costs
+//! account for the aggregate measurement, the attribution tells the
+//! paper's metadata story, and the artifact renders sensibly.
+
+use packetmill::{ExperimentBuilder, MetadataModel, Nf, OptLevel};
+use pm_telemetry::ProfileReport;
+
+fn router(model: MetadataModel) -> ExperimentBuilder {
+    ExperimentBuilder::new(Nf::Router)
+        .metadata_model(model)
+        .optimization(OptLevel::Vanilla)
+        .frequency_ghz(2.3)
+        .packets(6_000)
+        .profile(true)
+}
+
+fn profiled_router(model: MetadataModel) -> (packetmill::Measurement, ProfileReport) {
+    let (m, report) = router(model).run_with_report().expect("run");
+    (m, report.profile.expect("profiled run has a profile"))
+}
+
+#[test]
+fn attributed_costs_sum_to_the_measurement() {
+    let (m, p) = profiled_router(MetadataModel::Copying);
+    let total_cycles = m.cycles_per_packet * m.tx_packets as f64;
+    let total_stall = m.uncore_ns_per_packet * m.tx_packets as f64;
+    let total_instr = m.instr_per_packet * m.tx_packets as f64;
+
+    let cycles: f64 = p.records.iter().map(|r| r.cycles).sum();
+    let stall: f64 = p.records.iter().map(|r| r.stall_ns).sum();
+    let instr: f64 = p.records.iter().map(|r| r.instructions as f64).sum();
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
+    assert!(
+        rel(cycles, total_cycles) < 0.01,
+        "cycles: attributed {cycles} vs measured {total_cycles}"
+    );
+    assert!(
+        rel(stall, total_stall) < 0.01,
+        "stall ns: attributed {stall} vs measured {total_stall}"
+    );
+    assert!(
+        rel(instr, total_instr) < 0.01,
+        "instructions: attributed {instr} vs measured {total_instr}"
+    );
+}
+
+#[test]
+fn profile_covers_elements_and_stages() {
+    let (_, p) = profiled_router(MetadataModel::Copying);
+    let names: Vec<&str> = p.records.iter().map(|r| r.name.as_str()).collect();
+    for stage in ["rx/pmd", "tx", "mempool", "metadata", "scheduler"] {
+        assert!(names.contains(&stage), "missing stage {stage} in {names:?}");
+    }
+    // Named router elements appear as Class(name); anonymous ones as
+    // Class@N.
+    assert!(
+        names.iter().any(|n| n.starts_with("LookupIPRoute(")),
+        "router elements attributed: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.contains('@')),
+        "anonymous elements attributed: {names:?}"
+    );
+    // The rx stage batches packets and records the batch-size histogram.
+    let rx = p.records.iter().find(|r| r.name == "rx/pmd").unwrap();
+    assert!(rx.packets > 0);
+    assert!(!rx.batches.is_empty(), "rx/pmd carries the batch histogram");
+    let batched: u64 = rx.batches.iter().map(|&(size, n)| size * n).sum();
+    assert_eq!(batched, rx.packets, "histogram sums to the rx packets");
+}
+
+#[test]
+fn llc_attribution_shifts_between_metadata_models() {
+    let (_, copying) = profiled_router(MetadataModel::Copying);
+    let (_, xchange) = profiled_router(MetadataModel::XChange);
+
+    let llc_share = |p: &ProfileReport, name: &str| {
+        let total: u64 = p.records.iter().map(|r| r.llc_loads).sum();
+        let scoped: u64 = p
+            .records
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.llc_loads)
+            .sum();
+        scoped as f64 / total.max(1) as f64
+    };
+
+    // Copying materializes a fresh metadata object per packet, cycling
+    // the packet pool through the LLC; X-Change hands the NF the
+    // driver's own buffer, so the metadata stage's share of LLC traffic
+    // collapses — the profile shows the paper's §3 story directly.
+    let c = llc_share(&copying, "metadata");
+    let x = llc_share(&xchange, "metadata");
+    assert!(
+        c > 1.5 * x,
+        "metadata LLC-load share should drop under X-Change: copying {c:.4} vs xchange {x:.4}"
+    );
+}
+
+#[test]
+fn profile_table_renders_sorted_with_shares() {
+    let (_, p) = profiled_router(MetadataModel::Copying);
+    let table = p.to_table().to_string();
+    assert!(table.contains("overhead"));
+    assert!(table.contains("rx/pmd"));
+    let first_data_line = table.lines().nth(2).unwrap_or("");
+    assert!(
+        first_data_line.contains('%'),
+        "rows lead with the overhead share: {first_data_line}"
+    );
+}

@@ -8,6 +8,13 @@ use packetmill::{ExperimentBuilder, Measurement, MetadataModel, Nf, OptLevel, Sw
 /// varied enough that a scheduling-dependent bug would show up as a
 /// field mismatch somewhere.
 fn mini_sweep() -> SweepSpec {
+    mini_sweep_with(false)
+}
+
+/// Same grid, optionally with per-element profiling (set explicitly on
+/// every builder — never via the process-wide default, which other
+/// tests in this binary would race on).
+fn mini_sweep_with(profile: bool) -> SweepSpec {
     let nfs = [Nf::Forwarder, Nf::Router, Nf::Nat];
     let variants = [
         (MetadataModel::Copying, OptLevel::Vanilla),
@@ -25,7 +32,8 @@ fn mini_sweep() -> SweepSpec {
                     .optimization(opt)
                     .frequency_ghz(2.3)
                     .packets(4_000)
-                    .seed(0x5EED ^ i as u64),
+                    .seed(0x5EED ^ i as u64)
+                    .profile(profile),
             );
         }
     }
@@ -108,4 +116,50 @@ fn panicking_experiment_is_reported_without_poisoning_the_sweep() {
     );
     assert_eq!(results.report().runs, 3);
     assert_eq!(results.report().failures, 1);
+}
+
+/// The full structured artifact — measurements, configs, and per-element
+/// profiles — serializes byte-identically at any worker count.
+#[test]
+fn profiled_sweep_artifacts_are_byte_identical_across_thread_counts() {
+    let json_of = |threads: usize| {
+        mini_sweep_with(true)
+            .run_with_threads(threads)
+            .to_json("mini")
+            .to_pretty()
+    };
+    let serial = json_of(1);
+    assert_eq!(serial, json_of(2), "threads=1 vs threads=2");
+    assert_eq!(serial, json_of(8), "threads=1 vs threads=8");
+
+    // The artifact really carries profiles: every run has a records
+    // array with a populated rx/pmd stage.
+    let doc = packetmill::Json::parse(&serial).expect("valid JSON");
+    let runs = match doc.get("runs") {
+        Some(packetmill::Json::Arr(v)) => v,
+        other => panic!("runs not an array: {other:?}"),
+    };
+    assert_eq!(runs.len(), 12);
+    for run in runs {
+        let profile = run.get("profile").expect("profile key");
+        let records = match profile.get("records") {
+            Some(packetmill::Json::Arr(v)) => v,
+            other => panic!("records not an array: {other:?}"),
+        };
+        assert!(
+            records.iter().any(|r| {
+                matches!(r.get("name"), Some(packetmill::Json::Str(s)) if s == "rx/pmd")
+            }),
+            "every profiled run attributes the rx/pmd stage"
+        );
+    }
+}
+
+/// Profiling is pure observation: enabling it must not change any
+/// measured number.
+#[test]
+fn profiling_does_not_change_measurements() {
+    let plain = mini_sweep_with(false).run_with_threads(4).expect_all();
+    let profiled = mini_sweep_with(true).run_with_threads(4).expect_all();
+    assert_measurements_identical(&plain, &profiled, "profile off vs on");
 }
