@@ -1,0 +1,123 @@
+//! Criterion benchmarks for the simulator fast path: memory-hierarchy
+//! accesses per second (hit-heavy, miss-heavy, and range-batched) and
+//! event-queue throughput (calendar queue vs. the binary-heap
+//! reference). These are the host-side hot loops behind every figure
+//! sweep; `DESIGN.md` § "Simulator performance" explains the structures
+//! under test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_mem::{AccessKind, MemoryHierarchy};
+use pm_sim::{EventQueue, HeapEventQueue, SimTime, SplitMix64};
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+
+    // Hit-heavy: a 16-line working set, revisited round-robin — after
+    // warm-up every access is an L1 hit, most in the MRU slot.
+    g.bench_function("access_hit_heavy", |b| {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) & 15;
+            black_box(mem.access(0, 0x10000 + i * 64, 8, AccessKind::Load))
+        });
+    });
+
+    // Miss-heavy: pseudorandom lines across 256 MiB — far past the LLC,
+    // so most accesses walk all three levels and charge DRAM.
+    g.bench_function("access_miss_heavy", |b| {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut rng = SplitMix64::new(0xBEEF);
+        b.iter(|| {
+            let addr = rng.next_u64() & (256 * 1024 * 1024 - 1);
+            black_box(mem.access(0, addr, 8, AccessKind::Load))
+        });
+    });
+
+    // Range-batched: one MTU-sized span charged through `access_range`,
+    // the bulk-touch API the PMD and runtime use for payload copies.
+    g.bench_function("access_range_1472B", |b| {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) & 63;
+            black_box(mem.access_range(0, 0x200000 + i * 2048, 1472, AccessKind::Store))
+        });
+    });
+
+    // The same span charged line-by-line — what the batched API replaced.
+    g.bench_function("access_per_line_1472B", |b| {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) & 63;
+            let base = 0x200000 + i * 2048;
+            let mut cost = pm_mem::Cost::default();
+            for l in 0..23u64 {
+                cost += mem.access(0, base + l * 64, 64, AccessKind::Store);
+            }
+            black_box(cost)
+        });
+    });
+
+    g.finish();
+}
+
+/// The engine's event pattern, as a classic hold model: a standing
+/// population of in-flight events whose timestamps advance in
+/// pacing-scale steps (a 64-B frame at 100 Gbps arrives every ~6.7 ns).
+/// Each op pops the earliest event and schedules its successor a few
+/// nanoseconds later.
+fn pump_calendar(n: u64, population: u64, seed: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..population {
+        q.schedule(
+            SimTime::from_ns((rng.next_u64() % (population * 8)) as f64),
+            i,
+        );
+    }
+    let mut acc = 0u64;
+    for i in 0..n {
+        let (t, e) = q.pop().expect("standing population");
+        acc = acc.wrapping_add(e);
+        q.schedule(t + SimTime::from_ns(1.0 + (rng.next_u64() % 16) as f64), i);
+    }
+    acc
+}
+
+/// The identical workload against the binary-heap reference queue.
+fn pump_heap(n: u64, population: u64, seed: u64) -> u64 {
+    let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..population {
+        q.schedule(
+            SimTime::from_ns((rng.next_u64() % (population * 8)) as f64),
+            i,
+        );
+    }
+    let mut acc = 0u64;
+    for i in 0..n {
+        let (t, e) = q.pop().expect("standing population");
+        acc = acc.wrapping_add(e);
+        q.schedule(t + SimTime::from_ns(1.0 + (rng.next_u64() % 16) as f64), i);
+    }
+    acc
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("events");
+    for population in [16u64, 256] {
+        g.bench_function(&format!("calendar_queue_pop{population}"), |b| {
+            b.iter(|| black_box(pump_calendar(4096, population, 0xACE)));
+        });
+        g.bench_function(&format!("heap_queue_pop{population}"), |b| {
+            b.iter(|| black_box(pump_heap(4096, population, 0xACE)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_events);
+criterion_main!(benches);

@@ -54,6 +54,9 @@ impl Artifact {
     pub fn emit(&self) {
         println!("{}", self.table);
         self.emit_profiles();
+        if packetmill::sweep::default_timing() {
+            eprintln!("{}", self.report.timing_line());
+        }
         eprintln!("sweep report:\n{}", self.report);
     }
 
@@ -728,6 +731,9 @@ pub fn run_all() -> Vec<(&'static str, Artifact)> {
         // Timing goes to stderr so redirected artifact output stays
         // byte-identical across runs and thread counts.
         artifact.emit_profiles();
+        if packetmill::sweep::default_timing() {
+            eprintln!("{}", artifact.report.timing_line());
+        }
         eprintln!(
             "sweep report ({:.1} s wall, {:.1} s serial-equivalent, {} threads):\n{}",
             artifact.report.wall_seconds,

@@ -76,6 +76,10 @@ pub struct GraphRuntime {
     /// Attribution scopes per element, registered lazily on the first run
     /// against a hierarchy with profiling enabled.
     element_scopes: Option<Vec<ScopeId>>,
+    /// Distinct cache lines (sorted) holding the Copying-model
+    /// bookkeeping fields, precomputed from the packet layout so the
+    /// per-packet conversion does not re-search field names.
+    copy_lines: Vec<u64>,
 }
 
 impl std::fmt::Debug for GraphRuntime {
@@ -149,6 +153,7 @@ impl GraphRuntime {
         let stack_region = space.alloc(256);
 
         let element_counts = vec![(0, 0); n_elements];
+        let copy_lines = Self::copy_lines_of(&plan.packet_layout);
         GraphRuntime {
             graph,
             plan,
@@ -159,7 +164,19 @@ impl GraphRuntime {
             stats: RuntimeStats::default(),
             element_counts,
             element_scopes: None,
+            copy_lines,
         }
+    }
+
+    /// Sorted distinct line indices holding [`COPY_FIELDS`] under `layout`.
+    fn copy_lines_of(layout: &crate::StructLayout) -> Vec<u64> {
+        let mut lines: Vec<u64> = COPY_FIELDS
+            .iter()
+            .map(|f| u64::from(layout.line_of(f)))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
     }
 
     /// The active plan.
@@ -169,6 +186,7 @@ impl GraphRuntime {
 
     /// Replaces the plan's packet layout (after a reordering pass).
     pub fn set_packet_layout(&mut self, layout: crate::StructLayout) {
+        self.copy_lines = Self::copy_lines_of(&layout);
         self.plan.packet_layout = layout;
     }
 
@@ -267,19 +285,10 @@ impl GraphRuntime {
                     // the bookkeeping fields are written here; annotation
                     // lines are touched lazily by the elements that use
                     // them (which is why reordering them matters).
-                    let mut lines: Vec<u32> = COPY_FIELDS
-                        .iter()
-                        .map(|f| self.plan.packet_layout.line_of(f))
-                        .collect();
-                    lines.sort_unstable();
-                    lines.dedup();
-                    for l in lines {
-                        ctx.cost += ctx.mem.access(
-                            ctx.core,
-                            addr + u64::from(l) * 64,
-                            64,
-                            AccessKind::Store,
-                        );
+                    for &l in &self.copy_lines {
+                        ctx.cost +=
+                            ctx.mem
+                                .access_range(ctx.core, addr + l * 64, 64, AccessKind::Store);
                     }
                     ctx.compute(95);
                     addr

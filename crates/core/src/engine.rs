@@ -129,6 +129,10 @@ struct NicState {
     /// Replay cursor.
     next_idx: usize,
     next_time: SimTime,
+    /// Per-trace-frame RSS hash, computed once: the trace replays
+    /// cyclically, so hashing each distinct frame at startup replaces
+    /// a Toeplitz evaluation per delivered packet.
+    frame_hashes: Vec<u32>,
 }
 
 /// The closed-loop engine.
@@ -203,7 +207,7 @@ impl Engine {
             ..NicConfig::default()
         };
         let nics: Vec<NicState> = (0..cfg.nics)
-            .map(|_| {
+            .map(|n| {
                 let mut dev = Nic::new(&nic_cfg, space);
                 // Pool covers posted descriptors + TX in-flight + bursts
                 // (DPDK pools are sized to the rings; oversizing inflates
@@ -237,12 +241,16 @@ impl Engine {
                     let txr = dev.tx_ring_mut(q).region();
                     mem.mark_hugepages(txr);
                 }
+                let frame_hashes = (0..traces[n].len())
+                    .map(|i| dev.rss_hash(traces[n].frame(i)))
+                    .collect();
                 NicState {
                     dev,
                     dma,
                     pmd,
                     next_idx: 0,
                     next_time: SimTime::ZERO,
+                    frame_hashes,
                 }
             })
             .collect();
@@ -271,8 +279,9 @@ impl Engine {
                     self.measure_gen_start = Some(st.next_time);
                 }
                 let frame = self.traces[n].frame(st.next_idx);
-                st.dev.rx_deliver_seq(
+                st.dev.rx_deliver_hashed(
                     frame,
+                    st.frame_hashes[st.next_idx % st.frame_hashes.len()],
                     st.next_time,
                     st.next_idx as u64,
                     &mut self.mem,
@@ -333,6 +342,8 @@ impl Engine {
         let mut counters_at_start: Option<MemCounters> = None;
         // Consecutive empty polls per core, to detect quiescence.
         let mut done = false;
+        // Reused across bursts to keep the poll loop allocation-free.
+        let mut sends: Vec<TxSend> = Vec::new();
 
         while !done {
             // Pick the core with the earliest clock.
@@ -400,7 +411,7 @@ impl Engine {
 
             // Process the burst through the dataplane.
             let dp = &mut self.dataplanes[pair];
-            let mut sends: Vec<TxSend> = Vec::with_capacity(pkts.len());
+            sends.clear();
             for desc in &pkts {
                 let data = st.dma.data_mut(desc.buf_id);
                 let r = dp.process(core, &mut self.mem, desc, data);

@@ -399,7 +399,7 @@ impl ExperimentBuilder {
         let traces: Vec<Trace> = (0..self.nics)
             .map(|n| match &self.custom_trace {
                 Some(t) => t.clone(),
-                None => Trace::synthesize(&TraceConfig {
+                None => Trace::synthesize_cached(&TraceConfig {
                     packets: 8_192.min(packets.max(1)),
                     profile: self.traffic,
                     seed: self.seed ^ (n as u64) << 32,
@@ -472,7 +472,7 @@ impl ExperimentBuilder {
         let traces: Vec<Trace> = (0..self.nics)
             .map(|n| match &self.custom_trace {
                 Some(t) => t.clone(),
-                None => Trace::synthesize(&TraceConfig {
+                None => Trace::synthesize_cached(&TraceConfig {
                     packets: 8_192.min(self.packets.max(1)),
                     profile: self.traffic,
                     seed: self.seed ^ (n as u64) << 32,

@@ -42,6 +42,27 @@ static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// 0 = unset (fall back to `PM_PROFILE`), 1 = off, 2 = on.
 static DEFAULT_PROFILE: AtomicUsize = AtomicUsize::new(0);
 
+/// Process-wide default for wall-clock timing lines:
+/// 0 = unset (fall back to `PM_TIMING`), 1 = off, 2 = on.
+static DEFAULT_TIMING: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the process-wide timing default (the `--timing` CLI flag).
+pub fn set_default_timing(on: bool) {
+    DEFAULT_TIMING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The timing default: [`set_default_timing`] (set by the `--timing`
+/// CLI flag), else `PM_TIMING=1`, else off. Timing output goes to
+/// stderr only, so `--json` artifacts and redirected stdout stay
+/// byte-identical whether or not timing is enabled.
+pub fn default_timing() -> bool {
+    match DEFAULT_TIMING.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => std::env::var("PM_TIMING").is_ok_and(|v| v == "1"),
+    }
+}
+
 /// Overrides the process-wide profiling default for runs that don't set
 /// [`ExperimentBuilder::profile`] explicitly.
 pub fn set_default_profile(on: bool) {
@@ -114,6 +135,9 @@ pub struct SweepCli {
     /// Whether runs collect per-element profiles (`--profile` or
     /// `PM_PROFILE=1`).
     pub profile: bool,
+    /// Whether artifacts print a wall-clock timing line to stderr
+    /// (`--timing` or `PM_TIMING=1`).
+    pub timing: bool,
     /// Where to write the JSON run-report artifact (`--json <path>`).
     pub json: Option<PathBuf>,
 }
@@ -143,6 +167,8 @@ pub fn configure_from_args() -> SweepCli {
             }
         } else if arg == "--profile" {
             set_default_profile(true);
+        } else if arg == "--timing" {
+            set_default_timing(true);
         } else if let Some(v) = arg.strip_prefix("--json=") {
             cli.json = Some(PathBuf::from(v));
         } else if arg == "--json" {
@@ -155,6 +181,7 @@ pub fn configure_from_args() -> SweepCli {
     }
     cli.threads = default_threads();
     cli.profile = default_profile();
+    cli.timing = default_timing();
     cli
 }
 
@@ -434,12 +461,20 @@ impl SweepResults {
 
     /// The aggregate report.
     pub fn report(&self) -> SweepReport {
+        let serial = self.serial_seconds();
+        let n = self.outcomes.len();
         SweepReport {
-            runs: self.outcomes.len(),
+            runs: n,
             failures: self.failures(),
             threads: self.threads,
-            serial_seconds: self.serial_seconds(),
+            serial_seconds: serial,
             wall_seconds: self.wall_seconds,
+            mean_run_seconds: if n == 0 { 0.0 } else { serial / n as f64 },
+            max_run_seconds: self
+                .outcomes
+                .iter()
+                .map(|o| o.seconds)
+                .fold(0.0f64, f64::max),
         }
     }
 }
@@ -458,12 +493,29 @@ pub struct SweepReport {
     pub serial_seconds: f64,
     /// Actual wall-clock seconds.
     pub wall_seconds: f64,
+    /// Mean per-run wall-clock seconds (0 for an empty sweep).
+    pub mean_run_seconds: f64,
+    /// Slowest single run's wall-clock seconds.
+    pub max_run_seconds: f64,
 }
 
 impl SweepReport {
     /// Serial-equivalent over actual wall-clock.
     pub fn speedup(&self) -> f64 {
         self.serial_seconds / self.wall_seconds.max(1e-9)
+    }
+
+    /// One-line wall-clock summary for stderr (the `--timing` output).
+    pub fn timing_line(&self) -> String {
+        format!(
+            "timing: {:.2} s wall, {:.2} s serial-equivalent; per run mean {:.2} s, max {:.2} s ({} runs, {} threads)",
+            self.wall_seconds,
+            self.serial_seconds,
+            self.mean_run_seconds,
+            self.max_run_seconds,
+            self.runs,
+            self.threads,
+        )
     }
 
     /// Renders as a `pm-telemetry` table.
@@ -474,6 +526,8 @@ impl SweepReport {
             "threads",
             "serial-equivalent (s)",
             "wall-clock (s)",
+            "mean run (s)",
+            "max run (s)",
             "speedup",
         ]);
         t.row(vec![
@@ -482,6 +536,8 @@ impl SweepReport {
             format!("{}", self.threads),
             format!("{:.2}", self.serial_seconds),
             format!("{:.2}", self.wall_seconds),
+            format!("{:.2}", self.mean_run_seconds),
+            format!("{:.2}", self.max_run_seconds),
             format!("{:.2}x", self.speedup()),
         ]);
         t
@@ -530,8 +586,13 @@ mod tests {
         assert_eq!(rep.threads, 2);
         assert!(rep.serial_seconds > 0.0);
         assert!(rep.wall_seconds > 0.0);
+        assert!(rep.mean_run_seconds > 0.0);
+        assert!(rep.max_run_seconds >= rep.mean_run_seconds);
         let rendered = rep.to_table().to_string();
         assert!(rendered.contains("speedup"));
+        let line = rep.timing_line();
+        assert!(line.starts_with("timing:"));
+        assert!(line.contains("2 runs"));
     }
 
     #[test]

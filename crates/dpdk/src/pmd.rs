@@ -139,6 +139,9 @@ pub struct Pmd {
     /// Functional metadata per buffer id.
     metas: Vec<MbufMeta>,
     stats: PmdStats,
+    /// Reused completion buffer for the RX poll loop (no per-burst
+    /// allocation).
+    comps_scratch: Vec<pm_nic::Completion>,
 }
 
 impl Pmd {
@@ -168,6 +171,7 @@ impl Pmd {
             recycled: VecDeque::new(),
             metas: vec![MbufMeta::default(); cfg.pool_size as usize],
             stats: PmdStats::default(),
+            comps_scratch: Vec::new(),
             cfg,
         }
     }
@@ -253,7 +257,9 @@ impl Pmd {
                                          // Poll the next CQE slot (read happens even when empty).
         cost += mem.access(core, nic.rx_ring_mut(q).poll_addr(), 8, AccessKind::Load);
 
-        let comps = nic.rx_ring_mut(q).reap_until(self.cfg.burst, now);
+        let mut comps = std::mem::take(&mut self.comps_scratch);
+        nic.rx_ring_mut(q)
+            .reap_until_into(self.cfg.burst, now, &mut comps);
         if comps.is_empty() {
             self.stats.empty_polls += 1;
         } else {
@@ -261,7 +267,7 @@ impl Pmd {
         }
 
         let mut out = Vec::with_capacity(comps.len());
-        for c in comps {
+        for &c in &comps {
             // Parse the completion descriptor. The CQE array is scanned
             // sequentially, so beyond the polled entry the stream
             // prefetcher has the rest of the burst's CQEs in L1.
@@ -302,19 +308,23 @@ impl Pmd {
                         .take()
                         .expect("xchg ring exhausted: sized >= 2 bursts by construction");
                     // Conversion functions: one store per needed field,
-                    // deduped to distinct cache lines.
-                    let mut lines: Vec<u64> = self
-                        .cfg
-                        .spec
-                        .fields()
-                        .iter()
-                        .filter_map(|&f| ring.field_addr(slot, f))
-                        .map(|(a, _)| a / 64)
-                        .collect();
+                    // deduped to distinct cache lines. A descriptor slot
+                    // spans at most a few lines, so dedup runs on a small
+                    // stack buffer instead of allocating per packet.
+                    let mut lines = [0u64; 32];
+                    let mut n = 0;
+                    for &f in self.cfg.spec.fields() {
+                        if let Some((a, _)) = ring.field_addr(slot, f) {
+                            lines[n] = a / 64;
+                            n += 1;
+                        }
+                    }
+                    let lines = &mut lines[..n];
                     lines.sort_unstable();
-                    lines.dedup();
-                    for l in lines {
-                        cost += mem.access(core, l * 64, 64, AccessKind::Store);
+                    for (i, &l) in lines.iter().enumerate() {
+                        if i == 0 || lines[i - 1] != l {
+                            cost += mem.access_range(core, l * 64, 64, AccessKind::Store);
+                        }
                     }
                     cost += Cost::compute(self.cfg.spec.len() as u64);
                     (ring.slot_addr(slot), Some(slot))
@@ -383,6 +393,7 @@ impl Pmd {
             mem.profile_packets_at(SCOPE_RX, out.len() as u64);
         }
         mem.set_scope(outer_scope);
+        self.comps_scratch = comps;
         (out, cost)
     }
 

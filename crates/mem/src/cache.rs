@@ -1,10 +1,24 @@
 //! A set-associative LRU cache model.
 //!
-//! Tags are full line addresses; replacement is true LRU via per-way
-//! timestamps. Allocation can be restricted to a prefix of the ways in
-//! each set, which models Intel DDIO: DMA writes may only allocate into a
-//! configurable subset of LLC ways (the paper sets `IIO LLC WAYS` to
-//! eight bits, §4 *Testbed*).
+//! Replacement is true LRU, implemented *positionally*: each set stores
+//! its tags in move-to-front recency order (most-recent first), each
+//! slot packing the tag with its physical way index. A hit rotates
+//! its slot to the front; the LRU victim is simply the furthest-back
+//! slot, so there is no timestamp array, no global tick counter, and no
+//! per-miss victim scan over stamps. The common case — re-touching the
+//! most recently used line — is a single compare, and the hit scan is a
+//! branch-free sweep over contiguous tags. This is behaviorally
+//! identical to the original per-way timestamp scheme, which is kept as
+//! [`ClassicSetAssocCache`] and driven lock-step by the proptest suite
+//! to prove it.
+//!
+//! Physical way indexes matter because allocation can be restricted to a
+//! sub-range of the ways in each set, which models Intel DDIO: DMA
+//! writes may only allocate into a configurable subset of LLC ways (the
+//! paper sets `IIO LLC WAYS` to eight bits, §4 *Testbed*). A line never
+//! changes ways over its lifetime — only its recency position moves.
+//!
+//! [`ClassicSetAssocCache`]: crate::ClassicSetAssocCache
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,22 +60,43 @@ impl CacheParams {
     }
 }
 
-const EMPTY: u64 = u64::MAX;
+/// Bits of a packed slot entry used for the physical way index.
+const WAY_BITS: u32 = 4;
+/// Sentinel tag marking an empty slot (all tag bits set; real tags are
+/// derived from the small bump-allocated simulated address space and
+/// never come close).
+const EMPTY_TAG: u32 = (1 << (32 - WAY_BITS)) - 1;
+/// Packs a set-local tag and a physical way index into one slot word.
+#[inline]
+fn pack(tag: u32, way: u32) -> u32 {
+    (tag << WAY_BITS) | way
+}
 
-/// A set-associative cache with LRU replacement.
+/// A set-associative cache with LRU replacement (move-to-front order).
 ///
 /// Addresses passed to the access methods are **byte addresses**; the
 /// cache derives the line address internally.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetAssocCache {
     assoc: usize,
     set_shift: u32,
     set_mask: u64,
-    /// `sets * assoc` tags (line addresses), row-major by set.
-    tags: Vec<u64>,
-    /// LRU timestamps parallel to `tags`.
-    stamps: Vec<u64>,
-    tick: u64,
+    /// Number of set-index bits (`set_mask.count_ones()`).
+    set_bits: u32,
+    /// `sets * assoc` packed slots, row-major by set, stored in recency
+    /// order within each set: slot 0 is the MRU. Each slot packs the
+    /// line's set-local tag (the line address with the set-index bits
+    /// stripped) in the high 28 bits and its physical way index in the
+    /// low 4 — one 32-bit word per slot, so an access touches a single
+    /// compact row in the *host's* caches, and a rotation moves tag and
+    /// way together (a line keeps its way while its recency position
+    /// moves). The simulated address space is a small bump-allocated
+    /// span, so tags never come near the 28-bit limit (debug-asserted
+    /// on access).
+    slots: Vec<u32>,
+    /// Per-set count of non-empty slots; when a set is full the miss
+    /// path skips the empty-way probe entirely.
+    filled: Vec<u8>,
 }
 
 /// Result of a fill: whether it hit, and any line evicted to make room.
@@ -75,30 +110,67 @@ pub struct FillOutcome {
 
 impl SetAssocCache {
     /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 16 (way indexes are packed
+    /// into four bits of each slot word).
     pub fn new(p: CacheParams) -> Self {
         let sets = p.sets();
+        assert!(
+            p.assoc <= 1 << WAY_BITS,
+            "associativity too large for packed way index"
+        );
         SetAssocCache {
             assoc: p.assoc,
             set_shift: p.line_bytes.trailing_zeros(),
             set_mask: (sets - 1) as u64,
-            tags: vec![EMPTY; sets * p.assoc],
-            stamps: vec![0; sets * p.assoc],
-            tick: 0,
+            set_bits: (sets - 1).count_ones(),
+            slots: (0..sets * p.assoc)
+                .map(|i| pack(EMPTY_TAG, (i % p.assoc) as u32))
+                .collect(),
+            filled: vec![0; sets],
         }
     }
 
+    /// Splits `addr` into its set index and set-local tag.
     #[inline]
-    fn set_of(&self, addr: u64) -> (u64, usize) {
+    fn set_of(&self, addr: u64) -> (u32, usize) {
         let line = addr >> self.set_shift;
         let set = (line & self.set_mask) as usize;
-        (line, set)
+        let tag = line >> self.set_bits;
+        debug_assert!(tag < u64::from(EMPTY_TAG), "address out of tag range");
+        (tag as u32, set)
+    }
+
+    /// Reconstructs a line's byte address from its set and stored tag.
+    #[inline]
+    fn line_addr(&self, tag: u32, set: usize) -> u64 {
+        ((u64::from(tag) << self.set_bits) | set as u64) << self.set_shift
     }
 
     /// Accesses the line containing `addr`, allocating it on miss (over
     /// the full associativity). Returns the fill outcome.
     #[inline]
     pub fn access(&mut self, addr: u64) -> FillOutcome {
-        self.access_ways(addr, self.assoc)
+        let (tag, set) = self.set_of(addr);
+        // MRU fast path: the most recently used line sits in slot 0; the
+        // runner-up sits in slot 1 and promotes with a single swap.
+        let base = set * self.assoc;
+        if self.slots[base] >> WAY_BITS == tag {
+            return FillOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        if self.assoc > 1 && self.slots[base + 1] >> WAY_BITS == tag {
+            self.slots.swap(base, base + 1);
+            return FillOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.access_way_range_cold(tag, set, 0, self.assoc)
     }
 
     /// Accesses the line containing `addr`, but on a miss allocate only
@@ -125,81 +197,148 @@ impl SetAssocCache {
     /// Panics if the range is empty or exceeds the associativity.
     pub fn access_way_range(&mut self, addr: u64, lo: usize, hi: usize) -> FillOutcome {
         assert!(lo < hi && hi <= self.assoc, "bad way restriction");
-        let (line, set) = self.set_of(addr);
+        let (tag, set) = self.set_of(addr);
+        // MRU fast path: the most recently used line sits in slot 0; the
+        // runner-up sits in slot 1 and promotes with a single swap.
         let base = set * self.assoc;
-        self.tick += 1;
+        if self.slots[base] >> WAY_BITS == tag {
+            return FillOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        if self.assoc > 1 && self.slots[base + 1] >> WAY_BITS == tag {
+            self.slots.swap(base, base + 1);
+            return FillOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.access_way_range_cold(tag, set, lo, hi)
+    }
 
-        // Hit path: scan the whole set.
-        for w in 0..self.assoc {
-            if self.tags[base + w] == line {
-                self.stamps[base + w] = self.tick;
-                return FillOutcome {
-                    hit: true,
-                    evicted: None,
-                };
+    /// The non-MRU part of an access: scan for a hit beyond slot 0, or
+    /// pick a victim and fill.
+    fn access_way_range_cold(&mut self, tag: u32, set: usize, lo: usize, hi: usize) -> FillOutcome {
+        let assoc = self.assoc;
+        let filled = self.filled[set] as usize;
+        let base = set * assoc;
+        let row = &mut self.slots[base..base + assoc];
+
+        // Hit path: a contiguous scan in recency order (slot 0 was
+        // already checked by the callers' MRU fast path, but re-checking
+        // it costs nothing and keeps this routine self-contained).
+        if let Some(pos) = row.iter().position(|&e| e >> WAY_BITS == tag) {
+            if pos != 0 {
+                let e = row[pos];
+                row.copy_within(0..pos, 1);
+                row[0] = e;
             }
+            return FillOutcome {
+                hit: true,
+                evicted: None,
+            };
         }
 
-        // Miss: pick the LRU way within the allowed range.
-        let mut victim = lo;
-        let mut oldest = u64::MAX;
-        for w in lo..hi {
-            let idx = base + w;
-            if self.tags[idx] == EMPTY {
-                victim = w;
-                break;
-            }
-            if self.stamps[idx] < oldest {
-                oldest = self.stamps[idx];
-                victim = w;
+        // Miss. Prefer the lowest-indexed empty way inside [lo, hi)
+        // (matching the classic model's index-order preference); when the
+        // set has no usable empty way, evict the least-recent in-range
+        // slot — with a full set and a full range that is just the last
+        // slot, found with no scan at all.
+        let mut slot = usize::MAX;
+        if filled < assoc {
+            let mut best_way = hi as u32;
+            for (i, &e) in row.iter().enumerate() {
+                let w = e & ((1 << WAY_BITS) - 1);
+                if e >> WAY_BITS == EMPTY_TAG && w >= lo as u32 && w < best_way {
+                    best_way = w;
+                    slot = i;
+                }
             }
         }
-        let idx = base + victim;
-        let evicted = if self.tags[idx] == EMPTY {
+        let victim_tag = if slot != usize::MAX {
+            self.filled[set] += 1;
             None
         } else {
-            Some(self.tags[idx] << self.set_shift)
+            let mut pos = assoc - 1;
+            loop {
+                let w = (row[pos] & ((1 << WAY_BITS) - 1)) as usize;
+                if w >= lo && w < hi {
+                    break;
+                }
+                pos -= 1;
+            }
+            slot = pos;
+            Some(row[slot] >> WAY_BITS)
         };
-        self.tags[idx] = line;
-        self.stamps[idx] = self.tick;
+
+        // Fill the chosen slot and promote it to the front.
+        let w = row[slot] & ((1 << WAY_BITS) - 1);
+        row.copy_within(0..slot, 1);
+        row[0] = pack(tag, w);
         FillOutcome {
             hit: false,
-            evicted,
+            evicted: victim_tag.map(|t| self.line_addr(t, set)),
         }
+    }
+
+    /// Host-side hint: touches this set's slot row through
+    /// [`std::hint::black_box`] so a lookup issued shortly after finds
+    /// the row already in the host's cache. Simulated state is
+    /// untouched — this is a software prefetch for the simulator
+    /// itself, useful when the row load can overlap other work.
+    #[inline]
+    pub fn prefetch_row(&self, addr: u64) {
+        let (_, set) = self.set_of(addr);
+        std::hint::black_box(self.slots[set * self.assoc]);
     }
 
     /// Returns true if the line containing `addr` is resident (no LRU
     /// update, no allocation).
     pub fn probe(&self, addr: u64) -> bool {
-        let (line, set) = self.set_of(addr);
+        let (tag, set) = self.set_of(addr);
         let base = set * self.assoc;
-        (0..self.assoc).any(|w| self.tags[base + w] == line)
+        self.slots[base..base + self.assoc]
+            .iter()
+            .any(|&e| e >> WAY_BITS == tag)
     }
 
     /// Invalidates the line containing `addr` if present. Returns whether
-    /// it was present.
+    /// it was present. The emptied slot keeps its recency position and
+    /// physical way; empty slots are never LRU victims because the
+    /// empty-way probe runs first.
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        let (line, set) = self.set_of(addr);
+        let (tag, set) = self.set_of(addr);
         let base = set * self.assoc;
-        for w in 0..self.assoc {
-            if self.tags[base + w] == line {
-                self.tags[base + w] = EMPTY;
-                self.stamps[base + w] = 0;
-                return true;
+        match self.slots[base..base + self.assoc]
+            .iter()
+            .position(|&e| e >> WAY_BITS == tag)
+        {
+            Some(pos) => {
+                let e = self.slots[base + pos];
+                self.slots[base + pos] = pack(EMPTY_TAG, e & ((1 << WAY_BITS) - 1));
+                self.filled[set] -= 1;
+                true
             }
+            None => false,
         }
-        false
     }
 
-    /// Empties the cache.
+    /// Empties the cache, restoring the pristine just-constructed state.
     pub fn flush(&mut self) {
-        self.tags.iter_mut().for_each(|t| *t = EMPTY);
-        self.stamps.iter_mut().for_each(|s| *s = 0);
+        let assoc = self.assoc;
+        for (i, e) in self.slots.iter_mut().enumerate() {
+            *e = pack(EMPTY_TAG, (i % assoc) as u32);
+        }
+        self.filled.iter_mut().for_each(|f| *f = 0);
     }
 
     /// Number of resident lines (O(capacity); for tests/diagnostics).
     pub fn resident_lines(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != EMPTY).count()
+        self.slots
+            .iter()
+            .filter(|&&e| e >> WAY_BITS != EMPTY_TAG)
+            .count()
     }
 
     /// The cache's associativity.
@@ -262,12 +401,55 @@ mod tests {
     }
 
     #[test]
+    fn restricted_victim_is_least_recent_in_range() {
+        // 1 set x 4 ways.
+        let mut c = SetAssocCache::new(CacheParams::new(256, 4, 64));
+        for i in 0..4u64 {
+            c.access(i * 64);
+        }
+        c.access(0); // refresh way 0 → way 1 now least recent
+        let out = c.access_way_range(4 * 64, 0, 2); // may evict way 0 or 1
+        assert_eq!(out.evicted, Some(64), "way 1 held the least-recent line");
+        assert!(c.probe(0), "refreshed way-0 line survived");
+    }
+
+    #[test]
     fn invalidate_removes() {
         let mut c = small();
         c.access(0x40);
         assert!(c.invalidate(0x40));
         assert!(!c.probe(0x40));
         assert!(!c.invalidate(0x40));
+    }
+
+    #[test]
+    fn invalidated_way_is_refilled_first() {
+        // 1 set x 4 ways: invalidating the most-recent way must make it
+        // the next allocation target (empty ways trump recency).
+        let mut c = SetAssocCache::new(CacheParams::new(256, 4, 64));
+        for i in 0..4u64 {
+            c.access(i * 64);
+        }
+        c.invalidate(3 * 64); // way 3, the most recently used
+        let out = c.access(4 * 64);
+        assert_eq!(out.evicted, None, "fill reuses the emptied way");
+        for i in [0u64, 1, 2, 4] {
+            assert!(c.probe(i * 64));
+        }
+    }
+
+    #[test]
+    fn empty_way_outside_range_is_not_used() {
+        // 1 set x 4 ways: an empty way outside the allowed range must
+        // not absorb a restricted fill.
+        let mut c = SetAssocCache::new(CacheParams::new(256, 4, 64));
+        for i in 0..4u64 {
+            c.access(i * 64);
+        }
+        c.invalidate(3 * 64); // way 3 empty, outside [0, 2)
+        let out = c.access_way_range(4 * 64, 0, 2);
+        assert_eq!(out.evicted, Some(0), "way 0 was the LRU in range");
+        assert!(!c.probe(3 * 64), "way 3 stays empty");
     }
 
     #[test]
@@ -296,6 +478,19 @@ mod tests {
         c.access(0);
         c.flush();
         assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn flush_restores_pristine_state() {
+        let mut c = small();
+        for i in 0..57u64 {
+            c.access(i * 64);
+            if i % 5 == 0 {
+                c.access_ways(i * 192, 1);
+            }
+        }
+        c.flush();
+        assert_eq!(c, small(), "flushed cache must equal a fresh one");
     }
 
     #[test]

@@ -130,10 +130,24 @@ impl MemCounters {
     }
 }
 
+/// Sentinel for the per-core last-line / last-page memo slots. Never a
+/// real line or page identifier.
+const NONE64: u64 = u64::MAX;
+
 struct CoreCaches {
     l1: SetAssocCache,
     l2: SetAssocCache,
     tlb: Tlb,
+    /// Line address of this core's most recent demand touch. Invariant:
+    /// when set, that line is L1-resident and the MRU of its set, and its
+    /// page is the TLB's last-page slot — so a repeat access collapses to
+    /// counter bumps plus the L1-hit cost. Cleared whenever the line is
+    /// invalidated out from under the core (DMA write, LLC
+    /// back-invalidation).
+    last_line: u64,
+    /// 4-KiB virtual page number of this core's most recent translation
+    /// (pre-`page_key`, so a hugepage remapping must clear it).
+    last_vpage: u64,
 }
 
 /// The simulated memory hierarchy shared by all cores of the DUT.
@@ -147,6 +161,11 @@ pub struct MemoryHierarchy {
     /// Sorted, disjoint `(start, end)` ranges backed by 2-MiB hugepages
     /// (DPDK mempools, rings, and DMA memory — as in a real deployment).
     huge_ranges: Vec<(u64, u64)>,
+    /// Most recent hugepage range matched by `page_key`. Ranges are only
+    /// ever added, so a previously matched range stays valid; the memo
+    /// skips the binary search for the common case of successive
+    /// translations inside one DPDK region.
+    last_huge: (u64, u64),
     /// Per-scope attribution table; `None` unless profiling is enabled.
     attribution: Option<Attribution>,
 }
@@ -179,6 +198,8 @@ impl MemoryHierarchy {
                     l1: SetAssocCache::new(p.l1),
                     l2: SetAssocCache::new(p.l2),
                     tlb: Tlb::skylake(),
+                    last_line: NONE64,
+                    last_vpage: NONE64,
                 })
                 .collect(),
             llc: SetAssocCache::new(p.llc),
@@ -187,6 +208,7 @@ impl MemoryHierarchy {
             lat: p.lat,
             counters: MemCounters::default(),
             huge_ranges: Vec::new(),
+            last_huge: (NONE64, 0),
             attribution: None,
         }
     }
@@ -197,13 +219,30 @@ impl MemoryHierarchy {
         self.huge_ranges
             .push((region.base, region.base + region.size));
         self.huge_ranges.sort_unstable();
+        // The vpage → page-key mapping just changed; drop the memos.
+        for c in &mut self.cores {
+            c.last_vpage = NONE64;
+        }
     }
 
     #[inline]
-    fn page_key(&self, addr: u64) -> u64 {
+    fn page_key(&mut self, addr: u64) -> u64 {
+        // The huge-page marker bit must stay clear of any real 4-KiB key:
+        // simulated addresses come from the bump allocator (base 0x1_0000,
+        // spans of at most tens of MiB), so `addr >> 12` is far below
+        // 2^30. Keeping keys under 2^31 lets the TLB's packed tag words
+        // hold them (see the tag layout in `pm_mem::cache`).
+        debug_assert!(addr < 1 << 40, "simulated address out of range");
+        if addr >= self.last_huge.0 && addr < self.last_huge.1 {
+            return (addr >> 21) | (1 << 30);
+        }
+        if self.huge_ranges.is_empty() {
+            return addr >> 12;
+        }
         let i = self.huge_ranges.partition_point(|&(s, _)| s <= addr);
         if i > 0 && addr < self.huge_ranges[i - 1].1 {
-            (addr >> 21) | (1 << 50)
+            self.last_huge = self.huge_ranges[i - 1];
+            (addr >> 21) | (1 << 30)
         } else {
             addr >> 12
         }
@@ -233,17 +272,41 @@ impl MemoryHierarchy {
     ///
     /// Returns the exposed stall cost. Every cache line spanned is
     /// accessed; the TLB is consulted per line (same-page lines hit).
+    /// Equivalent to [`Self::access_range`].
     ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
+    #[inline]
     pub fn access(&mut self, core: usize, addr: u64, len: u64, kind: AccessKind) -> Cost {
-        let mut cost = Cost::ZERO;
+        self.access_range(core, addr, len, kind)
+    }
+
+    /// Charges a multi-line sequential touch in one batched call: every
+    /// spanned line is accessed exactly as [`Self::access_line`] would,
+    /// but the page-key lookup and TLB structure are consulted only once
+    /// per 4-KiB page (subsequent same-page lines take the free MRU-slot
+    /// hit they are guaranteed to be), and the attribution ledger is
+    /// updated once per call instead of once per line. Access-for-access
+    /// identical to a loop of single-line accesses: same costs, same
+    /// counters, same cache and TLB state.
+    pub fn access_range(&mut self, core: usize, addr: u64, len: u64, kind: AccessKind) -> Cost {
         let n = lines_spanned(addr, len);
+        if n == 0 {
+            return Cost::ZERO;
+        }
+        let before = self.attribution.is_some().then_some(self.counters);
+        let mut cost = Cost::ZERO;
         let mut line_addr = addr & !(LINE - 1);
         for _ in 0..n {
-            cost += self.access_line(core, line_addr, kind);
+            cost += self.access_line_raw(core, line_addr, kind);
             line_addr += LINE;
+        }
+        if let Some(before) = before {
+            let delta = self.counters.delta_since(&before);
+            if let Some(attr) = &mut self.attribution {
+                attr.add_counters(&delta);
+            }
         }
         cost
     }
@@ -251,17 +314,44 @@ impl MemoryHierarchy {
     /// Accesses a single line. Prefer [`Self::access`] for ranged data.
     pub fn access_line(&mut self, core: usize, addr: u64, kind: AccessKind) -> Cost {
         let before = self.attribution.is_some().then_some(self.counters);
-        let mut cost = self.translate(core, addr);
-        let (level, stall) = self.touch(core, addr, kind);
-        cost += stall;
-        // Bookkeeping only; `level` is also useful to callers via counters.
-        let _ = level;
+        let cost = self.access_line_raw(core, addr, kind);
         if let Some(before) = before {
             let delta = self.counters.delta_since(&before);
             if let Some(attr) = &mut self.attribution {
                 attr.add_counters(&delta);
             }
         }
+        cost
+    }
+
+    /// One line access without the attribution snapshot (callers batch
+    /// it). The last-line filter short-circuits the dominant pattern —
+    /// re-touching the line the core touched last — to two counter bumps
+    /// and the L1-hit cost; see the invariant on [`CoreCaches::last_line`].
+    #[inline]
+    fn access_line_raw(&mut self, core: usize, addr: u64, kind: AccessKind) -> Cost {
+        let line = addr & !(LINE - 1);
+        let c = &mut self.cores[core];
+        if c.last_line == line {
+            c.tlb.repeat_last();
+            let factor = if kind == AccessKind::Load {
+                self.counters.loads += 1;
+                1.0
+            } else {
+                self.counters.stores += 1;
+                self.lat.store_stall_factor
+            };
+            return Cost::stall_cycles(self.lat.l1_hit_cy * factor);
+        }
+        // Host-side overlap: start the (host-cold) LLC slot-row load
+        // now so it rides out the TLB and L1/L2 lookups below.
+        self.llc.prefetch_row(addr);
+        let mut cost = self.translate(core, addr);
+        let (level, stall) = self.touch(core, addr, kind);
+        cost += stall;
+        // Bookkeeping only; `level` is also useful to callers via counters.
+        let _ = level;
+        self.cores[core].last_line = line;
         cost
     }
 
@@ -279,7 +369,16 @@ impl MemoryHierarchy {
         }
     }
 
+    #[inline]
     fn translate(&mut self, core: usize, addr: u64) -> Cost {
+        // Same 4-KiB vpage as the previous translation ⇒ same page key ⇒
+        // a guaranteed free DTLB hit: skip the range search entirely.
+        let vpage = addr >> 12;
+        if self.cores[core].last_vpage == vpage {
+            self.cores[core].tlb.repeat_last();
+            return Cost::ZERO;
+        }
+        self.cores[core].last_vpage = vpage;
         let key = self.page_key(addr);
         match self.cores[core].tlb.translate_page(key) {
             TlbOutcome::Dtlb => Cost::ZERO,
@@ -299,6 +398,7 @@ impl MemoryHierarchy {
         }
     }
 
+    #[inline]
     fn touch(&mut self, core: usize, addr: u64, kind: AccessKind) -> (Level, Cost) {
         let (level, raw) = self.touch_raw(core, addr, kind);
         if kind == AccessKind::Store {
@@ -331,10 +431,15 @@ impl MemoryHierarchy {
         if is_load {
             self.counters.l1d_load_misses += 1;
         }
+        // Host-side overlap: the LLC slot array is the one structure too
+        // big for the host's near caches, so start its row load now and
+        // let it ride out the L2 lookup.
+        self.llc.prefetch_row(addr);
 
+        // Note on fills: `access` allocates on miss, so by this point the
+        // line is already resident (and MRU) in L1, and likewise in L2
+        // below — no separate fill step is needed on the hit paths.
         if self.cores[core].l2.access(addr).hit {
-            // Fill into L1 (line is in L2, inclusion holds).
-            self.fill_l1(core, addr);
             return (Level::L2, Cost::stall_cycles(self.lat.l2_hit_cy));
         }
 
@@ -351,8 +456,6 @@ impl MemoryHierarchy {
             .llc
             .access_way_range(addr, self.ddio_ways, self.llc_assoc);
         if out.hit {
-            self.fill_l2(core, addr);
-            self.fill_l1(core, addr);
             return (Level::Llc, Cost::stall_ns(self.lat.llc_hit_ns));
         }
 
@@ -365,28 +468,16 @@ impl MemoryHierarchy {
         if let Some(evicted) = out.evicted {
             self.back_invalidate(evicted);
         }
-        self.fill_l2(core, addr);
-        self.fill_l1(core, addr);
         (Level::Dram, Cost::stall_ns(self.lat.dram_ns))
-    }
-
-    fn fill_l1(&mut self, core: usize, addr: u64) {
-        // L1 eviction needs no action: the victim stays valid in L2/LLC.
-        let _ = self.cores[core].l1.access(addr);
-    }
-
-    fn fill_l2(&mut self, core: usize, addr: u64) {
-        let out = self.cores[core].l2.access(addr);
-        if let Some(evicted) = out.evicted {
-            // Maintain L1 ⊆ L2.
-            self.cores[core].l1.invalidate(evicted);
-        }
     }
 
     fn back_invalidate(&mut self, line: u64) {
         for c in &mut self.cores {
             c.l1.invalidate(line);
             c.l2.invalidate(line);
+            if c.last_line == line {
+                c.last_line = NONE64;
+            }
         }
     }
 
@@ -396,15 +487,28 @@ impl MemoryHierarchy {
     /// stale copies in core caches are invalidated. Costs no core time.
     pub fn dma_write(&mut self, addr: u64, len: u64) {
         let n = lines_spanned(addr, len);
+        self.counters.dma_write_lines += n;
         let mut line = addr & !(LINE - 1);
-        for _ in 0..n {
-            self.counters.dma_write_lines += 1;
-            for c in &mut self.cores {
-                c.l1.invalidate(line);
-                c.l2.invalidate(line);
+        for i in 0..n {
+            // Host-side overlap: fetch the next line's slot row while
+            // this line's allocation runs.
+            if i + 1 < n {
+                self.llc.prefetch_row(line + LINE);
             }
             let out = self.llc.access_ways(line, self.ddio_ways);
-            if let Some(evicted) = out.evicted {
+            if out.hit {
+                // Core caches are inclusive in the LLC (every fill goes
+                // through it, every LLC eviction back-invalidates), so
+                // stale core copies can exist only when the LLC held the
+                // line — skip the per-core scans otherwise.
+                for c in &mut self.cores {
+                    c.l1.invalidate(line);
+                    c.l2.invalidate(line);
+                    if c.last_line == line {
+                        c.last_line = NONE64;
+                    }
+                }
+            } else if let Some(evicted) = out.evicted {
                 self.back_invalidate(evicted);
             }
             line += LINE;
@@ -427,6 +531,40 @@ impl MemoryHierarchy {
         let mut cost = Cost::ZERO;
         let n = lines_spanned(addr, len);
         let mut line = addr & !(LINE - 1);
+        if n <= 8 {
+            // Small-range fast path (the common shapes: descriptor and
+            // packet-header prefetches). Probing every level and then
+            // warming would scan each cache row twice; instead do the
+            // warm touch directly — it reports where the line was found,
+            // and "filled from DRAM" is exactly "resident nowhere", the
+            // probes' miss condition. Interleaving warm and probe per
+            // line is sound for short runs: consecutive lines index
+            // distinct sets in every cache (n ≤ 8 < the smallest set
+            // count), so warming line i can neither insert nor evict a
+            // later line j — allocations land in other sets, and any
+            // back-invalidated LLC victim shares its set with line i,
+            // not j. The later probe therefore sees exactly the state
+            // the probe-first ordering would.
+            for _ in 0..n {
+                let saved = self.counters;
+                let (level, _) = self.touch(core, line, AccessKind::Load);
+                let _ = self.translate(core, line);
+                self.cores[core].last_line = line;
+                self.counters = saved;
+                if level == Level::Dram {
+                    cost += Cost::stall_ns(self.lat.dram_ns * 0.3);
+                    self.counters.prefetch_misses += 1;
+                    if let Some(attr) = &mut self.attribution {
+                        attr.add_counters(&MemCounters {
+                            prefetch_misses: 1,
+                            ..MemCounters::default()
+                        });
+                    }
+                }
+                line += LINE;
+            }
+            return cost;
+        }
         let mut missed = 0u64;
         for _ in 0..n {
             if !self.llc.probe(line)
@@ -460,6 +598,9 @@ impl MemoryHierarchy {
         for _ in 0..n {
             let _ = self.touch(core, line, AccessKind::Load);
             let _ = self.translate(core, line);
+            // Maintain the last-line invariant: `line` is now this
+            // core's most recent touch and sits MRU in its L1 set.
+            self.cores[core].last_line = line;
             line += LINE;
         }
         self.counters = saved;

@@ -28,6 +28,7 @@
 
 pub mod address;
 pub mod cache;
+pub mod classic;
 pub mod cost;
 pub mod hierarchy;
 pub mod profile;
@@ -35,6 +36,7 @@ pub mod tlb;
 
 pub use address::{AddressSpace, Region, ScatterAlloc};
 pub use cache::{CacheParams, SetAssocCache};
+pub use classic::ClassicSetAssocCache;
 pub use cost::{Cost, LatencyModel};
 pub use hierarchy::{AccessKind, HierarchyParams, Level, MemCounters, MemoryHierarchy};
 pub use profile::{

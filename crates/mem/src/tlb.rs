@@ -9,9 +9,22 @@
 
 use crate::cache::{CacheParams, SetAssocCache};
 
+/// Sentinel for "no page translated yet" in the last-page MRU slot.
+/// Never a real page identifier: hierarchy page keys are at most
+/// `addr >> 12` or a 2-MiB key with bit 30 set, both far below the
+/// all-ones value.
+const NO_PAGE: u64 = u64::MAX;
+
 /// A two-level TLB (per-core DTLB backed by a unified STLB).
 ///
-/// Implemented as set-associative caches over page addresses.
+/// Implemented as set-associative caches over page addresses, fronted by
+/// a one-entry MRU slot holding the most recently translated page: the
+/// dominant access pattern (consecutive touches inside one page) resolves
+/// without consulting the DTLB structure at all. The slot is pure
+/// memoization — after any translation the page is the DTLB's
+/// most-recently-used entry, so a repeat is always a free DTLB hit and
+/// skipping the lookup changes no state and no counter except the access
+/// count, which the slot maintains itself.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     page_shift: u32,
@@ -20,6 +33,8 @@ pub struct Tlb {
     dtlb_misses: u64,
     stlb_misses: u64,
     accesses: u64,
+    /// The page passed to the most recent [`Tlb::translate_page`] call.
+    last_page: u64,
 }
 
 /// Where a translation was found.
@@ -62,6 +77,7 @@ impl Tlb {
             dtlb_misses: 0,
             stlb_misses: 0,
             accesses: 0,
+            last_page: NO_PAGE,
         }
     }
 
@@ -76,6 +92,12 @@ impl Tlb {
     #[inline]
     pub fn translate_page(&mut self, page: u64) -> TlbOutcome {
         self.accesses += 1;
+        if page == self.last_page {
+            // The previous translation left this page as the DTLB's MRU
+            // entry; re-touching the MRU entry would change nothing.
+            return TlbOutcome::Dtlb;
+        }
+        self.last_page = page;
         // Feed page numbers (shifted) as "addresses" to the entry caches;
         // multiply by the entry size so the set math sees distinct lines.
         let key = page * 8;
@@ -88,6 +110,16 @@ impl Tlb {
         }
         self.stlb_misses += 1;
         TlbOutcome::Walk
+    }
+
+    /// Fast path for a caller that already knows this translation targets
+    /// the same page as the immediately preceding [`Tlb::translate_page`]
+    /// call: counts the access and returns. Equivalent to re-translating
+    /// that page (a guaranteed free DTLB hit).
+    #[inline]
+    pub fn repeat_last(&mut self) {
+        debug_assert!(self.last_page != NO_PAGE, "no previous translation");
+        self.accesses += 1;
     }
 
     /// Total translations requested.
@@ -112,6 +144,7 @@ impl Tlb {
         self.dtlb_misses = 0;
         self.stlb_misses = 0;
         self.accesses = 0;
+        self.last_page = NO_PAGE;
     }
 }
 
@@ -174,6 +207,17 @@ mod tests {
             t.stlb_misses() > walks + 4000,
             "second sweep of 8k pages should still walk"
         );
+    }
+
+    #[test]
+    fn repeat_last_counts_as_dtlb_hit() {
+        let mut t = Tlb::skylake();
+        assert_eq!(t.translate(0x5000), TlbOutcome::Walk);
+        let misses = t.dtlb_misses();
+        t.repeat_last();
+        assert_eq!(t.accesses(), 2);
+        assert_eq!(t.dtlb_misses(), misses, "repeat is a free DTLB hit");
+        assert_eq!(t.translate(0x5001), TlbOutcome::Dtlb, "same page memoized");
     }
 
     #[test]

@@ -187,6 +187,23 @@ impl Nic {
         dma: &mut DmaMemory,
     ) -> Option<usize> {
         let hash = self.rss_hash(frame);
+        self.rx_deliver_hashed(frame, hash, now, seq, mem, dma)
+    }
+
+    /// [`Self::rx_deliver_seq`] with the RSS hash supplied by the
+    /// caller. A cyclic trace replays the same frames many times, so a
+    /// generator can compute each frame's hash once ([`Self::rss_hash`]
+    /// is a pure function of the bytes) and skip the per-delivery
+    /// Toeplitz work.
+    pub fn rx_deliver_hashed(
+        &mut self,
+        frame: &[u8],
+        hash: u32,
+        now: SimTime,
+        seq: u64,
+        mem: &mut MemoryHierarchy,
+        dma: &mut DmaMemory,
+    ) -> Option<usize> {
         let q = self.indirection.queue_for(hash) % self.rx.len();
         let Some(buf) = self.rx[q].take_posted() else {
             return None; // ring counted the drop

@@ -161,11 +161,20 @@ impl RxRing {
     /// or before `now` (the device publishes a CQE only once the write
     /// has landed).
     pub fn reap_until(&mut self, max: usize, now: SimTime) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.reap_until_into(max, now, &mut out);
+        out
+    }
+
+    /// [`Self::reap_until`] into a caller-provided buffer (cleared
+    /// first), so a poll loop can reap without allocating per burst.
+    pub fn reap_until_into(&mut self, max: usize, now: SimTime, out: &mut Vec<Completion>) {
+        out.clear();
         let mut n = 0;
         while n < max && n < self.completions.len() && self.completions[n].arrival <= now {
             n += 1;
         }
-        self.completions.drain(..n).collect()
+        out.extend(self.completions.drain(..n));
     }
 
     /// Driver side: peeks the arrival time of the oldest completion.

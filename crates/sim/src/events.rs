@@ -1,37 +1,26 @@
-//! A deterministic discrete-event queue.
+//! Deterministic discrete-event queues.
 //!
-//! [`EventQueue`] is a binary min-heap keyed by [`SimTime`] with a
-//! monotonically increasing sequence number as tiebreaker, so two events
-//! scheduled for the same instant are delivered in the order they were
-//! scheduled. This makes multi-actor simulations (multiple cores polling
-//! queues fed by multiple NICs) fully deterministic.
+//! [`EventQueue`] is a bucketed **calendar queue**: events hash by
+//! timestamp into a power-of-two ring of day buckets, where one "day" is
+//! a fixed power-of-two span of simulated picoseconds sized to the link
+//! pacing cadence (a 64-B frame at 100 Gbps arrives every ~6.7 ns; the
+//! default 8.2-ns day puts consecutive pacing events in neighboring
+//! buckets). Scheduling is O(1); popping scans the current day's bucket
+//! and advances day by day, falling back to a full scan only across long
+//! idle gaps. Ordering is identical to a binary heap keyed by
+//! `(time, seq)`: earliest timestamp first, FIFO within equal
+//! timestamps, so multi-actor simulations (multiple cores polling queues
+//! fed by multiple NICs) stay fully deterministic.
+//!
+//! [`HeapEventQueue`] is the original `BinaryHeap` implementation, kept
+//! as the reference model: the proptest suite drives both lock-step over
+//! arbitrary schedule/pop interleavings (including time ties) to prove
+//! pop-order equivalence, and `benches/simcore.rs` compares their
+//! events/sec.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-
-/// An event queue ordered by time, FIFO within equal timestamps.
-///
-/// # Examples
-///
-/// ```
-/// use pm_sim::{EventQueue, SimTime};
-///
-/// let mut q = EventQueue::new();
-/// q.schedule(SimTime::from_ns(10.0), "second");
-/// q.schedule(SimTime::from_ns(5.0), "first");
-/// q.schedule(SimTime::from_ns(10.0), "third"); // same time as "second"
-///
-/// assert_eq!(q.pop(), Some((SimTime::from_ns(5.0), "first")));
-/// assert_eq!(q.pop(), Some((SimTime::from_ns(10.0), "second")));
-/// assert_eq!(q.pop(), Some((SimTime::from_ns(10.0), "third")));
-/// assert_eq!(q.pop(), None);
-/// ```
-#[derive(Debug)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
-}
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -64,10 +53,186 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+/// Default day width as a power-of-two picosecond shift: 2^13 ps ≈
+/// 8.2 ns, on the order of one minimum-size-frame slot at 100 Gbps.
+const DEFAULT_DAY_SHIFT: u32 = 13;
+
+/// Number of day buckets in the ring (power of two). With the default
+/// day width the ring covers a ~2.1-µs window before the rare
+/// full-scan fallback engages.
+const BUCKETS: usize = 256;
+
+/// An event queue ordered by time, FIFO within equal timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use pm_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(10.0), "second");
+/// q.schedule(SimTime::from_ns(5.0), "first");
+/// q.schedule(SimTime::from_ns(10.0), "third"); // same time as "second"
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5.0), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10.0), "second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10.0), "third")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// `BUCKETS` unsorted day buckets; an event for time `t` lives in
+    /// bucket `(t >> shift) & mask`.
+    buckets: Vec<Vec<Entry<E>>>,
+    mask: u64,
+    shift: u32,
+    /// The day the pop cursor is currently serving. All pending events
+    /// have `day >= cur_day` (schedule lowers the cursor on past-time
+    /// inserts).
+    cur_day: u64,
+    len: usize,
+    seq: u64,
+}
+
 impl<E> EventQueue<E> {
+    /// Creates an empty queue with the default day width.
+    pub fn new() -> Self {
+        Self::with_day_shift(DEFAULT_DAY_SHIFT)
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        let per_bucket = cap / BUCKETS + 1;
+        for b in &mut q.buckets {
+            b.reserve(per_bucket);
+        }
+        q
+    }
+
+    /// Creates an empty queue whose day width matches `spacing`, the
+    /// typical gap between consecutive events (e.g. the link's per-frame
+    /// pacing interval): the day becomes the largest power of two not
+    /// exceeding `spacing`, so each bucket scan sees O(1) events.
+    pub fn with_pacing(spacing: SimTime) -> Self {
+        let ps = spacing.as_ps().max(1);
+        Self::with_day_shift((63 - ps.leading_zeros()).clamp(4, 40))
+    }
+
+    fn with_day_shift(shift: u32) -> Self {
+        EventQueue {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            mask: (BUCKETS - 1) as u64,
+            shift,
+            cur_day: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, time: SimTime) -> u64 {
+        time.as_ps() >> self.shift
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        let day = self.day_of(time);
+        if self.len == 0 || day < self.cur_day {
+            self.cur_day = day;
+        }
+        let slot = (day & self.mask) as usize;
+        self.buckets[slot].push(Entry { time, seq, event });
+        self.len += 1;
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut probes = 0;
+        loop {
+            if probes >= BUCKETS {
+                // Nothing within a full ring revolution of the cursor: a
+                // long idle gap. Jump straight to the earliest populated
+                // day (O(len), rare).
+                self.cur_day = self
+                    .buckets
+                    .iter()
+                    .flatten()
+                    .map(|e| self.day_of(e.time))
+                    .min()
+                    .expect("len > 0");
+                probes = 0;
+            }
+            let slot = (self.cur_day & self.mask) as usize;
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (i, e) in self.buckets[slot].iter().enumerate() {
+                if self.day_of(e.time) != self.cur_day {
+                    continue; // a later ring revolution shares this slot
+                }
+                if best.is_none_or(|(t, s, _)| (e.time, e.seq) < (t, s)) {
+                    best = Some((e.time, e.seq, i));
+                }
+            }
+            if let Some((_, _, i)) = best {
+                let e = self.buckets[slot].swap_remove(i);
+                self.len -= 1;
+                return Some((e.time, e.event));
+            }
+            self.cur_day += 1;
+            probes += 1;
+        }
+    }
+
+    /// Returns the timestamp of the earliest event without removing it.
+    /// O(pending events); intended for inspection, not hot loops.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.buckets.iter().flatten().map(|e| e.time).min()
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.cur_day = 0;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The original binary-min-heap event queue, kept as the ordering
+/// reference for [`EventQueue`] (same API, same `(time, seq)` pop
+/// order).
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> HeapEventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -75,7 +240,7 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with room for `cap` events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
         }
@@ -114,7 +279,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -171,5 +336,68 @@ mod tests {
         q.schedule(SimTime::from_ps(20), "b");
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn past_time_insert_after_cursor_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(5.0), "late");
+        assert_eq!(q.pop().unwrap().1, "late"); // cursor now far ahead
+        q.schedule(SimTime::from_ps(1), "early");
+        q.schedule(SimTime::from_us(9.0), "later");
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    #[test]
+    fn long_idle_gap_falls_back_to_scan() {
+        // A gap much larger than the ring window (256 buckets x 8.2 ns ≈
+        // 2.1 µs) forces the full-scan cursor jump.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(3), 0);
+        q.schedule(SimTime::from_ms(50.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn colliding_ring_slots_stay_ordered() {
+        // Two times exactly one ring revolution apart share a bucket;
+        // the day check must keep the later one pending.
+        let window_ps = (BUCKETS as u64) << DEFAULT_DAY_SHIFT;
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(40 + window_ps), "next-revolution");
+        q.schedule(SimTime::from_ps(40), "now");
+        assert_eq!(q.pop().unwrap().1, "now");
+        assert_eq!(q.pop().unwrap().1, "next-revolution");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn with_pacing_matches_event_spacing() {
+        // ~6.7 ns per 64-B frame at 100 Gbps.
+        let mut q = EventQueue::with_pacing(SimTime::from_ns(6.7));
+        for i in (0..1000u64).rev() {
+            q.schedule(SimTime::from_ps(i * 6700), i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_queue_reference_semantics() {
+        let mut q = HeapEventQueue::new();
+        q.schedule(SimTime::from_ps(30), 3);
+        q.schedule(SimTime::from_ps(10), 1);
+        q.schedule(SimTime::from_ps(10), 2); // FIFO tie
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(10)));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, 0);
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.pop().is_none());
     }
 }

@@ -10,9 +10,11 @@
 //!   event ordering is exact and runs are bit-for-bit reproducible.
 //! * CPU core frequency and uncore frequency are first-class values
 //!   ([`Frequency`]); converting cycle counts to wall time is explicit.
-//! * The event queue ([`EventQueue`]) is a binary min-heap with a sequence
-//!   tiebreaker, so events scheduled for the same instant pop in
-//!   scheduling order (deterministic FIFO semantics).
+//! * The event queue ([`EventQueue`]) is a bucketed calendar queue sized
+//!   to the link-pacing cadence, with a sequence tiebreaker so events
+//!   scheduled for the same instant pop in scheduling order
+//!   (deterministic FIFO semantics, identical to the reference
+//!   [`HeapEventQueue`] min-heap).
 //! * Hot-path randomness uses a from-scratch [`rng::SplitMix64`]; workload
 //!   synthesis elsewhere in the workspace uses seeded `rand` generators.
 
@@ -24,7 +26,7 @@ pub mod freq;
 pub mod rng;
 pub mod time;
 
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapEventQueue};
 pub use freq::Frequency;
 pub use rng::SplitMix64;
 pub use time::SimTime;

@@ -3,6 +3,7 @@
 use crate::zipf::Zipf;
 use pm_packet::builder::PacketBuilder;
 use pm_sim::{SimTime, SplitMix64};
+use std::sync::{Arc, Mutex};
 
 /// What kind of traffic to synthesize.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,9 +61,13 @@ enum FlowProto {
 }
 
 /// A synthesized trace of complete Ethernet frames.
+///
+/// Frames are shared behind an [`Arc`], so cloning a trace (one clone
+/// per engine build) is O(1) rather than a deep copy of several
+/// megabytes of packet bytes.
 #[derive(Debug, Clone)]
 pub struct Trace {
-    frames: Vec<Box<[u8]>>,
+    frames: Arc<[Box<[u8]>]>,
     total_bytes: u64,
 }
 
@@ -156,9 +161,38 @@ impl Trace {
             frames.push(frame.into_boxed_slice());
         }
         Trace {
-            frames,
+            frames: frames.into(),
             total_bytes,
         }
+    }
+
+    /// Like [`Self::synthesize`], but memoizes recent results in a
+    /// small process-wide cache. Synthesis is deterministic in `cfg`,
+    /// so a cached trace is indistinguishable from a fresh one; sweeps
+    /// that rebuild an engine per experiment with the same seed (the
+    /// common case — every figure shares one default seed) pay for
+    /// synthesis once instead of once per run.
+    pub fn synthesize_cached(cfg: &TraceConfig) -> Trace {
+        // Bounded FIFO of (key, trace): a sweep touches only a handful
+        // of distinct configs, and each cached trace holds several MB
+        // of frames, so a short list beats an unbounded map.
+        static CACHE: Mutex<Vec<(TraceKey, Trace)>> = Mutex::new(Vec::new());
+        const CAP: usize = 8;
+
+        let key = TraceKey::of(cfg);
+        {
+            let cache = CACHE.lock().expect("trace cache poisoned");
+            if let Some((_, t)) = cache.iter().find(|(k, _)| *k == key) {
+                return t.clone();
+            }
+        } // synthesize outside the lock
+        let t = Trace::synthesize(cfg);
+        let mut cache = CACHE.lock().expect("trace cache poisoned");
+        if cache.len() >= CAP {
+            cache.remove(0);
+        }
+        cache.push((key, t.clone()));
+        t
     }
 
     /// Builds a trace directly from raw Ethernet frames (e.g. loaded
@@ -171,7 +205,11 @@ impl Trace {
         assert!(!frames.is_empty(), "empty trace");
         let total_bytes = frames.iter().map(|f| f.len() as u64).sum();
         Trace {
-            frames: frames.into_iter().map(Vec::into_boxed_slice).collect(),
+            frames: frames
+                .into_iter()
+                .map(Vec::into_boxed_slice)
+                .collect::<Vec<_>>()
+                .into(),
             total_bytes,
         }
     }
@@ -216,6 +254,33 @@ impl Trace {
             now_ps += (wire_bits as f64 * 1000.0 / offered_gbps).round() as u64;
             (t, f)
         })
+    }
+}
+
+/// Cache key for [`Trace::synthesize_cached`]: every [`TraceConfig`]
+/// field that synthesis depends on, with the float exponent taken by
+/// bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TraceKey {
+    packets: usize,
+    flows: usize,
+    zipf_alpha_bits: u64,
+    fixed_size: Option<usize>,
+    seed: u64,
+}
+
+impl TraceKey {
+    fn of(cfg: &TraceConfig) -> TraceKey {
+        TraceKey {
+            packets: cfg.packets,
+            flows: cfg.flows,
+            zipf_alpha_bits: cfg.zipf_alpha.to_bits(),
+            fixed_size: match cfg.profile {
+                TrafficProfile::CampusMix => None,
+                TrafficProfile::FixedSize(s) => Some(s),
+            },
+            seed: cfg.seed,
+        }
     }
 }
 

@@ -1,0 +1,72 @@
+//! Golden-artifact regression for the simulator fast path.
+//!
+//! The committed fixtures under `tests/golden/` are the Figure 7 N = 1
+//! surface and Table 1 — stdout table and profiled `--json` artifact —
+//! captured
+//! before the move-to-front caches, page-cached TLB, range-batched
+//! charging, and calendar queue landed. Re-running the sweep must
+//! reproduce them **byte for byte**: every optimization in the
+//! simulator hot path is required to be semantically invisible, so any
+//! diff here is a correctness bug, not a tolerance question.
+//!
+//! The sweep is full-size (50 runs × 40 000 packets), so the test
+//! no-ops in debug builds; CI exercises it via `cargo test --release`
+//! in the perf-smoke step.
+
+use packetmill::sweep::{artifact_document, set_default_profile};
+
+/// Reports the first differing line instead of dumping two ~300-KiB
+/// strings through `assert_eq!`.
+fn assert_same(actual: &str, expected: &str, what: &str) {
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(a, e, "{what}: first divergence at line {}", i + 1);
+    }
+    panic!(
+        "{what}: lengths differ ({} vs {} bytes) with a common prefix",
+        actual.len(),
+        expected.len()
+    );
+}
+
+#[test]
+fn fig7_n1_artifact_matches_committed_fixture() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping full fig7 golden sweep in debug builds (runs under --release)");
+        return;
+    }
+    set_default_profile(true);
+    let a = pm_bench::figures::fig7(1);
+
+    let stdout = format!("== N = 1 ==\n\n{}\n", a.table);
+    assert_same(
+        &stdout,
+        include_str!("../golden/fig7-n1.txt"),
+        "stdout table",
+    );
+
+    let json = artifact_document(vec![a.results.to_json("fig7-n1")]).to_pretty() + "\n";
+    assert_same(
+        &json,
+        include_str!("../golden/fig7-n1.json"),
+        "json artifact",
+    );
+}
+
+#[test]
+fn table1_artifact_matches_committed_fixture() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping table1 golden sweep in debug builds (runs under --release)");
+        return;
+    }
+    set_default_profile(true);
+    let a = pm_bench::figures::table1();
+
+    let stdout = format!("{}\n", a.table);
+    assert_same(&stdout, include_str!("../golden/table1.txt"), "stdout table");
+
+    let json = artifact_document(vec![a.results.to_json("table1")]).to_pretty() + "\n";
+    assert_same(&json, include_str!("../golden/table1.json"), "json artifact");
+}

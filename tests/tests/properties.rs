@@ -464,3 +464,130 @@ mod replay {
         }
     }
 }
+
+mod mtf_cache {
+    use super::*;
+    use pm_mem::{CacheParams, ClassicSetAssocCache, SetAssocCache};
+
+    /// One scripted operation against both cache models.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        /// `access_way_range(addr, lo, hi)` — covers `access` (full
+        /// range) and `access_ways` (prefix range) as special cases.
+        Access {
+            addr: u64,
+            lo: usize,
+            hi: usize,
+        },
+        Invalidate(u64),
+        Probe(u64),
+        Flush,
+    }
+
+    /// Decodes a raw tuple into an op over a deliberately tiny address
+    /// space (64 lines onto 16 sets × 4 ways) so every set sees hits,
+    /// empty fills, victim evictions, and way-range interplay.
+    fn decode(sel: u8, addr: u16, lohi: u8, assoc: usize) -> Op {
+        let addr = u64::from(addr % 64) * 64;
+        let lo = usize::from(lohi) % assoc;
+        let hi = lo + 1 + usize::from(lohi / 16) % (assoc - lo);
+        match sel % 8 {
+            0 => Op::Invalidate(addr),
+            1 => Op::Probe(addr),
+            2 => Op::Flush,
+            _ => Op::Access { addr, lo, hi },
+        }
+    }
+
+    proptest! {
+        /// Lock-step equivalence: the packed move-to-front cache and the
+        /// classic per-way-metadata reference agree on every hit/miss,
+        /// every evicted line, every probe, and the resident count, over
+        /// arbitrary interleavings of ranged accesses, invalidates, and
+        /// flushes.
+        #[test]
+        fn mtf_matches_classic(
+            ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u8>()), 1..400),
+        ) {
+            let p = CacheParams::new(4096, 4, 64); // 16 sets × 4 ways
+            let mut fast = SetAssocCache::new(p);
+            let mut slow = ClassicSetAssocCache::new(p);
+            for (i, &(sel, addr, lohi)) in ops.iter().enumerate() {
+                match decode(sel, addr, lohi, fast.assoc()) {
+                    Op::Access { addr, lo, hi } => {
+                        let a = fast.access_way_range(addr, lo, hi);
+                        let b = slow.access_way_range(addr, lo, hi);
+                        prop_assert_eq!(a, b, "op {}: access {:#x} ways {}..{}", i, addr, lo, hi);
+                    }
+                    Op::Invalidate(addr) => {
+                        prop_assert_eq!(
+                            fast.invalidate(addr),
+                            slow.invalidate(addr),
+                            "op {}: invalidate {:#x}", i, addr
+                        );
+                    }
+                    Op::Probe(addr) => {
+                        prop_assert_eq!(fast.probe(addr), slow.probe(addr), "op {}: probe {:#x}", i, addr);
+                    }
+                    Op::Flush => {
+                        fast.flush();
+                        slow.flush();
+                    }
+                }
+                prop_assert_eq!(fast.resident_lines(), slow.resident_lines(), "op {}", i);
+            }
+        }
+    }
+}
+
+mod event_queue {
+    use super::*;
+    use pm_sim::{EventQueue, HeapEventQueue, SimTime};
+
+    proptest! {
+        /// Lock-step equivalence: the calendar queue pops the exact same
+        /// `(time, event)` sequence as the binary-heap reference under
+        /// arbitrary schedule/pop interleavings. Times are drawn from a
+        /// tiny range so equal timestamps (FIFO ties) are common, and
+        /// occasional large jumps exercise the ring-wrap fallback.
+        #[test]
+        fn calendar_matches_heap(
+            script in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..300),
+        ) {
+            let mut cal: EventQueue<u32> = EventQueue::new();
+            let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+            let mut id = 0u32;
+            let mut clock = SimTime::ZERO;
+            for &(sel, t) in &script {
+                if sel % 3 == 0 {
+                    prop_assert_eq!(cal.pop(), heap.pop(), "pop after {} schedules", id);
+                } else {
+                    // Mostly near-future times with ties; every 16th
+                    // event jumps far ahead (past the bucket ring).
+                    let delta = if sel % 16 == 9 {
+                        SimTime::from_ns(f64::from(t) * 100.0)
+                    } else {
+                        SimTime::from_ns(f64::from(t % 40))
+                    };
+                    let when = clock + delta;
+                    cal.schedule(when, id);
+                    heap.schedule(when, id);
+                    id += 1;
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+                prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                if let Some(t) = cal.peek_time() {
+                    clock = clock.max(t);
+                }
+            }
+            // Drain: the full remaining order must match.
+            loop {
+                let (a, b) = (cal.pop(), heap.pop());
+                prop_assert_eq!(a, b, "drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}
