@@ -61,11 +61,17 @@ impl Artifact {
     }
 
     /// Prints each profiled run's `perf report`-style table to stderr
-    /// (no-op when the sweep ran without `--profile`).
+    /// (no-op when the sweep ran without `--profile`), followed by each
+    /// faulted run's conservation ledger (no-op without `--faults`).
     pub fn emit_profiles(&self) {
         for o in &self.results.outcomes {
             if let Some(p) = o.report.as_ref().and_then(|r| r.profile.as_ref()) {
                 eprintln!("profile — {}:\n{}", o.label, p.to_table());
+            }
+        }
+        for o in &self.results.outcomes {
+            if let Some(f) = o.report.as_ref().and_then(|r| r.faults.as_ref()) {
+                eprintln!("faults — {} [{}]:\n{}", o.label, f.spec, f.ledger);
             }
         }
     }
@@ -349,25 +355,41 @@ const FIG7_S: [u32; 5] = [1, 4, 8, 12, 16];
 /// surface is fully CPU/memory-bound and shows the paper's decay
 /// structure cleanly (see EXPERIMENTS.md).
 pub fn fig7(n: u32) -> Artifact {
+    fig7_with(n, None)
+}
+
+/// [`fig7`] with an explicit fault plan applied to every run of the
+/// sweep. Tests use this (rather than a process-wide default) so a
+/// faulted fixture can regenerate alongside unfaulted goldens in the
+/// same test process.
+pub fn fig7_with(n: u32, faults: Option<packetmill::FaultPlan>) -> Artifact {
+    let faulted = |b: ExperimentBuilder| match &faults {
+        Some(p) => b.fault_plan(p.clone()),
+        None => b,
+    };
     let mut s = sweep();
     for &w in &FIG7_W {
         for &sz in &FIG7_S {
             let nf = Nf::WorkPackage { w, s_mb: sz, n };
             s.push(
                 format!("fig7 N={n} W={w} S={sz} vanilla"),
-                ExperimentBuilder::new(nf.clone())
-                    .metadata_model(MetadataModel::Copying)
-                    .optimization(OptLevel::Vanilla)
-                    .frequency_ghz(2.3)
-                    .packets(PACKETS),
+                faulted(
+                    ExperimentBuilder::new(nf.clone())
+                        .metadata_model(MetadataModel::Copying)
+                        .optimization(OptLevel::Vanilla)
+                        .frequency_ghz(2.3)
+                        .packets(PACKETS),
+                ),
             );
             s.push(
                 format!("fig7 N={n} W={w} S={sz} packetmill"),
-                ExperimentBuilder::new(nf)
-                    .metadata_model(MetadataModel::XChange)
-                    .optimization(OptLevel::AllSource)
-                    .frequency_ghz(2.3)
-                    .packets(PACKETS),
+                faulted(
+                    ExperimentBuilder::new(nf)
+                        .metadata_model(MetadataModel::XChange)
+                        .optimization(OptLevel::AllSource)
+                        .frequency_ghz(2.3)
+                        .packets(PACKETS),
+                ),
             );
         }
     }

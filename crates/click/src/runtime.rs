@@ -80,6 +80,10 @@ pub struct GraphRuntime {
     /// bookkeeping fields, precomputed from the packet layout so the
     /// per-packet conversion does not re-search field names.
     copy_lines: Vec<u64>,
+    /// Injected per-element slow-down windows
+    /// `(from, until, factor_x1000)`, indexed by element. `None` (the
+    /// default) keeps the hop loop untouched.
+    slowdowns: Option<Vec<Vec<(pm_sim::SimTime, pm_sim::SimTime, u32)>>>,
 }
 
 impl std::fmt::Debug for GraphRuntime {
@@ -165,7 +169,36 @@ impl GraphRuntime {
             element_counts,
             element_scopes: None,
             copy_lines,
+            slowdowns: None,
         }
+    }
+
+    /// Compiles `plan`'s per-element slow-down events against this
+    /// graph: each element's windows are resolved once (matched by class
+    /// or instance name), so the hop loop does only an indexed lookup.
+    /// A plan with no matching slow-downs resets to the cost-free
+    /// default.
+    pub fn set_fault_slowdowns(&mut self, plan: &pm_sim::FaultPlan) {
+        let per_element: Vec<_> = self
+            .graph
+            .elements
+            .iter()
+            .map(|e| plan.slowdown_windows(&e.class, &e.name))
+            .collect();
+        self.slowdowns = per_element
+            .iter()
+            .any(|w| !w.is_empty())
+            .then_some(per_element);
+    }
+
+    /// The injected extra cost for element `idx` on a packet that
+    /// arrived at `at`: the hop's charged work scaled by `factor − 1`.
+    fn slowdown_extra(&self, idx: usize, at: pm_sim::SimTime, spent: Cost) -> Option<Cost> {
+        let windows = &self.slowdowns.as_ref()?[idx];
+        windows
+            .iter()
+            .find(|(from, until, factor)| *from <= at && at < *until && *factor > 1000)
+            .map(|&(_, _, factor)| spent.scaled(f64::from(factor - 1000) / 1000.0))
     }
 
     /// Sorted distinct line indices holding [`COPY_FIELDS`] under `layout`.
@@ -349,6 +382,15 @@ impl GraphRuntime {
             let el = &mut self.graph.elements[idx].element;
             let kind = el.kind();
             let action = el.process(ctx, pkt);
+            if self.slowdowns.is_some() {
+                // Injected slow-down: inflate this hop's charge before
+                // attribution so the profile ledger still reconciles.
+                if let Some(extra) =
+                    self.slowdown_extra(idx, pkt.desc.arrival, ctx.cost - hop_start)
+                {
+                    ctx.charge(extra);
+                }
+            }
             match action {
                 Action::Drop => {
                     self.stats.dropped += 1;
@@ -600,6 +642,77 @@ mod tests {
             (total, mem.counters())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn injected_slowdown_inflates_cost_only_in_window() {
+        use pm_sim::{fault::FaultKind, FaultPlan, SimTime};
+        let mut mem = MemoryHierarchy::skylake(1);
+        let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::Copying));
+        // Warm the caches so repeated pushes cost the same.
+        for _ in 0..256 {
+            push_one(&mut rtm, &mut mem);
+        }
+        let (_, baseline) = push_one(&mut rtm, &mut mem);
+
+        let plan = FaultPlan::new(0).with(
+            FaultKind::Slowdown {
+                element: "Null".into(),
+                factor_x1000: 3000,
+            },
+            SimTime::ZERO,
+            SimTime::from_us(1.0),
+        );
+        rtm.set_fault_slowdowns(&plan);
+        // desc() arrives at t=0, inside the window.
+        let (_, slowed) = push_one(&mut rtm, &mut mem);
+        assert!(
+            slowed.cycles > baseline.cycles,
+            "3x Null must cost more: {} vs {}",
+            slowed.cycles,
+            baseline.cycles
+        );
+
+        // An expired window costs nothing again.
+        rtm.set_fault_slowdowns(&FaultPlan::new(0).with(
+            FaultKind::Slowdown {
+                element: "Null".into(),
+                factor_x1000: 3000,
+            },
+            SimTime::from_us(5.0),
+            SimTime::from_us(6.0),
+        ));
+        let (_, after) = push_one(&mut rtm, &mut mem);
+        assert_eq!(after, baseline, "outside the window behaviour is identical");
+
+        // A plan that names no element in this graph resets to default.
+        rtm.set_fault_slowdowns(&FaultPlan::new(0));
+        assert!(rtm.slowdowns.is_none());
+    }
+
+    #[test]
+    fn slowdown_keeps_attribution_reconciled() {
+        use pm_sim::{fault::FaultKind, FaultPlan, SimTime};
+        let mut mem = MemoryHierarchy::skylake(1);
+        mem.enable_attribution();
+        let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::Copying));
+        rtm.set_fault_slowdowns(&FaultPlan::new(0).with(
+            FaultKind::Slowdown {
+                element: "Null".into(),
+                factor_x1000: 2500,
+            },
+            SimTime::ZERO,
+            SimTime::MAX,
+        ));
+        let mut total = Cost::ZERO;
+        for _ in 0..64 {
+            let (_, c) = push_one(&mut rtm, &mut mem);
+            total += c;
+        }
+        let recs = mem.profile_records();
+        let sum = recs.iter().fold(Cost::ZERO, |acc, (_, p)| acc + p.cost);
+        assert_eq!(sum.instructions, total.instructions);
+        assert!((sum.cycles - total.cycles).abs() < 1e-6);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use pm_dpdk::{MetadataModel, MetadataSpec, Pmd, PmdConfig, TxSend};
 use pm_frameworks::Dataplane;
 use pm_mem::{AddressSpace, Cost, MemCounters, MemoryHierarchy, SCOPE_SCHEDULER};
 use pm_nic::{DmaMemory, Nic, NicConfig};
-use pm_sim::{Frequency, SimTime};
+use pm_sim::{FaultPlan, Frequency, Ledger, SimTime};
 use pm_telemetry::{LatencyHistogram, ProfileRecord, ProfileReport};
 use pm_traffic::Trace;
 use std::collections::BTreeMap;
@@ -57,6 +57,10 @@ pub struct EngineConfig {
     /// Attribute every charged cost and cache event to the executing
     /// element/stage and collect a per-element [`ProfileReport`].
     pub profile: bool,
+    /// Deterministic fault plan, if any. `None` (and an empty plan,
+    /// which callers normalize to `None`) leaves every path untouched —
+    /// the zero-cost invariant the golden fixtures enforce.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +83,7 @@ impl Default for EngineConfig {
             ddio_ways: None,
             pool_mode: None,
             profile: false,
+            faults: None,
         }
     }
 }
@@ -149,6 +154,8 @@ pub struct Engine {
     measure_gen_start: Option<SimTime>,
     /// RX batch-size histogram over the measured window (profiled runs).
     batches: BTreeMap<u64, u64>,
+    /// Packet-conservation ledger, filled in by [`Engine::run`].
+    ledger: Option<Ledger>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -244,6 +251,10 @@ impl Engine {
                 let frame_hashes = (0..traces[n].len())
                     .map(|i| dev.rss_hash(traces[n].frame(i)))
                     .collect();
+                if let Some(plan) = cfg.faults.as_ref().filter(|p| !p.is_empty()) {
+                    dev.set_link_flaps(plan.link_down_windows());
+                    pmd.set_pool_denial_windows(plan.pool_exhaust_windows());
+                }
                 NicState {
                     dev,
                     dma,
@@ -268,25 +279,47 @@ impl Engine {
             traces,
             measure_gen_start: None,
             batches: BTreeMap::new(),
+            ledger: None,
         }
     }
 
     fn deliver_up_to(&mut self, now: SimTime) {
         let warmup = self.cfg.warmup;
+        let plan = self.cfg.faults.as_ref().filter(|p| !p.is_empty());
         for (n, st) in self.nics.iter_mut().enumerate() {
             while st.next_idx < self.cfg.packets && st.next_time <= now {
                 if st.next_idx == warmup && self.measure_gen_start.is_none() {
                     self.measure_gen_start = Some(st.next_time);
                 }
                 let frame = self.traces[n].frame(st.next_idx);
-                st.dev.rx_deliver_hashed(
-                    frame,
-                    st.frame_hashes[st.next_idx % st.frame_hashes.len()],
-                    st.next_time,
-                    st.next_idx as u64,
-                    &mut self.mem,
-                    &mut st.dma,
-                );
+                let hash = st.frame_hashes[st.next_idx % st.frame_hashes.len()];
+                match plan {
+                    None => {
+                        st.dev.rx_deliver_hashed(
+                            frame,
+                            hash,
+                            st.next_time,
+                            st.next_idx as u64,
+                            &mut self.mem,
+                            &mut st.dma,
+                        );
+                    }
+                    Some(p) => {
+                        let fault =
+                            p.wire_fault(n as u64, st.next_idx as u64, st.next_time, frame.len());
+                        st.dev.rx_deliver_wire(
+                            frame,
+                            hash,
+                            st.next_time,
+                            st.next_idx as u64,
+                            &mut self.mem,
+                            &mut st.dma,
+                            fault,
+                        );
+                    }
+                }
+                // Pacing always follows the frame as generated: faults
+                // change what arrives, never when the next frame does.
                 let wire_bits = (frame.len() as u64 + 20) * 8;
                 st.next_time += SimTime::from_ps(
                     (wire_bits as f64 * 1000.0 / self.cfg.offered_gbps).round() as u64,
@@ -335,6 +368,9 @@ impl Engine {
         let mut measured_tx_packets = 0u64;
         let mut measured_tx_bytes = 0u64;
         let mut nf_dropped = 0u64;
+        // Whole-run NF drops for the conservation ledger (`nf_dropped`
+        // only counts the measured window).
+        let mut nf_dropped_total = 0u64;
         let mut first_measured_arrival: Option<SimTime> = None;
         let mut first_measured_departure: Option<SimTime> = None;
         let mut last_departure = SimTime::ZERO;
@@ -420,6 +456,7 @@ impl Engine {
                     Some(len) => sends.push(TxSend { desc: *desc, len }),
                     None => {
                         cost += st.pmd.release(core, &mut self.mem, desc);
+                        nf_dropped_total += 1;
                         if desc.seq >= warmup_seq {
                             nf_dropped += 1;
                         }
@@ -501,6 +538,29 @@ impl Engine {
             .delta_since(&counters_at_start.unwrap_or_default());
         let windows_per_run = elapsed_s / 0.1;
 
+        // Always-on packet conservation: every generated packet must be
+        // explained by exactly one categorized outcome. An imbalance
+        // means a layer lost or double-counted packets — a bug, faulted
+        // or not.
+        let stats: Vec<_> = self.nics.iter().map(|s| s.dev.stats()).collect();
+        let ledger = Ledger {
+            generated: self.nics.iter().map(|s| s.next_idx as u64).sum(),
+            fcs_dropped: stats.iter().map(|s| s.rx_fcs_errors).sum(),
+            link_down_dropped: stats.iter().map(|s| s.rx_link_down).sum(),
+            desc_dropped: stats.iter().map(|s| s.rx_desc_drops).sum(),
+            rx_ring_dropped: stats.iter().map(|s| s.rx_dropped).sum(),
+            nf_dropped: nf_dropped_total,
+            tx_ring_dropped: stats.iter().map(|s| s.tx_dropped).sum(),
+            tx_sent: stats.iter().map(|s| s.tx_packets).sum(),
+            truncated_delivered: stats.iter().map(|s| s.rx_truncated).sum(),
+            pool_denials: self.nics.iter().map(|s| s.pmd.stats().pool_denials).sum(),
+        };
+        assert!(
+            ledger.balances(),
+            "packet-conservation ledger unbalanced: {ledger}"
+        );
+        self.ledger = Some(ledger);
+
         Measurement {
             throughput_gbps: measured_tx_bytes as f64 * 8.0 / elapsed_s / 1e9,
             mpps: measured_tx_packets as f64 / elapsed_s / 1e6,
@@ -524,6 +584,17 @@ impl Engine {
             cycles_per_packet: measured_cost.cycles / measured_tx_packets.max(1) as f64,
             uncore_ns_per_packet: measured_cost.uncore_ns / measured_tx_packets.max(1) as f64,
         }
+    }
+
+    /// The packet-conservation ledger of the completed run (`None`
+    /// before [`Engine::run`]). Always balanced — `run` asserts it.
+    pub fn ledger(&self) -> Option<Ledger> {
+        self.ledger
+    }
+
+    /// The active fault plan, if a non-empty one was configured.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.cfg.faults.as_ref().filter(|p| !p.is_empty())
     }
 
     /// Per-element `(name, packets, drops)` statistics aggregated over

@@ -12,7 +12,7 @@ use pm_dpdk::{MetadataModel, MetadataSpec};
 use pm_elements::standard_registry;
 use pm_frameworks::Dataplane;
 use pm_mem::AddressSpace;
-use pm_sim::{Frequency, SimTime};
+use pm_sim::{FaultPlan, Frequency, SimTime};
 use pm_traffic::{Trace, TraceConfig, TrafficProfile};
 use std::error::Error;
 use std::fmt;
@@ -151,6 +151,7 @@ pub struct ExperimentBuilder {
     spec: Option<MetadataSpec>,
     custom_trace: Option<Trace>,
     profile: Option<bool>,
+    faults: Option<FaultPlan>,
 }
 
 impl ExperimentBuilder {
@@ -177,6 +178,7 @@ impl ExperimentBuilder {
             spec: None,
             custom_trace: None,
             profile: None,
+            faults: None,
         }
     }
 
@@ -286,6 +288,25 @@ impl ExperimentBuilder {
         self.profile.unwrap_or_else(crate::sweep::default_profile)
     }
 
+    /// Injects a deterministic [`FaultPlan`] into this run, overriding
+    /// the process default ([`crate::sweep::default_faults`], set by
+    /// `--faults <spec>` or `PM_FAULTS`). An empty plan is equivalent to
+    /// no plan at all.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault plan this run injects: the explicit [`Self::fault_plan`]
+    /// override, else the process default — normalized so an empty plan
+    /// reads as `None` (the zero-cost baseline).
+    pub fn fault_plan_effective(&self) -> Option<FaultPlan> {
+        self.faults
+            .clone()
+            .or_else(crate::sweep::default_faults)
+            .filter(|p| !p.is_empty())
+    }
+
     fn pipeline(&self) -> Pipeline {
         match self.opt {
             OptLevel::Vanilla => Pipeline::new(),
@@ -344,6 +365,7 @@ impl ExperimentBuilder {
             ddio_ways: self.ddio_ways,
             pool_mode: self.pool_mode,
             profile: self.profile_effective(),
+            faults: self.fault_plan_effective(),
         }
     }
 
@@ -374,7 +396,15 @@ impl ExperimentBuilder {
         packets: usize,
         for_profiling: bool,
     ) -> Result<Engine, ExperimentError> {
-        let cfg = self.engine_config(ir, packets);
+        let mut cfg = self.engine_config(ir, packets);
+        if for_profiling {
+            // The field-access profiling pre-run is internal plumbing for
+            // the reordering pass, not a reported run — and the resulting
+            // layout must not depend on any fault plan.
+            cfg.warmup = 0;
+            cfg.profile = false;
+            cfg.faults = None;
+        }
         let qpn = Engine::queues_per_nic(&cfg);
         let registry = standard_registry();
         let mut space = AddressSpace::new();
@@ -383,7 +413,10 @@ impl ExperimentBuilder {
         for nic in 0..self.nics {
             for _q in 0..qpn {
                 let graph = Graph::build(&ir.config, &registry)?;
-                let rt = GraphRuntime::new(graph, ir.plan.clone(), &mut space);
+                let mut rt = GraphRuntime::new(graph, ir.plan.clone(), &mut space);
+                if let Some(plan) = &cfg.faults {
+                    rt.set_fault_slowdowns(plan);
+                }
                 // Multi-source configs map source ordinal to the NIC; the
                 // presets have one source, shared across NICs.
                 let n_sources = rt.graph.sources.len();
@@ -408,13 +441,6 @@ impl ExperimentBuilder {
             })
             .collect();
 
-        let mut cfg = cfg;
-        if for_profiling {
-            // The field-access profiling pre-run is internal plumbing for
-            // the reordering pass, not a reported run.
-            cfg.warmup = 0;
-            cfg.profile = false;
-        }
         Ok(Engine::new(cfg, dataplanes, traces, &mut space))
     }
 
@@ -446,6 +472,10 @@ impl ExperimentBuilder {
             seed: self.seed,
             measurement: m,
             profile: engine.profile_report(),
+            faults: engine.fault_plan().map(|p| crate::report::FaultReport {
+                spec: p.to_spec(),
+                ledger: engine.ledger().unwrap_or_default(),
+            }),
         };
         Ok((m, report))
     }

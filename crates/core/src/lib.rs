@@ -44,7 +44,7 @@ pub mod sweep;
 pub use click_dataplane::ClickDataplane;
 pub use engine::{Engine, EngineConfig, Measurement};
 pub use experiment::{ExperimentBuilder, ExperimentError, Nf, OptLevel};
-pub use report::RunReport;
+pub use report::{FaultReport, RunReport};
 pub use sweep::{RunOutcome, SweepCli, SweepReport, SweepResults, SweepSpec};
 
 // Re-exports so examples and tests need only this crate.
@@ -53,6 +53,6 @@ pub use pm_compile::{emit_specialized_source, MillIr, Pipeline, ReorderFieldsPas
 pub use pm_dpdk::{MempoolMode, MetaField, MetadataModel, MetadataSpec};
 pub use pm_elements::{configs, standard_registry};
 pub use pm_frameworks::{BessEngine, Dataplane, L2Fwd, VppEngine};
-pub use pm_sim::{Frequency, SimTime};
+pub use pm_sim::{fault::FaultKind, FaultPlan, Frequency, Ledger, SimTime, WireFault};
 pub use pm_telemetry::{Json, ProfileReport, Table};
 pub use pm_traffic::{Trace, TraceConfig, TrafficProfile};

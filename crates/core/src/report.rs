@@ -7,10 +7,43 @@
 //! serializes byte-identically regardless of worker count or machine.
 
 use crate::engine::Measurement;
+use pm_sim::Ledger;
 use pm_telemetry::{Json, ProfileReport};
 
 /// Schema identifier stamped into every sweep artifact.
 pub const SCHEMA: &str = "packetmill-run-report/v1";
+
+/// Fault-injection outcome of one run: the plan that was active (in
+/// canonical `--faults` spec form) and the packet-conservation ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The active plan, [`pm_sim::FaultPlan::to_spec`] form.
+    pub spec: String,
+    /// The whole-run conservation account (always balanced — the engine
+    /// asserts it).
+    pub ledger: Ledger,
+}
+
+impl FaultReport {
+    /// Serializes with fixed key order.
+    pub fn to_json(&self) -> Json {
+        let l = &self.ledger;
+        Json::obj(vec![
+            ("spec", Json::Str(self.spec.clone())),
+            ("generated", Json::U64(l.generated)),
+            ("tx_sent", Json::U64(l.tx_sent)),
+            ("fcs_dropped", Json::U64(l.fcs_dropped)),
+            ("link_down_dropped", Json::U64(l.link_down_dropped)),
+            ("desc_dropped", Json::U64(l.desc_dropped)),
+            ("rx_ring_dropped", Json::U64(l.rx_ring_dropped)),
+            ("nf_dropped", Json::U64(l.nf_dropped)),
+            ("tx_ring_dropped", Json::U64(l.tx_ring_dropped)),
+            ("truncated_delivered", Json::U64(l.truncated_delivered)),
+            ("pool_denials", Json::U64(l.pool_denials)),
+            ("balanced", Json::Bool(l.balances())),
+        ])
+    }
+}
 
 /// The structured artifact of one experiment run.
 #[derive(Debug, Clone)]
@@ -25,13 +58,17 @@ pub struct RunReport {
     pub measurement: Measurement,
     /// Per-element profile, when the run was profiled.
     pub profile: Option<ProfileReport>,
+    /// Fault counters, when a non-empty fault plan was active. `None`
+    /// omits the key entirely, keeping unfaulted artifacts byte-identical
+    /// to the pre-fault-subsystem golden fixtures.
+    pub faults: Option<FaultReport>,
 }
 
 impl RunReport {
     /// Serializes the report. Key order is fixed, so equal runs produce
     /// byte-identical JSON.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut keys = vec![
             ("label", Json::Str(self.label.clone())),
             ("seed", Json::U64(self.seed)),
             (
@@ -51,7 +88,13 @@ impl RunReport {
                     None => Json::Null,
                 },
             ),
-        ])
+        ];
+        // Emitted only when a plan was active: unfaulted artifacts must
+        // stay byte-identical to the committed golden fixtures.
+        if let Some(f) = &self.faults {
+            keys.push(("faults", f.to_json()));
+        }
+        Json::obj(keys)
     }
 }
 
@@ -112,6 +155,7 @@ mod tests {
             seed: 0xCAFE,
             measurement: measurement(),
             profile: None,
+            faults: None,
         };
         let text = r.to_json().to_compact();
         let parsed = Json::parse(&text).expect("valid JSON");
@@ -134,7 +178,41 @@ mod tests {
             seed: 1,
             measurement: measurement(),
             profile: Some(ProfileReport::default()),
+            faults: None,
         };
         assert_eq!(r.to_json().to_compact(), r.to_json().to_compact());
+    }
+
+    #[test]
+    fn faults_key_only_present_when_faulted() {
+        let mut r = RunReport {
+            label: "x".into(),
+            config: Vec::new(),
+            seed: 1,
+            measurement: measurement(),
+            profile: None,
+            faults: None,
+        };
+        let clean = r.to_json();
+        assert_eq!(clean.get("faults"), None, "no plan, no key");
+
+        r.faults = Some(FaultReport {
+            spec: "seed=7;bitflip@..:rate=1000ppm".into(),
+            ledger: Ledger {
+                generated: 10,
+                fcs_dropped: 2,
+                tx_sent: 8,
+                ..Ledger::default()
+            },
+        });
+        let text = r.to_json().to_compact();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let f = parsed.get("faults").expect("faults key");
+        assert_eq!(f.get("fcs_dropped"), Some(&Json::U64(2)));
+        assert_eq!(f.get("balanced"), Some(&Json::Bool(true)));
+        assert_eq!(
+            f.get("spec"),
+            Some(&Json::Str("seed=7;bitflip@..:rate=1000ppm".into()))
+        );
     }
 }

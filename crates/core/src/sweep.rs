@@ -46,6 +46,34 @@ static DEFAULT_PROFILE: AtomicUsize = AtomicUsize::new(0);
 /// 0 = unset (fall back to `PM_TIMING`), 1 = off, 2 = on.
 static DEFAULT_TIMING: AtomicUsize = AtomicUsize::new(0);
 
+/// Process-wide default fault plan (`--faults <spec>` / `PM_FAULTS`).
+/// `None` inside the mutex = unset (fall back to `PM_FAULTS`).
+static DEFAULT_FAULTS: Mutex<Option<Option<pm_sim::FaultPlan>>> = Mutex::new(None);
+
+/// Overrides the process-wide fault plan for runs that don't set
+/// [`ExperimentBuilder::fault_plan`] explicitly (the `--faults` CLI
+/// flag). `None` explicitly clears it (runs unfaulted regardless of
+/// `PM_FAULTS`).
+pub fn set_default_faults(plan: Option<pm_sim::FaultPlan>) {
+    *DEFAULT_FAULTS.lock().expect("fault default poisoned") = Some(plan);
+}
+
+/// The fault-plan default: [`set_default_faults`] (set by `--faults`),
+/// else a `PM_FAULTS` spec, else none. An unparsable `PM_FAULTS` is a
+/// hard error — silently running unfaulted would be worse.
+pub fn default_faults() -> Option<pm_sim::FaultPlan> {
+    if let Some(v) = DEFAULT_FAULTS
+        .lock()
+        .expect("fault default poisoned")
+        .as_ref()
+    {
+        return v.clone();
+    }
+    std::env::var("PM_FAULTS")
+        .ok()
+        .map(|spec| pm_sim::FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("PM_FAULTS: {e}")))
+}
+
 /// Overrides the process-wide timing default (the `--timing` CLI flag).
 pub fn set_default_timing(on: bool) {
     DEFAULT_TIMING.store(if on { 2 } else { 1 }, Ordering::Relaxed);
@@ -140,12 +168,20 @@ pub struct SweepCli {
     pub timing: bool,
     /// Where to write the JSON run-report artifact (`--json <path>`).
     pub json: Option<PathBuf>,
+    /// Fault plan injected into every run (`--faults <spec>` or
+    /// `PM_FAULTS`).
+    pub faults: Option<pm_sim::FaultPlan>,
 }
 
-/// Parses `--threads N`, `--profile`, and `--json <path>` from the
-/// process arguments, installs the thread and profile defaults
-/// process-wide, and returns the resolved settings. Call once from a
-/// benchmark binary's `main`.
+/// Parses `--threads N`, `--profile`, `--faults <spec>`, and
+/// `--json <path>` from the process arguments, installs the thread,
+/// profile, and fault defaults process-wide, and returns the resolved
+/// settings. Call once from a benchmark binary's `main`.
+///
+/// # Panics
+///
+/// Panics on an unparsable `--faults` spec (running a different
+/// experiment than the one asked for is worse than exiting).
 pub fn configure_from_args() -> SweepCli {
     let args: Vec<String> = std::env::args().collect();
     let mut cli = SweepCli::default();
@@ -169,6 +205,16 @@ pub fn configure_from_args() -> SweepCli {
             set_default_profile(true);
         } else if arg == "--timing" {
             set_default_timing(true);
+        } else if let Some(v) = arg.strip_prefix("--faults=") {
+            let plan = pm_sim::FaultPlan::parse(v).unwrap_or_else(|e| panic!("--faults: {e}"));
+            set_default_faults(Some(plan));
+        } else if arg == "--faults" {
+            if let Some(spec) = args.get(i + 1) {
+                let plan =
+                    pm_sim::FaultPlan::parse(spec).unwrap_or_else(|e| panic!("--faults: {e}"));
+                set_default_faults(Some(plan));
+                i += 1;
+            }
         } else if let Some(v) = arg.strip_prefix("--json=") {
             cli.json = Some(PathBuf::from(v));
         } else if arg == "--json" {
@@ -182,6 +228,7 @@ pub fn configure_from_args() -> SweepCli {
     cli.threads = default_threads();
     cli.profile = default_profile();
     cli.timing = default_timing();
+    cli.faults = default_faults();
     cli
 }
 

@@ -90,6 +90,9 @@ pub struct PmdStats {
     pub xchg_pool_fallbacks: u64,
     /// Packets released without transmission (drops by the NF).
     pub released: u64,
+    /// Replenish attempts denied by an injected mempool-exhaustion
+    /// window (the ring runs a deficit until the window closes).
+    pub pool_denials: u64,
 }
 
 /// A received packet as handed to the framework.
@@ -136,6 +139,9 @@ pub struct Pmd {
     xchg: Option<XchgRing>,
     /// X-Change: data buffers returned by TX-ring swap, ready to repost.
     recycled: VecDeque<u32>,
+    /// Injected mempool-exhaustion windows: replenish allocations are
+    /// denied while `from <= now < until`.
+    pool_denied: Vec<(SimTime, SimTime)>,
     /// Functional metadata per buffer id.
     metas: Vec<MbufMeta>,
     stats: PmdStats,
@@ -169,6 +175,7 @@ impl Pmd {
             pool: Mempool::new(space, cfg.pool_size, cfg.pool_mode),
             xchg,
             recycled: VecDeque::new(),
+            pool_denied: Vec::new(),
             metas: vec![MbufMeta::default(); cfg.pool_size as usize],
             stats: PmdStats::default(),
             comps_scratch: Vec::new(),
@@ -184,6 +191,21 @@ impl Pmd {
     /// Statistics.
     pub fn stats(&self) -> PmdStats {
         self.stats
+    }
+
+    /// Installs injected mempool-exhaustion windows: while one is
+    /// active, RX replenish allocations are denied (counted in
+    /// [`PmdStats::pool_denials`]) and the ring runs a deficit; the
+    /// driver's retry-next-burst logic refills it once the window ends.
+    /// No window (the default) costs nothing.
+    pub fn set_pool_denial_windows(&mut self, windows: Vec<(SimTime, SimTime)>) {
+        self.pool_denied = windows;
+    }
+
+    fn pool_denied_at(&self, t: SimTime) -> bool {
+        self.pool_denied
+            .iter()
+            .any(|(from, until)| *from <= t && t < *until)
     }
 
     /// The X-Change descriptor ring, when that model is active.
@@ -354,6 +376,10 @@ impl Pmd {
             let new_buf = match self.cfg.model {
                 MetadataModel::XChange => match self.recycled.pop_front() {
                     Some(b) => Some(b),
+                    None if self.pool_denied_at(now) => {
+                        self.stats.pool_denials += 1;
+                        None
+                    }
                     None => {
                         self.stats.xchg_pool_fallbacks += 1;
                         let (b, c2) = Self::pool_alloc(&mut self.pool, core, mem);
@@ -362,6 +388,10 @@ impl Pmd {
                         b
                     }
                 },
+                _ if self.pool_denied_at(now) => {
+                    self.stats.pool_denials += 1;
+                    None
+                }
                 _ => {
                     let (b, c2) = Self::pool_alloc(&mut self.pool, core, mem);
                     pool_cost += c2;
@@ -600,6 +630,35 @@ mod tests {
         assert!(pkts.is_empty());
         assert_eq!(r.pmd.stats().empty_polls, 1);
         assert!(cost.instructions < 20, "empty poll must be cheap");
+    }
+
+    #[test]
+    fn pool_exhaustion_denies_replenish_without_panicking() {
+        let mut r = rig(MetadataModel::Copying);
+        let window_end = SimTime::from_ms(50.0);
+        r.pmd
+            .set_pool_denial_windows(vec![(SimTime::ZERO, window_end)]);
+        deliver(&mut r, 5);
+        let (pkts, _) = r
+            .pmd
+            .rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, SimTime::from_ms(1.0));
+        assert_eq!(pkts.len(), 5, "already-DMA'd packets still arrive");
+        assert!(r.pmd.stats().pool_denials > 0);
+        let ring = r.nic.rx_ring_mut(0);
+        let deficit = ring.size() - (ring.posted_count() + ring.pending_completions());
+        assert_eq!(deficit, 5, "denied replenish leaves a ring deficit");
+
+        // After the window the next burst repairs the deficit.
+        deliver(&mut r, 1);
+        let (_, _) = r
+            .pmd
+            .rx_burst(0, &mut r.nic, 0, &r.dma, &mut r.mem, window_end);
+        let ring = r.nic.rx_ring_mut(0);
+        assert_eq!(
+            ring.posted_count() + ring.pending_completions(),
+            ring.size(),
+            "driver retry refills the ring once the pool recovers"
+        );
     }
 
     #[test]

@@ -25,11 +25,14 @@ impl Element for CheckIpHeader {
         ctx.read_data(pkt, ETHER_LEN as u64, 20);
         ctx.compute(58); // parse + checks + 10-word checksum fold
         let ok = (|| {
-            let h = Ipv4Header::parse(&pkt.frame()[ETHER_LEN..]).ok()?;
+            // Frames truncated below the Ethernet header arrive under
+            // wire faults; slicing at ETHER_LEN would panic on them.
+            let l3 = pkt.frame().get(ETHER_LEN..)?;
+            let h = Ipv4Header::parse(l3).ok()?;
             if ETHER_LEN + h.total_len as usize > pkt.len {
                 return None;
             }
-            if !h.verify_checksum(&pkt.frame()[ETHER_LEN..]) {
+            if !h.verify_checksum(l3) {
                 return None;
             }
             Some(())
@@ -220,6 +223,20 @@ mod tests {
         let mut f = PacketBuilder::tcp().build();
         let (a, _) = run(&mut CheckIpHeader::default(), &mut f);
         assert_eq!(a, Action::Forward(0));
+    }
+
+    #[test]
+    fn frames_shorter_than_ethernet_dropped() {
+        // Wire truncation delivers frames of any length ≥ 1; slicing the
+        // L3 region out of one shorter than 14 bytes used to panic.
+        let full = PacketBuilder::tcp().build();
+        for cut in 1..14 {
+            let mut f = full[..cut].to_vec();
+            let mut el = CheckIpHeader::default();
+            let (a, _) = run(&mut el, &mut f);
+            assert_eq!(a, Action::Drop, "cut at {cut}");
+            assert_eq!(el.drops, 1);
+        }
     }
 
     #[test]

@@ -125,7 +125,13 @@ impl Element for IpRewriter {
             return Action::Forward(0);
         }
         let l4_off = ETHER_LEN + ip.header_len;
-        if pkt.len < l4_off + 8 {
+        // TCP rewrites patch the checksum at l4_off + 16; a frame cut
+        // inside the TCP header (wire truncation) must drop, not panic.
+        let need = match ip.protocol {
+            IpProto::TCP => l4_off + 18,
+            _ => l4_off + 8,
+        };
+        if pkt.len < need {
             self.drops += 1;
             return Action::Drop;
         }
@@ -247,6 +253,26 @@ mod tests {
             annos: Annos::default(),
         };
         el.process(&mut ctx, &mut pkt)
+    }
+
+    #[test]
+    fn tcp_frame_truncated_inside_header_drops() {
+        // Wire truncation can cut a TCP frame between the ports (which
+        // the old l4+8 guard covered) and the checksum at l4+16; the
+        // rewrite must drop it, not panic indexing the checksum.
+        let mut el = element();
+        let full = PacketBuilder::tcp()
+            .src_ip([10, 0, 0, 5])
+            .src_port(5555)
+            .payload_len(16)
+            .build();
+        for cut in 42..52 {
+            let mut f = full[..cut].to_vec();
+            assert_eq!(rewrite(&mut el, &mut f), Action::Drop, "cut at {cut}");
+        }
+        // A frame that still covers the checksum field rewrites fine.
+        let mut f = full[..52].to_vec();
+        assert_eq!(rewrite(&mut el, &mut f), Action::Forward(0));
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Element for VlanEncap {
             inner_type: EtherType::IPV4, // replaced by the shifted bytes
         };
         let len = pkt.len;
-        pkt.len = vlan::encap_in_place(pkt.data, len, tag);
+        let Ok(new_len) = vlan::encap_in_place(pkt.data, len, tag) else {
+            return Action::Drop;
+        };
+        pkt.len = new_len;
         // The shift touches the whole frame head; charge the moved bytes.
         ctx.write_data(pkt, 12, (pkt.len - 12).min(64) as u64);
         pkt.annos.vlan_tci = tag.tci();
@@ -83,7 +86,12 @@ impl Element for VlanDecap {
             .map(|t| t.tci())
             .unwrap_or(0);
         let len = pkt.len;
-        pkt.len = vlan::decap_in_place(pkt.data, len);
+        let Ok(new_len) = vlan::decap_in_place(pkt.data, len) else {
+            // Already established the tag is present and len >= 18, so
+            // this is unreachable; forward untouched if it ever isn't.
+            return Action::Forward(0);
+        };
+        pkt.len = new_len;
         ctx.write_data(pkt, 12, 8);
         pkt.annos.vlan_tci = tci;
         ctx.write_meta(pkt, "vlan_tci");

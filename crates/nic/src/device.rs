@@ -8,7 +8,7 @@ use crate::ring::{Completion, RxRing, TxDone, TxRequest, TxRing, DESC_BYTES};
 use crate::rss::{IndirectionTable, Toeplitz};
 use pm_mem::{AddressSpace, MemoryHierarchy};
 use pm_packet::{ether::EtherHeader, ether::EtherType, ipv4::IpProto, ipv4::Ipv4Header};
-use pm_sim::SimTime;
+use pm_sim::{SimTime, WireFault};
 
 /// NIC construction parameters.
 #[derive(Debug, Clone)]
@@ -58,6 +58,15 @@ pub struct NicStats {
     pub tx_bytes: u64,
     /// Frames dropped because the TX ring was full.
     pub tx_dropped: u64,
+    /// Frames that failed the FCS check (injected wire corruption),
+    /// dropped before consuming a posted buffer — like `rx_crc_errors`.
+    pub rx_fcs_errors: u64,
+    /// Frames lost because they arrived while the link was down.
+    pub rx_link_down: u64,
+    /// Frames lost to an injected descriptor-drop episode.
+    pub rx_desc_drops: u64,
+    /// Frames delivered short (injected truncation with a valid FCS).
+    pub rx_truncated: u64,
 }
 
 /// A simulated ConnectX-5-like device.
@@ -74,6 +83,7 @@ pub struct Nic {
     tx_link_free: SimTime,
     rx_queue_free: Vec<SimTime>,
     queue_slot: Option<SimTime>,
+    link_down: Vec<(SimTime, SimTime)>,
     stats: NicStats,
     seq: u64,
 }
@@ -102,6 +112,7 @@ impl Nic {
             tx_link_free: SimTime::ZERO,
             rx_queue_free: vec![SimTime::ZERO; cfg.queues],
             queue_slot: cfg.max_pps_per_queue.map(|pps| SimTime::from_ns(1e9 / pps)),
+            link_down: Vec::new(),
             stats: NicStats::default(),
             seq: 0,
         }
@@ -123,6 +134,22 @@ impl Nic {
         s.rx_dropped += self.rx.iter().map(|r| r.drops_no_buffer).sum::<u64>();
         s.tx_dropped += self.tx.iter().map(|t| t.drops_full).sum::<u64>();
         s
+    }
+
+    /// Installs injected link-flap windows: while `from <= t < until`
+    /// the link is down — arriving frames are lost (counted in
+    /// [`NicStats::rx_link_down`]) and TX serialization waits for the
+    /// window to close. The default (no windows) costs nothing.
+    pub fn set_link_flaps(&mut self, windows: Vec<(SimTime, SimTime)>) {
+        self.link_down = windows;
+    }
+
+    /// If the link is down at `t`, the instant it comes back up.
+    fn link_resume(&self, t: SimTime) -> Option<SimTime> {
+        self.link_down
+            .iter()
+            .find(|(from, until)| *from <= t && t < *until)
+            .map(|&(_, until)| until)
     }
 
     /// Driver access to an RX ring.
@@ -158,7 +185,9 @@ impl Nic {
         let Ok(ip) = Ipv4Header::parse(&frame[14..]) else {
             return 0;
         };
-        let l4 = &frame[14 + ip.header_len..];
+        // A truncated frame can end inside the IP header's claimed
+        // length; hash whatever L4 bytes actually exist.
+        let l4 = frame.get(14 + ip.header_len..).unwrap_or(&[]);
         let ports = match ip.protocol {
             IpProto::TCP | IpProto::UDP if l4.len() >= 4 && !ip.is_fragment() => {
                 Some((crate::ring_be16(l4, 0), crate::ring_be16(l4, 2)))
@@ -204,6 +233,10 @@ impl Nic {
         mem: &mut MemoryHierarchy,
         dma: &mut DmaMemory,
     ) -> Option<usize> {
+        if self.link_resume(now).is_some() {
+            self.stats.rx_link_down += 1;
+            return None;
+        }
         let q = self.indirection.queue_for(hash) % self.rx.len();
         let Some(buf) = self.rx[q].take_posted() else {
             return None; // ring counted the drop
@@ -236,6 +269,53 @@ impl Nic {
         Some(q)
     }
 
+    /// [`Self::rx_deliver_hashed`] with an injected wire fault applied
+    /// first. Bit-flipped frames fail the FCS check and descriptor-drop
+    /// episodes lose the frame outright — both are counted and consume
+    /// **no** posted buffer (the device rejects them before DMA).
+    /// Truncated frames carry a valid FCS, so the shortened bytes are
+    /// re-hashed and delivered all the way into the NF.
+    #[allow(clippy::too_many_arguments)] // rx_deliver_hashed's params + the fault
+    pub fn rx_deliver_wire(
+        &mut self,
+        frame: &[u8],
+        hash: u32,
+        now: SimTime,
+        seq: u64,
+        mem: &mut MemoryHierarchy,
+        dma: &mut DmaMemory,
+        fault: Option<WireFault>,
+    ) -> Option<usize> {
+        match fault {
+            None => self.rx_deliver_hashed(frame, hash, now, seq, mem, dma),
+            Some(WireFault::BitFlip) => {
+                if self.link_resume(now).is_some() {
+                    self.stats.rx_link_down += 1;
+                } else {
+                    self.stats.rx_fcs_errors += 1;
+                }
+                None
+            }
+            Some(WireFault::DescDrop) => {
+                if self.link_resume(now).is_some() {
+                    self.stats.rx_link_down += 1;
+                } else {
+                    self.stats.rx_desc_drops += 1;
+                }
+                None
+            }
+            Some(WireFault::Truncate { new_len }) => {
+                let short = &frame[..new_len.min(frame.len())];
+                let hash = self.rss_hash(short);
+                let q = self.rx_deliver_hashed(short, hash, now, seq, mem, dma);
+                if q.is_some() {
+                    self.stats.rx_truncated += 1;
+                }
+                q
+            }
+        }
+    }
+
     /// [`Self::rx_deliver_seq`] with an internally assigned sequence
     /// number (tests and simple drivers).
     pub fn rx_deliver(
@@ -263,7 +343,13 @@ impl Nic {
         // The device fetches the frame over PCIe, then serializes it.
         let fetched = now.max(self.tx_pcie_free) + self.pcie.transfer_time(req.len as u64);
         self.tx_pcie_free = fetched;
-        let departed = fetched.max(self.tx_link_free) + self.link.frame_time(req.len as u64);
+        let mut start = fetched.max(self.tx_link_free);
+        // An injected link flap pauses serialization until the link is
+        // back up (frames already queued in the device wait it out).
+        while let Some(resume) = self.link_resume(start) {
+            start = resume;
+        }
+        let departed = start + self.link.frame_time(req.len as u64);
 
         mem.dma_read(req.data_addr, req.len as u64);
         let len = req.len;
@@ -424,6 +510,100 @@ mod tests {
         let done = r.nic.tx_reap(0, departed);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].req.buf_id, 3);
+    }
+
+    #[test]
+    fn wire_faults_are_counted_and_consume_no_buffer() {
+        let mut r = rig(1);
+        post(&mut r, 0, 0..4);
+        let frame = PacketBuilder::udp().frame_len(128).build();
+        let h = r.nic.rss_hash(&frame);
+        for (fault, _) in [(WireFault::BitFlip, "fcs"), (WireFault::DescDrop, "desc")] {
+            assert_eq!(
+                r.nic.rx_deliver_wire(
+                    &frame,
+                    h,
+                    SimTime::ZERO,
+                    0,
+                    &mut r.mem,
+                    &mut r.dma,
+                    Some(fault)
+                ),
+                None
+            );
+        }
+        let s = r.nic.stats();
+        assert_eq!((s.rx_fcs_errors, s.rx_desc_drops), (1, 1));
+        assert_eq!(s.rx_packets, 0);
+        assert_eq!(s.rx_dropped, 0, "rejected frames must not touch the ring");
+        // All four posted buffers are still available.
+        let q = r
+            .nic
+            .rx_deliver(&frame, SimTime::ZERO, &mut r.mem, &mut r.dma);
+        assert_eq!(q, Some(0));
+    }
+
+    #[test]
+    fn truncated_frames_deliver_short_and_are_counted() {
+        let mut r = rig(1);
+        post(&mut r, 0, 0..4);
+        let frame = PacketBuilder::udp().frame_len(128).build();
+        let h = r.nic.rss_hash(&frame);
+        let q = r
+            .nic
+            .rx_deliver_wire(
+                &frame,
+                h,
+                SimTime::ZERO,
+                0,
+                &mut r.mem,
+                &mut r.dma,
+                Some(WireFault::Truncate { new_len: 17 }),
+            )
+            .expect("short frame still delivers");
+        let c = r.nic.rx_ring_mut(q).reap(32);
+        assert_eq!(c[0].len, 17, "completion reports the surviving length");
+        assert_eq!(r.nic.stats().rx_truncated, 1);
+    }
+
+    #[test]
+    fn rss_hash_survives_truncation_anywhere() {
+        let r = rig(1);
+        let frame = PacketBuilder::udp().frame_len(128).build();
+        for len in 0..frame.len() {
+            r.nic.rss_hash(&frame[..len]); // must not panic
+        }
+    }
+
+    #[test]
+    fn link_flap_drops_rx_and_defers_tx() {
+        let mut r = rig(1);
+        post(&mut r, 0, 0..4);
+        let down_at = SimTime::from_us(1.0);
+        let up_at = SimTime::from_us(2.0);
+        r.nic.set_link_flaps(vec![(down_at, up_at)]);
+
+        let frame = PacketBuilder::udp().frame_len(64).build();
+        assert!(r
+            .nic
+            .rx_deliver(&frame, down_at, &mut r.mem, &mut r.dma)
+            .is_none());
+        assert_eq!(r.nic.stats().rx_link_down, 1);
+        assert!(r
+            .nic
+            .rx_deliver(&frame, up_at, &mut r.mem, &mut r.dma)
+            .is_some());
+
+        // TX submitted mid-flap serializes only after the link is back.
+        let req = TxRequest {
+            buf_id: 0,
+            data_addr: r.dma.data_addr(0),
+            len: 64,
+            seq: 0,
+            arrival: SimTime::ZERO,
+        };
+        let (departed, _) = r.nic.tx_send(0, req, down_at, &mut r.mem).unwrap();
+        assert_eq!(departed, up_at + LinkModel::new(100.0).frame_time(64));
     }
 
     #[test]

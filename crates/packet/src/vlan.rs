@@ -64,13 +64,26 @@ impl VlanTag {
 /// `frame` holds `len` valid bytes and must have at least
 /// `len + VLAN_TAG_LEN` capacity. Returns the new frame length.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the frame is shorter than 14 bytes or capacity is
-/// insufficient.
-pub fn encap_in_place(frame: &mut [u8], len: usize, tag: VlanTag) -> usize {
-    assert!(len >= 14, "not an Ethernet frame");
-    assert!(frame.len() >= len + VLAN_TAG_LEN, "no room for tag");
+/// `Truncated` if the frame is shorter than 14 bytes, `Malformed` if
+/// the buffer has no room for the tag. Callers feed these straight from
+/// the wire (possibly fault-truncated), so malformed input must surface
+/// as an error — never a panic.
+pub fn encap_in_place(frame: &mut [u8], len: usize, tag: VlanTag) -> Result<usize, ParseError> {
+    if len < 14 {
+        return Err(ParseError::Truncated {
+            what: "vlan-encap",
+            need: 14,
+            have: len,
+        });
+    }
+    if frame.len() < len + VLAN_TAG_LEN {
+        return Err(ParseError::Malformed {
+            what: "vlan-encap",
+            reason: "no buffer room for the tag",
+        });
+    }
     let inner_type = be16(frame, 12);
     // Shift everything after the MAC addresses right by 4 bytes.
     frame.copy_within(12..len, 16);
@@ -78,19 +91,31 @@ pub fn encap_in_place(frame: &mut [u8], len: usize, tag: VlanTag) -> usize {
     put16(frame, 14, tag.tci());
     // The shifted bytes start with the original EtherType at 16 already.
     debug_assert_eq!(be16(frame, 16), inner_type);
-    len + VLAN_TAG_LEN
+    Ok(len + VLAN_TAG_LEN)
 }
 
 /// Removes the VLAN tag from a tagged frame. Returns the new length.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the frame is not VLAN-tagged or shorter than 18 bytes.
-pub fn decap_in_place(frame: &mut [u8], len: usize) -> usize {
-    assert!(len >= 18, "frame too short for a VLAN tag");
-    assert_eq!(be16(frame, 12), EtherType::VLAN.0, "frame is not tagged");
+/// `Truncated` if the frame is shorter than 18 bytes, `Malformed` if it
+/// carries no 802.1Q tag.
+pub fn decap_in_place(frame: &mut [u8], len: usize) -> Result<usize, ParseError> {
+    if len < 18 {
+        return Err(ParseError::Truncated {
+            what: "vlan-decap",
+            need: 18,
+            have: len,
+        });
+    }
+    if be16(frame, 12) != EtherType::VLAN.0 {
+        return Err(ParseError::Malformed {
+            what: "vlan-decap",
+            reason: "outer ethertype is not 0x8100",
+        });
+    }
     frame.copy_within(16..len, 12);
-    len - VLAN_TAG_LEN
+    Ok(len - VLAN_TAG_LEN)
 }
 
 #[cfg(test)]
@@ -133,7 +158,7 @@ mod tests {
             vid: 100,
             inner_type: EtherType::IPV4,
         };
-        let new_len = encap_in_place(&mut buf, len, tag);
+        let new_len = encap_in_place(&mut buf, len, tag).unwrap();
         assert_eq!(new_len, len + 4);
         let parsed = VlanTag::parse_frame(&buf).unwrap();
         assert_eq!(parsed.vid, 100);
@@ -151,8 +176,8 @@ mod tests {
             vid: 42,
             inner_type: EtherType::IPV4,
         };
-        let tagged_len = encap_in_place(&mut buf, len, tag);
-        let restored_len = decap_in_place(&mut buf, tagged_len);
+        let tagged_len = encap_in_place(&mut buf, len, tag).unwrap();
+        let restored_len = decap_in_place(&mut buf, tagged_len).unwrap();
         assert_eq!(restored_len, len);
         assert_eq!(&buf[..len], &original[..]);
     }
@@ -167,7 +192,7 @@ mod tests {
             vid: 7,
             inner_type: EtherType::IPV4,
         };
-        let new_len = encap_in_place(&mut buf, len, tag);
+        let new_len = encap_in_place(&mut buf, len, tag).unwrap();
         assert_eq!(&buf[18..new_len], &payload[..]);
     }
 
@@ -178,9 +203,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not tagged")]
-    fn decap_untagged_panics() {
+    fn decap_untagged_is_an_error() {
         let (mut buf, len) = frame();
-        decap_in_place(&mut buf, len);
+        let before = buf.clone();
+        assert!(matches!(
+            decap_in_place(&mut buf, len),
+            Err(ParseError::Malformed {
+                what: "vlan-decap",
+                ..
+            })
+        ));
+        assert_eq!(buf, before, "failed decap must not mutate the frame");
+    }
+
+    #[test]
+    fn short_frames_are_errors_not_panics() {
+        // Wire truncation can cut a frame anywhere; both directions must
+        // report instead of panicking, and leave the bytes untouched.
+        for short in 0..18 {
+            let (mut buf, _) = frame();
+            buf.truncate(short);
+            let before = buf.clone();
+            if short < 14 {
+                assert!(
+                    encap_in_place(&mut buf, short, VlanTag::from_tci(0, EtherType::IPV4)).is_err()
+                );
+            }
+            assert!(decap_in_place(&mut buf, short).is_err());
+            assert_eq!(buf, before);
+        }
+    }
+
+    #[test]
+    fn encap_without_capacity_is_an_error() {
+        let (mut buf, len) = frame();
+        buf.truncate(len); // no headroom for the 4-byte tag
+        assert!(matches!(
+            encap_in_place(&mut buf, len, VlanTag::from_tci(0, EtherType::IPV4)),
+            Err(ParseError::Malformed {
+                what: "vlan-encap",
+                ..
+            })
+        ));
     }
 }

@@ -1,0 +1,672 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded schedule of fault events — wire bit-flips
+//! and truncation, descriptor-drop episodes, link flaps, mempool
+//! exhaustion windows, per-element slow-downs — that the engine, NIC,
+//! PMD, and Click runtime consult at well-defined points. Every decision
+//! is a **pure function** of `(plan seed, event index, stream, packet
+//! sequence number)`: no mutable RNG state is threaded through the hot
+//! path, so the same plan produces bit-identical behaviour regardless of
+//! sweep thread count, poll order, or how many other runs share the
+//! process.
+//!
+//! The empty plan is the zero-cost baseline: a run configured with
+//! `FaultPlan::new(seed)` (no events) is required to be byte-identical
+//! to a run with no plan at all — the golden-fixture gate in
+//! `tests/tests/golden.rs` enforces this.
+//!
+//! The companion [`Ledger`] is the always-on packet-conservation
+//! account: every generated packet must be explained by exactly one of
+//! the categorized outcomes (`tx_sent` or one of the drop counters), and
+//! the engine asserts the balance at the end of every run.
+
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+use std::fmt;
+
+/// Probabilities are stored in parts-per-million so plans are `Eq`,
+/// hashable, and free of float-comparison hazards.
+pub const PPM: u64 = 1_000_000;
+
+/// What kind of fault an event injects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A wire bit error: the frame arrives with a corrupted payload and
+    /// fails the NIC's FCS check (counted, dropped before consuming a
+    /// posted buffer — like `rx_crc_errors` on a real device).
+    BitFlip {
+        /// Per-packet corruption probability, parts per million.
+        rate_ppm: u32,
+    },
+    /// Wire truncation: the frame is cut short but its (recomputed) FCS
+    /// is valid, so the shortened bytes travel all the way into the NF —
+    /// the parser-robustness case.
+    Truncate {
+        /// Per-packet truncation probability, parts per million.
+        rate_ppm: u32,
+    },
+    /// A descriptor-processing drop episode: the NIC misses the frame
+    /// entirely (microburst overrun), counted separately from ring
+    /// overflow.
+    DescDrop {
+        /// Per-packet drop probability, parts per million.
+        rate_ppm: u32,
+    },
+    /// Link down for the whole window: arriving frames are lost (and
+    /// counted) and TX serialization pauses until the window closes.
+    LinkFlap,
+    /// Mempool exhaustion for the whole window: PMD replenish
+    /// allocations are denied (counted), so the RX ring drains and
+    /// overflow drops follow — no panic anywhere.
+    PoolExhaust,
+    /// Multiplies the charged cost of one element's `process` by
+    /// `factor_x1000 / 1000` for packets arriving inside the window.
+    Slowdown {
+        /// Element class (`Null`) or instance name to slow down.
+        element: String,
+        /// Cost multiplier, thousandths (3000 = 3×; must be ≥ 1000).
+        factor_x1000: u32,
+    },
+}
+
+impl FaultKind {
+    /// Per-kind hash salt, so co-scheduled events decide independently.
+    fn salt(&self) -> u64 {
+        match self {
+            FaultKind::BitFlip { .. } => 0xB17_F11B,
+            FaultKind::Truncate { .. } => 0x7121_C473,
+            FaultKind::DescDrop { .. } => 0xDE5C_D120,
+            FaultKind::LinkFlap => 0xF1A9,
+            FaultKind::PoolExhaust => 0x9001_EA57,
+            FaultKind::Slowdown { .. } => 0x510_3D0,
+        }
+    }
+}
+
+/// One scheduled fault: a kind active on `[from, until)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); [`SimTime::MAX`] = until the run ends.
+    pub until: SimTime,
+}
+
+impl FaultEvent {
+    /// Whether the window covers instant `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// The wire-level verdict for one delivered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Corrupted in flight: the NIC's FCS check must reject it.
+    BitFlip,
+    /// Truncated to `new_len` bytes (FCS valid — reaches the NF).
+    Truncate {
+        /// Surviving frame length, `1 ..= original - 1`.
+        new_len: usize,
+    },
+    /// Lost in a descriptor-processing episode.
+    DescDrop,
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A seeded, schedulable plan of fault events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for all per-packet fault decisions.
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// True when the plan schedules no events — behaviourally identical
+    /// to running with no plan at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in decision-priority order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Appends an event (builder style).
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind, from: SimTime, until: SimTime) -> Self {
+        self.push(kind, from, until);
+        self
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, kind: FaultKind, from: SimTime, until: SimTime) {
+        self.events.push(FaultEvent { kind, from, until });
+    }
+
+    /// The wire fault (if any) hitting packet `seq` of stream `nic`
+    /// arriving at `at` with `frame_len` bytes. Pure: the same
+    /// arguments always yield the same verdict. The first matching
+    /// event in plan order wins.
+    pub fn wire_fault(
+        &self,
+        nic: u64,
+        seq: u64,
+        at: SimTime,
+        frame_len: usize,
+    ) -> Option<WireFault> {
+        for (i, ev) in self.events.iter().enumerate() {
+            if !ev.active_at(at) {
+                continue;
+            }
+            let rate = match &ev.kind {
+                FaultKind::BitFlip { rate_ppm }
+                | FaultKind::Truncate { rate_ppm }
+                | FaultKind::DescDrop { rate_ppm } => u64::from(*rate_ppm),
+                _ => continue,
+            };
+            let h = self.decision(ev.kind.salt() ^ i as u64, nic, seq);
+            if h % PPM >= rate {
+                continue;
+            }
+            return Some(match ev.kind {
+                FaultKind::BitFlip { .. } => WireFault::BitFlip,
+                FaultKind::DescDrop { .. } => WireFault::DescDrop,
+                FaultKind::Truncate { .. } => {
+                    if frame_len < 2 {
+                        continue; // nothing left to cut
+                    }
+                    // Keep 1 ..= len-1 bytes, uniformly.
+                    let keep = 1 + ((h >> 32) as usize % (frame_len - 1));
+                    WireFault::Truncate { new_len: keep }
+                }
+                _ => unreachable!("rate kinds only"),
+            });
+        }
+        None
+    }
+
+    /// One 64-bit decision hash for `(event, stream, seq)`.
+    fn decision(&self, event_salt: u64, stream: u64, seq: u64) -> u64 {
+        SplitMix64::new(
+            self.seed
+                ^ event_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ stream.rotate_left(24)
+                ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        )
+        .next_u64()
+    }
+
+    /// Windows during which the link is down, in plan order.
+    pub fn link_down_windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::LinkFlap)
+            .map(|e| (e.from, e.until))
+            .collect()
+    }
+
+    /// Windows during which mempool allocations are denied.
+    pub fn pool_exhaust_windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::PoolExhaust)
+            .map(|e| (e.from, e.until))
+            .collect()
+    }
+
+    /// Slow-down windows `(from, until, factor_x1000)` applying to an
+    /// element with the given class and instance name.
+    pub fn slowdown_windows(&self, class: &str, name: &str) -> Vec<(SimTime, SimTime, u32)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                FaultKind::Slowdown {
+                    element,
+                    factor_x1000,
+                } if element == class || element == name => Some((e.from, e.until, *factor_x1000)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Parses a fault spec (the `--faults` CLI syntax): `;`-separated
+    /// clauses, each `seed=N` or `kind@from..until[:key=value,…]`.
+    ///
+    /// * times: a number with a unit — `ns`, `us`, `ms`, `s` (or `ps`);
+    ///   an empty endpoint means 0 / run end (`flap@1ms..2ms`,
+    ///   `bitflip@..`).
+    /// * kinds: `bitflip`, `trunc`, `drop` (take `rate=`, a probability
+    ///   or `Nppm`), `flap`, `pool` (no parameters), `slow` (takes
+    ///   `element=` and `factor=`).
+    ///
+    /// Example:
+    /// `seed=7;bitflip@..:rate=0.001;flap@1ms..1.5ms;slow@..:element=Null,factor=3`
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(v) = clause.strip_prefix("seed=") {
+                plan.seed =
+                    parse_u64(v).ok_or_else(|| FaultSpecError(format!("bad seed '{v}'")))?;
+                continue;
+            }
+            let (head, params) = match clause.split_once(':') {
+                Some((h, p)) => (h, Some(p)),
+                None => (clause, None),
+            };
+            let (kind_name, window) = head
+                .split_once('@')
+                .ok_or_else(|| FaultSpecError(format!("clause '{clause}' needs '@window'")))?;
+            let (from_s, until_s) = window
+                .split_once("..")
+                .ok_or_else(|| FaultSpecError(format!("window '{window}' needs '..'")))?;
+            let from = parse_time(from_s, SimTime::ZERO)?;
+            let until = parse_time(until_s, SimTime::MAX)?;
+            if until <= from {
+                return Err(FaultSpecError(format!("empty window '{window}'")));
+            }
+            let params = parse_params(params.unwrap_or(""))?;
+            let get = |key: &str| {
+                params
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.as_str())
+            };
+            let known = |allowed: &[&str]| -> Result<(), FaultSpecError> {
+                for (k, _) in &params {
+                    if !allowed.contains(&k.as_str()) {
+                        return Err(FaultSpecError(format!(
+                            "unknown parameter '{k}' for '{kind_name}'"
+                        )));
+                    }
+                }
+                Ok(())
+            };
+            let rate = || -> Result<u32, FaultSpecError> {
+                let v = get("rate")
+                    .ok_or_else(|| FaultSpecError(format!("'{kind_name}' needs rate=")))?;
+                parse_rate(v).ok_or_else(|| FaultSpecError(format!("bad rate '{v}'")))
+            };
+            let kind = match kind_name {
+                "bitflip" => {
+                    known(&["rate"])?;
+                    FaultKind::BitFlip { rate_ppm: rate()? }
+                }
+                "trunc" => {
+                    known(&["rate"])?;
+                    FaultKind::Truncate { rate_ppm: rate()? }
+                }
+                "drop" => {
+                    known(&["rate"])?;
+                    FaultKind::DescDrop { rate_ppm: rate()? }
+                }
+                "flap" => {
+                    known(&[])?;
+                    FaultKind::LinkFlap
+                }
+                "pool" => {
+                    known(&[])?;
+                    FaultKind::PoolExhaust
+                }
+                "slow" => {
+                    known(&["element", "factor"])?;
+                    let element = get("element")
+                        .ok_or_else(|| FaultSpecError("'slow' needs element=".into()))?
+                        .to_string();
+                    let f = get("factor")
+                        .ok_or_else(|| FaultSpecError("'slow' needs factor=".into()))?;
+                    let factor: f64 =
+                        f.parse().ok().filter(|&f| f >= 1.0).ok_or_else(|| {
+                            FaultSpecError(format!("bad factor '{f}' (must be ≥ 1)"))
+                        })?;
+                    FaultKind::Slowdown {
+                        element,
+                        factor_x1000: (factor * 1000.0).round() as u32,
+                    }
+                }
+                other => return Err(FaultSpecError(format!("unknown fault kind '{other}'"))),
+            };
+            plan.push(kind, from, until);
+        }
+        Ok(plan)
+    }
+
+    /// The canonical spec string ([`Self::parse`] round-trips it).
+    pub fn to_spec(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for e in &self.events {
+            let window = format!("{}..{}", fmt_time(e.from), fmt_until(e.until));
+            let clause = match &e.kind {
+                FaultKind::BitFlip { rate_ppm } => format!("bitflip@{window}:rate={rate_ppm}ppm"),
+                FaultKind::Truncate { rate_ppm } => format!("trunc@{window}:rate={rate_ppm}ppm"),
+                FaultKind::DescDrop { rate_ppm } => format!("drop@{window}:rate={rate_ppm}ppm"),
+                FaultKind::LinkFlap => format!("flap@{window}"),
+                FaultKind::PoolExhaust => format!("pool@{window}"),
+                FaultKind::Slowdown {
+                    element,
+                    factor_x1000,
+                } => format!(
+                    "slow@{window}:element={element},factor={}",
+                    *factor_x1000 as f64 / 1000.0
+                ),
+            };
+            out.push(';');
+            out.push_str(&clause);
+        }
+        out
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// `0.01` (probability) or `1500ppm`.
+fn parse_rate(s: &str) -> Option<u32> {
+    if let Some(p) = s.strip_suffix("ppm") {
+        return p.parse::<u32>().ok().filter(|&p| u64::from(p) <= PPM);
+    }
+    let f: f64 = s.parse().ok()?;
+    (0.0..=1.0)
+        .contains(&f)
+        .then(|| (f * PPM as f64).round() as u32)
+}
+
+fn parse_time(s: &str, default: SimTime) -> Result<SimTime, FaultSpecError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(default);
+    }
+    let (num, mul_ps) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1_000.0)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1_000_000.0)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1_000_000_000.0)
+    } else if let Some(v) = s.strip_suffix("ps") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1e12)
+    } else {
+        return Err(FaultSpecError(format!(
+            "time '{s}' needs a unit (ps/ns/us/ms/s)"
+        )));
+    };
+    let f: f64 = num
+        .parse()
+        .ok()
+        .filter(|f| *f >= 0.0)
+        .ok_or_else(|| FaultSpecError(format!("bad time '{s}'")))?;
+    Ok(SimTime::from_ps((f * mul_ps).round() as u64))
+}
+
+fn fmt_time(t: SimTime) -> String {
+    if t == SimTime::ZERO {
+        String::new()
+    } else {
+        format!("{}ns", t.as_ps() as f64 / 1e3)
+    }
+}
+
+fn fmt_until(t: SimTime) -> String {
+    if t == SimTime::MAX {
+        String::new()
+    } else {
+        fmt_time(t)
+    }
+}
+
+fn parse_params(s: &str) -> Result<Vec<(String, String)>, FaultSpecError> {
+    let mut out = Vec::new();
+    for p in s.split(',') {
+        let p = p.trim();
+        if p.is_empty() {
+            continue;
+        }
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| FaultSpecError(format!("parameter '{p}' needs '='")))?;
+        out.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    Ok(out)
+}
+
+/// The whole-run packet-conservation account. Always computed and
+/// asserted by the engine — with an empty plan all fault counters are
+/// zero and the identity reduces to the passive drop accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Packets the generator offered (per run, all NICs).
+    pub generated: u64,
+    /// Frames the NIC rejected at the FCS check (wire bit-flips).
+    pub fcs_dropped: u64,
+    /// Frames lost because they arrived while the link was down.
+    pub link_down_dropped: u64,
+    /// Frames lost to descriptor-drop episodes.
+    pub desc_dropped: u64,
+    /// Frames dropped for lack of a posted RX buffer (ring overflow).
+    pub rx_ring_dropped: u64,
+    /// Packets the NF dropped (error paths included), whole run.
+    pub nf_dropped: u64,
+    /// Frames dropped at a full TX ring.
+    pub tx_ring_dropped: u64,
+    /// Frames serialized onto the wire.
+    pub tx_sent: u64,
+    /// Truncated frames that were still delivered (informational — these
+    /// continue through the pipeline and end up in another category).
+    pub truncated_delivered: u64,
+    /// PMD replenish allocations denied by an exhaustion window
+    /// (informational — the resulting losses surface as ring overflow).
+    pub pool_denials: u64,
+}
+
+impl Ledger {
+    /// Packets explained by a categorized outcome.
+    pub fn accounted(&self) -> u64 {
+        self.fcs_dropped
+            + self.link_down_dropped
+            + self.desc_dropped
+            + self.rx_ring_dropped
+            + self.nf_dropped
+            + self.tx_ring_dropped
+            + self.tx_sent
+    }
+
+    /// The conservation identity:
+    /// `generated == tx_sent + Σ categorized drops`.
+    pub fn balances(&self) -> bool {
+        self.generated == self.accounted()
+    }
+}
+
+impl fmt::Display for Ledger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "generated {} = tx {} + fcs {} + link-down {} + desc {} + rx-ring {} + nf {} + tx-ring {}{}",
+            self.generated,
+            self.tx_sent,
+            self.fcs_dropped,
+            self.link_down_dropped,
+            self.desc_dropped,
+            self.rx_ring_dropped,
+            self.nf_dropped,
+            self.tx_ring_dropped,
+            if self.balances() { "" } else { "  (UNBALANCED)" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(f: f64) -> SimTime {
+        SimTime::from_ms(f)
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new(42);
+        assert!(p.is_empty());
+        for seq in 0..1000 {
+            assert_eq!(p.wire_fault(0, seq, ms(1.0), 64), None);
+        }
+        assert!(p.link_down_windows().is_empty());
+        assert!(p.pool_exhaust_windows().is_empty());
+    }
+
+    #[test]
+    fn decisions_are_pure_and_windowed() {
+        let p = FaultPlan::new(7).with(FaultKind::BitFlip { rate_ppm: 500_000 }, ms(1.0), ms(2.0));
+        let inside: Vec<_> = (0..64).map(|s| p.wire_fault(0, s, ms(1.5), 64)).collect();
+        // Pure: same inputs, same verdicts.
+        let again: Vec<_> = (0..64).map(|s| p.wire_fault(0, s, ms(1.5), 64)).collect();
+        assert_eq!(inside, again);
+        // Roughly half hit at 50 %.
+        let hits = inside.iter().filter(|v| v.is_some()).count();
+        assert!((10..=54).contains(&hits), "got {hits}/64 at 50%");
+        // Outside the window nothing hits.
+        assert!((0..64).all(|s| p.wire_fault(0, s, ms(0.5), 64).is_none()));
+        assert!((0..64).all(|s| p.wire_fault(0, s, ms(2.0), 64).is_none()));
+    }
+
+    #[test]
+    fn truncation_always_shortens() {
+        let p = FaultPlan::new(3).with(
+            FaultKind::Truncate {
+                rate_ppm: 1_000_000,
+            },
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+        for seq in 0..256 {
+            match p.wire_fault(1, seq, ms(0.1), 90) {
+                Some(WireFault::Truncate { new_len }) => {
+                    assert!((1..90).contains(&new_len), "bad len {new_len}")
+                }
+                other => panic!("expected truncation, got {other:?}"),
+            }
+        }
+        // A 1-byte frame cannot be truncated further.
+        assert_eq!(p.wire_fault(1, 0, ms(0.1), 1), None);
+    }
+
+    #[test]
+    fn streams_decide_independently() {
+        let p = FaultPlan::new(11).with(
+            FaultKind::DescDrop { rate_ppm: 500_000 },
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+        let a: Vec<_> = (0..128).map(|s| p.wire_fault(0, s, ms(0.1), 64)).collect();
+        let b: Vec<_> = (0..128).map(|s| p.wire_fault(1, s, ms(0.1), 64)).collect();
+        assert_ne!(a, b, "per-NIC streams must not mirror each other");
+    }
+
+    #[test]
+    fn spec_parses_and_round_trips() {
+        let spec = "seed=0xCAFE;bitflip@..:rate=0.001;trunc@1ms..2ms:rate=250ppm;\
+                    drop@..1ms:rate=0.02;flap@1.5ms..1.6ms;pool@2ms..;\
+                    slow@..:element=Null,factor=2.5";
+        let p = FaultPlan::parse(spec).expect("parses");
+        assert_eq!(p.seed, 0xCAFE);
+        assert_eq!(p.events().len(), 6);
+        assert_eq!(p.events()[0].kind, FaultKind::BitFlip { rate_ppm: 1000 });
+        assert_eq!(p.events()[1].from, ms(1.0));
+        assert_eq!(p.events()[1].until, ms(2.0));
+        assert_eq!(p.events()[2].until, ms(1.0));
+        assert_eq!(p.events()[4].until, SimTime::MAX);
+        assert_eq!(
+            p.events()[5].kind,
+            FaultKind::Slowdown {
+                element: "Null".into(),
+                factor_x1000: 2500
+            }
+        );
+        let round = FaultPlan::parse(&p.to_spec()).expect("canonical form parses");
+        assert_eq!(round, p);
+    }
+
+    #[test]
+    fn spec_errors_are_reported() {
+        for bad in [
+            "bitflip@..",                      // missing rate
+            "bitflip@..:rate=2.0",             // rate > 1
+            "warp@..:rate=0.1",                // unknown kind
+            "flap@2ms..1ms",                   // empty window
+            "flap@..:rate=0.5",                // parameter not accepted
+            "slow@..:factor=3",                // missing element
+            "slow@..:element=Null,factor=0.5", // factor < 1
+            "pool@1q..2q",                     // bad time unit
+            "bitflip",                         // no window
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should fail");
+        }
+    }
+
+    #[test]
+    fn slowdown_matches_class_or_name() {
+        let p = FaultPlan::new(0).with(
+            FaultKind::Slowdown {
+                element: "Null".into(),
+                factor_x1000: 3000,
+            },
+            SimTime::ZERO,
+            ms(1.0),
+        );
+        assert_eq!(p.slowdown_windows("Null", "Null@3").len(), 1);
+        assert_eq!(p.slowdown_windows("Classifier", "Null").len(), 1);
+        assert!(p.slowdown_windows("Classifier", "cls").is_empty());
+    }
+
+    #[test]
+    fn ledger_balance() {
+        let mut l = Ledger {
+            generated: 100,
+            fcs_dropped: 3,
+            link_down_dropped: 2,
+            desc_dropped: 1,
+            rx_ring_dropped: 4,
+            nf_dropped: 5,
+            tx_ring_dropped: 0,
+            tx_sent: 85,
+            truncated_delivered: 7,
+            pool_denials: 9,
+        };
+        assert!(l.balances(), "{l}");
+        l.tx_sent -= 1;
+        assert!(!l.balances());
+        assert!(l.to_string().contains("UNBALANCED"));
+    }
+}

@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod events;
+pub mod fault;
 pub mod freq;
 pub mod rng;
 pub mod time;
 
 pub use events::{EventQueue, HeapEventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpecError, Ledger, WireFault};
 pub use freq::Frequency;
 pub use rng::SplitMix64;
 pub use time::SimTime;

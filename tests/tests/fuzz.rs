@@ -1,0 +1,266 @@
+//! Fuzz-style property tests: arbitrary truncated, bit-flipped, and
+//! random bytes through every `pm-packet` parser and through complete NF
+//! pipelines. The property under test is always the same — **malformed
+//! input must never panic** — plus parse→build round-trips on valid
+//! frames. `PROPTEST_CASES` bounds the per-property case count.
+
+use pm_packet::builder::PacketBuilder;
+use proptest::prelude::*;
+
+/// One fuzzed frame: a well-formed builder frame deformed by wire-style
+/// damage (truncation anywhere, bit flips anywhere), or raw noise.
+#[derive(Debug, Clone)]
+struct Fuzzed {
+    bytes: Vec<u8>,
+}
+
+fn base_frame() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..4, 64usize..=1500, any::<[u8; 4]>(), any::<u16>()).prop_map(|(kind, size, ip, port)| {
+        let b = match kind {
+            0 => PacketBuilder::tcp(),
+            1 => PacketBuilder::udp(),
+            2 => PacketBuilder::icmp(),
+            // ARP has no frame_len knob below 42 bytes; build as-is.
+            _ => return PacketBuilder::arp().src_ip(ip).build(),
+        };
+        b.src_ip(ip).src_port(port).frame_len(size).build()
+    })
+}
+
+fn fuzzed() -> impl Strategy<Value = Fuzzed> {
+    let truncated = (base_frame(), any::<u16>()).prop_map(|(mut f, cut)| {
+        f.truncate(usize::from(cut) % (f.len() + 1));
+        Fuzzed { bytes: f }
+    });
+    let flipped = (
+        base_frame(),
+        proptest::collection::vec((any::<u16>(), 0u8..8), 1..16),
+    )
+        .prop_map(|(mut f, flips)| {
+            for (pos, bit) in flips {
+                let i = usize::from(pos) % f.len();
+                f[i] ^= 1 << bit;
+            }
+            Fuzzed { bytes: f }
+        });
+    let noise = proptest::collection::vec(any::<u8>(), 0..128).prop_map(|bytes| Fuzzed { bytes });
+    prop_oneof![truncated, flipped, noise]
+}
+
+mod parsers {
+    use super::*;
+    use pm_packet::arp::ArpPacket;
+    use pm_packet::ether::EtherHeader;
+    use pm_packet::icmp::IcmpHeader;
+    use pm_packet::ipv4::Ipv4Header;
+    use pm_packet::tcp::TcpHeader;
+    use pm_packet::udp::UdpHeader;
+    use pm_packet::vlan::{self, VlanTag};
+
+    proptest! {
+        /// Every parser tolerates arbitrary bytes at arbitrary offsets:
+        /// it returns `Ok`/`Err`, never panics, and whatever it accepts
+        /// supports its follow-up operations (checksum verification,
+        /// L4 re-parsing at the declared header length).
+        #[test]
+        fn no_parser_panics_on_arbitrary_bytes(f in fuzzed()) {
+            let b = &f.bytes[..];
+            let _ = EtherHeader::parse(b);
+            let _ = VlanTag::parse_frame(b);
+            let l3 = b.get(14..).unwrap_or(&[]);
+            let _ = ArpPacket::parse(l3);
+            if let Ok(ip) = Ipv4Header::parse(l3) {
+                // Parse promised the slice covers the declared header.
+                let _ = ip.verify_checksum(l3);
+                let l4 = &l3[ip.header_len..];
+                let _ = TcpHeader::parse(l4);
+                let _ = UdpHeader::parse(l4);
+                let _ = IcmpHeader::parse(l4);
+            }
+            // Parsers must also cope with any starting offset, not just
+            // the canonical header boundaries.
+            for off in 0..b.len().min(4) {
+                let s = &b[off..];
+                let _ = TcpHeader::parse(s);
+                let _ = UdpHeader::parse(s);
+                let _ = IcmpHeader::parse(s);
+            }
+        }
+
+        /// VLAN encap/decap accept arbitrary bytes and report malformed
+        /// input as typed errors; a successful encap is decap-invertible.
+        #[test]
+        fn vlan_in_place_ops_never_panic(f in fuzzed()) {
+            let len = f.bytes.len();
+            let mut buf = f.bytes.clone();
+            buf.resize(len + vlan::VLAN_TAG_LEN, 0);
+            let tag = VlanTag::from_tci(0x6123, pm_packet::ether::EtherType::IPV4);
+            if let Ok(tagged) = vlan::encap_in_place(&mut buf, len, tag) {
+                prop_assert_eq!(tagged, len + vlan::VLAN_TAG_LEN);
+                let parsed = VlanTag::parse_frame(&buf[..tagged]).unwrap();
+                // The tag's PCP/DEI/VID go on the wire; the inner type is
+                // whatever EtherType the frame already carried.
+                prop_assert_eq!(parsed.tci(), tag.tci());
+                let orig_type = u16::from_be_bytes([f.bytes[12], f.bytes[13]]);
+                prop_assert_eq!(parsed.inner_type.0, orig_type);
+                let restored = vlan::decap_in_place(&mut buf, tagged);
+                prop_assert_eq!(restored, Ok(len));
+                prop_assert_eq!(&buf[..len], &f.bytes[..]);
+            }
+            // Decap on the raw (possibly untagged, possibly tiny) bytes.
+            let mut raw = f.bytes.clone();
+            let _ = vlan::decap_in_place(&mut raw, len);
+        }
+    }
+}
+
+mod round_trip {
+    use super::*;
+    use pm_packet::arp::ArpPacket;
+    use pm_packet::ether::EtherHeader;
+    use pm_packet::icmp::IcmpHeader;
+    use pm_packet::ipv4::Ipv4Header;
+    use pm_packet::tcp::TcpHeader;
+    use pm_packet::udp::UdpHeader;
+
+    proptest! {
+        /// parse→write→parse is the identity on every header the builder
+        /// can produce, across the whole configuration space.
+        #[test]
+        fn headers_round_trip(
+            kind in 0u8..4,
+            size in 64usize..=1500,
+            src in any::<[u8; 4]>(),
+            dst in any::<[u8; 4]>(),
+            sport in any::<u16>(),
+            dport in any::<u16>(),
+            ttl in 1u8..=255,
+        ) {
+            let frame = match kind {
+                0 => PacketBuilder::tcp(),
+                1 => PacketBuilder::udp(),
+                2 => PacketBuilder::icmp(),
+                _ => return Ok(()), // ARP is covered by arp_round_trips
+            };
+            let frame = frame
+            .src_ip(src).dst_ip(dst).src_port(sport).dst_port(dport)
+            .ttl(ttl).frame_len(size).build();
+
+            let eth = EtherHeader::parse(&frame).unwrap();
+            let mut eb = [0u8; 14];
+            eth.write(&mut eb);
+            prop_assert_eq!(EtherHeader::parse(&eb), Ok(eth));
+            prop_assert_eq!(&eb[..], &frame[..14]);
+
+            let ip = Ipv4Header::parse(&frame[14..]).unwrap();
+            prop_assert!(ip.verify_checksum(&frame[14..]));
+            let mut ib = vec![0u8; ip.header_len];
+            ip.write(&mut ib);
+            let rep = Ipv4Header::parse(&ib).unwrap();
+            // `write` recomputes the checksum; everything else is equal.
+            prop_assert_eq!(Ipv4Header { checksum: ip.checksum, ..rep }, ip);
+            prop_assert!(rep.verify_checksum(&ib));
+
+            let l4 = &frame[14 + ip.header_len..];
+            match kind {
+                0 => {
+                    let t = TcpHeader::parse(l4).unwrap();
+                    prop_assert_eq!((t.src_port, t.dst_port), (sport, dport));
+                    let mut tb = vec![0u8; t.header_len];
+                    t.write(&mut tb);
+                    prop_assert_eq!(TcpHeader::parse(&tb), Ok(t));
+                }
+                1 => {
+                    let u = UdpHeader::parse(l4).unwrap();
+                    prop_assert_eq!((u.src_port, u.dst_port), (sport, dport));
+                    let mut ub = vec![0u8; 8];
+                    u.write(&mut ub);
+                    prop_assert_eq!(UdpHeader::parse(&ub), Ok(u));
+                }
+                _ => {
+                    let i = IcmpHeader::parse(l4).unwrap();
+                    let mut ib = vec![0u8; l4.len()];
+                    ib[8..].copy_from_slice(&l4[8..]);
+                    i.write(&mut ib, l4.len());
+                    prop_assert_eq!(IcmpHeader::parse(&ib), Ok(i));
+                }
+            }
+        }
+
+        /// ARP request/reply structures survive write→parse unchanged.
+        #[test]
+        fn arp_round_trips(src in any::<[u8; 4]>(), dst in any::<[u8; 4]>()) {
+            let frame = PacketBuilder::arp().src_ip(src).dst_ip(dst).build();
+            let a = ArpPacket::parse(&frame[14..]).unwrap();
+            prop_assert_eq!(a.sender_ip, src);
+            prop_assert_eq!(a.target_ip, dst);
+            let mut b = vec![0u8; 28];
+            a.write(&mut b);
+            prop_assert_eq!(ArpPacket::parse(&b), Ok(a));
+        }
+    }
+}
+
+mod pipelines {
+    use super::*;
+    use packetmill::{
+        standard_registry, ClickDataplane, ConfigGraph, Dataplane, ExecPlan, Graph, MetadataModel,
+        Nf,
+    };
+    use pm_click::GraphRuntime;
+    use pm_dpdk::RxDesc;
+    use pm_mem::{AddressSpace, MemoryHierarchy};
+
+    /// Room for a full-size frame plus VLAN-tag growth (the mbuf size
+    /// the simulated mempool uses).
+    const BUF: usize = 2176;
+
+    fn dataplane(nf: &Nf) -> ClickDataplane {
+        let cfg = ConfigGraph::parse(&nf.config_text()).expect("parse");
+        let graph = Graph::build(&cfg, &standard_registry()).expect("build");
+        let mut space = AddressSpace::new();
+        ClickDataplane::new(
+            GraphRuntime::new(graph, ExecPlan::vanilla(MetadataModel::Copying), &mut space),
+            0,
+            "fuzz",
+        )
+    }
+
+    fn desc(seq: u64, len: usize) -> RxDesc {
+        RxDesc {
+            buf_id: (seq % 1024) as u32,
+            len: len as u32,
+            rss_hash: 0,
+            arrival: pm_sim::SimTime::ZERO,
+            gen: pm_sim::SimTime::ZERO,
+            seq,
+            data_addr: 0x1_000_000 + (seq % 1024) * BUF as u64,
+            meta_addr: 0x8_000_000 + (seq % 1024) * 256,
+            xslot: None,
+        }
+    }
+
+    proptest! {
+        /// Every NF preset consumes arbitrary malformed frames without
+        /// panicking: each packet is either forwarded (with a sane
+        /// length) or dropped.
+        #[test]
+        fn nf_pipelines_never_panic(
+            frames in proptest::collection::vec(fuzzed(), 1..24),
+        ) {
+            for nf in [Nf::Forwarder, Nf::Router, Nf::IdsRouter, Nf::Nat, Nf::Firewall] {
+                let mut dp = dataplane(&nf);
+                let mut mem = MemoryHierarchy::skylake(1);
+                for (seq, f) in frames.iter().enumerate() {
+                    let len = f.bytes.len().min(BUF - 4);
+                    let mut buf = f.bytes[..len].to_vec();
+                    buf.resize(BUF, 0);
+                    let r = dp.process(0, &mut mem, &desc(seq as u64, len), &mut buf);
+                    if let Some(out) = r.tx_len {
+                        prop_assert!(out as usize <= BUF, "{nf:?} emitted {out} > buffer");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -55,6 +55,46 @@ fn fig7_n1_artifact_matches_committed_fixture() {
     );
 }
 
+/// The fault plan baked into the faulted fig7 fixture: always-on wire
+/// damage plus a link flap and a mempool-exhaustion window, expressed in
+/// `--faults` spec syntax so the fixture also pins the spec grammar.
+const FAULT_SPEC: &str = "seed=0xF417;bitflip@..:rate=5000ppm;trunc@..:rate=5000ppm;\
+                          drop@..:rate=2000ppm;flap@40us..60us;pool@100us..140us";
+
+#[test]
+fn fig7_n1_faulted_artifact_matches_committed_fixture() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping faulted fig7 golden sweep in debug builds (runs under --release)");
+        return;
+    }
+    set_default_profile(true);
+    let plan = packetmill::FaultPlan::parse(FAULT_SPEC).expect("valid fault spec");
+    let a = pm_bench::figures::fig7_with(1, Some(plan));
+
+    let stdout = format!("== N = 1 (faulted) ==\n\n{}\n", a.table);
+    let json = artifact_document(vec![a.results.to_json("fig7-n1-faulted")]).to_pretty() + "\n";
+
+    // PM_WRITE_GOLDEN=1 regenerates the fixture instead of comparing.
+    if std::env::var("PM_WRITE_GOLDEN").is_ok_and(|v| v != "0") {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+        std::fs::write(format!("{dir}/fig7-n1-faulted.txt"), &stdout).unwrap();
+        std::fs::write(format!("{dir}/fig7-n1-faulted.json"), &json).unwrap();
+        eprintln!("wrote faulted fig7 fixtures to {dir}");
+        return;
+    }
+
+    assert_same(
+        &stdout,
+        include_str!("../golden/fig7-n1-faulted.txt"),
+        "stdout table",
+    );
+    assert_same(
+        &json,
+        include_str!("../golden/fig7-n1-faulted.json"),
+        "json artifact",
+    );
+}
+
 #[test]
 fn table1_artifact_matches_committed_fixture() {
     if cfg!(debug_assertions) {
@@ -65,8 +105,16 @@ fn table1_artifact_matches_committed_fixture() {
     let a = pm_bench::figures::table1();
 
     let stdout = format!("{}\n", a.table);
-    assert_same(&stdout, include_str!("../golden/table1.txt"), "stdout table");
+    assert_same(
+        &stdout,
+        include_str!("../golden/table1.txt"),
+        "stdout table",
+    );
 
     let json = artifact_document(vec![a.results.to_json("table1")]).to_pretty() + "\n";
-    assert_same(&json, include_str!("../golden/table1.json"), "json artifact");
+    assert_same(
+        &json,
+        include_str!("../golden/table1.json"),
+        "json artifact",
+    );
 }
