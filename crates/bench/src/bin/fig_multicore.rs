@@ -1,0 +1,18 @@
+//! Regenerates the multi-core scaling artifact on the parallel sweep
+//! runner: throughput and tail latency vs simulated core count for all
+//! five NF presets. Run with `cargo run --release -p pm-bench --bin
+//! fig_multicore [-- --cores N] [--threads N] [--profile]
+//! [--json <path>]` (`PM_CORES` / `PM_THREADS` / `PM_PROFILE=1` work
+//! too; default: cores 1..=8, all host cores, no profiling).
+
+fn main() {
+    let cli = packetmill::sweep::configure_from_args();
+    let max_cores = cli.cores.unwrap_or(8);
+    let artifact = pm_bench::figures::fig_multicore(max_cores);
+    artifact.emit();
+    if let Some(path) = cli.json {
+        pm_bench::figures::write_artifacts(&path, &[("fig-multicore", &artifact)])
+            .expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
+}

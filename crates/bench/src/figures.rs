@@ -555,6 +555,73 @@ pub fn fig10() -> Artifact {
     Artifact::new(t, results)
 }
 
+/// The five NF presets of the multi-core scaling sweep.
+const MULTICORE_NFS: [(&str, Nf); 5] = [
+    ("forwarder", Nf::Forwarder),
+    ("router", Nf::Router),
+    ("ids-router", Nf::IdsRouter),
+    ("nat", Nf::Nat),
+    ("firewall", Nf::Firewall),
+];
+
+/// Multi-core scaling sweep: throughput and tail latency vs simulated
+/// core count (1..=`max_cores`) for all five NF presets, full PacketMill
+/// configuration (X-Change + all source optimizations) @2.3 GHz.
+///
+/// Each run steers traffic over RSS to per-core RX queues, executes one
+/// PMD + dataplane pair per (nic, queue) on its owning core, and shares
+/// the LLC/DDIO path across cores; the engine asserts a per-queue
+/// conservation ledger for every multi-core run. The speedup column is
+/// relative to the same NF on one core; efficiency is speedup per core.
+pub fn fig_multicore(max_cores: usize) -> Artifact {
+    let mut s = sweep();
+    for (name, nf) in MULTICORE_NFS {
+        for cores in 1..=max_cores {
+            s.push(
+                format!("fig_multicore {name} {cores}c"),
+                ExperimentBuilder::new(nf.clone())
+                    .metadata_model(MetadataModel::XChange)
+                    .optimization(OptLevel::AllSource)
+                    .cores(cores)
+                    .frequency_ghz(2.3)
+                    .packets(PACKETS),
+            );
+        }
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
+    let mut t = Table::new(vec![
+        "nf",
+        "cores",
+        "Gbps",
+        "Mpps",
+        "p50 (us)",
+        "p99 (us)",
+        "LLC miss (%)",
+        "speedup",
+        "efficiency (%)",
+    ]);
+    for ((name, _), per_nf) in MULTICORE_NFS.iter().zip(ms.chunks_exact(max_cores)) {
+        let base = per_nf[0].throughput_gbps;
+        for (cores, m) in (1..=max_cores).zip(per_nf) {
+            let speedup = m.throughput_gbps / base;
+            t.row(vec![
+                name.to_string(),
+                format!("{cores}"),
+                format!("{:.1}", m.throughput_gbps),
+                format!("{:.2}", m.mpps),
+                format!("{:.0}", m.median_latency_us),
+                format!("{:.0}", m.p99_latency_us),
+                format!("{:.1}", m.llc_miss_pct),
+                format!("{speedup:.2}"),
+                format!("{:.0}", speedup / cores as f64 * 100.0),
+            ]);
+        }
+    }
+    Artifact::new(t, results)
+}
+
 /// A comparator job for the Fig. 11 framework comparison: the forwarder
 /// experiment run over an arbitrary dataplane instead of FastClick.
 fn comparator_job(
@@ -733,6 +800,11 @@ pub fn run_all() -> Vec<(&'static str, Artifact)> {
             "fig10",
             "Figure 10 — multicore NAT @2.3 GHz",
             Box::new(fig10),
+        ),
+        (
+            "fig-multicore",
+            "Multi-core scaling — five NFs, PacketMill config @2.3 GHz",
+            Box::new(|| fig_multicore(4)),
         ),
         (
             "fig11a",

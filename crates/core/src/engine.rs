@@ -127,6 +127,39 @@ pub struct Measurement {
     pub uncore_ns_per_packet: f64,
 }
 
+/// Per-queue packet conservation for one (nic, queue) pair and the core
+/// it is pinned to. Frames rejected before RSS steering (FCS errors,
+/// link-down losses, descriptor drops) have no queue and appear only in
+/// the aggregate [`Ledger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLedger {
+    /// Core this queue pair is pinned to.
+    pub core: usize,
+    /// NIC port index.
+    pub nic: usize,
+    /// Queue index on that port.
+    pub queue: usize,
+    /// Frames DMA'd into this queue's completion ring.
+    pub delivered: u64,
+    /// Frames steered here but dropped for lack of a posted buffer
+    /// (informational: they never became `delivered`).
+    pub rx_ring_dropped: u64,
+    /// Delivered frames the NF dropped.
+    pub nf_dropped: u64,
+    /// Delivered frames dropped at this queue's full TX ring.
+    pub tx_ring_dropped: u64,
+    /// Delivered frames serialized onto the wire.
+    pub tx_sent: u64,
+}
+
+impl QueueLedger {
+    /// Every delivered frame ends as exactly one of: NF drop, TX-ring
+    /// drop, or transmission.
+    pub fn balances(&self) -> bool {
+        self.delivered == self.nf_dropped + self.tx_ring_dropped + self.tx_sent
+    }
+}
+
 struct NicState {
     dev: Nic,
     dma: DmaMemory,
@@ -156,6 +189,8 @@ pub struct Engine {
     batches: BTreeMap<u64, u64>,
     /// Packet-conservation ledger, filled in by [`Engine::run`].
     ledger: Option<Ledger>,
+    /// Per-(nic, queue) conservation ledgers, filled in by [`Engine::run`].
+    queue_ledgers: Option<Vec<QueueLedger>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -217,24 +252,36 @@ impl Engine {
             .map(|n| {
                 let mut dev = Nic::new(&nic_cfg, space);
                 // Pool covers posted descriptors + TX in-flight + bursts
-                // (DPDK pools are sized to the rings; oversizing inflates
-                // the DMA working set past the DDIO ways for no benefit).
+                // per queue (DPDK pools are sized to the rings; oversizing
+                // inflates the DMA working set past the DDIO ways for no
+                // benefit). At qpn == 1 this matches the single-core pool
+                // exactly.
                 let n_bufs =
-                    ((cfg.rx_ring * qpn + cfg.tx_ring + 4 * cfg.burst) as u32) + cfg.pool_size;
+                    (((cfg.rx_ring + cfg.tx_ring + 4 * cfg.burst) * qpn) as u32) + cfg.pool_size;
                 let dma = DmaMemory::new(space, n_bufs, 2176, 128);
                 let pmd_cfg = PmdConfig {
                     burst: cfg.burst,
                     model: cfg.model,
                     spec: cfg.spec.clone(),
                     pool_size: n_bufs,
-                    xchg_ring_size: 64 * qpn as u32,
+                    queues: qpn,
+                    cores: cfg.cores,
+                    // Per-core mempool caches only help (and only exist)
+                    // when cores contend on the shared ring; keeping them
+                    // off at cores == 1 pins the single-core layout the
+                    // golden fixtures cover.
+                    pool_cache: if cfg.cores > 1 { 256 } else { 0 },
                     xchg_layout: cfg.xchg_layout.clone(),
                     pool_mode: cfg.pool_mode.unwrap_or(pm_dpdk::MempoolMode::Fifo),
                     ..PmdConfig::default()
                 };
                 let mut pmd = Pmd::new(pmd_cfg, space);
                 for q in 0..qpn {
-                    pmd.setup(&mut dev, q, &dma, &mut mem);
+                    // Queue q is pinned to the core that owns pair
+                    // (n, q); its setup must warm that core's caches,
+                    // not core 0's.
+                    let owner = (n * qpn + q) % cfg.cores;
+                    pmd.setup(owner, &mut dev, q, &dma, &mut mem);
                 }
                 // DPDK backs its memory with 2-MiB hugepages.
                 mem.mark_hugepages(dma.region());
@@ -280,6 +327,7 @@ impl Engine {
             measure_gen_start: None,
             batches: BTreeMap::new(),
             ledger: None,
+            queue_ledgers: None,
         }
     }
 
@@ -368,9 +416,15 @@ impl Engine {
         let mut measured_tx_packets = 0u64;
         let mut measured_tx_bytes = 0u64;
         let mut nf_dropped = 0u64;
-        // Whole-run NF drops for the conservation ledger (`nf_dropped`
-        // only counts the measured window).
-        let mut nf_dropped_total = 0u64;
+        // Whole-run NF drops per (nic, queue) pair for the per-queue
+        // conservation ledger (`nf_dropped` only counts the measured
+        // window).
+        let mut nf_dropped_pairs = vec![0u64; self.pairs.len()];
+        // Rotating tie-break cursor: when several cores share the
+        // earliest clock, service them round-robin instead of always
+        // favoring the lowest index. Deterministic, and at cores == 1 it
+        // degenerates to the old lowest-index rule.
+        let mut tie_rr = 0usize;
         let mut first_measured_arrival: Option<SimTime> = None;
         let mut first_measured_departure: Option<SimTime> = None;
         let mut last_departure = SimTime::ZERO;
@@ -382,10 +436,15 @@ impl Engine {
         let mut sends: Vec<TxSend> = Vec::new();
 
         while !done {
-            // Pick the core with the earliest clock.
+            // Pick the core with the earliest clock, breaking ties with
+            // the rotating cursor so the interleave — and therefore every
+            // artifact byte — is a pure function of the configuration.
+            let min_clock = *clocks.iter().min().expect("at least one core");
             let core = (0..cores)
-                .min_by_key(|&c| clocks[c])
-                .expect("at least one core");
+                .map(|i| (tie_rr + i) % cores)
+                .find(|&c| clocks[c] == min_clock)
+                .expect("a core holds the minimum clock");
+            tie_rr = (core + 1) % cores;
             let now = clocks[core];
             self.deliver_up_to(now);
 
@@ -455,8 +514,8 @@ impl Engine {
                 match r.tx_len {
                     Some(len) => sends.push(TxSend { desc: *desc, len }),
                     None => {
-                        cost += st.pmd.release(core, &mut self.mem, desc);
-                        nf_dropped_total += 1;
+                        cost += st.pmd.release(core, q, &mut self.mem, desc);
+                        nf_dropped_pairs[pair] += 1;
                         if desc.seq >= warmup_seq {
                             nf_dropped += 1;
                         }
@@ -549,7 +608,7 @@ impl Engine {
             link_down_dropped: stats.iter().map(|s| s.rx_link_down).sum(),
             desc_dropped: stats.iter().map(|s| s.rx_desc_drops).sum(),
             rx_ring_dropped: stats.iter().map(|s| s.rx_dropped).sum(),
-            nf_dropped: nf_dropped_total,
+            nf_dropped: nf_dropped_pairs.iter().sum(),
             tx_ring_dropped: stats.iter().map(|s| s.tx_dropped).sum(),
             tx_sent: stats.iter().map(|s| s.tx_packets).sum(),
             truncated_delivered: stats.iter().map(|s| s.rx_truncated).sum(),
@@ -560,6 +619,43 @@ impl Engine {
             "packet-conservation ledger unbalanced: {ledger}"
         );
         self.ledger = Some(ledger);
+
+        // Per-queue conservation: each queue's delivered packets must be
+        // explained by that queue's own NF drops, TX-ring drops, and
+        // transmissions — a queue cannot balance by borrowing from a
+        // sibling.
+        let queue_ledgers: Vec<QueueLedger> = self
+            .pairs
+            .iter()
+            .enumerate()
+            .map(|(p, &(n, q))| {
+                let qs = self.nics[n].dev.queue_stats(q);
+                QueueLedger {
+                    core: p % cores,
+                    nic: n,
+                    queue: q,
+                    delivered: qs.rx_packets,
+                    rx_ring_dropped: qs.rx_dropped,
+                    nf_dropped: nf_dropped_pairs[p],
+                    tx_ring_dropped: qs.tx_dropped,
+                    tx_sent: qs.tx_packets,
+                }
+            })
+            .collect();
+        for ql in &queue_ledgers {
+            assert!(
+                ql.balances(),
+                "per-queue ledger unbalanced on nic {} queue {}: \
+                 delivered {} != nf_dropped {} + tx_ring_dropped {} + tx_sent {}",
+                ql.nic,
+                ql.queue,
+                ql.delivered,
+                ql.nf_dropped,
+                ql.tx_ring_dropped,
+                ql.tx_sent
+            );
+        }
+        self.queue_ledgers = Some(queue_ledgers);
 
         Measurement {
             throughput_gbps: measured_tx_bytes as f64 * 8.0 / elapsed_s / 1e9,
@@ -590,6 +686,13 @@ impl Engine {
     /// before [`Engine::run`]). Always balanced — `run` asserts it.
     pub fn ledger(&self) -> Option<Ledger> {
         self.ledger
+    }
+
+    /// The per-(nic, queue) conservation ledgers of the completed run
+    /// (`None` before [`Engine::run`]). Each is balanced — `run` asserts
+    /// it. Ordered by pair index, i.e. by `(nic, queue)`.
+    pub fn queue_ledgers(&self) -> Option<&[QueueLedger]> {
+        self.queue_ledgers.as_deref()
     }
 
     /// The active fault plan, if a non-empty one was configured.

@@ -472,6 +472,13 @@ impl ExperimentBuilder {
             seed: self.seed,
             measurement: m,
             profile: engine.profile_report(),
+            // Per-queue sections only for multi-core runs: single-core
+            // artifacts stay byte-identical to the golden fixtures.
+            cores: if self.cores > 1 {
+                engine.queue_ledgers().map(<[_]>::to_vec)
+            } else {
+                None
+            },
             faults: engine.fault_plan().map(|p| crate::report::FaultReport {
                 spec: p.to_spec(),
                 ledger: engine.ledger().unwrap_or_default(),

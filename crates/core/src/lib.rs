@@ -42,7 +42,7 @@ pub mod report;
 pub mod sweep;
 
 pub use click_dataplane::ClickDataplane;
-pub use engine::{Engine, EngineConfig, Measurement};
+pub use engine::{Engine, EngineConfig, Measurement, QueueLedger};
 pub use experiment::{ExperimentBuilder, ExperimentError, Nf, OptLevel};
 pub use report::{FaultReport, RunReport};
 pub use sweep::{RunOutcome, SweepCli, SweepReport, SweepResults, SweepSpec};

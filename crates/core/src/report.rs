@@ -6,7 +6,7 @@
 //! every field is a function of the simulation alone, so the same sweep
 //! serializes byte-identically regardless of worker count or machine.
 
-use crate::engine::Measurement;
+use crate::engine::{Measurement, QueueLedger};
 use pm_sim::Ledger;
 use pm_telemetry::{Json, ProfileReport};
 
@@ -58,10 +58,29 @@ pub struct RunReport {
     pub measurement: Measurement,
     /// Per-element profile, when the run was profiled.
     pub profile: Option<ProfileReport>,
+    /// Per-(nic, queue) conservation sections, when the run used more
+    /// than one core. `None` omits the key entirely, keeping single-core
+    /// artifacts byte-identical to the pre-multicore golden fixtures.
+    pub cores: Option<Vec<QueueLedger>>,
     /// Fault counters, when a non-empty fault plan was active. `None`
     /// omits the key entirely, keeping unfaulted artifacts byte-identical
     /// to the pre-fault-subsystem golden fixtures.
     pub faults: Option<FaultReport>,
+}
+
+/// Serializes one per-queue ledger with fixed key order.
+fn queue_ledger_to_json(q: &QueueLedger) -> Json {
+    Json::obj(vec![
+        ("core", Json::U64(q.core as u64)),
+        ("nic", Json::U64(q.nic as u64)),
+        ("queue", Json::U64(q.queue as u64)),
+        ("delivered", Json::U64(q.delivered)),
+        ("rx_ring_dropped", Json::U64(q.rx_ring_dropped)),
+        ("nf_dropped", Json::U64(q.nf_dropped)),
+        ("tx_ring_dropped", Json::U64(q.tx_ring_dropped)),
+        ("tx_sent", Json::U64(q.tx_sent)),
+        ("balanced", Json::Bool(q.balances())),
+    ])
 }
 
 impl RunReport {
@@ -89,6 +108,14 @@ impl RunReport {
                 },
             ),
         ];
+        // Emitted only for multi-core runs: single-core artifacts must
+        // stay byte-identical to the committed golden fixtures.
+        if let Some(cores) = &self.cores {
+            keys.push((
+                "cores",
+                Json::Arr(cores.iter().map(queue_ledger_to_json).collect()),
+            ));
+        }
         // Emitted only when a plan was active: unfaulted artifacts must
         // stay byte-identical to the committed golden fixtures.
         if let Some(f) = &self.faults {
@@ -155,6 +182,7 @@ mod tests {
             seed: 0xCAFE,
             measurement: measurement(),
             profile: None,
+            cores: None,
             faults: None,
         };
         let text = r.to_json().to_compact();
@@ -178,9 +206,44 @@ mod tests {
             seed: 1,
             measurement: measurement(),
             profile: Some(ProfileReport::default()),
+            cores: None,
             faults: None,
         };
         assert_eq!(r.to_json().to_compact(), r.to_json().to_compact());
+    }
+
+    #[test]
+    fn cores_key_only_present_for_multicore_runs() {
+        let mut r = RunReport {
+            label: "x".into(),
+            config: Vec::new(),
+            seed: 1,
+            measurement: measurement(),
+            profile: None,
+            cores: None,
+            faults: None,
+        };
+        assert_eq!(r.to_json().get("cores"), None, "single core, no key");
+
+        r.cores = Some(vec![QueueLedger {
+            core: 1,
+            nic: 0,
+            queue: 1,
+            delivered: 10,
+            rx_ring_dropped: 2,
+            nf_dropped: 1,
+            tx_ring_dropped: 0,
+            tx_sent: 9,
+        }]);
+        let text = r.to_json().to_compact();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let Some(Json::Arr(sections)) = parsed.get("cores") else {
+            panic!("cores key must be an array");
+        };
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].get("core"), Some(&Json::U64(1)));
+        assert_eq!(sections[0].get("delivered"), Some(&Json::U64(10)));
+        assert_eq!(sections[0].get("balanced"), Some(&Json::Bool(true)));
     }
 
     #[test]
@@ -191,6 +254,7 @@ mod tests {
             seed: 1,
             measurement: measurement(),
             profile: None,
+            cores: None,
             faults: None,
         };
         let clean = r.to_json();

@@ -171,10 +171,15 @@ pub struct SweepCli {
     /// Fault plan injected into every run (`--faults <spec>` or
     /// `PM_FAULTS`).
     pub faults: Option<pm_sim::FaultPlan>,
+    /// Simulated core count requested on the command line (`--cores N`
+    /// or `PM_CORES`). `None` leaves each binary's default in place.
+    /// Note this is *simulated* cores inside one experiment, unlike
+    /// `--threads`, which is host workers across experiments.
+    pub cores: Option<usize>,
 }
 
-/// Parses `--threads N`, `--profile`, `--faults <spec>`, and
-/// `--json <path>` from the process arguments, installs the thread,
+/// Parses `--threads N`, `--profile`, `--faults <spec>`, `--cores N`,
+/// and `--json <path>` from the process arguments, installs the thread,
 /// profile, and fault defaults process-wide, and returns the resolved
 /// settings. Call once from a benchmark binary's `main`.
 ///
@@ -222,6 +227,17 @@ pub fn configure_from_args() -> SweepCli {
                 cli.json = Some(PathBuf::from(p));
                 i += 1;
             }
+        } else if let Some(v) = arg.strip_prefix("--cores=") {
+            cli.cores = v.parse::<usize>().ok().filter(|&n| n > 0);
+        } else if arg == "--cores" {
+            if let Some(n) = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+            {
+                cli.cores = Some(n);
+                i += 1;
+            }
         }
         i += 1;
     }
@@ -229,6 +245,12 @@ pub fn configure_from_args() -> SweepCli {
     cli.profile = default_profile();
     cli.timing = default_timing();
     cli.faults = default_faults();
+    cli.cores = cli.cores.or_else(|| {
+        std::env::var("PM_CORES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
     cli
 }
 

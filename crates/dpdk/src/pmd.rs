@@ -47,8 +47,19 @@ pub struct PmdConfig {
     pub pool_size: u32,
     /// Pool recycling order.
     pub pool_mode: MempoolMode,
-    /// X-Change application-descriptor ring size (≈ 2 bursts suffices,
-    /// since TX enqueue returns descriptors synchronously).
+    /// Queue pairs this port drives (each gets its own X-Change ring and
+    /// recycle queue; all share the port's mempool, as in DPDK).
+    pub queues: usize,
+    /// Cores that may operate on this port's mempool (sizes the per-core
+    /// caches when `pool_cache > 0`).
+    pub cores: usize,
+    /// Per-core mempool cache size in objects; 0 (the default, and the
+    /// single-core configuration) disables the caches entirely so the
+    /// address-space layout matches the pre-multicore simulator.
+    pub pool_cache: u32,
+    /// X-Change application-descriptor ring size **per queue** (≈ 2
+    /// bursts suffices, since TX enqueue returns descriptors
+    /// synchronously).
     pub xchg_ring_size: u32,
     /// X-Change: the application's descriptor layout. `None` derives a
     /// minimal layout from `spec`; a framework passes its own `Packet`
@@ -67,6 +78,9 @@ impl Default for PmdConfig {
             spec: MetadataSpec::full(),
             pool_size: 8192,
             pool_mode: MempoolMode::Fifo,
+            queues: 1,
+            cores: 1,
+            pool_cache: 0,
             xchg_ring_size: 64,
             xchg_layout: None,
             vectorized: false,
@@ -136,9 +150,13 @@ pub struct Pmd {
     /// mbuf-header region: `pool_size` slots of [`META_STRIDE`] bytes.
     meta_region: Region,
     pool: Mempool,
-    xchg: Option<XchgRing>,
-    /// X-Change: data buffers returned by TX-ring swap, ready to repost.
-    recycled: VecDeque<u32>,
+    /// One X-Change descriptor ring per queue (empty unless that model
+    /// is active): slots never migrate between queues, so each core's
+    /// descriptor working set stays in its own cache.
+    xchg: Vec<XchgRing>,
+    /// X-Change: per-queue data buffers returned by TX-ring swap, ready
+    /// to repost on the same queue.
+    recycled: Vec<VecDeque<u32>>,
     /// Injected mempool-exhaustion windows: replenish allocations are
     /// denied while `from <= now < until`.
     pool_denied: Vec<(SimTime, SimTime)>,
@@ -159,22 +177,33 @@ impl Pmd {
     /// the X-Change model (unsupported, as in the paper's prototype).
     pub fn new(cfg: PmdConfig, space: &mut AddressSpace) -> Self {
         assert!(cfg.burst > 0, "burst must be positive");
+        assert!(cfg.queues > 0, "a PMD drives at least one queue pair");
         assert!(
             !(cfg.vectorized && cfg.model == MetadataModel::XChange),
             "vectorized PMD is not supported with X-Change"
         );
-        let xchg = (cfg.model == MetadataModel::XChange).then(|| {
+        let xchg = if cfg.model == MetadataModel::XChange {
             let layout = cfg
                 .xchg_layout
                 .clone()
                 .unwrap_or_else(|| cfg.spec.to_layout("AppDescriptor"));
-            XchgRing::new(space, cfg.xchg_ring_size, layout)
-        });
+            (0..cfg.queues)
+                .map(|_| XchgRing::new(space, cfg.xchg_ring_size, layout.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Pmd {
             meta_region: space.alloc_pages(u64::from(cfg.pool_size) * META_STRIDE),
-            pool: Mempool::new(space, cfg.pool_size, cfg.pool_mode),
+            pool: Mempool::with_core_caches(
+                space,
+                cfg.pool_size,
+                cfg.pool_mode,
+                cfg.cores,
+                cfg.pool_cache,
+            ),
             xchg,
-            recycled: VecDeque::new(),
+            recycled: vec![VecDeque::new(); cfg.queues],
             pool_denied: Vec::new(),
             metas: vec![MbufMeta::default(); cfg.pool_size as usize],
             stats: PmdStats::default(),
@@ -208,14 +237,15 @@ impl Pmd {
             .any(|(from, until)| *from <= t && t < *until)
     }
 
-    /// The X-Change descriptor ring, when that model is active.
+    /// Queue 0's X-Change descriptor ring, when that model is active.
     pub fn xchg_ring(&self) -> Option<&XchgRing> {
-        self.xchg.as_ref()
+        self.xchg.first()
     }
 
-    /// Mutable X-Change ring access (for installing a reordered layout).
+    /// Mutable X-Change ring access for queue 0 (for installing a
+    /// reordered layout).
     pub fn xchg_ring_mut(&mut self) -> Option<&mut XchgRing> {
-        self.xchg.as_mut()
+        self.xchg.first_mut()
     }
 
     /// Functional metadata of buffer `id`.
@@ -232,7 +262,8 @@ impl Pmd {
     /// the mempool ring, the X-Change descriptor ring).
     pub fn hugepage_regions(&self) -> Vec<Region> {
         let mut v = vec![self.meta_region, self.pool.ring_region()];
-        if let Some(x) = &self.xchg {
+        v.extend(self.pool.cache_regions());
+        for x in &self.xchg {
             v.push(x.region());
         }
         v
@@ -240,15 +271,24 @@ impl Pmd {
 
     /// Initialization: fills queue `q`'s RX ring with pool buffers
     /// (uncharged — this models `rte_eth_rx_queue_setup` at startup).
+    /// `core` is the core that owns queue `q` and runs its setup: only
+    /// *its* private cache/TLB state is warmed, never another core's.
     ///
     /// # Panics
     ///
     /// Panics if the pool cannot fill the ring.
-    pub fn setup(&mut self, nic: &mut Nic, q: usize, dma: &DmaMemory, mem: &mut MemoryHierarchy) {
+    pub fn setup(
+        &mut self,
+        core: usize,
+        nic: &mut Nic,
+        q: usize,
+        dma: &DmaMemory,
+        mem: &mut MemoryHierarchy,
+    ) {
         let ring = nic.rx_ring_mut(q);
         let want = ring.size();
         for _ in 0..want {
-            let (id, _) = self.pool.alloc(0, mem);
+            let (id, _) = self.pool.alloc(core, mem);
             let id = id.expect("pool too small to fill the RX ring");
             let posted = ring.post(PostedBuffer {
                 buf_id: id,
@@ -324,8 +364,8 @@ impl Pmd {
                 MetadataModel::XChange => {
                     let ring = self
                         .xchg
-                        .as_mut()
-                        .expect("xchg ring exists in XChange mode");
+                        .get_mut(q)
+                        .expect("xchg ring exists per queue in XChange mode");
                     let slot = ring
                         .take()
                         .expect("xchg ring exhausted: sized >= 2 bursts by construction");
@@ -374,7 +414,7 @@ impl Pmd {
                 break;
             }
             let new_buf = match self.cfg.model {
-                MetadataModel::XChange => match self.recycled.pop_front() {
+                MetadataModel::XChange => match self.recycled[q].pop_front() {
                     Some(b) => Some(b),
                     None if self.pool_denied_at(now) => {
                         self.stats.pool_denials += 1;
@@ -489,7 +529,7 @@ impl Pmd {
                     // TX ring full: the frame is dropped; recycle its
                     // buffer so the pool does not leak.
                     match self.cfg.model {
-                        MetadataModel::XChange => self.recycled.push_back(s.desc.buf_id),
+                        MetadataModel::XChange => self.recycled[q].push_back(s.desc.buf_id),
                         _ => {
                             let c = Self::pool_free(&mut self.pool, core, mem, s.desc.buf_id);
                             pool_cost += c;
@@ -504,7 +544,7 @@ impl Pmd {
             // enqueue time (the TX swap), keeping the live set bounded.
             if let Some(slot) = s.desc.xslot {
                 self.xchg
-                    .as_mut()
+                    .get_mut(q)
                     .expect("xslot implies XChange mode")
                     .give_back(slot);
             }
@@ -513,7 +553,7 @@ impl Pmd {
         // Reap TX completions: recycle their data buffers.
         for done in nic.tx_reap(q, now) {
             match self.cfg.model {
-                MetadataModel::XChange => self.recycled.push_back(done.req.buf_id),
+                MetadataModel::XChange => self.recycled[q].push_back(done.req.buf_id),
                 _ => {
                     let c = Self::pool_free(&mut self.pool, core, mem, done.req.buf_id);
                     pool_cost += c;
@@ -533,15 +573,22 @@ impl Pmd {
         (departures, cost)
     }
 
-    /// Releases a packet the NF dropped (frees its buffer + descriptor).
-    pub fn release(&mut self, core: usize, mem: &mut MemoryHierarchy, desc: &RxDesc) -> Cost {
+    /// Releases a packet the NF dropped (frees its buffer + descriptor
+    /// back to queue `q`, the queue it arrived on).
+    pub fn release(
+        &mut self,
+        core: usize,
+        q: usize,
+        mem: &mut MemoryHierarchy,
+        desc: &RxDesc,
+    ) -> Cost {
         self.stats.released += 1;
         let cost = if let Some(slot) = desc.xslot {
             self.xchg
-                .as_mut()
+                .get_mut(q)
                 .expect("xslot implies XChange mode")
                 .give_back(slot);
-            self.recycled.push_back(desc.buf_id);
+            self.recycled[q].push_back(desc.buf_id);
             Cost::compute(2)
         } else {
             Self::pool_free(&mut self.pool, core, mem, desc.buf_id)
@@ -582,7 +629,7 @@ mod tests {
             ..PmdConfig::default()
         };
         let mut pmd = Pmd::new(cfg, &mut space);
-        pmd.setup(&mut nic, 0, &dma, &mut mem);
+        pmd.setup(0, &mut nic, 0, &dma, &mut mem);
         Rig { pmd, nic, dma, mem }
     }
 
@@ -842,7 +889,7 @@ mod tests {
             SimTime::from_ms(100.0),
         );
         let avail = r.pmd.xchg_ring().unwrap().available();
-        r.pmd.release(0, &mut r.mem, &pkts[0]);
+        r.pmd.release(0, 0, &mut r.mem, &pkts[0]);
         assert_eq!(r.pmd.xchg_ring().unwrap().available(), avail + 1);
         assert_eq!(r.pmd.stats().released, 1);
     }
@@ -945,6 +992,44 @@ mod tests {
         );
         assert!(empty.is_empty());
         assert_eq!(get("rx/pmd").cost, before.cost);
+    }
+
+    /// Regression for the core-0 hardcode: queue setup must warm only the
+    /// *owning* core's private cache state, never core 0's.
+    #[test]
+    fn setup_warms_only_the_owning_core() {
+        use pm_mem::Level;
+        let mut space = AddressSpace::new();
+        let nic_cfg = NicConfig {
+            queues: 2,
+            rx_ring_size: 64,
+            tx_ring_size: 64,
+            ..NicConfig::default()
+        };
+        let mut nic = Nic::new(&nic_cfg, &mut space);
+        let dma = DmaMemory::new(&mut space, 1024, 2176, 128);
+        let mut mem = MemoryHierarchy::skylake(2);
+        let cfg = PmdConfig {
+            spec: MetadataSpec::minimal(),
+            pool_size: 1024,
+            queues: 2,
+            cores: 2,
+            ..PmdConfig::default()
+        };
+        let mut pmd = Pmd::new(cfg, &mut space);
+        pmd.setup(0, &mut nic, 0, &dma, &mut mem);
+        pmd.setup(1, &mut nic, 1, &dma, &mut mem);
+        // The last pool-ring slot touched belongs to queue 1's fill, run
+        // by core 1: its line must sit in core 1's private caches and be
+        // absent from core 0's (probe_level never mutates state).
+        let n = u64::from(pmd.pool.capacity());
+        let last = pmd.pool.ring_region().base + ((2 * 64 - 1) % n) * 8;
+        assert_eq!(mem.probe_level(1, last), Level::L1);
+        assert_eq!(
+            mem.probe_level(0, last),
+            Level::Llc,
+            "core 0 must not be warmed by core 1's queue setup"
+        );
     }
 
     #[test]

@@ -11,6 +11,17 @@
 //! DMA writes model DDIO: they allocate directly into a restricted subset
 //! of LLC ways without costing core time, invalidating any stale copies
 //! in core-private caches.
+//!
+//! # Core-index invariant
+//!
+//! Every method that takes a `core` argument charges **that** core's
+//! private L1/L2/TLB state: the `core` argument is always the executing
+//! core, never a constant. Callers that run work on behalf of core `c`
+//! (a PMD polling queue `q`, a dataplane element, mempool cache traffic)
+//! must thread `c` all the way down — hardcoding core 0 silently warms
+//! the wrong private caches and only shows up as a perf skew, not a
+//! functional failure. The multicore battery pins this with a regression
+//! test that a queue set up on core 1 leaves core 0's L1 untouched.
 
 use crate::cache::{CacheParams, SetAssocCache};
 use crate::cost::{Cost, LatencyModel};

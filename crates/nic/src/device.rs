@@ -69,6 +69,21 @@ pub struct NicStats {
     pub rx_truncated: u64,
 }
 
+/// Per-queue statistics, for the per-queue conservation ledger: frames
+/// dropped before RSS steering picks a queue (FCS errors, link-down
+/// losses, descriptor drops) appear only in the aggregate [`NicStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Frames delivered to this queue's completion queue.
+    pub rx_packets: u64,
+    /// Frames steered here but dropped for lack of a posted buffer.
+    pub rx_dropped: u64,
+    /// Frames serialized onto the wire from this queue.
+    pub tx_packets: u64,
+    /// Frames dropped because this TX ring was full.
+    pub tx_dropped: u64,
+}
+
 /// A simulated ConnectX-5-like device.
 #[derive(Debug)]
 pub struct Nic {
@@ -85,6 +100,10 @@ pub struct Nic {
     queue_slot: Option<SimTime>,
     link_down: Vec<(SimTime, SimTime)>,
     stats: NicStats,
+    /// Frames delivered per queue (the rings count their own drops).
+    rx_q_packets: Vec<u64>,
+    /// Frames transmitted per queue.
+    tx_q_packets: Vec<u64>,
     seq: u64,
 }
 
@@ -114,6 +133,8 @@ impl Nic {
             queue_slot: cfg.max_pps_per_queue.map(|pps| SimTime::from_ns(1e9 / pps)),
             link_down: Vec::new(),
             stats: NicStats::default(),
+            rx_q_packets: vec![0; cfg.queues],
+            tx_q_packets: vec![0; cfg.queues],
             seq: 0,
         }
     }
@@ -134,6 +155,20 @@ impl Nic {
         s.rx_dropped += self.rx.iter().map(|r| r.drops_no_buffer).sum::<u64>();
         s.tx_dropped += self.tx.iter().map(|t| t.drops_full).sum::<u64>();
         s
+    }
+
+    /// Per-queue statistics for queue `q` (see [`QueueStats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn queue_stats(&self, q: usize) -> QueueStats {
+        QueueStats {
+            rx_packets: self.rx_q_packets[q],
+            rx_dropped: self.rx[q].drops_no_buffer,
+            tx_packets: self.tx_q_packets[q],
+            tx_dropped: self.tx[q].drops_full,
+        }
     }
 
     /// Installs injected link-flap windows: while `from <= t < until`
@@ -237,7 +272,12 @@ impl Nic {
             self.stats.rx_link_down += 1;
             return None;
         }
-        let q = self.indirection.queue_for(hash) % self.rx.len();
+        // `queue_for` is the single steering path: the indirection table
+        // is built over exactly `rx.len()` queues, so its entries are
+        // already in range (NAT flow affinity depends on this mapping
+        // being a pure function of the hash — no rescaling afterwards).
+        let q = self.indirection.queue_for(hash);
+        debug_assert!(q < self.rx.len(), "indirection entry out of range");
         let Some(buf) = self.rx[q].take_posted() else {
             return None; // ring counted the drop
         };
@@ -266,6 +306,7 @@ impl Nic {
 
         self.stats.rx_packets += 1;
         self.stats.rx_bytes += frame.len() as u64;
+        self.rx_q_packets[q] += 1;
         Some(q)
     }
 
@@ -357,6 +398,7 @@ impl Nic {
         self.tx_link_free = departed;
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += len as u64;
+        self.tx_q_packets[q] += 1;
         Some((departed, desc_addr))
     }
 

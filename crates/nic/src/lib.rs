@@ -30,12 +30,12 @@ pub mod pcie;
 pub mod ring;
 pub mod rss;
 
-pub use device::{Nic, NicConfig, NicStats};
+pub use device::{Nic, NicConfig, NicStats, QueueStats};
 pub use dma::DmaMemory;
 pub use link::LinkModel;
 pub use pcie::PcieModel;
 pub use ring::{Completion, PostedBuffer, RxRing, TxRequest, TxRing};
-pub use rss::Toeplitz;
+pub use rss::{IndirectionTable, Toeplitz};
 
 /// Reads a big-endian u16 at `off` (header-field peeking for RSS).
 #[inline]

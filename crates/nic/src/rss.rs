@@ -82,6 +82,16 @@ pub struct IndirectionTable {
 impl IndirectionTable {
     /// Round-robin table over `queues` queues.
     ///
+    /// When `queues` does not divide 128 the table carries a residual
+    /// imbalance: the first `128 % queues` queues own one extra entry
+    /// (e.g. 3 queues get 43/43/42 entries, a ~2 % skew). Real NICs have
+    /// the same bias with a default indirection table; we keep it rather
+    /// than hide it, and experiments must not assume perfectly equal
+    /// per-queue load. What *is* guaranteed — and what the stateful NAT
+    /// (paper §4.5) relies on — is that [`IndirectionTable::queue_for`]
+    /// is a pure function of the hash, so a flow's 4-tuple always lands
+    /// on the same queue.
+    ///
     /// # Panics
     ///
     /// Panics if `queues` is zero or exceeds `u16::MAX`.
@@ -150,6 +160,33 @@ mod tests {
         assert_eq!(t.queue_for(2), 2);
         assert_eq!(t.queue_for(3), 0);
         assert_eq!(t.queue_for(128), 0, "hash masked to 7 bits");
+    }
+
+    /// Documents the residual imbalance when the queue count does not
+    /// divide the 128-entry table: the first `128 % q` queues get one
+    /// extra entry, and every entry stays in range.
+    #[test]
+    fn round_robin_residual_imbalance() {
+        for q in 1..=8usize {
+            let t = IndirectionTable::round_robin(q);
+            let mut counts = vec![0usize; q];
+            for h in 0..128u32 {
+                let dest = t.queue_for(h);
+                assert!(dest < q, "entry out of range for {q} queues");
+                counts[dest] += 1;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                let expect = 128 / q + usize::from(i < 128 % q);
+                assert_eq!(c, expect, "queue {i} of {q}");
+            }
+        }
+        // The concrete case from the docs: 3 queues split 43/43/42.
+        let t = IndirectionTable::round_robin(3);
+        let mut counts = [0usize; 3];
+        for h in 0..128u32 {
+            counts[t.queue_for(h)] += 1;
+        }
+        assert_eq!(counts, [43, 43, 42]);
     }
 
     #[test]
