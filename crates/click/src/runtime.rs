@@ -23,7 +23,8 @@ use crate::packet::{ClickPool, COPY_FIELDS};
 use crate::plan::{DispatchMode, ExecPlan};
 use pm_dpdk::{MetadataModel, RxDesc};
 use pm_mem::{
-    AccessKind, AddressSpace, Cost, MemoryHierarchy, Region, ScatterAlloc, ScopeId, SCOPE_METADATA,
+    AccessKind, AccessProgram, AddressSpace, Cost, MemoryHierarchy, ProgramBuilder, Region,
+    ScatterAlloc, ScopeId, SCOPE_METADATA,
 };
 
 /// Where a packet ended up.
@@ -80,6 +81,15 @@ pub struct GraphRuntime {
     /// bookkeeping fields, precomputed from the packet layout so the
     /// per-packet conversion does not re-search field names.
     copy_lines: Vec<u64>,
+    /// Per-element dispatch access programs (vtable load, call penalty,
+    /// bookkeeping, state touch — the whole `charge_hop` charge set as
+    /// one program over bases `[vtable, state]`). Built lazily on first
+    /// run because the charges bake in the hierarchy's latency model.
+    hop_progs: Option<Vec<AccessProgram>>,
+    /// The Copying-model conversion program (mbuf load + bookkeeping-line
+    /// stores + conversion work) over bases `[mbuf, packet]`. Rebuilt
+    /// when the packet layout changes; `None` until first use.
+    copy_prog: Option<AccessProgram>,
     /// Injected per-element slow-down windows
     /// `(from, until, factor_x1000)`, indexed by element. `None` (the
     /// default) keeps the hop loop untouched.
@@ -169,6 +179,8 @@ impl GraphRuntime {
             element_counts,
             element_scopes: None,
             copy_lines,
+            hop_progs: None,
+            copy_prog: None,
             slowdowns: None,
         }
     }
@@ -221,6 +233,8 @@ impl GraphRuntime {
     pub fn set_packet_layout(&mut self, layout: crate::StructLayout) {
         self.copy_lines = Self::copy_lines_of(&layout);
         self.plan.packet_layout = layout;
+        // The conversion program bakes in the bookkeeping lines.
+        self.copy_prog = None;
     }
 
     /// Counters.
@@ -310,20 +324,20 @@ impl GraphRuntime {
                     let (addr, c) = self.pool.alloc(ctx.core, ctx.mem);
                     ctx.charge(c);
                     let addr = addr.unwrap_or(self.stack_region.base);
-                    // Loads from the (just-written, hot) mbuf line…
-                    ctx.cost += ctx
-                        .mem
-                        .access(ctx.core, desc.meta_addr, 32, AccessKind::Load);
-                    // …object init + field copy: only the lines holding
-                    // the bookkeeping fields are written here; annotation
-                    // lines are touched lazily by the elements that use
-                    // them (which is why reordering them matters).
-                    for &l in &self.copy_lines {
-                        ctx.cost +=
-                            ctx.mem
-                                .access_range(ctx.core, addr + l * 64, 64, AccessKind::Store);
-                    }
-                    ctx.compute(95);
+                    // Mbuf load + bookkeeping-line stores + conversion
+                    // work, as one precompiled program (annotation lines
+                    // are touched lazily by the elements that use them,
+                    // which is why reordering them matters).
+                    let copy_lines = &self.copy_lines;
+                    let prog = self.copy_prog.get_or_insert_with(|| {
+                        let mut b = ProgramBuilder::new().no_memoize().load(0, 0, 32);
+                        for &l in copy_lines {
+                            b = b.store(1, l as u32 * 64, 64);
+                        }
+                        b.compute(95).build()
+                    });
+                    ctx.mem
+                        .run_program(ctx.core, prog, &[desc.meta_addr, addr], &mut ctx.cost);
                     addr
                 }
             }
@@ -435,49 +449,64 @@ impl GraphRuntime {
         panic!("packet exceeded {MAX_HOPS} hops: configuration cycle?");
     }
 
-    fn charge_hop(&self, ctx: &mut Ctx<'_>, idx: usize) {
-        let lat = *ctx.mem.latency_model();
-        match self.plan.dispatch {
-            DispatchMode::Virtual => {
-                ctx.cost += ctx
-                    .mem
-                    .access(ctx.core, self.vtable_addrs[idx], 8, AccessKind::Load);
-                ctx.charge(lat.virtual_call());
-            }
-            DispatchMode::Direct => ctx.charge(lat.direct_call()),
-            DispatchMode::Inlined => {}
+    /// Resolves element `idx`'s dispatch charge set — vtable load, call
+    /// penalty, per-hop bookkeeping, and state touch — as one access
+    /// program over bases `[vtable, state]`. These fixed-base programs
+    /// are the hierarchy's hottest signature-replay site: a hop whose
+    /// two lines stayed L1-MRU since the last packet costs no per-line
+    /// walk at all.
+    #[inline]
+    fn charge_hop(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        if self.hop_progs.is_none() {
+            self.hop_progs = Some(self.build_hop_progs(ctx.mem.latency_model()));
         }
-        // Per-hop bookkeeping (port push, batch/list management, bounds
-        // checks); constant embedding folds branches away, and the fully
-        // inlined static graph lets the compiler melt most of it.
-        let hop_instr = match (self.plan.dispatch, self.plan.constants_embedded) {
-            // Full inlining removes calls, not the per-hop work itself
-            // (the paper's static graph keeps ~the same instruction
-            // count; its gains are locality, Table 1).
-            (DispatchMode::Inlined, true) => 44,
-            (DispatchMode::Inlined, false) => 48,
-            (_, true) => 34,
-            (_, false) => 38,
-        };
-        ctx.compute(hop_instr);
-        if !self.plan.constants_embedded {
-            // Parameter-dependent branches the compiler cannot fold.
-            ctx.charge(pm_mem::Cost::stall_cycles(1.2));
-        }
+        let prog = &self.hop_progs.as_ref().unwrap()[idx];
+        let bases = [self.vtable_addrs[idx], self.state_regions[idx].base];
+        ctx.mem.run_program(ctx.core, prog, &bases, &mut ctx.cost);
+    }
 
-        let state = self.state_regions[idx];
-        if !self.plan.constants_embedded {
-            let words = self.graph.elements[idx].element.param_loads().max(1);
-            ctx.cost +=
-                ctx.mem
-                    .access(ctx.core, state.base, u64::from(words) * 8, AccessKind::Load);
-            ctx.compute(u64::from(words) * 3);
-        } else {
-            // The element object itself is still touched (counters etc.).
-            ctx.cost += ctx
-                .mem
-                .access(ctx.core, state.base + 8, 8, AccessKind::Load);
-        }
+    /// Compiles one dispatch program per element (pay at setup, not per
+    /// packet). The step sequence is charge-for-charge the former inline
+    /// `charge_hop` body; `lat` values are baked into the charge steps,
+    /// which is why construction waits for the first run against a
+    /// hierarchy.
+    fn build_hop_progs(&self, lat: &pm_mem::LatencyModel) -> Vec<AccessProgram> {
+        (0..self.graph.len())
+            .map(|idx| {
+                let mut b = ProgramBuilder::new();
+                b = match self.plan.dispatch {
+                    DispatchMode::Virtual => b.load(0, 0, 8).charge(lat.virtual_call()),
+                    DispatchMode::Direct => b.charge(lat.direct_call()),
+                    DispatchMode::Inlined => b,
+                };
+                // Per-hop bookkeeping (port push, batch/list management,
+                // bounds checks); constant embedding folds branches away,
+                // and the fully inlined static graph lets the compiler
+                // melt most of it.
+                let hop_instr = match (self.plan.dispatch, self.plan.constants_embedded) {
+                    // Full inlining removes calls, not the per-hop work
+                    // itself (the paper's static graph keeps ~the same
+                    // instruction count; its gains are locality, Table 1).
+                    (DispatchMode::Inlined, true) => 44,
+                    (DispatchMode::Inlined, false) => 48,
+                    (_, true) => 34,
+                    (_, false) => 38,
+                };
+                b = b.compute(hop_instr);
+                if !self.plan.constants_embedded {
+                    // Parameter-dependent branches the compiler cannot
+                    // fold, then the full parameter-word load.
+                    b = b.charge(Cost::stall_cycles(1.2));
+                    let words = self.graph.elements[idx].element.param_loads().max(1);
+                    b.load(1, 0, words * 8).compute(words * 3)
+                } else {
+                    // The element object itself is still touched
+                    // (counters etc.).
+                    b.load(1, 8, 8)
+                }
+                .build()
+            })
+            .collect()
     }
 }
 

@@ -23,8 +23,10 @@
 use crate::mbuf::MbufMeta;
 use crate::mempool::{Mempool, MempoolMode};
 use crate::xchg::{MetadataModel, MetadataSpec, XchgRing};
+use pm_mem::program::dedup_field_lines;
 use pm_mem::{
-    AccessKind, AddressSpace, Cost, MemoryHierarchy, Region, SCOPE_MEMPOOL, SCOPE_RX, SCOPE_TX,
+    AccessProgram, AddressSpace, Cost, MemoryHierarchy, ProgramBuilder, Region, SCOPE_MEMPOOL,
+    SCOPE_RX, SCOPE_TX,
 };
 use pm_nic::{DmaMemory, Nic, PostedBuffer, TxRequest};
 use pm_sim::SimTime;
@@ -166,6 +168,19 @@ pub struct Pmd {
     /// Reused completion buffer for the RX poll loop (no per-burst
     /// allocation).
     comps_scratch: Vec<pm_nic::Completion>,
+    /// Precompiled access programs for the hot per-packet charge sets
+    /// (see [`pm_mem::program`]): CQE poll, per-completion mbuf-write
+    /// conversion, TX metadata load, TX WQE store. Built on first use;
+    /// step-for-step identical to the former inline call sequences.
+    poll_prog: Option<AccessProgram>,
+    rx_mbuf_prog: Option<AccessProgram>,
+    rx_wqe_prog: Option<AccessProgram>,
+    tx_meta_prog: Option<AccessProgram>,
+    tx_wqe_prog: Option<AccessProgram>,
+    /// Per-queue X-Change conversion programs (CQE parse + one store per
+    /// distinct descriptor line + conversion work), tagged with the
+    /// ring's layout generation so a reordering pass recompiles them.
+    xchg_progs: Vec<Option<(u64, AccessProgram)>>,
 }
 
 impl Pmd {
@@ -208,6 +223,12 @@ impl Pmd {
             metas: vec![MbufMeta::default(); cfg.pool_size as usize],
             stats: PmdStats::default(),
             comps_scratch: Vec::new(),
+            poll_prog: None,
+            rx_mbuf_prog: None,
+            rx_wqe_prog: None,
+            tx_meta_prog: None,
+            tx_wqe_prog: None,
+            xchg_progs: vec![None; cfg.queues],
             cfg,
         }
     }
@@ -315,9 +336,20 @@ impl Pmd {
         // pool-ring traffic, which belongs to the mempool stage.
         let outer_scope = mem.set_scope(SCOPE_RX);
         let mut pool_cost = Cost::ZERO;
-        let mut cost = Cost::compute(8); // poll-loop entry
-                                         // Poll the next CQE slot (read happens even when empty).
-        cost += mem.access(core, nic.rx_ring_mut(q).poll_addr(), 8, AccessKind::Load);
+        let mut cost = Cost::ZERO;
+        // Poll-loop entry + the next CQE slot read (happens even when
+        // empty), as one program. The poll word's base changes only when
+        // completions were reaped, so an idle queue replays its armed
+        // signature instead of walking.
+        let poll_prog = self
+            .poll_prog
+            .get_or_insert_with(|| ProgramBuilder::new().compute(8).load(0, 0, 8).build());
+        mem.run_program(
+            core,
+            poll_prog,
+            &[nic.rx_ring_mut(q).poll_addr()],
+            &mut cost,
+        );
 
         let mut comps = std::mem::take(&mut self.comps_scratch);
         nic.rx_ring_mut(q)
@@ -330,18 +362,8 @@ impl Pmd {
 
         let mut out = Vec::with_capacity(comps.len());
         for &c in &comps {
-            // Parse the completion descriptor. The CQE array is scanned
-            // sequentially, so beyond the polled entry the stream
-            // prefetcher has the rest of the burst's CQEs in L1.
-            cost += mem.prefetch(core, c.desc_addr, 64);
-            cost += mem.access(core, c.desc_addr, 32, AccessKind::Load);
-            cost += Cost::compute(18);
-            // rte_prefetch0 of the packet headers: issued early in the
-            // burst loop, so the demand reads downstream hit L1.
-            cost += mem.prefetch(core, c.data_addr, 128);
-            cost += Cost::compute(2);
-
-            // Record functional metadata.
+            // Record functional metadata (host state, no charges — the
+            // charge order is fully captured by the programs below).
             self.metas[c.buf_id as usize] = MbufMeta {
                 data_len: c.len,
                 pkt_len: c.len,
@@ -352,13 +374,31 @@ impl Pmd {
                 packet_type: 0,
             };
 
-            // Write metadata per model.
+            // Per-completion charge set: parse the completion descriptor
+            // (the CQE array is scanned sequentially, so beyond the
+            // polled entry the stream prefetcher has the rest of the
+            // burst's CQEs in L1), rte_prefetch0 the packet headers so
+            // the demand reads downstream hit L1, then write metadata
+            // per model — all as one precompiled program over bases
+            // `[cqe, headers, metadata]`. The bases cycle with the
+            // buffer stream, so these programs skip signature arming.
             let (meta_addr, xslot) = match self.cfg.model {
                 MetadataModel::Copying | MetadataModel::Overlaying => {
                     let addr = self.mbuf_addr(c.buf_id);
                     // Full rte_mbuf RX field set: all in the first line.
-                    cost += mem.access(core, addr, 64, AccessKind::Store);
-                    cost += Cost::compute(16);
+                    let prog = self.rx_mbuf_prog.get_or_insert_with(|| {
+                        ProgramBuilder::new()
+                            .no_memoize()
+                            .prefetch(0, 0, 64)
+                            .load(0, 0, 32)
+                            .compute(18)
+                            .prefetch(1, 0, 128)
+                            .compute(2)
+                            .store(2, 0, 64)
+                            .compute(16)
+                            .build()
+                    });
+                    mem.run_program(core, prog, &[c.desc_addr, c.data_addr, addr], &mut cost);
                     (addr, None)
                 }
                 MetadataModel::XChange => {
@@ -370,25 +410,36 @@ impl Pmd {
                         .take()
                         .expect("xchg ring exhausted: sized >= 2 bursts by construction");
                     // Conversion functions: one store per needed field,
-                    // deduped to distinct cache lines. A descriptor slot
-                    // spans at most a few lines, so dedup runs on a small
-                    // stack buffer instead of allocating per packet.
-                    let mut lines = [0u64; 32];
-                    let mut n = 0;
-                    for &f in self.cfg.spec.fields() {
-                        if let Some((a, _)) = ring.field_addr(slot, f) {
-                            lines[n] = a / 64;
-                            n += 1;
+                    // deduped to distinct descriptor lines — resolved at
+                    // program-compile time from the ring layout (slots
+                    // are line-aligned, so offset-relative dedup equals
+                    // the per-packet absolute-address dedup it replaces).
+                    let slot_prog = &mut self.xchg_progs[q];
+                    let gen = ring.generation();
+                    if slot_prog.as_ref().map(|(g, _)| *g) != Some(gen) {
+                        let fields: Vec<(u32, u32)> = self
+                            .cfg
+                            .spec
+                            .fields()
+                            .iter()
+                            .filter_map(|f| ring.layout().field(f.name()))
+                            .map(|fl| (fl.offset, fl.size))
+                            .collect();
+                        let mut b = ProgramBuilder::new()
+                            .no_memoize()
+                            .prefetch(0, 0, 64)
+                            .load(0, 0, 32)
+                            .compute(18)
+                            .prefetch(1, 0, 128)
+                            .compute(2);
+                        for l in dedup_field_lines(&fields) {
+                            b = b.store(2, l * 64, 64);
                         }
+                        *slot_prog = Some((gen, b.compute(self.cfg.spec.len() as u32).build()));
                     }
-                    let lines = &mut lines[..n];
-                    lines.sort_unstable();
-                    for (i, &l) in lines.iter().enumerate() {
-                        if i == 0 || lines[i - 1] != l {
-                            cost += mem.access_range(core, l * 64, 64, AccessKind::Store);
-                        }
-                    }
-                    cost += Cost::compute(self.cfg.spec.len() as u64);
+                    let prog = &slot_prog.as_ref().unwrap().1;
+                    let bases = [c.desc_addr, c.data_addr, ring.slot_addr(slot)];
+                    mem.run_program(core, prog, &bases, &mut cost);
                     (ring.slot_addr(slot), Some(slot))
                 }
             };
@@ -446,8 +497,14 @@ impl Pmd {
                 buf_id: b,
                 data_addr: dma.data_addr(b),
             });
-            cost += mem.access(core, wqe, 16, AccessKind::Store);
-            cost += Cost::compute(7);
+            let wqe_prog = self.rx_wqe_prog.get_or_insert_with(|| {
+                ProgramBuilder::new()
+                    .no_memoize()
+                    .store(0, 0, 16)
+                    .compute(7)
+                    .build()
+            });
+            mem.run_program(core, wqe_prog, &[wqe], &mut cost);
         }
 
         if !out.is_empty() {
@@ -508,8 +565,14 @@ impl Pmd {
         for s in sends {
             // Convert metadata to the TX descriptor: load the metadata
             // structure (hot for X-Change, pool-cycled otherwise).
-            cost += mem.access(core, s.desc.meta_addr, 16, AccessKind::Load);
-            cost += Cost::compute(13);
+            let meta_prog = self.tx_meta_prog.get_or_insert_with(|| {
+                ProgramBuilder::new()
+                    .no_memoize()
+                    .load(0, 0, 16)
+                    .compute(13)
+                    .build()
+            });
+            mem.run_program(core, meta_prog, &[s.desc.meta_addr], &mut cost);
 
             let req = TxRequest {
                 buf_id: s.desc.buf_id,
@@ -520,8 +583,14 @@ impl Pmd {
             };
             match nic.tx_send(q, req, now, mem) {
                 Some((departed, wqe_addr)) => {
-                    cost += mem.access(core, wqe_addr, 32, AccessKind::Store);
-                    cost += Cost::compute(10);
+                    let wqe_prog = self.tx_wqe_prog.get_or_insert_with(|| {
+                        ProgramBuilder::new()
+                            .no_memoize()
+                            .store(0, 0, 32)
+                            .compute(10)
+                            .build()
+                    });
+                    mem.run_program(core, wqe_prog, &[wqe_addr], &mut cost);
                     self.stats.tx_packets += 1;
                     departures.push(Some(departed));
                 }

@@ -212,6 +212,9 @@ pub struct XchgRing {
     stride: u64,
     free: VecDeque<u32>,
     n: u32,
+    /// Bumped on every layout change, so PMD-side precompiled conversion
+    /// programs can detect staleness with one integer compare.
+    generation: u64,
 }
 
 impl XchgRing {
@@ -230,6 +233,7 @@ impl XchgRing {
             stride,
             free: (0..n).collect(),
             n,
+            generation: 0,
         }
     }
 
@@ -259,6 +263,12 @@ impl XchgRing {
             "reordered layout must not grow past the slot stride"
         );
         self.layout = layout;
+        self.generation += 1;
+    }
+
+    /// The layout generation (bumped by [`XchgRing::set_layout`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Driver side: takes a free descriptor slot.

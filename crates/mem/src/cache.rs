@@ -221,15 +221,15 @@ impl SetAssocCache {
     /// pick a victim and fill.
     fn access_way_range_cold(&mut self, tag: u32, set: usize, lo: usize, hi: usize) -> FillOutcome {
         let assoc = self.assoc;
-        let filled = self.filled[set] as usize;
         let base = set * assoc;
-        let row = &mut self.slots[base..base + assoc];
+        let row = &self.slots[base..base + assoc];
 
         // Hit path: a contiguous scan in recency order (slot 0 was
         // already checked by the callers' MRU fast path, but re-checking
         // it costs nothing and keeps this routine self-contained).
         if let Some(pos) = row.iter().position(|&e| e >> WAY_BITS == tag) {
             if pos != 0 {
+                let row = &mut self.slots[base..base + assoc];
                 let e = row[pos];
                 row.copy_within(0..pos, 1);
                 row[0] = e;
@@ -239,8 +239,28 @@ impl SetAssocCache {
                 evicted: None,
             };
         }
+        self.fill_absent(tag, set, lo, hi)
+    }
 
-        // Miss. Prefer the lowest-indexed empty way inside [lo, hi)
+    /// Allocates the line containing `addr`, which the caller has
+    /// **proven absent** (e.g. via the hierarchy's resident filter):
+    /// skips the hit scan and goes straight to victim selection.
+    /// Identical to [`SetAssocCache::access`] on a missing line.
+    #[inline]
+    pub fn alloc_absent(&mut self, addr: u64) -> FillOutcome {
+        let (tag, set) = self.set_of(addr);
+        debug_assert!(!self.probe(addr), "alloc_absent of a resident line");
+        self.fill_absent(tag, set, 0, self.assoc)
+    }
+
+    /// Victim selection + fill for a line known to miss.
+    fn fill_absent(&mut self, tag: u32, set: usize, lo: usize, hi: usize) -> FillOutcome {
+        let assoc = self.assoc;
+        let filled = self.filled[set] as usize;
+        let base = set * assoc;
+        let row = &mut self.slots[base..base + assoc];
+
+        // Prefer the lowest-indexed empty way inside [lo, hi)
         // (matching the classic model's index-order preference); when the
         // set has no usable empty way, evict the least-recent in-range
         // slot — with a full set and a full range that is just the last
@@ -291,6 +311,24 @@ impl SetAssocCache {
     pub fn prefetch_row(&self, addr: u64) {
         let (_, set) = self.set_of(addr);
         std::hint::black_box(self.slots[set * self.assoc]);
+    }
+
+    /// Returns true if the line containing `addr` is the MRU entry of
+    /// its set (slot 0). A further access to an MRU line is guaranteed
+    /// to hit without changing any recency state — the residency proof
+    /// the hierarchy's access-signature cache is built on. No state
+    /// change.
+    #[inline]
+    pub fn is_mru(&self, addr: u64) -> bool {
+        let (tag, set) = self.set_of(addr);
+        self.slots[set * self.assoc] >> WAY_BITS == tag
+    }
+
+    /// The set index the line containing `addr` maps to (for conflict
+    /// summaries over sets; no state change).
+    #[inline]
+    pub fn set_index(&self, addr: u64) -> usize {
+        self.set_of(addr).1
     }
 
     /// Returns true if the line containing `addr` is resident (no LRU

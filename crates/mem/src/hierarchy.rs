@@ -26,6 +26,8 @@
 use crate::cache::{CacheParams, SetAssocCache};
 use crate::cost::{Cost, LatencyModel};
 use crate::profile::{Attribution, ScopeId, ScopeProfile};
+use crate::program::{AccessProgram, StepOp};
+use crate::resident::ResidentFilter;
 use crate::tlb::{Tlb, TlbOutcome};
 use crate::{lines_spanned, LINE};
 
@@ -145,6 +147,190 @@ impl MemCounters {
 /// real line or page identifier.
 const NONE64: u64 = u64::MAX;
 
+/// Access-signature cache sizing. Entries are small and copied by value;
+/// the table is a per-core scratchpad for the handful of touch-site
+/// programs that are hot at any moment (poll word, dispatch loads,
+/// element state), not an LRU cache of everything ever armed.
+const ARMED_SLOTS: usize = 8;
+/// Programs with more steps than this are never memoized (the hot
+/// replayable shapes are 1–6 steps; bigger programs still get the
+/// batched walk).
+const ARMED_MAX_STEPS: usize = 12;
+/// Programs with more base registers than this are never memoized.
+const ARMED_MAX_BASES: usize = 4;
+/// Line-count cap for memoization: larger charge sets rarely stay
+/// wholly L1-MRU-resident, so the arming probe would be wasted work.
+const ARMED_MAX_LINES: u64 = 12;
+/// Distinct-consecutive 4-KiB page groups a memoized walk may span
+/// (dispatch programs load a vtable page and a state page; anything
+/// wider is not a hot replay shape).
+const ARMED_MAX_PAGES: usize = 4;
+
+/// A recorded access signature: the full outcome of one program run,
+/// valid while the signature's **hit-state class** provably still holds —
+/// every line L1-MRU-resident, every page translation a free DTLB hit.
+/// Replaying adds the recorded per-step costs and counter deltas,
+/// applies the DTLB hits' real recency promotions, and restores the same
+/// memo state the walk would have left, bit-for-bit.
+#[derive(Clone, Copy)]
+struct ArmedEntry {
+    prog_id: u64,
+    bases: [u64; ARMED_MAX_BASES],
+    /// The walk's 4-KiB virtual pages, grouped distinct-consecutive in
+    /// walk order (page A, A, B, B, A records as A, B, A).
+    vpages: [u64; ARMED_MAX_PAGES],
+    /// TLB page keys for `vpages` (hugepage-aware).
+    keys: [u64; ARMED_MAX_PAGES],
+    /// The walk's line addresses in order (duplicates kept). A touch of
+    /// one of these lines while the entry is valid is an MRU re-hit that
+    /// moves nothing, so it does not invalidate the signature.
+    lines: [u64; ARMED_MAX_LINES as usize],
+    /// Conflict summary: bit `set & 63` for every L1 set the program's
+    /// lines occupy. Any foreign touch or invalidation landing on a
+    /// covered set conservatively invalidates the entry.
+    mask: u64,
+    /// Line the walk leaves in the core's last-line memo.
+    last_line: u64,
+    /// TLB accesses the walk performs (one per memory-step line).
+    tlb_hits: u64,
+    loads: u64,
+    stores: u64,
+    n_steps: u8,
+    n_bases: u8,
+    n_pages: u8,
+    n_lines: u8,
+    valid: bool,
+    /// Per-step cost deltas in program order (the all-L1-hit constants).
+    costs: [Cost; ARMED_MAX_STEPS],
+}
+
+/// Per-core table of armed signatures plus the OR of their conflict
+/// masks, so the hot touch path pays one AND to know nothing is armed
+/// on the set it is about to disturb.
+struct ArmedTable {
+    entries: Vec<ArmedEntry>,
+    /// `entries[i].prog_id` when slot `i` holds a valid entry, else 0
+    /// (never a real program id). Lookups scan this compact array —
+    /// one or two host cache lines — instead of striding through the
+    /// ~half-KiB entries.
+    ids: [u64; ARMED_SLOTS],
+    mask: u64,
+    next: usize,
+}
+
+impl ArmedTable {
+    fn new() -> Self {
+        ArmedTable {
+            entries: Vec::with_capacity(ARMED_SLOTS),
+            ids: [0; ARMED_SLOTS],
+            mask: 0,
+            next: 0,
+        }
+    }
+
+    /// Invalidation hook: a line was invalidated (or flushed) on the L1
+    /// set summarized by `bit`. Conservatively kills every armed entry
+    /// whose line set overlaps it.
+    #[inline]
+    fn on_conflict(&mut self, bit: u64) {
+        if self.mask & bit == 0 {
+            return;
+        }
+        self.mask = 0;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.valid && e.mask & bit != 0 {
+                e.valid = false;
+                self.ids[i] = 0;
+            }
+            if e.valid {
+                self.mask |= e.mask;
+            }
+        }
+    }
+
+    /// Demand-touch hook: `line` is being accessed on the L1 set
+    /// summarized by `bit`. Kills overlapping entries **except** when the
+    /// touched line is one of the entry's own lines: while the entry is
+    /// valid every one of its lines is the MRU of its (distinct) set, so
+    /// re-touching it is a slot-0 hit that displaces nothing — without
+    /// this exemption, an element reading its own state each packet
+    /// would kill its dispatch signature every time.
+    #[inline]
+    fn on_touch(&mut self, bit: u64, line: u64) {
+        if self.mask & bit == 0 {
+            return;
+        }
+        self.mask = 0;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.valid && e.mask & bit != 0 && !e.lines[..usize::from(e.n_lines)].contains(&line) {
+                e.valid = false;
+                self.ids[i] = 0;
+            }
+            if e.valid {
+                self.mask |= e.mask;
+            }
+        }
+    }
+
+    /// Looks up a valid signature for (program, bases), returning its
+    /// slot index (entries are half a KiB — callers borrow in place
+    /// rather than copy). At most one slot ever holds a given program
+    /// (`install` replaces same-program slots), so the id scan has a
+    /// single candidate.
+    #[inline]
+    fn find_idx(&self, prog_id: u64, n_bases: u8, bases: &[u64]) -> Option<usize> {
+        if self.mask == 0 {
+            return None;
+        }
+        let i = self.ids.iter().position(|&id| id == prog_id)?;
+        let e = &self.entries[i];
+        let n = usize::from(n_bases);
+        (e.valid && e.n_bases == n_bases && e.bases[..n] == bases[..n]).then_some(i)
+    }
+
+    /// Installs `e`, replacing any entry for the same program (stale
+    /// bases) or an invalid slot, else round-robin.
+    fn install(&mut self, e: ArmedEntry) {
+        let slot = self
+            .entries
+            .iter()
+            .position(|x| x.prog_id == e.prog_id)
+            .or_else(|| self.entries.iter().position(|x| !x.valid));
+        let id = e.prog_id;
+        let i = match slot {
+            Some(i) => {
+                self.entries[i] = e;
+                i
+            }
+            None if self.entries.len() < ARMED_SLOTS => {
+                self.entries.push(e);
+                self.entries.len() - 1
+            }
+            None => {
+                let i = self.next;
+                self.entries[i] = e;
+                self.next = (self.next + 1) % ARMED_SLOTS;
+                i
+            }
+        };
+        self.ids[i] = id;
+        self.mask = 0;
+        for x in &self.entries {
+            if x.valid {
+                self.mask |= x.mask;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+        self.ids = [0; ARMED_SLOTS];
+        self.mask = 0;
+    }
+}
+
 struct CoreCaches {
     l1: SetAssocCache,
     l2: SetAssocCache,
@@ -177,8 +363,24 @@ pub struct MemoryHierarchy {
     /// skips the binary search for the common case of successive
     /// translations inside one DPDK region.
     last_huge: (u64, u64),
+    /// Host-side direct-mapped memo of `page_key` results, indexed by
+    /// `vpage & (len - 1)`: (vpage, key) pairs, invalidated wholesale
+    /// when a hugepage range is added. Purely a lookup cache — the
+    /// mapping itself is deterministic per hugepage configuration.
+    key_memo: Box<[(u64, u64)]>,
     /// Per-scope attribution table; `None` unless profiling is enabled.
     attribution: Option<Attribution>,
+    /// Over-approximation of all lines held by any core's L1/L2 — lets
+    /// the DMA/back-invalidation paths skip per-core scans for lines no
+    /// core ever touched. See [`crate::resident`].
+    resident: ResidentFilter,
+    /// Per-core access-signature tables (memoized program outcomes).
+    armed: Vec<ArmedTable>,
+    /// False in reference mode: every program resolves through the
+    /// original per-call walk, invalidation scans always run, nothing is
+    /// memoized. The lock-step oracle for the batched resolver, kept the
+    /// way `ClassicSetAssocCache` is.
+    fast: bool,
 }
 
 impl std::fmt::Debug for MemoryHierarchy {
@@ -220,8 +422,23 @@ impl MemoryHierarchy {
             counters: MemCounters::default(),
             huge_ranges: Vec::new(),
             last_huge: (NONE64, 0),
+            key_memo: vec![(NONE64, 0); 4096].into_boxed_slice(),
             attribution: None,
+            resident: ResidentFilter::new(),
+            armed: (0..p.cores).map(|_| ArmedTable::new()).collect(),
+            fast: true,
         }
+    }
+
+    /// Builds a hierarchy that resolves every access program through the
+    /// original per-call sequence (`access_range`/`prefetch` per step),
+    /// with no signature memoization and no invalidation-scan elision.
+    /// Semantically identical to the default fast resolver — the
+    /// lock-step property tests drive both and assert exactly that.
+    pub fn with_reference_walk(p: &HierarchyParams) -> Self {
+        let mut m = Self::new(p);
+        m.fast = false;
+        m
     }
 
     /// Marks a region as 2-MiB-hugepage-backed for TLB purposes (DPDK
@@ -230,14 +447,32 @@ impl MemoryHierarchy {
         self.huge_ranges
             .push((region.base, region.base + region.size));
         self.huge_ranges.sort_unstable();
-        // The vpage → page-key mapping just changed; drop the memos.
+        // The vpage → page-key mapping just changed; drop the memos and
+        // every armed signature (their recorded page keys are stale).
         for c in &mut self.cores {
             c.last_vpage = NONE64;
         }
+        for t in &mut self.armed {
+            t.clear();
+        }
+        self.key_memo.fill((NONE64, 0));
     }
 
     #[inline]
     fn page_key(&mut self, addr: u64) -> u64 {
+        let vpage = addr >> 12;
+        let slot = (vpage & (self.key_memo.len() as u64 - 1)) as usize;
+        let (v, k) = self.key_memo[slot];
+        if v == vpage {
+            return k;
+        }
+        let k = self.page_key_slow(addr);
+        self.key_memo[slot] = (vpage, k);
+        k
+    }
+
+    #[cold]
+    fn page_key_slow(&mut self, addr: u64) -> u64 {
         // The huge-page marker bit must stay clear of any real 4-KiB key:
         // simulated addresses come from the bump allocator (base 0x1_0000,
         // spans of at most tens of MiB), so `addr >> 12` is far below
@@ -354,11 +589,8 @@ impl MemoryHierarchy {
             };
             return Cost::stall_cycles(self.lat.l1_hit_cy * factor);
         }
-        // Host-side overlap: start the (host-cold) LLC slot-row load
-        // now so it rides out the TLB and L1/L2 lookups below.
-        self.llc.prefetch_row(addr);
-        let mut cost = self.translate(core, addr);
-        let (level, stall) = self.touch(core, addr, kind);
+        let mut cost = self.translate::<true>(core, addr);
+        let (level, stall) = self.touch::<true>(core, addr, kind);
         cost += stall;
         // Bookkeeping only; `level` is also useful to callers via counters.
         let _ = level;
@@ -381,7 +613,7 @@ impl MemoryHierarchy {
     }
 
     #[inline]
-    fn translate(&mut self, core: usize, addr: u64) -> Cost {
+    fn translate<const COUNT: bool>(&mut self, core: usize, addr: u64) -> Cost {
         // Same 4-KiB vpage as the previous translation ⇒ same page key ⇒
         // a guaranteed free DTLB hit: skip the range search entirely.
         let vpage = addr >> 12;
@@ -394,12 +626,16 @@ impl MemoryHierarchy {
         match self.cores[core].tlb.translate_page(key) {
             TlbOutcome::Dtlb => Cost::ZERO,
             TlbOutcome::Stlb => {
-                self.counters.dtlb_misses += 1;
+                if COUNT {
+                    self.counters.dtlb_misses += 1;
+                }
                 Cost::stall_cycles(self.lat.stlb_hit_cy)
             }
             TlbOutcome::Walk => {
-                self.counters.dtlb_misses += 1;
-                self.counters.page_walks += 1;
+                if COUNT {
+                    self.counters.dtlb_misses += 1;
+                    self.counters.page_walks += 1;
+                }
                 Cost {
                     instructions: 0,
                     cycles: self.lat.walk_cy,
@@ -410,8 +646,13 @@ impl MemoryHierarchy {
     }
 
     #[inline]
-    fn touch(&mut self, core: usize, addr: u64, kind: AccessKind) -> (Level, Cost) {
-        let (level, raw) = self.touch_raw(core, addr, kind);
+    fn touch<const COUNT: bool>(
+        &mut self,
+        core: usize,
+        addr: u64,
+        kind: AccessKind,
+    ) -> (Level, Cost) {
+        let (level, raw) = self.touch_raw::<COUNT>(core, addr, kind);
         if kind == AccessKind::Store {
             // Store buffers hide most of a store miss's latency.
             let f = self.lat.store_stall_factor;
@@ -428,23 +669,66 @@ impl MemoryHierarchy {
         }
     }
 
-    fn touch_raw(&mut self, core: usize, addr: u64, kind: AccessKind) -> (Level, Cost) {
+    fn touch_raw<const COUNT: bool>(
+        &mut self,
+        core: usize,
+        addr: u64,
+        kind: AccessKind,
+    ) -> (Level, Cost) {
+        // Signature invalidation: this touch may displace the MRU of its
+        // L1 set, so any armed program whose line set covers that set can
+        // no longer prove residency (unless the touch IS one of the
+        // program's own lines — see `on_touch`). One AND in the common
+        // (nothing armed / no overlap) case.
+        if self.armed[core].mask != 0 {
+            let bit = 1u64 << (self.cores[core].l1.set_index(addr) & 63);
+            self.armed[core].on_touch(bit, addr & !(LINE - 1));
+        }
         let is_load = kind == AccessKind::Load;
-        if is_load {
-            self.counters.loads += 1;
-        } else {
-            self.counters.stores += 1;
+        if COUNT {
+            if is_load {
+                self.counters.loads += 1;
+            } else {
+                self.counters.stores += 1;
+            }
+        }
+
+        let line = addr & !(LINE - 1);
+        if self.fast && !self.resident.contains(line) {
+            // The resident filter proves this line sits in no core's
+            // L1/L2 (every private fill inserts it), so the hit scans
+            // cannot succeed: allocate straight away. Streaming lines —
+            // fresh DMA payload, wrapped ring slots — take this path
+            // every packet.
+            if COUNT && is_load {
+                self.counters.l1d_load_misses += 1;
+            }
+            self.resident.insert(line);
+            // Host-side overlap: the LLC slot array is the one structure
+            // too big for the host's near caches, so start its row load
+            // now and let it ride out the private-cache fills.
+            self.llc.prefetch_row(addr);
+            let c = &mut self.cores[core];
+            // L1/L2 victims vanish silently (inclusive LLC still holds
+            // them), exactly as on the scan path below.
+            c.l1.alloc_absent(addr);
+            c.l2.alloc_absent(addr);
+            return self.touch_llc::<COUNT>(addr, is_load);
         }
 
         if self.cores[core].l1.access(addr).hit {
             return (Level::L1, Cost::stall_cycles(self.lat.l1_hit_cy));
         }
-        if is_load {
+        if COUNT && is_load {
             self.counters.l1d_load_misses += 1;
         }
-        // Host-side overlap: the LLC slot array is the one structure too
-        // big for the host's near caches, so start its row load now and
-        // let it ride out the L2 lookup.
+        // The line is about to be filled into this core's L1 (and
+        // possibly L2): record it as possibly-core-resident so future
+        // DMA/back-invalidations know to scan.
+        if self.fast {
+            self.resident.insert(line);
+        }
+        // Host-side overlap (see above).
         self.llc.prefetch_row(addr);
 
         // Note on fills: `access` allocates on miss, so by this point the
@@ -453,12 +737,18 @@ impl MemoryHierarchy {
         if self.cores[core].l2.access(addr).hit {
             return (Level::L2, Cost::stall_cycles(self.lat.l2_hit_cy));
         }
+        self.touch_llc::<COUNT>(addr, is_load)
+    }
 
-        // Reached the LLC.
-        if is_load {
-            self.counters.llc_loads += 1;
-        } else {
-            self.counters.llc_stores += 1;
+    /// The shared tail of a demand touch that missed both private
+    /// levels: LLC lookup in the demand ways, then DRAM.
+    fn touch_llc<const COUNT: bool>(&mut self, addr: u64, is_load: bool) -> (Level, Cost) {
+        if COUNT {
+            if is_load {
+                self.counters.llc_loads += 1;
+            } else {
+                self.counters.llc_stores += 1;
+            }
         }
 
         // Demand fills take the non-DDIO ways: the NIC's write stream
@@ -471,10 +761,12 @@ impl MemoryHierarchy {
         }
 
         // DRAM. Fill all levels; back-invalidate on LLC eviction.
-        if is_load {
-            self.counters.llc_load_misses += 1;
-        } else {
-            self.counters.llc_store_misses += 1;
+        if COUNT {
+            if is_load {
+                self.counters.llc_load_misses += 1;
+            } else {
+                self.counters.llc_store_misses += 1;
+            }
         }
         if let Some(evicted) = out.evicted {
             self.back_invalidate(evicted);
@@ -483,12 +775,25 @@ impl MemoryHierarchy {
     }
 
     fn back_invalidate(&mut self, line: u64) {
-        for c in &mut self.cores {
+        // A line absent from the resident filter is provably in no
+        // core's L1/L2, matches no last-line memo (memo lines are
+        // L1-resident by invariant) and belongs to no armed signature
+        // (armed lines are L1-resident while valid) — the scan would be
+        // a no-op, so skip it. Present lines are removed: the scan below
+        // purges every private copy.
+        if self.fast && !self.resident.remove(line) {
+            return;
+        }
+        let bit = 1u64 << (self.cores[0].l1.set_index(line) & 63);
+        for (c, t) in self.cores.iter_mut().zip(self.armed.iter_mut()) {
             c.l1.invalidate(line);
             c.l2.invalidate(line);
             if c.last_line == line {
                 c.last_line = NONE64;
             }
+            // Cross-core LLC evictions must also break signatures armed
+            // on other cores (the line may be one of theirs).
+            t.on_conflict(bit);
         }
     }
 
@@ -511,18 +816,34 @@ impl MemoryHierarchy {
                 // Core caches are inclusive in the LLC (every fill goes
                 // through it, every LLC eviction back-invalidates), so
                 // stale core copies can exist only when the LLC held the
-                // line — skip the per-core scans otherwise.
-                for c in &mut self.cores {
-                    c.l1.invalidate(line);
-                    c.l2.invalidate(line);
-                    if c.last_line == line {
-                        c.last_line = NONE64;
+                // line — and only when some core actually demand-filled
+                // it (resident filter). Skip the per-core scans
+                // otherwise.
+                if !self.fast || self.resident.remove(line) {
+                    let bit = 1u64 << (self.cores[0].l1.set_index(line) & 63);
+                    for (c, t) in self.cores.iter_mut().zip(self.armed.iter_mut()) {
+                        c.l1.invalidate(line);
+                        c.l2.invalidate(line);
+                        if c.last_line == line {
+                            c.last_line = NONE64;
+                        }
+                        t.on_conflict(bit);
                     }
                 }
             } else if let Some(evicted) = out.evicted {
                 self.back_invalidate(evicted);
             }
             line += LINE;
+        }
+    }
+
+    /// Charges a heterogeneous DMA-write charge set — several disjoint
+    /// spans delivered by one NIC event (payload plus descriptor) — in
+    /// one call. Exactly equivalent to calling [`Self::dma_write`] on
+    /// each span in order.
+    pub fn dma_write_set(&mut self, spans: &[(u64, u64)]) {
+        for &(addr, len) in spans {
+            self.dma_write(addr, len);
         }
     }
 
@@ -539,6 +860,22 @@ impl MemoryHierarchy {
     /// to DRAM (DDIO overflow) cannot be issued early enough and exposes
     /// part of the memory latency.
     pub fn prefetch(&mut self, core: usize, addr: u64, len: u64) -> Cost {
+        let before = self.attribution.is_some().then_some(self.counters);
+        let cost = self.prefetch_raw(core, addr, len);
+        if let Some(before) = before {
+            let delta = self.counters.delta_since(&before);
+            if let Some(attr) = &mut self.attribution {
+                attr.add_counters(&delta);
+            }
+        }
+        cost
+    }
+
+    /// [`Self::prefetch`] without the attribution update (program
+    /// resolution batches one update over the whole charge set). The only
+    /// counter a prefetch can move is `prefetch_misses`, so the caller's
+    /// windowed delta attributes exactly what the inline update did.
+    fn prefetch_raw(&mut self, core: usize, addr: u64, len: u64) -> Cost {
         let mut cost = Cost::ZERO;
         let n = lines_spanned(addr, len);
         let mut line = addr & !(LINE - 1);
@@ -557,26 +894,21 @@ impl MemoryHierarchy {
             // not j. The later probe therefore sees exactly the state
             // the probe-first ordering would.
             for _ in 0..n {
-                let saved = self.counters;
-                let (level, _) = self.touch(core, line, AccessKind::Load);
-                let _ = self.translate(core, line);
+                // Quiet variants: a prefetch moves cache/TLB state but
+                // counts no demand events (the save/restore of the whole
+                // counter block this replaces was two 96-byte copies per
+                // line).
+                let (level, _) = self.touch::<false>(core, line, AccessKind::Load);
+                let _ = self.translate::<false>(core, line);
                 self.cores[core].last_line = line;
-                self.counters = saved;
                 if level == Level::Dram {
                     cost += Cost::stall_ns(self.lat.dram_ns * 0.3);
                     self.counters.prefetch_misses += 1;
-                    if let Some(attr) = &mut self.attribution {
-                        attr.add_counters(&MemCounters {
-                            prefetch_misses: 1,
-                            ..MemCounters::default()
-                        });
-                    }
                 }
                 line += LINE;
             }
             return cost;
         }
-        let mut missed = 0u64;
         for _ in 0..n {
             if !self.llc.probe(line)
                 && !self.cores[core].l2.probe(line)
@@ -584,17 +916,8 @@ impl MemoryHierarchy {
             {
                 cost += Cost::stall_ns(self.lat.dram_ns * 0.3);
                 self.counters.prefetch_misses += 1;
-                missed += 1;
             }
             line += LINE;
-        }
-        if missed > 0 {
-            if let Some(attr) = &mut self.attribution {
-                attr.add_counters(&MemCounters {
-                    prefetch_misses: missed,
-                    ..MemCounters::default()
-                });
-            }
         }
         self.warm(core, addr, len);
         cost
@@ -607,14 +930,316 @@ impl MemoryHierarchy {
         let n = lines_spanned(addr, len);
         let mut line = addr & !(LINE - 1);
         for _ in 0..n {
-            let _ = self.touch(core, line, AccessKind::Load);
-            let _ = self.translate(core, line);
+            let _ = self.touch::<true>(core, line, AccessKind::Load);
+            let _ = self.translate::<true>(core, line);
             // Maintain the last-line invariant: `line` is now this
             // core's most recent touch and sits MRU in its L1 set.
             self.cores[core].last_line = line;
             line += LINE;
         }
         self.counters = saved;
+    }
+
+    // ----- batched access programs + signature memoization --------------
+
+    /// Resolves a precompiled [`AccessProgram`] against the hierarchy:
+    /// the whole heterogeneous charge set of one touch site in one call.
+    ///
+    /// Semantically **identical** to executing the program's step
+    /// sequence through [`Self::access_range`] / [`Self::prefetch`] /
+    /// [`Cost::compute`] one call at a time — same costs to the same
+    /// `f64` bit, same counters, same cache/TLB state — but resolved in
+    /// one tight loop with a single attribution update, and memoized
+    /// outright when the program's access signature is armed: if every
+    /// line was left L1-MRU-resident by a previous run with the same
+    /// bases and nothing has disturbed those sets since, the
+    /// recorded per-step deltas are replayed with no per-line work at
+    /// all. Signatures are invalidated exactly (conservatively by L1
+    /// set) on any overlapping touch, DMA invalidation, cross-core LLC
+    /// back-invalidation, private-cache flush, or hugepage remap.
+    ///
+    /// `bases` supplies the program's base registers; cost is
+    /// accumulated into `acc` step by step (the caller's accumulation
+    /// order is part of the contract — `f64` addition is not
+    /// associative).
+    pub fn run_program(
+        &mut self,
+        core: usize,
+        prog: &AccessProgram,
+        bases: &[u64],
+        acc: &mut Cost,
+    ) {
+        debug_assert!(bases.len() >= prog.base_count(), "missing base registers");
+        if !self.fast {
+            self.run_program_reference(core, prog, bases, acc);
+            return;
+        }
+        let before = self.attribution.is_some().then_some(self.counters);
+        if !self.try_replay(core, prog, bases, acc) {
+            for step in &prog.steps {
+                match step.op {
+                    StepOp::Compute(n) => *acc += Cost::compute(u64::from(n)),
+                    StepOp::Charge(c) => *acc += c,
+                    StepOp::Prefetch => {
+                        let a = step.addr(bases);
+                        *acc += self.prefetch_raw(core, a, u64::from(step.len));
+                    }
+                    StepOp::Load | StepOp::Store => {
+                        let kind = if matches!(step.op, StepOp::Load) {
+                            AccessKind::Load
+                        } else {
+                            AccessKind::Store
+                        };
+                        let a = step.addr(bases);
+                        let n = lines_spanned(a, u64::from(step.len));
+                        let mut span = Cost::ZERO;
+                        let mut line = a & !(LINE - 1);
+                        for _ in 0..n {
+                            span += self.access_line_raw(core, line, kind);
+                            line += LINE;
+                        }
+                        *acc += span;
+                    }
+                }
+            }
+            self.try_arm(core, prog, bases);
+        }
+        if let Some(before) = before {
+            let delta = self.counters.delta_since(&before);
+            if let Some(attr) = &mut self.attribution {
+                attr.add_counters(&delta);
+            }
+        }
+    }
+
+    /// Reference resolver: the original unbatched per-call sequence.
+    fn run_program_reference(
+        &mut self,
+        core: usize,
+        prog: &AccessProgram,
+        bases: &[u64],
+        acc: &mut Cost,
+    ) {
+        for step in &prog.steps {
+            match step.op {
+                StepOp::Compute(n) => *acc += Cost::compute(u64::from(n)),
+                StepOp::Charge(c) => *acc += c,
+                StepOp::Prefetch => {
+                    *acc += self.prefetch(core, step.addr(bases), u64::from(step.len));
+                }
+                StepOp::Load => {
+                    *acc += self.access_range(
+                        core,
+                        step.addr(bases),
+                        u64::from(step.len),
+                        AccessKind::Load,
+                    );
+                }
+                StepOp::Store => {
+                    *acc += self.access_range(
+                        core,
+                        step.addr(bases),
+                        u64::from(step.len),
+                        AccessKind::Store,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Replays an armed signature if its hit-state class provably still
+    /// holds. Returns false (and changes nothing) otherwise.
+    fn try_replay(
+        &mut self,
+        core: usize,
+        prog: &AccessProgram,
+        bases: &[u64],
+        acc: &mut Cost,
+    ) -> bool {
+        if !prog.memoize {
+            // Never armed, so never in the table: skip the scan.
+            return false;
+        }
+        // Split-borrow the table (shared) apart from cores/counters
+        // (mutated below) so the half-KiB entry is read in place, never
+        // copied.
+        let MemoryHierarchy {
+            armed,
+            cores,
+            counters,
+            ..
+        } = self;
+        let Some(i) = armed[core].find_idx(prog.id, prog.n_bases, bases) else {
+            return false;
+        };
+        let e = &armed[core].entries[i];
+        // Residency of the lines is guaranteed by the entry's validity
+        // (any disturbance of a covered L1 set kills it); every page
+        // translation must additionally still be a free DTLB hit.
+        // Simulate the walk's TLB trajectory over the recorded
+        // distinct-consecutive page groups: `cur_v` tracks the core's
+        // last-vpage memo, `cur_k` the TLB's last-page slot. A group
+        // matching `cur_v` repeats the memo; one matching `cur_k`
+        // early-returns inside the TLB; anything else must be
+        // DTLB-resident, and is collected so the replay can apply the
+        // hit's real recency promotion (hits never evict, so checking
+        // all pages against the entry-time DTLB stays exact even though
+        // the promotions land afterwards).
+        let c = &mut cores[core];
+        let mut touched = [0u64; ARMED_MAX_PAGES];
+        let mut n_touched = 0usize;
+        let (cur_v, cur_k) = {
+            let mut cur_v = c.last_vpage;
+            let mut cur_k = c.tlb.last_page();
+            let mut ok = true;
+            for j in 0..usize::from(e.n_pages) {
+                let v = e.vpages[j];
+                if v == cur_v {
+                    continue;
+                }
+                cur_v = v;
+                let k = e.keys[j];
+                if k == cur_k {
+                    continue;
+                }
+                if !c.tlb.dtlb_resident(k) {
+                    ok = false;
+                    break;
+                }
+                touched[n_touched] = k;
+                n_touched += 1;
+                cur_k = k;
+            }
+            if !ok {
+                return false;
+            }
+            (cur_v, cur_k)
+        };
+        for cost in &e.costs[..usize::from(e.n_steps)] {
+            *acc += *cost;
+        }
+        counters.loads += e.loads;
+        counters.stores += e.stores;
+        for &k in &touched[..n_touched] {
+            c.tlb.dtlb_touch(k);
+        }
+        c.tlb.replay_hits(e.tlb_hits, cur_k);
+        c.last_vpage = cur_v;
+        c.last_line = e.last_line;
+        true
+    }
+
+    /// After a walk: if every line of the program now sits L1-MRU and its
+    /// pages form a short distinct-consecutive sequence, record the
+    /// signature — the next run with the same bases replays it. The probe
+    /// is pure arithmetic plus one slot-0 tag compare per line.
+    fn try_arm(&mut self, core: usize, prog: &AccessProgram, bases: &[u64]) {
+        if !prog.memoize
+            || prog.steps.len() > ARMED_MAX_STEPS
+            || usize::from(prog.n_bases) > ARMED_MAX_BASES
+            || prog.mem_lines == 0
+            || prog.mem_lines > ARMED_MAX_LINES
+        {
+            return;
+        }
+        let mut vpages = [0u64; ARMED_MAX_PAGES];
+        let mut n_pages = 0usize;
+        let mut lines = [0u64; ARMED_MAX_LINES as usize];
+        let mut n_lines = 0usize;
+        let mut mask = 0u64;
+        let mut last_line = NONE64;
+        let (mut loads, mut stores, mut tlb_hits) = (0u64, 0u64, 0u64);
+        let mut costs = [Cost::ZERO; ARMED_MAX_STEPS];
+        // The all-L1-hit per-line constants. Both walk paths (last-line
+        // filter and slot-0 touch) produce exactly these bits: the
+        // filter path computes `l1_hit_cy * factor` directly, the touch
+        // path computes `l1_hit_cy` then scales stores by the same
+        // factor (and `0.0 * f == 0.0` for the untouched uncore field).
+        let load_hit = Cost::stall_cycles(self.lat.l1_hit_cy);
+        let store_hit = Cost::stall_cycles(self.lat.l1_hit_cy * self.lat.store_stall_factor);
+        let c = &self.cores[core];
+        for (i, step) in prog.steps.iter().enumerate() {
+            match step.op {
+                StepOp::Compute(n) => costs[i] = Cost::compute(u64::from(n)),
+                StepOp::Charge(cost) => costs[i] = cost,
+                _ => {
+                    let a = step.addr(bases);
+                    let n = lines_spanned(a, u64::from(step.len));
+                    let mut line = a & !(LINE - 1);
+                    let mut span = Cost::ZERO;
+                    for _ in 0..n {
+                        let vp = line >> 12;
+                        if n_pages == 0 || vpages[n_pages - 1] != vp {
+                            if n_pages == ARMED_MAX_PAGES {
+                                return;
+                            }
+                            vpages[n_pages] = vp;
+                            n_pages += 1;
+                        }
+                        if !c.l1.is_mru(line) {
+                            return;
+                        }
+                        if n_lines == lines.len() {
+                            return;
+                        }
+                        lines[n_lines] = line;
+                        n_lines += 1;
+                        mask |= 1u64 << (c.l1.set_index(line) & 63);
+                        match step.op {
+                            StepOp::Load => {
+                                loads += 1;
+                                span += load_hit;
+                            }
+                            StepOp::Store => {
+                                stores += 1;
+                                span += store_hit;
+                            }
+                            _ => span += Cost::ZERO,
+                        }
+                        tlb_hits += 1;
+                        last_line = line;
+                        line += LINE;
+                    }
+                    costs[i] = span;
+                }
+            }
+        }
+        let mut keys = [0u64; ARMED_MAX_PAGES];
+        for j in 0..n_pages {
+            keys[j] = self.page_key(vpages[j] << 12);
+        }
+        let mut entry_bases = [0u64; ARMED_MAX_BASES];
+        entry_bases[..usize::from(prog.n_bases)]
+            .copy_from_slice(&bases[..usize::from(prog.n_bases)]);
+        self.armed[core].install(ArmedEntry {
+            prog_id: prog.id,
+            bases: entry_bases,
+            vpages,
+            keys,
+            lines,
+            mask,
+            last_line,
+            tlb_hits,
+            loads,
+            stores,
+            n_steps: prog.steps.len() as u8,
+            n_bases: prog.n_bases,
+            n_pages: n_pages as u8,
+            n_lines: n_lines as u8,
+            valid: true,
+            costs,
+        });
+    }
+
+    /// Flushes this core's private L1/L2 (the shared LLC and the TLB are
+    /// untouched) and drops the core's memos and armed signatures.
+    pub fn flush_private(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        c.l1.flush();
+        c.l2.flush();
+        c.last_line = NONE64;
+        c.last_vpage = NONE64;
+        self.armed[core].clear();
     }
 
     // ----- scoped attribution (profiling) -------------------------------
@@ -914,5 +1539,145 @@ mod tests {
         let mut p = HierarchyParams::skylake(1);
         p.ddio_ways = 99;
         let _ = MemoryHierarchy::new(&p);
+    }
+
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn program_signature_arms_and_replays() {
+        let mut m = tiny();
+        // Two pages, lines in distinct L1 sets (the MRU arming
+        // precondition), plus a compute step.
+        let prog = ProgramBuilder::new()
+            .load(0, 0, 8)
+            .load(1, 0, 8)
+            .compute(3)
+            .build();
+        let bases = [0x10_000, 0x11_040];
+        let mut first = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut first);
+        assert!(
+            m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_some(),
+            "the cold walk must arm the signature"
+        );
+        let walks = m.counters().page_walks;
+        let mut second = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut second);
+        assert_eq!(second.uncore_ns, 0.0, "replay is the all-L1-hit outcome");
+        assert!(
+            second.cycles < first.cycles,
+            "no walk/miss stalls on replay"
+        );
+        assert_eq!(m.counters().page_walks, walks, "replay adds no page walks");
+        assert_eq!(m.counters().loads, 4, "replay still counts demand loads");
+        assert!(
+            m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_some(),
+            "replay leaves the signature armed"
+        );
+    }
+
+    #[test]
+    fn own_line_touch_keeps_signature_foreign_set_touch_kills_it() {
+        let mut m = tiny();
+        let prog = ProgramBuilder::new().load(0, 0, 8).build();
+        let bases = [0x20_000];
+        let mut c = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c);
+        assert!(m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_some());
+        // Re-touching the program's own line is a slot-0 hit that
+        // displaces nothing: the signature survives (an element reading
+        // its own state every packet must not self-invalidate).
+        m.access(0, 0x20_000, 8, AccessKind::Load);
+        assert!(
+            m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_some(),
+            "own-line MRU re-hit must not invalidate"
+        );
+        // A different line on the same L1 set (tiny L1: 4 sets, stride
+        // 256 B) disturbs the set and must kill it.
+        m.access(0, 0x20_100, 8, AccessKind::Load);
+        assert!(
+            m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_none(),
+            "foreign same-set touch must invalidate"
+        );
+    }
+
+    /// The multi-core regression: a signature armed on one core must die
+    /// when *another* core's traffic evicts its line from the inclusive
+    /// LLC (the back-invalidation purges the owner's L1/L2 copy, so the
+    /// recorded all-hit outcome no longer holds).
+    #[test]
+    fn cross_core_llc_eviction_invalidates_signature() {
+        let mut m = tiny();
+        let prog = ProgramBuilder::new().load(0, 0, 8).build();
+        let bases = [0x0];
+        let mut c = Cost::ZERO;
+        m.run_program(1, &prog, &bases, &mut c);
+        assert!(m.armed[1].find_idx(prog.id, prog.n_bases, &bases).is_some());
+        // Core 0 streams through the same LLC set (32 sets, stride
+        // 2048 B) until core 1's line is evicted.
+        for i in 1..=8u64 {
+            m.access(0, i * 2048, 8, AccessKind::Load);
+        }
+        assert_eq!(m.probe_level(1, 0x0), Level::Dram, "line must be gone");
+        assert!(
+            m.armed[1].find_idx(prog.id, prog.n_bases, &bases).is_none(),
+            "cross-core LLC eviction must invalidate the signature"
+        );
+        // The next run walks again and pays DRAM, exactly like a cold
+        // access would.
+        let mut again = Cost::ZERO;
+        m.run_program(1, &prog, &bases, &mut again);
+        assert!(
+            again.uncore_ns >= LatencyModel::default().dram_ns,
+            "post-eviction run must miss to DRAM, not replay"
+        );
+    }
+
+    #[test]
+    fn dma_write_invalidates_signature() {
+        let mut m = tiny();
+        let prog = ProgramBuilder::new().load(0, 0, 8).build();
+        let bases = [0x3000];
+        let mut c = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c);
+        assert!(m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_some());
+        m.dma_write(0x3000, 64);
+        assert!(
+            m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_none(),
+            "DMA overwrite must invalidate the signature"
+        );
+    }
+
+    #[test]
+    fn hugepage_remap_drops_signatures() {
+        let mut m = tiny();
+        let prog = ProgramBuilder::new().load(0, 0, 8).build();
+        let bases = [0x5000];
+        let mut c = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c);
+        assert!(m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_some());
+        // Remapping changes page keys: every recorded signature is stale.
+        m.mark_hugepages(crate::Region {
+            base: 0x100_000,
+            size: 0x200_000,
+        });
+        assert!(
+            m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_none(),
+            "hugepage remap must drop all signatures"
+        );
+    }
+
+    #[test]
+    fn no_memoize_programs_never_arm() {
+        let mut m = tiny();
+        let prog = ProgramBuilder::new().no_memoize().load(0, 0, 8).build();
+        let bases = [0x6000];
+        let mut c = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c);
+        m.run_program(0, &prog, &bases, &mut c);
+        assert!(
+            m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_none(),
+            "no_memoize programs must never be armed"
+        );
     }
 }

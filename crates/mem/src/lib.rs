@@ -32,6 +32,8 @@ pub mod classic;
 pub mod cost;
 pub mod hierarchy;
 pub mod profile;
+pub mod program;
+pub(crate) mod resident;
 pub mod tlb;
 
 pub use address::{AddressSpace, Region, ScatterAlloc};
@@ -42,6 +44,7 @@ pub use hierarchy::{AccessKind, HierarchyParams, Level, MemCounters, MemoryHiera
 pub use profile::{
     ScopeId, ScopeProfile, SCOPE_MEMPOOL, SCOPE_METADATA, SCOPE_RX, SCOPE_SCHEDULER, SCOPE_TX,
 };
+pub use program::{AccessProgram, ProgramBuilder, StepOp};
 pub use tlb::Tlb;
 
 /// Cache-line size used throughout the simulator (bytes).

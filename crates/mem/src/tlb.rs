@@ -122,6 +122,57 @@ impl Tlb {
         self.accesses += 1;
     }
 
+    /// Returns true if translating `page` right now would be a free DTLB
+    /// hit that changes no replacement state: either it is the last-page
+    /// memo, or it sits in the DTLB's MRU slot for its set. No state
+    /// change — this is the residency proof the hierarchy's
+    /// access-signature replay uses.
+    #[inline]
+    pub fn replay_class(&self, page: u64) -> bool {
+        page == self.last_page || self.dtlb.is_mru(page * 8)
+    }
+
+    /// The page in the last-page memo slot (the hierarchy's replay
+    /// simulation starts its walk from here).
+    #[inline]
+    pub(crate) fn last_page(&self) -> u64 {
+        self.last_page
+    }
+
+    /// Whether `page` is DTLB-resident in *any* way, so a translation
+    /// would be a free hit — possibly reordering its set's recency
+    /// state, which the hierarchy's signature replay applies for real
+    /// via [`Tlb::dtlb_touch`]. Unlike [`Tlb::replay_class`] this
+    /// ignores the last-page memo — the replay simulation tracks that
+    /// separately as it walks. No state change.
+    #[inline]
+    pub(crate) fn dtlb_resident(&self, page: u64) -> bool {
+        self.dtlb.probe(page * 8)
+    }
+
+    /// Applies the state effect of one real DTLB-hit translation of
+    /// `page` (proven resident by [`Tlb::dtlb_resident`]): exactly the
+    /// `dtlb.access` promotion [`Tlb::translate_page`] performs, minus
+    /// the access count and last-page memo, which [`Tlb::replay_hits`]
+    /// batches at the end of the replayed walk.
+    #[inline]
+    pub(crate) fn dtlb_touch(&mut self, page: u64) {
+        let hit = self.dtlb.access(page * 8).hit;
+        debug_assert!(hit, "replay touch of a non-resident page");
+    }
+
+    /// Replays `n` translations of `page`, all proven free DTLB hits by
+    /// [`Tlb::replay_class`]: bumps the access count and installs `page`
+    /// as the last-page memo — exactly the state a walk of `n` same-page
+    /// lines would leave (the first translation either repeats the memo
+    /// or MRU-hits the DTLB without reordering it; the rest repeat).
+    #[inline]
+    pub fn replay_hits(&mut self, n: u64, page: u64) {
+        debug_assert!(self.replay_class(page), "replaying a non-resident page");
+        self.accesses += n;
+        self.last_page = page;
+    }
+
     /// Total translations requested.
     pub fn accesses(&self) -> u64 {
         self.accesses

@@ -291,7 +291,6 @@ impl Nic {
         self.rx_pcie_free = delivery;
 
         dma.write_packet(buf.buf_id, frame);
-        mem.dma_write(buf.data_addr, frame.len() as u64);
         let desc_addr = self.rx[q].push_completion(Completion {
             buf_id: buf.buf_id,
             data_addr: buf.data_addr,
@@ -302,7 +301,9 @@ impl Nic {
             seq,
             desc_addr: 0, // filled by push_completion
         });
-        mem.dma_write(desc_addr, DESC_BYTES);
+        // One NIC event writes payload then completion descriptor: a
+        // heterogeneous two-span DDIO charge set, payload lines first.
+        mem.dma_write_set(&[(buf.data_addr, frame.len() as u64), (desc_addr, DESC_BYTES)]);
 
         self.stats.rx_packets += 1;
         self.stats.rx_bytes += frame.len() as u64;

@@ -11,6 +11,12 @@
 #[derive(Debug, Clone)]
 pub struct Toeplitz {
     key: [u8; 40],
+    /// Per-(byte position, byte value) hash contributions for the
+    /// 12-byte IPv4 4-tuple input. Toeplitz is linear over GF(2) in the
+    /// input bits, so the hash of any 12-byte input is the XOR of one
+    /// table entry per byte — the same trick DPDK's software RSS uses.
+    /// Built once per key; pure precomputation, no behaviour change.
+    v4_tables: Box<[[u32; 256]; 12]>,
 }
 
 /// Microsoft's RSS verification key (from the RSS specification; also the
@@ -24,12 +30,33 @@ pub const MSFT_KEY: [u8; 40] = [
 impl Toeplitz {
     /// Creates a hasher with the standard Microsoft key.
     pub fn microsoft() -> Self {
-        Toeplitz { key: MSFT_KEY }
+        Self::with_key(MSFT_KEY)
     }
 
     /// Creates a hasher with a custom 40-byte key.
     pub fn with_key(key: [u8; 40]) -> Self {
-        Toeplitz { key }
+        // 32-bit window of the key starting at bit `g` (MSB-first).
+        let window = |g: usize| -> u32 {
+            let mut w = 0u64;
+            for i in 0..5 {
+                w = (w << 8) | u64::from(key[g / 8 + i]);
+            }
+            (w >> (8 - g % 8)) as u32
+        };
+        let mut v4_tables: Box<[[u32; 256]; 12]> =
+            vec![[0u32; 256]; 12].into_boxed_slice().try_into().unwrap();
+        for (i, table) in v4_tables.iter_mut().enumerate() {
+            for (v, slot) in table.iter_mut().enumerate() {
+                let mut h = 0u32;
+                for bit in (0..8).rev() {
+                    if v >> bit & 1 == 1 {
+                        h ^= window(8 * i + (7 - bit));
+                    }
+                }
+                *slot = h;
+            }
+        }
+        Toeplitz { key, v4_tables }
     }
 
     /// Hashes an arbitrary input (each bit selects a shifted 32-bit window
@@ -69,7 +96,11 @@ impl Toeplitz {
         input[4..8].copy_from_slice(&dst);
         input[8..10].copy_from_slice(&src_port.to_be_bytes());
         input[10..12].copy_from_slice(&dst_port.to_be_bytes());
-        self.hash(&input)
+        let mut h = 0u32;
+        for (i, &b) in input.iter().enumerate() {
+            h ^= self.v4_tables[i][usize::from(b)];
+        }
+        h
     }
 }
 
@@ -128,6 +159,34 @@ mod tests {
         // 24.19.198.95:12898 -> 12.22.207.184:38024
         let h = t.hash_v4_tuple([24, 19, 198, 95], [12, 22, 207, 184], 12898, 38024);
         assert_eq!(h, 0x5c2b_394a);
+    }
+
+    /// The per-byte table path must agree with the bit-serial reference
+    /// `hash` for arbitrary tuples (and arbitrary keys).
+    #[test]
+    fn v4_tables_match_bit_serial_hash() {
+        let mut key = [0u8; 40];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        for t in [Toeplitz::microsoft(), Toeplitz::with_key(key)] {
+            let mut x = 0x1234_5678_9abc_def0u64;
+            for _ in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let b = x.to_be_bytes();
+                let src = [b[0], b[1], b[2], b[3]];
+                let dst = [b[4], b[5], b[6], b[7]];
+                let (sp, dp) = ((x >> 16) as u16, x as u16);
+                let mut input = [0u8; 12];
+                input[0..4].copy_from_slice(&src);
+                input[4..8].copy_from_slice(&dst);
+                input[8..10].copy_from_slice(&sp.to_be_bytes());
+                input[10..12].copy_from_slice(&dp.to_be_bytes());
+                assert_eq!(t.hash_v4_tuple(src, dst, sp, dp), t.hash(&input));
+            }
+        }
     }
 
     #[test]

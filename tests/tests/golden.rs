@@ -95,6 +95,35 @@ fn fig7_n1_faulted_artifact_matches_committed_fixture() {
     );
 }
 
+/// The multi-core scaling sweep, cores = 2 — PR 6 pinned only the stdout
+/// table (`tests/tests/multicore.rs`); this pins the profiled `--json`
+/// artifact too, so per-stage cycle/miss attribution across the shared
+/// LLC/DDIO path is also locked byte-for-byte.
+#[test]
+fn fig_multicore_c2_profiled_artifact_matches_committed_fixture() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping fig_multicore golden sweep in debug builds (runs under --release)");
+        return;
+    }
+    set_default_profile(true);
+    let a = pm_bench::figures::fig_multicore(2);
+    let json = artifact_document(vec![a.results.to_json("fig-multicore")]).to_pretty() + "\n";
+
+    // PM_WRITE_GOLDEN=1 regenerates the fixture instead of comparing.
+    if std::env::var("PM_WRITE_GOLDEN").is_ok_and(|v| v != "0") {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+        std::fs::write(format!("{dir}/fig-multicore-c2.json"), &json).unwrap();
+        eprintln!("wrote fig_multicore profiled fixture to {dir}");
+        return;
+    }
+
+    assert_same(
+        &json,
+        include_str!("../golden/fig-multicore-c2.json"),
+        "json artifact",
+    );
+}
+
 #[test]
 fn table1_artifact_matches_committed_fixture() {
     if cfg!(debug_assertions) {

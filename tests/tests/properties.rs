@@ -540,6 +540,206 @@ mod mtf_cache {
     }
 }
 
+mod access_programs {
+    use super::*;
+    use pm_mem::{
+        AccessKind, AccessProgram, CacheParams, Cost, HierarchyParams, LatencyModel,
+        MemoryHierarchy, ProgramBuilder, Region, SCOPE_RX,
+    };
+
+    /// Tiny two-core geometry (L1 512 B/2w, L2 2 KiB/2w, LLC 8 KiB/4w,
+    /// DDIO 2 ways) so a few hundred random operations exercise every
+    /// eviction, back-invalidation, and signature-invalidation path.
+    fn params() -> HierarchyParams {
+        HierarchyParams {
+            cores: 2,
+            l1: CacheParams::new(512, 2, 64),
+            l2: CacheParams::new(2048, 2, 64),
+            llc: CacheParams::new(8192, 4, 64),
+            ddio_ways: 2,
+            lat: LatencyModel::default(),
+        }
+    }
+
+    /// Base-address pool, line-aligned, chosen so random scripts produce
+    /// repeats (signature replays), same-L1-set conflicts (stride 256),
+    /// same-LLC-set conflicts (stride 2048), page crossings, and touches
+    /// inside the hugepage-backed region marked at setup (0x40_000..).
+    const BASES: [u64; 8] = [
+        0x0, 0x100, 0x800, 0x1000, 0x10_000, 0x10_800, 0x40_000, 0x41_000,
+    ];
+
+    /// A fixed program zoo covering the shapes the data plane compiles:
+    /// memoizable dispatch and metadata programs, a `no_memoize`
+    /// ring-shaped program, and a payload span too wide to ever arm.
+    fn programs() -> Vec<AccessProgram> {
+        vec![
+            ProgramBuilder::new()
+                .prefetch(0, 0, 64)
+                .load(0, 0, 32)
+                .compute(18)
+                .load(1, 0, 8)
+                .build(),
+            ProgramBuilder::new()
+                .load(0, 0, 8)
+                .store(0, 64, 8)
+                .compute(4)
+                .build(),
+            ProgramBuilder::new()
+                .no_memoize()
+                .load(0, 0, 16)
+                .store(1, 0, 16)
+                .build(),
+            ProgramBuilder::new()
+                .load(0, 0, 1024)
+                .compute(2)
+                .store(1, 0, 64)
+                .build(),
+        ]
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Run {
+            prog: usize,
+            core: usize,
+            b0: u64,
+            b1: u64,
+        },
+        Access {
+            core: usize,
+            addr: u64,
+            kind: AccessKind,
+        },
+        Prefetch {
+            core: usize,
+            addr: u64,
+        },
+        DmaWrite {
+            addr: u64,
+            len: u64,
+        },
+        Flush {
+            core: usize,
+        },
+    }
+
+    fn decode(sel: u8, a: u8, b: u8) -> Op {
+        let core = usize::from(b & 1);
+        let b0 = BASES[usize::from(a) % BASES.len()];
+        let b1 = BASES[usize::from(b >> 1) % BASES.len()];
+        match sel % 8 {
+            0..=3 => Op::Run {
+                prog: usize::from(sel % 4),
+                core,
+                b0,
+                b1,
+            },
+            4 => Op::Access {
+                core,
+                addr: b0 + u64::from((b >> 1) & 3) * 64,
+                kind: if b & 8 != 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+            },
+            5 => Op::Prefetch { core, addr: b0 },
+            6 => Op::DmaWrite {
+                addr: b0,
+                len: 64 + u64::from(b & 3) * 64,
+            },
+            _ => Op::Flush { core },
+        }
+    }
+
+    proptest! {
+        /// Lock-step equivalence of the batched/memoized resolver against
+        /// the reference per-call walk: over arbitrary interleavings of
+        /// program runs, single accesses, prefetches, DMA invalidations,
+        /// and private-cache flushes on two cores, every operation must
+        /// return the bit-identical cost, the aggregate counters must
+        /// match after every operation, and the final residency grid and
+        /// per-scope attribution must be equal. This is the contract that
+        /// makes signature replay and invalidation-scan elision safe to
+        /// ship under the byte-identical golden gate.
+        #[test]
+        fn batched_resolver_matches_reference_walk(
+            script in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..250),
+        ) {
+            let progs = programs();
+            let mut fast = MemoryHierarchy::new(&params());
+            let mut slow = MemoryHierarchy::with_reference_walk(&params());
+            let mut scopes = Vec::new();
+            for m in [&mut fast, &mut slow] {
+                m.enable_attribution();
+                m.mark_hugepages(Region { base: 0x40_000, size: 0x40_000 });
+                scopes.push(m.register_scope("element"));
+            }
+            let (el_fast, el_slow) = (scopes[0], scopes[1]);
+            for (i, &(sel, a, b)) in script.iter().enumerate() {
+                // Flip the attribution scope periodically so per-scope
+                // counter deltas are split at arbitrary points.
+                if i % 16 == 8 {
+                    fast.set_scope(el_fast);
+                    slow.set_scope(el_slow);
+                } else if i % 16 == 0 {
+                    fast.set_scope(SCOPE_RX);
+                    slow.set_scope(SCOPE_RX);
+                }
+                match decode(sel, a, b) {
+                    Op::Run { prog, core, b0, b1 } => {
+                        let p = &progs[prog];
+                        let bases = [b0, b1];
+                        let mut ca = Cost::ZERO;
+                        let mut cb = Cost::ZERO;
+                        fast.run_program(core, p, &bases, &mut ca);
+                        slow.run_program(core, p, &bases, &mut cb);
+                        prop_assert_eq!(
+                            ca, cb,
+                            "op {}: program {} core {} bases {:#x},{:#x}", i, prog, core, b0, b1
+                        );
+                    }
+                    Op::Access { core, addr, kind } => {
+                        let ca = fast.access(core, addr, 8, kind);
+                        let cb = slow.access(core, addr, 8, kind);
+                        prop_assert_eq!(ca, cb, "op {}: access {:#x} core {}", i, addr, core);
+                    }
+                    Op::Prefetch { core, addr } => {
+                        let ca = fast.prefetch(core, addr, 64);
+                        let cb = slow.prefetch(core, addr, 64);
+                        prop_assert_eq!(ca, cb, "op {}: prefetch {:#x} core {}", i, addr, core);
+                    }
+                    Op::DmaWrite { addr, len } => {
+                        fast.dma_write(addr, len);
+                        slow.dma_write(addr, len);
+                    }
+                    Op::Flush { core } => {
+                        fast.flush_private(core);
+                        slow.flush_private(core);
+                    }
+                }
+                prop_assert_eq!(fast.counters(), slow.counters(), "op {}", i);
+            }
+            // Final state: the residency grid over every base's first
+            // lines and the per-scope attribution must agree exactly.
+            for core in 0..2 {
+                for &base in &BASES {
+                    for line in 0..4u64 {
+                        let addr = base + line * 64;
+                        prop_assert_eq!(
+                            fast.probe_level(core, addr),
+                            slow.probe_level(core, addr),
+                            "probe {:#x} core {}", addr, core
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(fast.profile_records(), slow.profile_records());
+        }
+    }
+}
+
 mod event_queue {
     use super::*;
     use pm_sim::{EventQueue, HeapEventQueue, SimTime};
