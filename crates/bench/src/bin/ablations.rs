@@ -9,7 +9,7 @@ use packetmill::{
     ExperimentBuilder, MempoolMode, MetaField, MetadataModel, MetadataSpec, Nf, OptLevel,
     SweepResults, SweepSpec, Table,
 };
-use pm_bench::figures::{write_artifacts, Artifact};
+use pm_bench::figures::{write_cli_outputs, Artifact};
 
 const PACKETS: usize = 40_000;
 
@@ -23,11 +23,8 @@ fn main() {
         ("xchg-spec", xchange_spec_width()),
         ("rx-ring", ring_size_latency()),
     ];
-    if let Some(path) = cli.json {
-        let refs: Vec<(&str, &Artifact)> = groups.iter().map(|(n, a)| (*n, a)).collect();
-        write_artifacts(&path, &refs).expect("write --json artifact");
-        eprintln!("wrote {}", path.display());
-    }
+    let refs: Vec<(&str, &Artifact)> = groups.iter().map(|(n, a)| (*n, a)).collect();
+    write_cli_outputs(&cli, &refs);
 }
 
 fn run(spec: SweepSpec) -> SweepResults {

@@ -110,6 +110,11 @@ fn main() {
             "multi-core scaling sweep, 5 NFs x cores 1..=8",
             || drop(pm_bench::figures::fig_multicore(8)),
         ),
+        (
+            "fig_timeline",
+            "flight-recorder showcase (timeline + trace recording on)",
+            || drop(pm_bench::figures::fig_timeline()),
+        ),
     ];
     let benches: Vec<_> = benches
         .into_iter()

@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig4 artifact on the parallel sweep runner.
 //! Run with `cargo run --release -p pm-bench --bin fig4
-//! [-- --threads N] [--profile] [--json <path>]`
+//! [-- --threads N] [--profile] [--json <path>] [--trace <path>]`
 //! (`PM_THREADS` / `PM_PROFILE=1` work too; default: all cores, no
 //! profiling).
 
@@ -8,9 +8,5 @@ fn main() {
     let cli = packetmill::sweep::configure_from_args();
     let artifact = pm_bench::figures::fig4();
     artifact.emit();
-    if let Some(path) = cli.json {
-        pm_bench::figures::write_artifacts(&path, &[("fig4", &artifact)])
-            .expect("write --json artifact");
-        eprintln!("wrote {}", path.display());
-    }
+    pm_bench::figures::write_cli_outputs(&cli, &[("fig4", &artifact)]);
 }

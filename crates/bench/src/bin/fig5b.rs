@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig5b artifact on the parallel sweep runner.
 //! Run with `cargo run --release -p pm-bench --bin fig5b
-//! [-- --threads N] [--profile] [--json <path>]`
+//! [-- --threads N] [--profile] [--json <path>] [--trace <path>]`
 //! (`PM_THREADS` / `PM_PROFILE=1` work too; default: all cores, no
 //! profiling).
 
@@ -8,9 +8,5 @@ fn main() {
     let cli = packetmill::sweep::configure_from_args();
     let artifact = pm_bench::figures::fig5b();
     artifact.emit();
-    if let Some(path) = cli.json {
-        pm_bench::figures::write_artifacts(&path, &[("fig5b", &artifact)])
-            .expect("write --json artifact");
-        eprintln!("wrote {}", path.display());
-    }
+    pm_bench::figures::write_cli_outputs(&cli, &[("fig5b", &artifact)]);
 }

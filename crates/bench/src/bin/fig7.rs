@@ -34,10 +34,7 @@ fn main() {
         a.emit();
         groups.push(("fig7-n5", a));
     }
-    if let Some(path) = cli.json {
-        let refs: Vec<(&str, &pm_bench::figures::Artifact)> =
-            groups.iter().map(|(n, a)| (*n, a)).collect();
-        pm_bench::figures::write_artifacts(&path, &refs).expect("write --json artifact");
-        eprintln!("wrote {}", path.display());
-    }
+    let refs: Vec<(&str, &pm_bench::figures::Artifact)> =
+        groups.iter().map(|(n, a)| (*n, a)).collect();
+    pm_bench::figures::write_cli_outputs(&cli, &refs);
 }

@@ -10,9 +10,5 @@ fn main() {
     let max_cores = cli.cores.unwrap_or(8);
     let artifact = pm_bench::figures::fig_multicore(max_cores);
     artifact.emit();
-    if let Some(path) = cli.json {
-        pm_bench::figures::write_artifacts(&path, &[("fig-multicore", &artifact)])
-            .expect("write --json artifact");
-        eprintln!("wrote {}", path.display());
-    }
+    pm_bench::figures::write_cli_outputs(&cli, &[("fig-multicore", &artifact)]);
 }

@@ -1,0 +1,16 @@
+//! Regenerates the flight-recorder showcase artifact: two recorded
+//! router runs — single-core under a link-flap/mempool fault plan (the
+//! throughput dip and recovery window) and a clean 4-core run (per-core
+//! RSS imbalance) — with per-window time series on stdout. Run with
+//! `cargo run --release -p pm-bench --bin fig_timeline
+//! [-- --threads N] [--json <path>] [--trace <path>]` (`--trace` writes
+//! the sampled packet lifecycles as Chrome `trace_event` JSON; open in
+//! `ui.perfetto.dev`). Recording is always on for this figure, so
+//! `--timeline` is not needed.
+
+fn main() {
+    let cli = packetmill::sweep::configure_from_args();
+    let artifact = pm_bench::figures::fig_timeline();
+    artifact.emit();
+    pm_bench::figures::write_cli_outputs(&cli, &[("fig-timeline", &artifact)]);
+}

@@ -6,10 +6,7 @@
 fn main() {
     let cli = packetmill::sweep::configure_from_args();
     let groups = pm_bench::figures::run_all();
-    if let Some(path) = cli.json {
-        let refs: Vec<(&str, &pm_bench::figures::Artifact)> =
-            groups.iter().map(|(n, a)| (*n, a)).collect();
-        pm_bench::figures::write_artifacts(&path, &refs).expect("write --json artifact");
-        eprintln!("wrote {}", path.display());
-    }
+    let refs: Vec<(&str, &pm_bench::figures::Artifact)> =
+        groups.iter().map(|(n, a)| (*n, a)).collect();
+    pm_bench::figures::write_cli_outputs(&cli, &refs);
 }

@@ -13,7 +13,7 @@
 
 use packetmill::{
     BessEngine, Dataplane, ExperimentBuilder, L2Fwd, Measurement, MetadataModel, Nf, OptLevel,
-    SweepReport, SweepResults, SweepSpec, Table, TrafficProfile, VppEngine,
+    SweepCli, SweepReport, SweepResults, SweepSpec, Table, TrafficProfile, VppEngine,
 };
 use std::path::Path;
 
@@ -84,6 +84,36 @@ pub fn write_artifacts(path: &Path, groups: &[(&str, &Artifact)]) -> std::io::Re
         groups.iter().map(|(n, a)| a.results.to_json(n)).collect(),
     );
     std::fs::write(path, doc.to_pretty() + "\n")
+}
+
+/// Writes every traced run in the given artifact groups as one Chrome
+/// `trace_event` JSON document (the `--trace <path>` output; open in
+/// `ui.perfetto.dev` or `chrome://tracing`). No-op runs without a trace
+/// are skipped, so this works on mixed sweeps.
+pub fn write_trace(path: &Path, groups: &[(&str, &Artifact)]) -> std::io::Result<()> {
+    let mut runs = Vec::new();
+    for (_, a) in groups {
+        for o in &a.results.outcomes {
+            if let Some(t) = o.report.as_ref().and_then(|r| r.trace.as_ref()) {
+                runs.push((o.label.as_str(), t));
+            }
+        }
+    }
+    std::fs::write(path, packetmill::chrome_trace(&runs).to_pretty() + "\n")
+}
+
+/// The standard output tail of every benchmark binary: writes the
+/// `--json <path>` run-report document and the `--trace <path>` Chrome
+/// trace when the CLI asked for them.
+pub fn write_cli_outputs(cli: &SweepCli, groups: &[(&str, &Artifact)]) {
+    if let Some(path) = &cli.json {
+        write_artifacts(path, groups).expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &cli.trace {
+        write_trace(path, groups).expect("write --trace file");
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 /// Per-run progress lines are on unless `PM_PROGRESS=0`.
@@ -622,6 +652,130 @@ pub fn fig_multicore(max_cores: usize) -> Artifact {
     Artifact::new(t, results)
 }
 
+/// The fault plan driving [`fig_timeline`]'s faulted run: a 200-µs link
+/// flap and a later 200-µs mempool squeeze, both inside the measurement
+/// window of the ~3.1-ms run, over a low-rate FCS-corruption background.
+pub const TIMELINE_FAULT_SPEC: &str =
+    "seed=0x71AE;bitflip@..:rate=2000ppm;flap@800us..1000us;pool@1600us..1800us";
+
+/// Flight-recorder window (µs) used by [`fig_timeline`] — small enough
+/// that the 200-µs link flap spans several windows.
+pub const TIMELINE_WINDOW_US: f64 = 50.0;
+
+/// Flight-recorder showcase: two full-PacketMill router runs recorded at
+/// a 50-µs timeline window with sampled packet traces. The first runs on
+/// one core under [`TIMELINE_FAULT_SPEC`] — the link-flap throughput dip
+/// and its recovery window are the artifact's claim; the second is a
+/// clean 4-core run whose per-window `tx min/core` vs `tx max/core`
+/// spread shows RSS imbalance. Recording is forced on via the builder
+/// (not the process-wide `--timeline` default), so the artifact and its
+/// golden fixture do not depend on CLI state.
+pub fn fig_timeline() -> Artifact {
+    let plan = packetmill::FaultPlan::parse(TIMELINE_FAULT_SPEC).expect("valid fault spec");
+    let recorded = |b: ExperimentBuilder| b.timeline_us(TIMELINE_WINDOW_US).packet_trace(true);
+    let mut s = sweep();
+    s.push(
+        "fig_timeline router 1c faulted".to_string(),
+        recorded(router(MetadataModel::XChange, OptLevel::AllSource, 2.3)).fault_plan(plan),
+    );
+    s.push(
+        "fig_timeline router 4c".to_string(),
+        recorded(router(MetadataModel::XChange, OptLevel::AllSource, 2.3)).cores(4),
+    );
+    let results = s.run();
+    results.expect_all();
+
+    let mut t = Table::new(vec![
+        "run",
+        "window",
+        "t_end (us)",
+        "Gbps",
+        "p99 (us)",
+        "drops",
+        "tx min/core",
+        "tx max/core",
+    ]);
+    for o in &results.outcomes {
+        let r = o.report.as_ref().expect("sweep runs carry reports");
+        let tl = r.timeline.as_ref().expect("run recorded a timeline");
+        let per_core: Vec<Vec<f64>> = (0..tl.cores.len()).map(|c| tl.gbps(c)).collect();
+        let total: Vec<f64> = (0..tl.window_end_us.len())
+            .map(|i| per_core.iter().map(|g| g[i]).sum())
+            .collect();
+        for (i, &end) in tl.window_end_us.iter().enumerate() {
+            let p99 = tl
+                .cores
+                .iter()
+                .filter_map(|c| c.p99_us[i])
+                .fold(None::<f64>, |a, v| Some(a.map_or(v, |x| x.max(v))));
+            let drops: u64 = tl.drops.iter().map(|(_, v)| v[i]).sum();
+            let tx_min = tl.cores.iter().map(|c| c.tx[i]).min().unwrap_or(0);
+            let tx_max = tl.cores.iter().map(|c| c.tx[i]).max().unwrap_or(0);
+            t.row(vec![
+                o.label.clone(),
+                format!("{i}"),
+                format!("{end:.0}"),
+                format!("{:.1}", total[i]),
+                p99.map_or("-".to_string(), |v| format!("{v:.1}")),
+                format!("{drops}"),
+                format!("{tx_min}"),
+                format!("{tx_max}"),
+            ]);
+        }
+        // Dip/recovery summary for the faulted run: the flap must show as
+        // a throughput dip, and the line rate must come back afterwards.
+        if r.faults.is_some() {
+            let pre: Vec<f64> = tl
+                .window_end_us
+                .iter()
+                .zip(&total)
+                .filter(|(&end, _)| end > 400.0 && end <= 800.0)
+                .map(|(_, &g)| g)
+                .collect();
+            let pre_mean = pre.iter().sum::<f64>() / pre.len() as f64;
+            let (dip_i, dip_g) = total
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite Gbps"))
+                .expect("at least one window");
+            let recovered = total
+                .iter()
+                .enumerate()
+                .skip(dip_i)
+                .find(|&(_, &g)| g >= 0.9 * pre_mean);
+            let summary = |tag: &str, win: String, end: String, g: f64| {
+                vec![
+                    format!("{} {tag}", o.label),
+                    win,
+                    end,
+                    format!("{g:.1}"),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]
+            };
+            t.row(summary("pre-flap mean", "-".into(), "-".into(), pre_mean));
+            t.row(summary(
+                "dip",
+                format!("{dip_i}"),
+                format!("{:.0}", tl.window_end_us[dip_i]),
+                *dip_g,
+            ));
+            match recovered {
+                Some((i, &g)) => t.row(summary(
+                    "recovered",
+                    format!("{i}"),
+                    format!("{:.0}", tl.window_end_us[i]),
+                    g,
+                )),
+                None => t.row(summary("recovered", "never".into(), "-".into(), 0.0)),
+            }
+        }
+    }
+    Artifact::new(t, results)
+}
+
 /// A comparator job for the Fig. 11 framework comparison: the forwarder
 /// experiment run over an arbitrary dataplane instead of FastClick.
 fn comparator_job(
@@ -805,6 +959,11 @@ pub fn run_all() -> Vec<(&'static str, Artifact)> {
             "fig-multicore",
             "Multi-core scaling — five NFs, PacketMill config @2.3 GHz",
             Box::new(|| fig_multicore(4)),
+        ),
+        (
+            "fig-timeline",
+            "Flight recorder — link-flap dip/recovery + 4-core imbalance",
+            Box::new(fig_timeline),
         ),
         (
             "fig11a",

@@ -94,6 +94,10 @@ pub struct GraphRuntime {
     /// `(from, until, factor_x1000)`, indexed by element. `None` (the
     /// default) keeps the hop loop untouched.
     slowdowns: Option<Vec<Vec<(pm_sim::SimTime, pm_sim::SimTime, u32)>>>,
+    /// Per-packet hop log `(element idx, cost delta)` for the flight
+    /// recorder's lifecycle trace. `None` (the default) keeps the hop
+    /// loop untouched; recording never alters charges.
+    span_log: Option<Vec<(usize, Cost)>>,
 }
 
 impl std::fmt::Debug for GraphRuntime {
@@ -182,6 +186,35 @@ impl GraphRuntime {
             hop_progs: None,
             copy_prog: None,
             slowdowns: None,
+            span_log: None,
+        }
+    }
+
+    /// Enables (or disables) per-packet hop-span recording. While on,
+    /// each [`Self::run`] rebuilds the log of `(element, cost)` hops the
+    /// packet traversed, drained by [`Self::take_spans`]. Recording reads
+    /// costs the hop loop already computes — it charges nothing and
+    /// performs no simulated accesses.
+    pub fn set_span_recording(&mut self, on: bool) {
+        self.span_log = on.then(Vec::new);
+    }
+
+    /// Drains the hop spans of the last [`Self::run`] into `out` as
+    /// `(element label, cost delta)` in traversal order. Labels match the
+    /// attribution scopes: `Class(name)`, or the raw `Class@N` form for
+    /// anonymous elements. No-op while recording is off.
+    pub fn take_spans(&mut self, out: &mut Vec<(String, Cost)>) {
+        if let Some(log) = self.span_log.as_mut() {
+            for &(idx, cost) in log.iter() {
+                let e = &self.graph.elements[idx];
+                let label = if e.name.contains('@') {
+                    e.name.clone()
+                } else {
+                    format!("{}({})", e.class, e.name)
+                };
+                out.push((label, cost));
+            }
+            log.clear();
         }
     }
 
@@ -380,6 +413,9 @@ impl GraphRuntime {
     pub fn run(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>, source: usize) -> PacketFate {
         self.ensure_scopes(ctx.mem);
         self.stats.processed += 1;
+        if let Some(log) = self.span_log.as_mut() {
+            log.clear();
+        }
         let (mut idx, _port) = self.graph.entry_of(source);
         for _ in 0..MAX_HOPS {
             // Everything charged during this hop — dispatch, state touch,
@@ -409,12 +445,18 @@ impl GraphRuntime {
                 Action::Drop => {
                     self.stats.dropped += 1;
                     self.element_counts[idx].1 += 1;
+                    if let Some(log) = self.span_log.as_mut() {
+                        log.push((idx, ctx.cost - hop_start));
+                    }
                     Self::attribute_hop(ctx, scope, hop_start);
                     return PacketFate::Dropped { at: idx };
                 }
                 Action::Forward(p) => {
                     if kind == ElementKind::Sink {
                         self.stats.to_tx += 1;
+                        if let Some(log) = self.span_log.as_mut() {
+                            log.push((idx, ctx.cost - hop_start));
+                        }
                         Self::attribute_hop(ctx, scope, hop_start);
                         return PacketFate::Tx {
                             sink: idx,
@@ -432,6 +474,9 @@ impl GraphRuntime {
                             AccessKind::Load,
                         );
                         ctx.compute(2);
+                    }
+                    if let Some(log) = self.span_log.as_mut() {
+                        log.push((idx, ctx.cost - hop_start));
                     }
                     Self::attribute_hop(ctx, scope, hop_start);
                     match self.graph.adj[idx].get(p as usize).copied().flatten() {
@@ -742,6 +787,33 @@ mod tests {
         let sum = recs.iter().fold(Cost::ZERO, |acc, (_, p)| acc + p.cost);
         assert_eq!(sum.instructions, total.instructions);
         assert!((sum.cycles - total.cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn span_recording_is_cost_neutral_and_labels_hops() {
+        let run = |spans: bool| {
+            let mut mem = MemoryHierarchy::skylake(1);
+            let (mut rtm, _s) = rt(ExecPlan::vanilla(MetadataModel::Copying));
+            rtm.set_span_recording(spans);
+            let mut total = Cost::ZERO;
+            let mut last_spans = Vec::new();
+            for _ in 0..64 {
+                let (_, c) = push_one(&mut rtm, &mut mem);
+                total += c;
+                last_spans.clear();
+                rtm.take_spans(&mut last_spans);
+            }
+            (total, mem.counters(), last_spans)
+        };
+        let (off_cost, off_ctr, off_spans) = run(false);
+        let (on_cost, on_ctr, on_spans) = run(true);
+        assert_eq!(off_cost, on_cost, "recording must not change charges");
+        assert_eq!(off_ctr, on_ctr);
+        assert!(off_spans.is_empty(), "no spans while recording is off");
+        // FWD walks Null then the sink; labels match attribution scopes.
+        let labels: Vec<&str> = on_spans.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["Null@1", "ToDPDKDevice(out)"]);
+        assert!(on_spans.iter().all(|(_, c)| c.instructions > 0));
     }
 
     #[test]

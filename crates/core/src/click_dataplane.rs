@@ -136,6 +136,14 @@ impl Dataplane for ClickDataplane {
     fn element_stats(&self) -> Vec<(String, u64, u64)> {
         self.rt.element_stats()
     }
+
+    fn set_span_recording(&mut self, on: bool) {
+        self.rt.set_span_recording(on);
+    }
+
+    fn take_spans(&mut self, out: &mut Vec<(String, Cost)>) {
+        self.rt.take_spans(out);
+    }
 }
 
 #[cfg(test)]

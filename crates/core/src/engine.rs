@@ -12,8 +12,11 @@ use pm_dpdk::{MetadataModel, MetadataSpec, Pmd, PmdConfig, TxSend};
 use pm_frameworks::Dataplane;
 use pm_mem::{AddressSpace, Cost, MemCounters, MemoryHierarchy, SCOPE_SCHEDULER};
 use pm_nic::{DmaMemory, Nic, NicConfig};
-use pm_sim::{FaultPlan, Frequency, Ledger, SimTime};
-use pm_telemetry::{LatencyHistogram, ProfileRecord, ProfileReport};
+use pm_sim::{DropCause, FaultPlan, Frequency, Ledger, SimTime};
+use pm_telemetry::{
+    LatencyHistogram, ProfileRecord, ProfileReport, TimelineRecorder, TimelineReport,
+    TraceRecorder, TraceReport, TraceSpec,
+};
 use pm_traffic::Trace;
 use std::collections::BTreeMap;
 
@@ -61,6 +64,14 @@ pub struct EngineConfig {
     /// which callers normalize to `None`) leaves every path untouched —
     /// the zero-cost invariant the golden fixtures enforce.
     pub faults: Option<FaultPlan>,
+    /// Flight-recorder time-series window (virtual time), if any.
+    /// Recording is measurement-neutral: it reads engine state, charges
+    /// no cost, and performs no simulated memory accesses.
+    pub timeline: Option<SimTime>,
+    /// Sampled per-packet lifecycle tracing, if any. The sample set is a
+    /// pure function of `(spec.seed, nic, seq)` — independent of thread
+    /// count and of the timeline window.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +95,8 @@ impl Default for EngineConfig {
             pool_mode: None,
             profile: false,
             faults: None,
+            timeline: None,
+            trace: None,
         }
     }
 }
@@ -191,6 +204,14 @@ pub struct Engine {
     ledger: Option<Ledger>,
     /// Per-(nic, queue) conservation ledgers, filled in by [`Engine::run`].
     queue_ledgers: Option<Vec<QueueLedger>>,
+    /// Flight-recorder time series, live while [`Engine::run`] runs.
+    timeline: Option<TimelineRecorder>,
+    /// Sampled lifecycle traces, live while [`Engine::run`] runs.
+    trace: Option<TraceRecorder>,
+    /// Finished timeline, filled in by [`Engine::run`].
+    timeline_report: Option<TimelineReport>,
+    /// Finished lifecycle traces, filled in by [`Engine::run`].
+    trace_report: Option<TraceReport>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -218,7 +239,7 @@ impl Engine {
     /// Panics on inconsistent dimensions.
     pub fn new(
         cfg: EngineConfig,
-        dataplanes: Vec<Box<dyn Dataplane>>,
+        mut dataplanes: Vec<Box<dyn Dataplane>>,
         traces: Vec<Trace>,
         space: &mut AddressSpace,
     ) -> Self {
@@ -317,6 +338,20 @@ impl Engine {
             mem.enable_attribution();
         }
 
+        let timeline = cfg.timeline.map(|w| {
+            TimelineRecorder::new(
+                w.as_ps(),
+                cfg.cores,
+                DropCause::ALL.iter().map(|c| c.as_str()).collect(),
+            )
+        });
+        let trace = cfg.trace.map(TraceRecorder::new);
+        if trace.is_some() {
+            for d in &mut dataplanes {
+                d.set_span_recording(true);
+            }
+        }
+
         Engine {
             cfg,
             mem,
@@ -328,12 +363,18 @@ impl Engine {
             batches: BTreeMap::new(),
             ledger: None,
             queue_ledgers: None,
+            timeline,
+            trace,
+            timeline_report: None,
+            trace_report: None,
         }
     }
 
     fn deliver_up_to(&mut self, now: SimTime) {
         let warmup = self.cfg.warmup;
         let plan = self.cfg.faults.as_ref().filter(|p| !p.is_empty());
+        let qpn = Self::queues_per_nic(&self.cfg);
+        let cores = self.cfg.cores;
         for (n, st) in self.nics.iter_mut().enumerate() {
             while st.next_idx < self.cfg.packets && st.next_time <= now {
                 if st.next_idx == warmup && self.measure_gen_start.is_none() {
@@ -341,29 +382,59 @@ impl Engine {
                 }
                 let frame = self.traces[n].frame(st.next_idx);
                 let hash = st.frame_hashes[st.next_idx % st.frame_hashes.len()];
-                match plan {
-                    None => {
-                        st.dev.rx_deliver_hashed(
-                            frame,
-                            hash,
-                            st.next_time,
-                            st.next_idx as u64,
-                            &mut self.mem,
-                            &mut st.dma,
-                        );
-                    }
+                let seq = st.next_idx as u64;
+                // The recorder classifies wire losses by differencing the
+                // cheap `NicStats` copy around the delivery — a pure read,
+                // taken only while recording.
+                let recording = self.timeline.is_some()
+                    || self.trace.as_ref().is_some_and(|t| t.wants(n as u32, seq));
+                let before = recording.then(|| st.dev.stats());
+                let delivered = match plan {
+                    None => st.dev.rx_deliver_hashed(
+                        frame,
+                        hash,
+                        st.next_time,
+                        seq,
+                        &mut self.mem,
+                        &mut st.dma,
+                    ),
                     Some(p) => {
-                        let fault =
-                            p.wire_fault(n as u64, st.next_idx as u64, st.next_time, frame.len());
+                        let fault = p.wire_fault(n as u64, seq, st.next_time, frame.len());
                         st.dev.rx_deliver_wire(
                             frame,
                             hash,
                             st.next_time,
-                            st.next_idx as u64,
+                            seq,
                             &mut self.mem,
                             &mut st.dma,
                             fault,
-                        );
+                        )
+                    }
+                };
+                if let Some(before) = before {
+                    let at_ps = st.next_time.as_ps();
+                    if let (Some(tl), Some(q)) = (self.timeline.as_mut(), delivered) {
+                        // Attribute the arrival to the core that owns the
+                        // steered (nic, queue) pair.
+                        tl.on_rx((n * qpn + q) % cores, at_ps, 1);
+                    }
+                    if let Some(tr) = self.trace.as_mut() {
+                        if tr.wants(n as u32, seq)
+                            && tr.begin(n as u32, seq, at_ps)
+                            && delivered.is_none()
+                        {
+                            let after = st.dev.stats();
+                            let cause = if after.rx_fcs_errors > before.rx_fcs_errors {
+                                DropCause::Fcs
+                            } else if after.rx_link_down > before.rx_link_down {
+                                DropCause::LinkDown
+                            } else if after.rx_desc_drops > before.rx_desc_drops {
+                                DropCause::Desc
+                            } else {
+                                DropCause::RxRing
+                            };
+                            tr.on_fate(n as u32, seq, at_ps, cause.as_str());
+                        }
                     }
                 }
                 // Pacing always follows the frame as generated: faults
@@ -434,6 +505,8 @@ impl Engine {
         let mut done = false;
         // Reused across bursts to keep the poll loop allocation-free.
         let mut sends: Vec<TxSend> = Vec::new();
+        // Reused span scratch for the lifecycle trace.
+        let mut span_buf: Vec<(String, Cost)> = Vec::new();
 
         while !done {
             // Pick the core with the earliest clock, breaking ties with
@@ -447,6 +520,9 @@ impl Engine {
             tie_rr = (core + 1) % cores;
             let now = clocks[core];
             self.deliver_up_to(now);
+            if self.timeline.is_some() {
+                self.observe_recorder(now, nf_dropped_pairs.iter().sum());
+            }
 
             // Poll the next pair of this core.
             let my_pairs = &core_pairs[core];
@@ -459,6 +535,18 @@ impl Engine {
             let (nic_idx, q) = self.pairs[pair];
 
             let st = &mut self.nics[nic_idx];
+            if let Some(tl) = self.timeline.as_mut() {
+                // Occupancy is sampled at every poll of this pair —
+                // including empty ones — so idle stretches still produce
+                // samples.
+                tl.on_occupancy(
+                    core,
+                    now.as_ps(),
+                    st.dev.rx_ring(q).pending_completions() as u64,
+                    st.dev.tx_ring(q).in_flight() as u64,
+                    st.pmd.pool_available() as u64,
+                );
+            }
             let (pkts, mut cost) =
                 st.pmd
                     .rx_burst(core, &mut st.dev, q, &st.dma, &mut self.mem, now);
@@ -505,12 +593,43 @@ impl Engine {
             }
 
             // Process the burst through the dataplane.
+            if let Some(tr) = self.trace.as_mut() {
+                for p in &pkts {
+                    if tr.wants(nic_idx as u32, p.seq) {
+                        tr.on_delivered(nic_idx as u32, p.seq, q as u32, p.arrival.as_ps());
+                        tr.on_poll(nic_idx as u32, p.seq, core as u32, now.as_ps());
+                    }
+                }
+            }
             let dp = &mut self.dataplanes[pair];
             sends.clear();
             for desc in &pkts {
                 let data = st.dma.data_mut(desc.buf_id);
+                let sampled = self
+                    .trace
+                    .as_ref()
+                    .is_some_and(|t| t.wants(nic_idx as u32, desc.seq));
+                // Spans are laid out in virtual time from the charge the
+                // burst has accumulated so far — reads only, no charges.
+                let span_start = if sampled {
+                    now + cost.time(freq)
+                } else {
+                    SimTime::ZERO
+                };
                 let r = dp.process(core, &mut self.mem, desc, data);
                 cost += r.cost;
+                if sampled {
+                    span_buf.clear();
+                    dp.take_spans(&mut span_buf);
+                    if let Some(tr) = self.trace.as_mut() {
+                        let mut t = span_start;
+                        for (label, c) in span_buf.drain(..) {
+                            let end = t + c.time(freq);
+                            tr.on_span(nic_idx as u32, desc.seq, label, t.as_ps(), end.as_ps());
+                            t = end;
+                        }
+                    }
+                }
                 match r.tx_len {
                     Some(len) => sends.push(TxSend { desc: *desc, len }),
                     None => {
@@ -518,6 +637,16 @@ impl Engine {
                         nf_dropped_pairs[pair] += 1;
                         if desc.seq >= warmup_seq {
                             nf_dropped += 1;
+                        }
+                        if sampled {
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.on_fate(
+                                    nic_idx as u32,
+                                    desc.seq,
+                                    (now + cost.time(freq)).as_ps(),
+                                    DropCause::Nf.as_str(),
+                                );
+                            }
                         }
                     }
                 }
@@ -551,9 +680,10 @@ impl Engine {
                 }
                 let n = free.min(sends.len() - offset);
                 let chunk = &sends[offset..offset + n];
+                let tx_at = clocks[core];
                 let (departures, tx_cost) =
                     st.pmd
-                        .tx_burst(core, &mut st.dev, q, &mut self.mem, clocks[core], chunk);
+                        .tx_burst(core, &mut st.dev, q, &mut self.mem, tx_at, chunk);
                 clocks[core] += tx_cost.time(freq);
                 if any_measured {
                     measured_cost += tx_cost;
@@ -570,6 +700,26 @@ impl Engine {
                             let lat = d.saturating_sub(send.desc.gen) + self.cfg.base_latency;
                             hist.record(lat.as_ns() as u64);
                         }
+                        if let Some(tl) = self.timeline.as_mut() {
+                            let lat = d.saturating_sub(send.desc.gen) + self.cfg.base_latency;
+                            tl.on_tx(core, d.as_ps(), send.len as u64, lat.as_ns() as u64);
+                        }
+                    }
+                    if let Some(tr) = self.trace.as_mut() {
+                        if tr.wants(nic_idx as u32, send.desc.seq) {
+                            tr.on_tx_enqueue(nic_idx as u32, send.desc.seq, tx_at.as_ps());
+                            match dep {
+                                Some(d) => {
+                                    tr.on_fate(nic_idx as u32, send.desc.seq, d.as_ps(), "tx");
+                                }
+                                None => tr.on_fate(
+                                    nic_idx as u32,
+                                    send.desc.seq,
+                                    tx_at.as_ps(),
+                                    DropCause::TxRing.as_str(),
+                                ),
+                            }
+                        }
                     }
                 }
                 offset += n;
@@ -577,6 +727,21 @@ impl Engine {
 
             if any_measured {
                 measured_cost += cost;
+            }
+        }
+
+        // Close the flight recorder at the last instant the run touched:
+        // the final core clocks and the last wire departure.
+        if self.timeline.is_some() || self.trace.is_some() {
+            let end = clocks
+                .iter()
+                .filter(|&&c| c != SimTime::MAX)
+                .fold(last_departure, |e, &c| e.max(c));
+            if let Some(tl) = self.timeline.take() {
+                self.timeline_report = Some(tl.finish(end.as_ps()));
+            }
+            if let Some(tr) = self.trace.take() {
+                self.trace_report = Some(tr.finish());
             }
         }
 
@@ -680,6 +845,40 @@ impl Engine {
             cycles_per_packet: measured_cost.cycles / measured_tx_packets.max(1) as f64,
             uncore_ns_per_packet: measured_cost.uncore_ns / measured_tx_packets.max(1) as f64,
         }
+    }
+
+    /// Feeds the timeline's cumulative counter series at `now`. Pure
+    /// reads of engine state — the recorder charges nothing.
+    fn observe_recorder(&mut self, now: SimTime, nf_total: u64) {
+        let Some(tl) = self.timeline.as_mut() else {
+            return;
+        };
+        let now_ps = now.as_ps();
+        tl.observe_llc(now_ps, self.mem.counters().llc_load_misses);
+        // Cumulative drops, in `DropCause::ALL` order.
+        let mut drops = [0u64; 6];
+        for st in &self.nics {
+            let s = st.dev.stats();
+            drops[0] += s.rx_fcs_errors;
+            drops[1] += s.rx_link_down;
+            drops[2] += s.rx_desc_drops;
+            drops[3] += s.rx_dropped;
+            drops[5] += s.tx_dropped;
+        }
+        drops[4] = nf_total;
+        tl.observe_drops(now_ps, &drops);
+    }
+
+    /// Takes the finished flight-recorder timeline (`None` unless the
+    /// engine was built with [`EngineConfig::timeline`] and has run).
+    pub fn take_timeline(&mut self) -> Option<TimelineReport> {
+        self.timeline_report.take()
+    }
+
+    /// Takes the finished sampled lifecycle traces (`None` unless the
+    /// engine was built with [`EngineConfig::trace`] and has run).
+    pub fn take_trace(&mut self) -> Option<TraceReport> {
+        self.trace_report.take()
     }
 
     /// The packet-conservation ledger of the completed run (`None`

@@ -152,6 +152,8 @@ pub struct ExperimentBuilder {
     custom_trace: Option<Trace>,
     profile: Option<bool>,
     faults: Option<FaultPlan>,
+    timeline_us: Option<f64>,
+    packet_trace: Option<bool>,
 }
 
 impl ExperimentBuilder {
@@ -179,6 +181,8 @@ impl ExperimentBuilder {
             custom_trace: None,
             profile: None,
             faults: None,
+            timeline_us: None,
+            packet_trace: None,
         }
     }
 
@@ -307,6 +311,39 @@ impl ExperimentBuilder {
             .filter(|p| !p.is_empty())
     }
 
+    /// Records a flight-recorder timeline with the given virtual-time
+    /// window (µs) for this run, overriding the process default
+    /// ([`crate::sweep::default_timeline`], set by `--timeline` or
+    /// `PM_TIMELINE`).
+    pub fn timeline_us(mut self, window_us: f64) -> Self {
+        self.timeline_us = Some(window_us);
+        self
+    }
+
+    /// The timeline window this run records (µs), if any: the explicit
+    /// [`Self::timeline_us`] override, else the process default.
+    pub fn timeline_us_effective(&self) -> Option<f64> {
+        self.timeline_us.or_else(crate::sweep::default_timeline)
+    }
+
+    /// Enables (or disables) sampled per-packet lifecycle tracing for
+    /// this run, overriding the process default (on whenever a
+    /// `--trace <path>` / `PM_TRACE` destination is configured). The
+    /// sample set is a pure function of the run seed and packet
+    /// identity, so traces are thread-count independent.
+    pub fn packet_trace(mut self, on: bool) -> Self {
+        self.packet_trace = Some(on);
+        self
+    }
+
+    /// Whether this run records lifecycle traces: the explicit
+    /// [`Self::packet_trace`] override, else on when a process-wide
+    /// trace destination is set.
+    pub fn packet_trace_effective(&self) -> bool {
+        self.packet_trace
+            .unwrap_or_else(|| crate::sweep::default_trace().is_some())
+    }
+
     fn pipeline(&self) -> Pipeline {
         match self.opt {
             OptLevel::Vanilla => Pipeline::new(),
@@ -366,6 +403,13 @@ impl ExperimentBuilder {
             pool_mode: self.pool_mode,
             profile: self.profile_effective(),
             faults: self.fault_plan_effective(),
+            timeline: self.timeline_us_effective().map(SimTime::from_us),
+            trace: self
+                .packet_trace_effective()
+                .then(|| pm_telemetry::TraceSpec {
+                    seed: self.seed,
+                    ..pm_telemetry::TraceSpec::default()
+                }),
         }
     }
 
@@ -404,6 +448,8 @@ impl ExperimentBuilder {
             cfg.warmup = 0;
             cfg.profile = false;
             cfg.faults = None;
+            cfg.timeline = None;
+            cfg.trace = None;
         }
         let qpn = Engine::queues_per_nic(&cfg);
         let registry = standard_registry();
@@ -483,6 +529,8 @@ impl ExperimentBuilder {
                 spec: p.to_spec(),
                 ledger: engine.ledger().unwrap_or_default(),
             }),
+            timeline: engine.take_timeline(),
+            trace: engine.take_trace(),
         };
         Ok((m, report))
     }

@@ -53,6 +53,8 @@ pub use pm_compile::{emit_specialized_source, MillIr, Pipeline, ReorderFieldsPas
 pub use pm_dpdk::{MempoolMode, MetaField, MetadataModel, MetadataSpec};
 pub use pm_elements::{configs, standard_registry};
 pub use pm_frameworks::{BessEngine, Dataplane, L2Fwd, VppEngine};
-pub use pm_sim::{fault::FaultKind, FaultPlan, Frequency, Ledger, SimTime, WireFault};
-pub use pm_telemetry::{Json, ProfileReport, Table};
+pub use pm_sim::{fault::FaultKind, DropCause, FaultPlan, Frequency, Ledger, SimTime, WireFault};
+pub use pm_telemetry::{
+    chrome_trace, Json, ProfileReport, Table, TimelineReport, TraceReport, TraceSpec,
+};
 pub use pm_traffic::{Trace, TraceConfig, TrafficProfile};

@@ -8,7 +8,7 @@
 
 use crate::engine::{Measurement, QueueLedger};
 use pm_sim::Ledger;
-use pm_telemetry::{Json, ProfileReport};
+use pm_telemetry::{Json, ProfileReport, TimelineReport, TraceReport};
 
 /// Schema identifier stamped into every sweep artifact.
 pub const SCHEMA: &str = "packetmill-run-report/v1";
@@ -66,6 +66,13 @@ pub struct RunReport {
     /// omits the key entirely, keeping unfaulted artifacts byte-identical
     /// to the pre-fault-subsystem golden fixtures.
     pub faults: Option<FaultReport>,
+    /// Flight-recorder time series, when the run recorded a timeline.
+    /// `None` omits the key, keeping recorder-off artifacts byte-identical
+    /// to the pre-recorder golden fixtures.
+    pub timeline: Option<TimelineReport>,
+    /// Sampled packet lifecycle traces, when the run recorded them.
+    /// `None` omits the key, like `timeline`.
+    pub trace: Option<TraceReport>,
 }
 
 /// Serializes one per-queue ledger with fixed key order.
@@ -120,6 +127,14 @@ impl RunReport {
         // stay byte-identical to the committed golden fixtures.
         if let Some(f) = &self.faults {
             keys.push(("faults", f.to_json()));
+        }
+        // Emitted only when the flight recorder ran: recorder-off
+        // artifacts must stay byte-identical to the committed goldens.
+        if let Some(t) = &self.timeline {
+            keys.push(("timeline", t.to_json()));
+        }
+        if let Some(t) = &self.trace {
+            keys.push(("trace", t.to_json()));
         }
         Json::obj(keys)
     }
@@ -184,6 +199,8 @@ mod tests {
             profile: None,
             cores: None,
             faults: None,
+            timeline: None,
+            trace: None,
         };
         let text = r.to_json().to_compact();
         let parsed = Json::parse(&text).expect("valid JSON");
@@ -208,6 +225,8 @@ mod tests {
             profile: Some(ProfileReport::default()),
             cores: None,
             faults: None,
+            timeline: None,
+            trace: None,
         };
         assert_eq!(r.to_json().to_compact(), r.to_json().to_compact());
     }
@@ -222,6 +241,8 @@ mod tests {
             profile: None,
             cores: None,
             faults: None,
+            timeline: None,
+            trace: None,
         };
         assert_eq!(r.to_json().get("cores"), None, "single core, no key");
 
@@ -256,6 +277,8 @@ mod tests {
             profile: None,
             cores: None,
             faults: None,
+            timeline: None,
+            trace: None,
         };
         let clean = r.to_json();
         assert_eq!(clean.get("faults"), None, "no plan, no key");

@@ -28,7 +28,7 @@ use pm_telemetry::{Json, Table};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -49,6 +49,87 @@ static DEFAULT_TIMING: AtomicUsize = AtomicUsize::new(0);
 /// Process-wide default fault plan (`--faults <spec>` / `PM_FAULTS`).
 /// `None` inside the mutex = unset (fall back to `PM_FAULTS`).
 static DEFAULT_FAULTS: Mutex<Option<Option<pm_sim::FaultPlan>>> = Mutex::new(None);
+
+/// Process-wide default flight-recorder timeline window:
+/// 0 = unset (fall back to `PM_TIMELINE`), 1 = explicitly off, else the
+/// `f64::to_bits` of the window in µs (a positive window never encodes
+/// to 0 or 1).
+static DEFAULT_TIMELINE: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide default lifecycle-trace destination (`--trace <path>` /
+/// `PM_TRACE`). `None` inside the mutex = unset (fall back to
+/// `PM_TRACE`).
+static DEFAULT_TRACE: Mutex<Option<Option<PathBuf>>> = Mutex::new(None);
+
+/// The timeline window `--timeline` / `PM_TIMELINE=1` select when no
+/// explicit width is given, in µs.
+pub const DEFAULT_TIMELINE_WINDOW_US: f64 = 100.0;
+
+/// Overrides the process-wide timeline default for runs that don't set
+/// [`ExperimentBuilder::timeline_us`] explicitly (the `--timeline` CLI
+/// flag). `None` explicitly disables recording regardless of
+/// `PM_TIMELINE`.
+///
+/// # Panics
+///
+/// Panics on a non-positive window.
+pub fn set_default_timeline(window_us: Option<f64>) {
+    let v = match window_us {
+        None => 1,
+        Some(w) => {
+            assert!(w > 0.0, "timeline window must be positive, got {w}");
+            w.to_bits()
+        }
+    };
+    DEFAULT_TIMELINE.store(v, Ordering::Relaxed);
+}
+
+/// The timeline default, in µs: [`set_default_timeline`] (set by
+/// `--timeline[=window_us]`), else `PM_TIMELINE` (`1` = the default
+/// window, a number = that window in µs, `0`/unset = off).
+pub fn default_timeline() -> Option<f64> {
+    match DEFAULT_TIMELINE.load(Ordering::Relaxed) {
+        0 => std::env::var("PM_TIMELINE")
+            .ok()
+            .and_then(|v| parse_timeline_value(&v)),
+        1 => None,
+        bits => Some(f64::from_bits(bits)),
+    }
+}
+
+/// `--timeline=<v>` / `PM_TIMELINE=<v>` value: `0` disables, `1` picks
+/// the default window, any other positive number is the window in µs.
+fn parse_timeline_value(v: &str) -> Option<f64> {
+    match v {
+        "0" => None,
+        "" | "1" => Some(DEFAULT_TIMELINE_WINDOW_US),
+        other => other.parse::<f64>().ok().filter(|w| *w > 0.0),
+    }
+}
+
+/// Overrides the process-wide trace destination (the `--trace <path>`
+/// CLI flag). Setting a path also turns lifecycle tracing on for runs
+/// that don't set [`ExperimentBuilder::packet_trace`] explicitly.
+/// `None` explicitly clears it.
+pub fn set_default_trace(path: Option<PathBuf>) {
+    *DEFAULT_TRACE.lock().expect("trace default poisoned") = Some(path);
+}
+
+/// The trace-destination default: [`set_default_trace`] (set by
+/// `--trace`), else a non-empty `PM_TRACE` path, else none.
+pub fn default_trace() -> Option<PathBuf> {
+    if let Some(v) = DEFAULT_TRACE
+        .lock()
+        .expect("trace default poisoned")
+        .as_ref()
+    {
+        return v.clone();
+    }
+    std::env::var("PM_TRACE")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
 
 /// Overrides the process-wide fault plan for runs that don't set
 /// [`ExperimentBuilder::fault_plan`] explicitly (the `--faults` CLI
@@ -156,7 +237,7 @@ pub fn configure_threads_from_args() -> usize {
 }
 
 /// The sweep-relevant command line of a benchmark binary.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepCli {
     /// Resolved worker count (`--threads`, `PM_THREADS`, or all cores).
     pub threads: usize,
@@ -176,6 +257,12 @@ pub struct SweepCli {
     /// Note this is *simulated* cores inside one experiment, unlike
     /// `--threads`, which is host workers across experiments.
     pub cores: Option<usize>,
+    /// Flight-recorder timeline window in µs (`--timeline[=window_us]`
+    /// or `PM_TIMELINE`). `None` = no timeline recording.
+    pub timeline: Option<f64>,
+    /// Lifecycle-trace destination (`--trace <path>` or `PM_TRACE`);
+    /// also enables trace recording when set.
+    pub trace: Option<PathBuf>,
 }
 
 /// Parses `--threads N`, `--profile`, `--faults <spec>`, `--cores N`,
@@ -220,6 +307,24 @@ pub fn configure_from_args() -> SweepCli {
                 set_default_faults(Some(plan));
                 i += 1;
             }
+        } else if arg == "--timeline" {
+            set_default_timeline(Some(DEFAULT_TIMELINE_WINDOW_US));
+        } else if let Some(v) = arg.strip_prefix("--timeline=") {
+            if v == "0" {
+                set_default_timeline(None); // explicit off
+            } else {
+                match parse_timeline_value(v) {
+                    Some(w) => set_default_timeline(Some(w)),
+                    None => panic!("--timeline: invalid window '{v}' (µs, > 0)"),
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--trace=") {
+            set_default_trace(Some(PathBuf::from(v)));
+        } else if arg == "--trace" {
+            if let Some(p) = args.get(i + 1) {
+                set_default_trace(Some(PathBuf::from(p)));
+                i += 1;
+            }
         } else if let Some(v) = arg.strip_prefix("--json=") {
             cli.json = Some(PathBuf::from(v));
         } else if arg == "--json" {
@@ -245,6 +350,8 @@ pub fn configure_from_args() -> SweepCli {
     cli.profile = default_profile();
     cli.timing = default_timing();
     cli.faults = default_faults();
+    cli.timeline = default_timeline();
+    cli.trace = default_trace();
     cli.cores = cli.cores.or_else(|| {
         std::env::var("PM_CORES")
             .ok()

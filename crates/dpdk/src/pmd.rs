@@ -243,6 +243,13 @@ impl Pmd {
         self.stats
     }
 
+    /// Free buffers in the port's mempool right now (an observation
+    /// point for the flight recorder; reads no simulated memory and
+    /// charges nothing).
+    pub fn pool_available(&self) -> usize {
+        self.pool.available()
+    }
+
     /// Installs injected mempool-exhaustion windows: while one is
     /// active, RX replenish allocations are denied (counted in
     /// [`PmdStats::pool_denials`]) and the ring runs a deficit; the

@@ -59,6 +59,22 @@ pub trait Dataplane {
     fn element_stats(&self) -> Vec<(String, u64, u64)> {
         Vec::new()
     }
+
+    /// Enables per-packet element-span recording for the flight
+    /// recorder's lifecycle trace. Dataplanes without an element graph
+    /// (the comparator engines) ignore it — their sampled packets simply
+    /// record no spans.
+    fn set_span_recording(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drains the element spans of the **last processed packet** into
+    /// `out` as `(element label, cost delta)` hops in graph order.
+    /// Only meaningful right after [`Self::process`] with span recording
+    /// on; the default is a no-op.
+    fn take_spans(&mut self, out: &mut Vec<(String, Cost)>) {
+        let _ = out;
+    }
 }
 
 #[cfg(test)]

@@ -196,6 +196,25 @@ impl Nic {
         &mut self.rx[q]
     }
 
+    /// Read-only access to an RX ring (occupancy observation for the
+    /// flight recorder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn rx_ring(&self, q: usize) -> &RxRing {
+        &self.rx[q]
+    }
+
+    /// Read-only access to a TX ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn tx_ring(&self, q: usize) -> &TxRing {
+        &self.tx[q]
+    }
+
     /// Driver access to a TX ring.
     ///
     /// # Panics

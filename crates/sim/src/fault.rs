@@ -461,6 +461,58 @@ fn parse_params(s: &str) -> Result<Vec<(String, String)>, FaultSpecError> {
     Ok(out)
 }
 
+/// The shared drop-cause taxonomy: every packet that does not make it
+/// onto the wire is charged to exactly one of these causes. The
+/// conservation [`Ledger`], the per-queue ledgers, the timeline drop
+/// series, and the trace `fate` field all use the same set, and the
+/// string form ([`DropCause::as_str`]) is pinned by a test — it appears
+/// verbatim in committed JSON artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropCause {
+    /// Rejected at the NIC's FCS check (wire bit-flip).
+    Fcs,
+    /// Arrived while the link was down (flap window).
+    LinkDown,
+    /// Lost in a descriptor-processing episode.
+    Desc,
+    /// No posted RX buffer (ring overflow).
+    RxRing,
+    /// Dropped by the NF (error paths included).
+    Nf,
+    /// Dropped at a full TX ring.
+    TxRing,
+}
+
+impl DropCause {
+    /// Every cause, in ledger/serialization order.
+    pub const ALL: [DropCause; 6] = [
+        DropCause::Fcs,
+        DropCause::LinkDown,
+        DropCause::Desc,
+        DropCause::RxRing,
+        DropCause::Nf,
+        DropCause::TxRing,
+    ];
+
+    /// The stable string form used in JSON artifacts and trace fates.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            DropCause::Fcs => "fcs",
+            DropCause::LinkDown => "link_down",
+            DropCause::Desc => "desc",
+            DropCause::RxRing => "rx_ring",
+            DropCause::Nf => "nf",
+            DropCause::TxRing => "tx_ring",
+        }
+    }
+}
+
+impl fmt::Display for DropCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The whole-run packet-conservation account. Always computed and
 /// asserted by the engine — with an empty plan all fault counters are
 /// zero and the identity reduces to the passive drop accounting.
@@ -491,15 +543,21 @@ pub struct Ledger {
 }
 
 impl Ledger {
+    /// The drop counter for one cause.
+    pub fn count(&self, cause: DropCause) -> u64 {
+        match cause {
+            DropCause::Fcs => self.fcs_dropped,
+            DropCause::LinkDown => self.link_down_dropped,
+            DropCause::Desc => self.desc_dropped,
+            DropCause::RxRing => self.rx_ring_dropped,
+            DropCause::Nf => self.nf_dropped,
+            DropCause::TxRing => self.tx_ring_dropped,
+        }
+    }
+
     /// Packets explained by a categorized outcome.
     pub fn accounted(&self) -> u64 {
-        self.fcs_dropped
-            + self.link_down_dropped
-            + self.desc_dropped
-            + self.rx_ring_dropped
-            + self.nf_dropped
-            + self.tx_ring_dropped
-            + self.tx_sent
+        DropCause::ALL.iter().map(|&c| self.count(c)).sum::<u64>() + self.tx_sent
     }
 
     /// The conservation identity:
@@ -648,6 +706,40 @@ mod tests {
         assert_eq!(p.slowdown_windows("Null", "Null@3").len(), 1);
         assert_eq!(p.slowdown_windows("Classifier", "Null").len(), 1);
         assert!(p.slowdown_windows("Classifier", "cls").is_empty());
+    }
+
+    #[test]
+    fn drop_cause_strings_are_pinned() {
+        // These strings appear verbatim in committed JSON artifacts
+        // (ledger sections, timeline drop series, trace fates); changing
+        // one is a schema break, so the whole set is pinned here.
+        let strs: Vec<&str> = DropCause::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            strs,
+            ["fcs", "link_down", "desc", "rx_ring", "nf", "tx_ring"]
+        );
+        for c in DropCause::ALL {
+            assert_eq!(c.to_string(), c.as_str());
+        }
+    }
+
+    #[test]
+    fn ledger_counts_match_fields() {
+        let l = Ledger {
+            generated: 21,
+            fcs_dropped: 1,
+            link_down_dropped: 2,
+            desc_dropped: 3,
+            rx_ring_dropped: 4,
+            nf_dropped: 5,
+            tx_ring_dropped: 6,
+            tx_sent: 0,
+            truncated_delivered: 0,
+            pool_denials: 0,
+        };
+        let by_cause: Vec<u64> = DropCause::ALL.iter().map(|&c| l.count(c)).collect();
+        assert_eq!(by_cause, [1, 2, 3, 4, 5, 6]);
+        assert!(l.balances());
     }
 
     #[test]

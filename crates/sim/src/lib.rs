@@ -28,7 +28,7 @@ pub mod rng;
 pub mod time;
 
 pub use events::{EventQueue, HeapEventQueue};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpecError, Ledger, WireFault};
+pub use fault::{DropCause, FaultEvent, FaultKind, FaultPlan, FaultSpecError, Ledger, WireFault};
 pub use freq::Frequency;
 pub use rng::SplitMix64;
 pub use time::SimTime;

@@ -127,6 +127,21 @@ impl SimTime {
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
+
+    /// The index of the recording window containing this instant, for a
+    /// given window length: window `i` covers
+    /// `[i * window, (i + 1) * window)`. The flight recorder keys all of
+    /// its per-window accumulation off this, so checkpoint boundaries
+    /// are exact integer arithmetic on the clock — no float drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[inline]
+    pub const fn window_index(self, window: SimTime) -> u64 {
+        assert!(window.0 > 0, "window length must be positive");
+        self.0 / window.0
+    }
 }
 
 impl Add for SimTime {
@@ -251,6 +266,16 @@ mod tests {
     fn sum_of_durations() {
         let total: SimTime = (1..=4).map(SimTime::from_ps).sum();
         assert_eq!(total.as_ps(), 10);
+    }
+
+    #[test]
+    fn window_index_boundaries_are_half_open() {
+        let w = SimTime::from_us(100.0);
+        assert_eq!(SimTime::ZERO.window_index(w), 0);
+        assert_eq!((w - SimTime::from_ps(1)).window_index(w), 0);
+        // The boundary instant belongs to the *next* window.
+        assert_eq!(w.window_index(w), 1);
+        assert_eq!((w * 7 + SimTime::from_ps(1)).window_index(w), 7);
     }
 
     #[test]

@@ -155,6 +155,34 @@ mod tests {
     }
 
     #[test]
+    fn iter_and_snapshot_order_is_stable_and_sorted() {
+        // Counters back serialized artifacts, so iteration order must be
+        // deterministic regardless of insertion order. The BTreeMap key
+        // guarantees it; this pins the contract.
+        let mut a = CounterSet::new();
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            a.add(name, 1);
+        }
+        let mut b = CounterSet::new();
+        for name in ["beta", "mid", "zeta", "alpha"] {
+            b.add(name, 1);
+        }
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "beta", "mid", "zeta"]);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "iter() must yield sorted names");
+        // Same counters inserted in a different order: identical
+        // iteration and snapshot.
+        assert_eq!(names, b.iter().map(|(n, _)| n).collect::<Vec<_>>());
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(
+            a.snapshot().iter().collect::<Vec<_>>(),
+            a.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn clear_zeroes_but_keeps_names() {
         let mut c = CounterSet::new();
         c.add("x", 4);

@@ -16,6 +16,8 @@ pub mod json;
 pub mod profile;
 pub mod series;
 pub mod table;
+pub mod timeline;
+pub mod trace;
 
 pub use counters::CounterSet;
 pub use histogram::LatencyHistogram;
@@ -23,3 +25,5 @@ pub use json::{Json, JsonError};
 pub use profile::{ProfileRecord, ProfileReport};
 pub use series::{Sample, WindowSampler};
 pub use table::Table;
+pub use timeline::{CoreSeries, TimelineRecorder, TimelineReport};
+pub use trace::{chrome_trace, PacketTrace, TraceRecorder, TraceReport, TraceSpec};

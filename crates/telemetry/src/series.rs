@@ -81,6 +81,11 @@ impl WindowSampler {
         self.samples
     }
 
+    /// The window width, in nanoseconds.
+    pub fn window_ns(&self) -> f64 {
+        self.window_ns
+    }
+
     /// Mean per-window delta over complete windows, or `None` if no window
     /// has closed yet.
     pub fn mean_delta(&self) -> Option<f64> {
@@ -148,5 +153,87 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_window_rejected() {
         let _ = WindowSampler::new(0.0);
+    }
+
+    #[test]
+    fn observation_exactly_on_boundary_closes_that_window() {
+        let mut s = WindowSampler::new(100.0);
+        s.observe(100.0, 7); // exactly on the first boundary
+        assert_eq!(s.samples.len(), 1);
+        assert_eq!(
+            s.samples[0],
+            Sample {
+                end_ns: 100.0,
+                delta: 7
+            }
+        );
+        // The next boundary has advanced: a later mid-window observation
+        // does not re-close it.
+        s.observe(150.0, 9);
+        assert_eq!(s.samples.len(), 1);
+    }
+
+    #[test]
+    fn finish_on_boundary_adds_no_empty_trailing_window() {
+        let mut s = WindowSampler::new(100.0);
+        s.observe(50.0, 3);
+        let all = s.finish(200.0, 10);
+        // Windows at 100 and 200 close; no zero-delta tail after.
+        assert_eq!(all.len(), 2);
+        assert_eq!(
+            all[0],
+            Sample {
+                end_ns: 100.0,
+                delta: 10
+            }
+        );
+        assert_eq!(
+            all[1],
+            Sample {
+                end_ns: 200.0,
+                delta: 0
+            }
+        );
+    }
+
+    #[test]
+    fn finish_past_last_boundary_emits_partial_tail_only_if_nonzero() {
+        // A delta spanning the last boundary is attributed to that
+        // boundary's window; only a change observed strictly after every
+        // closed boundary materializes as a partial tail at `now`.
+        let mut s = WindowSampler::new(100.0);
+        s.observe(100.0, 4);
+        let all = s.finish(260.0, 9);
+        assert_eq!(all.len(), 2);
+        assert_eq!(
+            all[1],
+            Sample {
+                end_ns: 200.0,
+                delta: 5
+            }
+        );
+        // Finish mid-window with a fresh delta: partial tail at `now`.
+        let mut s = WindowSampler::new(100.0);
+        s.observe(100.0, 4);
+        let all = s.finish(150.0, 9);
+        assert_eq!(all.len(), 2);
+        assert_eq!(
+            all[1],
+            Sample {
+                end_ns: 150.0,
+                delta: 5
+            }
+        );
+        // Finish mid-window with no delta: the partial window is omitted.
+        let mut s = WindowSampler::new(100.0);
+        s.observe(100.0, 4);
+        let all = s.finish(150.0, 4);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all.last().unwrap().end_ns, 100.0);
+    }
+
+    #[test]
+    fn window_ns_accessor() {
+        assert_eq!(WindowSampler::new(250.0).window_ns(), 250.0);
     }
 }

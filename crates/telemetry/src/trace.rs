@@ -1,0 +1,506 @@
+//! The sampled per-packet lifecycle half of the flight recorder.
+//!
+//! A deterministic head/hash-sampled subset of packets records its full
+//! lifecycle: wire arrival, DMA completion into the RX ring, PMD poll,
+//! per-element processing spans, TX-ring residency, and the final fate
+//! (`"tx"` or a categorized drop cause). Whether a packet is sampled is
+//! a **pure function** of `(trace seed, nic, sequence number)` — the
+//! same idiom as the fault plan's per-packet decisions — so the selected
+//! set is identical at any sweep thread count and independent of poll
+//! order. All timestamps are virtual picoseconds.
+//!
+//! The finished [`TraceReport`] serializes into the run-report JSON and
+//! can also be rendered as a Chrome `trace_event` document
+//! ([`chrome_trace`]) that Perfetto and `chrome://tracing` open
+//! directly.
+
+use crate::json::Json;
+
+/// Which packets the trace samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Seed for the per-packet sampling hash.
+    pub seed: u64,
+    /// Hash-sample one in `rate` packets (0 disables hash sampling).
+    pub rate: u64,
+    /// Always sample the first `head` packets of every NIC's stream.
+    pub head: u64,
+    /// Stop recording new packets past this count (the report notes the
+    /// truncation); keeps worst-case artifact size bounded.
+    pub max_packets: usize,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            seed: 0,
+            rate: 64,
+            head: 32,
+            max_packets: 256,
+        }
+    }
+}
+
+/// SplitMix64's finalizer — re-derived here (pm-telemetry is
+/// dependency-free) so sampling decisions mix the same way the fault
+/// plan's do.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceSpec {
+    /// Whether packet `seq` of stream `nic` is in the sampled set. Pure:
+    /// the same arguments always yield the same verdict.
+    pub fn sampled(&self, nic: u64, seq: u64) -> bool {
+        if seq < self.head {
+            return true;
+        }
+        self.rate > 0
+            && mix(self.seed ^ nic.rotate_left(24) ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .is_multiple_of(self.rate)
+    }
+}
+
+/// One element's processing span within a sampled packet's lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Element label (class name, or instance name for anonymous ones).
+    pub element: String,
+    /// Span start, virtual picoseconds.
+    pub start_ps: u64,
+    /// Span end, virtual picoseconds.
+    pub end_ps: u64,
+}
+
+/// The recorded lifecycle of one sampled packet. Stages a packet never
+/// reached stay `None`; the JSON emits every key regardless (as `null`),
+/// so the artifact's key paths do not vary with the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// Source NIC index.
+    pub nic: u32,
+    /// RX queue the packet was steered to (`None` if dropped on the wire).
+    pub queue: Option<u32>,
+    /// Core that polled the packet (`None` before the poll).
+    pub core: Option<u32>,
+    /// Per-NIC generator sequence number.
+    pub seq: u64,
+    /// Wire arrival, virtual picoseconds.
+    pub gen_ps: u64,
+    /// DMA completion into the RX ring (`None` if dropped earlier).
+    pub arrival_ps: Option<u64>,
+    /// Picked up by the PMD's RX burst.
+    pub poll_ps: Option<u64>,
+    /// Element processing spans, in graph order.
+    pub spans: Vec<Span>,
+    /// Enqueued on the TX ring.
+    pub tx_enqueue_ps: Option<u64>,
+    /// Serialized onto the wire, or dropped, at this instant.
+    pub done_ps: Option<u64>,
+    /// `"tx"` or a `DropCause` string; `None` if the run ended with the
+    /// packet still in flight.
+    pub fate: Option<&'static str>,
+}
+
+impl PacketTrace {
+    fn new(nic: u32, seq: u64, gen_ps: u64) -> Self {
+        PacketTrace {
+            nic,
+            queue: None,
+            core: None,
+            seq,
+            gen_ps,
+            arrival_ps: None,
+            poll_ps: None,
+            spans: Vec::new(),
+            tx_enqueue_ps: None,
+            done_ps: None,
+            fate: None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let opt_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
+        let opt_u32 = |v: Option<u32>| v.map_or(Json::Null, |x| Json::U64(u64::from(x)));
+        Json::obj(vec![
+            ("nic", Json::U64(u64::from(self.nic))),
+            ("queue", opt_u32(self.queue)),
+            ("core", opt_u32(self.core)),
+            ("seq", Json::U64(self.seq)),
+            ("gen_ps", Json::U64(self.gen_ps)),
+            ("arrival_ps", opt_u64(self.arrival_ps)),
+            ("poll_ps", opt_u64(self.poll_ps)),
+            (
+                "spans",
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("element", Json::Str(s.element.clone())),
+                                ("start_ps", Json::U64(s.start_ps)),
+                                ("end_ps", Json::U64(s.end_ps)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("tx_enqueue_ps", opt_u64(self.tx_enqueue_ps)),
+            ("done_ps", opt_u64(self.done_ps)),
+            (
+                "fate",
+                self.fate.map_or(Json::Null, |f| Json::Str(f.to_string())),
+            ),
+        ])
+    }
+}
+
+/// Accumulates sampled packet lifecycles during a run.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    spec: TraceSpec,
+    packets: Vec<PacketTrace>,
+    index: std::collections::BTreeMap<(u32, u64), usize>,
+    sampled_seen: u64,
+    truncated: bool,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for the given sampling spec.
+    pub fn new(spec: TraceSpec) -> Self {
+        TraceRecorder {
+            spec,
+            packets: Vec::new(),
+            index: std::collections::BTreeMap::new(),
+            sampled_seen: 0,
+            truncated: false,
+        }
+    }
+
+    /// Whether `(nic, seq)` is in the sampled set (pure; callers use
+    /// this to skip recording work for unsampled packets).
+    pub fn wants(&self, nic: u32, seq: u64) -> bool {
+        self.spec.sampled(u64::from(nic), seq)
+    }
+
+    /// Begins a sampled packet's record at wire arrival. Returns false
+    /// (and records nothing) once `max_packets` is reached.
+    pub fn begin(&mut self, nic: u32, seq: u64, gen_ps: u64) -> bool {
+        self.sampled_seen += 1;
+        if self.packets.len() >= self.spec.max_packets {
+            self.truncated = true;
+            return false;
+        }
+        let idx = self.packets.len();
+        self.packets.push(PacketTrace::new(nic, seq, gen_ps));
+        self.index.insert((nic, seq), idx);
+        true
+    }
+
+    fn get(&mut self, nic: u32, seq: u64) -> Option<&mut PacketTrace> {
+        let idx = *self.index.get(&(nic, seq))?;
+        Some(&mut self.packets[idx])
+    }
+
+    /// Records DMA completion into RX queue `queue` at `arrival_ps`.
+    pub fn on_delivered(&mut self, nic: u32, seq: u64, queue: u32, arrival_ps: u64) {
+        if let Some(p) = self.get(nic, seq) {
+            p.queue = Some(queue);
+            p.arrival_ps = Some(arrival_ps);
+        }
+    }
+
+    /// Records the PMD poll picking the packet up on `core`.
+    pub fn on_poll(&mut self, nic: u32, seq: u64, core: u32, poll_ps: u64) {
+        if let Some(p) = self.get(nic, seq) {
+            p.core = Some(core);
+            p.poll_ps = Some(poll_ps);
+        }
+    }
+
+    /// Appends one element processing span.
+    pub fn on_span(&mut self, nic: u32, seq: u64, element: String, start_ps: u64, end_ps: u64) {
+        if let Some(p) = self.get(nic, seq) {
+            p.spans.push(Span {
+                element,
+                start_ps,
+                end_ps,
+            });
+        }
+    }
+
+    /// Records the TX-ring enqueue.
+    pub fn on_tx_enqueue(&mut self, nic: u32, seq: u64, at_ps: u64) {
+        if let Some(p) = self.get(nic, seq) {
+            p.tx_enqueue_ps = Some(at_ps);
+        }
+    }
+
+    /// Seals the packet's fate (`"tx"` or a drop-cause string) at `at_ps`.
+    pub fn on_fate(&mut self, nic: u32, seq: u64, at_ps: u64, fate: &'static str) {
+        if let Some(p) = self.get(nic, seq) {
+            p.done_ps = Some(at_ps);
+            p.fate = Some(fate);
+        }
+    }
+
+    /// Finishes the trace: packets sorted by `(nic, seq)`.
+    pub fn finish(self) -> TraceReport {
+        let mut packets = self.packets;
+        packets.sort_by_key(|p| (p.nic, p.seq));
+        TraceReport {
+            spec: self.spec,
+            sampled_seen: self.sampled_seen,
+            truncated: self.truncated,
+            packets,
+        }
+    }
+}
+
+/// The finished lifecycle trace of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// The sampling spec the trace was recorded under.
+    pub spec: TraceSpec,
+    /// Sampled packets observed (recorded + truncated-away).
+    pub sampled_seen: u64,
+    /// True when `max_packets` cut the record short.
+    pub truncated: bool,
+    /// Recorded lifecycles, sorted by `(nic, seq)`.
+    pub packets: Vec<PacketTrace>,
+}
+
+impl TraceReport {
+    /// The `trace` section of the run-report JSON. Fixed key order;
+    /// every packet emits every key (null for unreached stages).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", Json::U64(self.spec.seed)),
+            ("rate", Json::U64(self.spec.rate)),
+            ("head", Json::U64(self.spec.head)),
+            ("max_packets", Json::U64(self.spec.max_packets as u64)),
+            ("sampled", Json::U64(self.sampled_seen)),
+            ("recorded", Json::U64(self.packets.len() as u64)),
+            ("truncated", Json::Bool(self.truncated)),
+            (
+                "packets",
+                Json::Arr(self.packets.iter().map(|p| p.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Renders one or more finished traces as a Chrome `trace_event` JSON
+/// document (the `--trace <path>` output): one process per run, one
+/// thread per core, `X` complete events for RX-ring residency / element
+/// spans / TX-ring residency, and `i` instant events for drops. Open it
+/// in Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+pub fn chrome_trace(runs: &[(&str, &TraceReport)]) -> Json {
+    let us = |ps: u64| ps as f64 / 1e6;
+    let mut events = Vec::new();
+    for (pid, (label, _)) in runs.iter().enumerate() {
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::U64(pid as u64)),
+            ("name", Json::Str("process_name".into())),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str((*label).into()))]),
+            ),
+        ]));
+    }
+    for (pid, (_, report)) in runs.iter().enumerate() {
+        for p in &report.packets {
+            let tid = u64::from(p.core.unwrap_or(0));
+            let name = format!("nic{} seq{}", p.nic, p.seq);
+            let complete = |evs: &mut Vec<Json>, cat: &str, what: &str, start: u64, end: u64| {
+                evs.push(Json::obj(vec![
+                    ("ph", Json::Str("X".into())),
+                    ("pid", Json::U64(pid as u64)),
+                    ("tid", Json::U64(tid)),
+                    ("cat", Json::Str(cat.into())),
+                    ("name", Json::Str(what.into())),
+                    ("ts", Json::F64(us(start))),
+                    ("dur", Json::F64(us(end.saturating_sub(start)))),
+                    ("args", Json::obj(vec![("packet", Json::Str(name.clone()))])),
+                ]));
+            };
+            if let (Some(arrival), Some(poll)) = (p.arrival_ps, p.poll_ps) {
+                complete(&mut events, "rx", &format!("{name} rx-ring"), arrival, poll);
+            }
+            for s in &p.spans {
+                complete(
+                    &mut events,
+                    "element",
+                    &format!("{name} {}", s.element),
+                    s.start_ps,
+                    s.end_ps,
+                );
+            }
+            if let (Some(enq), Some(done), Some("tx")) = (p.tx_enqueue_ps, p.done_ps, p.fate) {
+                complete(&mut events, "tx", &format!("{name} tx-ring"), enq, done);
+            }
+            if let (Some(done), Some(fate)) = (p.done_ps, p.fate) {
+                if fate != "tx" {
+                    events.push(Json::obj(vec![
+                        ("ph", Json::Str("i".into())),
+                        ("pid", Json::U64(pid as u64)),
+                        ("tid", Json::U64(tid)),
+                        ("cat", Json::Str("drop".into())),
+                        ("name", Json::Str(format!("{name} drop:{fate}"))),
+                        ("ts", Json::F64(us(done))),
+                        ("s", Json::Str("t".into())),
+                    ]));
+                }
+            }
+        }
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_pure_and_head_biased() {
+        let spec = TraceSpec {
+            seed: 7,
+            ..TraceSpec::default()
+        };
+        // Head packets always sampled.
+        assert!((0..spec.head).all(|s| spec.sampled(0, s)));
+        // Pure: repeated queries agree.
+        let a: Vec<bool> = (0..4096).map(|s| spec.sampled(1, s)).collect();
+        let b: Vec<bool> = (0..4096).map(|s| spec.sampled(1, s)).collect();
+        assert_eq!(a, b);
+        // Roughly 1/64 of the tail hits.
+        let hits = (spec.head..4096).filter(|&s| spec.sampled(1, s)).count();
+        assert!((20..=110).contains(&hits), "got {hits} hits at 1/64");
+        // Different streams sample different sets.
+        let c: Vec<bool> = (0..4096).map(|s| spec.sampled(2, s)).collect();
+        assert_ne!(a, c);
+        // rate = 0 means head-only.
+        let head_only = TraceSpec { rate: 0, ..spec };
+        assert!((head_only.head..4096).all(|s| !head_only.sampled(0, s)));
+    }
+
+    #[test]
+    fn lifecycle_round_trip() {
+        let mut r = TraceRecorder::new(TraceSpec::default());
+        assert!(r.wants(0, 3));
+        assert!(r.begin(0, 3, 100));
+        r.on_delivered(0, 3, 1, 250);
+        r.on_poll(0, 3, 1, 400);
+        r.on_span(0, 3, "Classifier".into(), 400, 500);
+        r.on_span(0, 3, "Null".into(), 500, 520);
+        r.on_tx_enqueue(0, 3, 560);
+        r.on_fate(0, 3, 900, "tx");
+        // A wire-dropped packet: begun, immediately fated.
+        assert!(r.begin(0, 5, 130));
+        r.on_fate(0, 5, 130, "fcs");
+        let t = r.finish();
+        assert_eq!(t.packets.len(), 2);
+        let p = &t.packets[0];
+        assert_eq!((p.nic, p.seq), (0, 3));
+        assert_eq!(p.queue, Some(1));
+        assert_eq!(p.spans.len(), 2);
+        assert_eq!(p.fate, Some("tx"));
+        assert_eq!(t.packets[1].fate, Some("fcs"));
+        assert_eq!(t.packets[1].arrival_ps, None);
+        assert!(!t.truncated);
+        assert_eq!(t.sampled_seen, 2);
+    }
+
+    #[test]
+    fn max_packets_truncates() {
+        let mut r = TraceRecorder::new(TraceSpec {
+            max_packets: 1,
+            ..TraceSpec::default()
+        });
+        assert!(r.begin(0, 0, 10));
+        assert!(!r.begin(0, 1, 20));
+        let t = r.finish();
+        assert!(t.truncated);
+        assert_eq!(t.sampled_seen, 2);
+        assert_eq!(t.packets.len(), 1);
+    }
+
+    #[test]
+    fn packets_sorted_by_nic_then_seq() {
+        let mut r = TraceRecorder::new(TraceSpec::default());
+        r.begin(1, 0, 30);
+        r.begin(0, 2, 20);
+        r.begin(0, 1, 10);
+        let t = r.finish();
+        let order: Vec<(u32, u64)> = t.packets.iter().map(|p| (p.nic, p.seq)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn json_emits_every_key_even_when_null() {
+        let mut r = TraceRecorder::new(TraceSpec::default());
+        r.begin(0, 0, 10);
+        let j = r.finish().to_json();
+        let packets = match j.get("packets") {
+            Some(Json::Arr(ps)) => ps,
+            other => panic!("bad packets: {other:?}"),
+        };
+        for key in [
+            "nic",
+            "queue",
+            "core",
+            "seq",
+            "gen_ps",
+            "arrival_ps",
+            "poll_ps",
+            "spans",
+            "tx_enqueue_ps",
+            "done_ps",
+            "fate",
+        ] {
+            assert!(packets[0].get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(packets[0].get("fate"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_and_drops() {
+        let mut r = TraceRecorder::new(TraceSpec::default());
+        r.begin(0, 0, 0);
+        r.on_delivered(0, 0, 0, 1_000_000);
+        r.on_poll(0, 0, 2, 2_000_000);
+        r.on_span(0, 0, "Null".into(), 2_000_000, 2_500_000);
+        r.on_tx_enqueue(0, 0, 2_600_000);
+        r.on_fate(0, 0, 3_000_000, "tx");
+        r.begin(0, 1, 500_000);
+        r.on_fate(0, 1, 500_000, "link_down");
+        let t = r.finish();
+        let doc = chrome_trace(&[("run-a", &t)]);
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(e)) => e,
+            other => panic!("bad traceEvents: {other:?}"),
+        };
+        // Metadata + rx-ring + element + tx-ring + drop instant.
+        assert_eq!(events.len(), 5);
+        let phases: Vec<&Json> = events.iter().filter_map(|e| e.get("ph")).collect();
+        assert_eq!(
+            phases,
+            [
+                &Json::Str("M".into()),
+                &Json::Str("X".into()),
+                &Json::Str("X".into()),
+                &Json::Str("X".into()),
+                &Json::Str("i".into()),
+            ]
+        );
+        // Timestamps are µs: the rx-ring span starts at 1 µs.
+        assert_eq!(events[1].get("ts"), Some(&Json::F64(1.0)));
+    }
+}

@@ -124,6 +124,49 @@ fn fig_multicore_c2_profiled_artifact_matches_committed_fixture() {
     );
 }
 
+/// The flight-recorder showcase: pins the per-window time series, the
+/// sampled packet lifecycles, and the link-flap dip/recovery summary —
+/// table and `--json` artifact — byte for byte. Any change to recorder
+/// bucketing, sampling hashes, or span attribution shows up here.
+#[test]
+fn fig_timeline_artifact_matches_committed_fixture() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping fig_timeline golden sweep in debug builds (runs under --release)");
+        return;
+    }
+    set_default_profile(true);
+    let a = pm_bench::figures::fig_timeline();
+
+    let stdout = format!("{}\n", a.table);
+    let json = artifact_document(vec![a.results.to_json("fig-timeline")]).to_pretty() + "\n";
+
+    // PM_WRITE_GOLDEN=1 regenerates the fixture instead of comparing.
+    if std::env::var("PM_WRITE_GOLDEN").is_ok_and(|v| v != "0") {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+        std::fs::write(format!("{dir}/fig-timeline.txt"), &stdout).unwrap();
+        std::fs::write(format!("{dir}/fig-timeline.json"), &json).unwrap();
+        eprintln!("wrote fig_timeline fixtures to {dir}");
+        return;
+    }
+
+    assert_same(
+        &stdout,
+        include_str!("../golden/fig-timeline.txt"),
+        "stdout table",
+    );
+    assert_same(
+        &json,
+        include_str!("../golden/fig-timeline.json"),
+        "json artifact",
+    );
+
+    // The fixture really carries the claim: a dip window with zero
+    // throughput during the flap and a recovery back to line rate.
+    assert!(stdout.contains("dip"), "summary rows present");
+    assert!(stdout.contains("recovered"), "recovery row present");
+    assert!(json.contains("\"link_down\""), "drop series by cause");
+}
+
 #[test]
 fn table1_artifact_matches_committed_fixture() {
     if cfg!(debug_assertions) {
