@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare a fresh bench_timing run to the
+committed baseline.
+
+Usage: perf_gate.py <baseline.json> <current.json> <tolerance>
+
+For every benchmark present in BOTH files, the current `min_s` must be
+at most `tolerance` x the baseline `min_s`. The gate compares `min_s`
+(not mean) because wall-clock noise on a shared runner is strictly
+additive — nothing makes a deterministic simulation faster than its
+code — so the minimum over warm rounds is the statistic that tracks
+the code, not the host. The tolerance absorbs the CI-runner-vs-dev-box
+hardware gap plus residual scheduling noise; real algorithmic
+regressions (an accidental O(n) scan in the hot loop, a lost
+memoization path) historically cost 3x or more and land well past any
+sane tolerance.
+
+Always prints the comparison table; exits 1 if any benchmark breaches.
+The committed baseline (BENCH_simulator.json) is refreshed whenever a
+perf-relevant PR lands, so the gate ratchets with the simulator.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, current_path, tol_s = sys.argv[1:4]
+    tol = float(tol_s)
+    baseline = {
+        b["name"]: b for b in json.load(open(baseline_path))["benchmarks"]
+    }
+    current = {
+        b["name"]: b for b in json.load(open(current_path))["benchmarks"]
+    }
+    shared = [n for n in current if n in baseline]
+    if not shared:
+        print("perf gate: no shared benchmarks between "
+              f"{baseline_path} and {current_path}", file=sys.stderr)
+        return 2
+
+    rows = []
+    failed = []
+    for name in shared:
+        base = baseline[name]["min_s"]
+        cur = current[name]["min_s"]
+        limit = base * tol
+        ratio = cur / base if base > 0 else float("inf")
+        ok = cur <= limit
+        rows.append((name, base, cur, ratio, limit, "ok" if ok else "FAIL"))
+        if not ok:
+            failed.append(name)
+
+    header = (f"{'benchmark':<18} {'base min_s':>10} {'cur min_s':>10} "
+              f"{'ratio':>6} {'limit_s':>8}  verdict")
+    print(header)
+    print("-" * len(header))
+    for name, base, cur, ratio, limit, verdict in rows:
+        print(f"{name:<18} {base:>10.3f} {cur:>10.3f} "
+              f"{ratio:>6.2f} {limit:>8.3f}  {verdict}")
+
+    if failed:
+        print(f"\nperf gate FAILED ({tol:.1f}x tolerance): "
+              + ", ".join(failed), file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({tol:.1f}x tolerance, "
+          f"{len(shared)} benchmark(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

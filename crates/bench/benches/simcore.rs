@@ -22,6 +22,15 @@
 //! * The event-queue pairs historically show the calendar queue ~2-4×
 //!   the heap at engine-like populations; regressions there dwarf any
 //!   hierarchy-level tuning, so check them first when a sweep slows.
+//! * The `delta_replay/*` group times the round-3 machinery: strided
+//!   bases that exact-base memoization can never hit but delta-class
+//!   re-keying replays (`wqe_stride16`, `batch32`). `classflip` is the
+//!   honest loser — bases whose line counts alternate put every call on
+//!   the verify-bail-walk-rearm path, so the fast resolver pays the
+//!   failed verification *on top of* the reference walk. The loss is
+//!   bounded (one read-only pass over an armed entry), but it is a
+//!   loss; shapes like it are why the Packet-pool program in the Click
+//!   runtime keeps `no_memoize`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pm_mem::{AccessKind, Cost, HierarchyParams, MemoryHierarchy, ProgramBuilder};
@@ -147,6 +156,82 @@ fn bench_programs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Delta-class replay at the shapes round 3 converted from
+/// `no_memoize`: bases stride through a ring, so the exact-base key
+/// never repeats, but per-step line counts do — the fast resolver
+/// re-keys the armed signature in place instead of walking. Each
+/// `*_reference` row pays the identical outcome per line per call.
+fn bench_delta_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_replay");
+
+    // RX-WQE-shaped: one 16-byte slot store + doorbell arithmetic, the
+    // densest converted ring shape (4 slots per line).
+    let wqe = || ProgramBuilder::new().store(0, 0, 16).compute(4).build();
+    // Offset-sensitive: 56 bytes from offset 0 is one line, from offset
+    // 16 it is two — alternating bases flip the delta class every call.
+    let flip = || ProgramBuilder::new().load(0, 0, 56).compute(4).build();
+
+    type MkMem = fn() -> MemoryHierarchy;
+    let modes: [(&str, MkMem); 2] = [
+        ("fast", (|| MemoryHierarchy::skylake(1)) as MkMem),
+        (
+            "reference",
+            (|| MemoryHierarchy::with_reference_walk(&HierarchyParams::skylake(1))) as MkMem,
+        ),
+    ];
+
+    // A 64-slot (16-line) WQE ring visited round-robin: every call is a
+    // fresh base in the same class, so after warm-up every call is a
+    // delta replay + re-key on the fast resolver.
+    for (tag, mk_mem) in modes {
+        g.bench_function(&format!("wqe_stride16_{tag}"), |b| {
+            let mut mem = mk_mem();
+            let prog = wqe();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) & 63;
+                let mut cost = Cost::ZERO;
+                mem.run_program(0, &prog, &[0x40_000 + i * 16], &mut cost);
+                black_box(cost)
+            });
+        });
+    }
+
+    // The PMD's burst shape: one `run_program_batch` call resolving 32
+    // strided rows under a single attribution window.
+    for (tag, mk_mem) in modes {
+        g.bench_function(&format!("batch32_{tag}"), |b| {
+            let mut mem = mk_mem();
+            let prog = wqe();
+            let rows: Vec<[u64; 1]> = (0..32u64).map(|k| [0x48_000 + k * 16]).collect();
+            b.iter(|| {
+                let mut cost = Cost::ZERO;
+                mem.run_program_batch(0, &prog, &rows, &mut cost);
+                black_box(cost)
+            });
+        });
+    }
+
+    // Where replay loses: the class flips every call, so the fast
+    // resolver verifies, bails, walks, and re-arms — pure overhead over
+    // the reference walk. See the module notes.
+    for (tag, mk_mem) in modes {
+        g.bench_function(&format!("classflip_{tag}"), |b| {
+            let mut mem = mk_mem();
+            let prog = flip();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) & 1;
+                let mut cost = Cost::ZERO;
+                mem.run_program(0, &prog, &[0x50_000 + i * 16], &mut cost);
+                black_box(cost)
+            });
+        });
+    }
+
+    g.finish();
+}
+
 /// The engine's event pattern, as a classic hold model: a standing
 /// population of in-flight events whose timestamps advance in
 /// pacing-scale steps (a 64-B frame at 100 Gbps arrives every ~6.7 ns).
@@ -202,5 +287,11 @@ fn bench_events(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hierarchy, bench_programs, bench_events);
+criterion_group!(
+    benches,
+    bench_hierarchy,
+    bench_programs,
+    bench_delta_replay,
+    bench_events
+);
 criterion_main!(benches);

@@ -11,18 +11,27 @@
 //! benchmark runs once per round before any runs twice, so slow host
 //! drift (thermal throttling, noisy neighbours) biases all of them
 //! roughly equally instead of penalizing whichever happened to run last.
-//! For an A/B comparison between two checkouts, run this harness from
-//! each build alternately and compare the emitted files; within one
-//! invocation the interleaving only de-skews the benchmarks against each
-//! other.
+//! Before the timed rounds, `--warmup` (default 1) whole interleaved
+//! rounds run and are discarded: the first pass through each benchmark
+//! pays one-time host costs no steady sample should carry — binary
+//! page-in, allocator arena growth, branch-predictor training on the
+//! simulator's hot loops. (Armed signature tables are per-run state and
+//! warm up inside every sample identically.) For an A/B
+//! comparison between two checkouts, run this harness from each build
+//! alternately and compare the emitted files; within one invocation the
+//! interleaving only de-skews the benchmarks against each other.
 //!
 //! The emitted JSON (`BENCH_simulator.json` by convention) records the
-//! per-round samples plus mean and min, and is deliberately
-//! host-field-free: no hostname, CPU model, core count, or timestamp, so
-//! two committed files diff meaningfully and the only varying fields are
-//! the measurements themselves. Tables still print to stdout while
-//! timing (the work must be real); redirect to `/dev/null` when only the
-//! JSON matters.
+//! per-round samples plus mean and min. **`min_s` is the headline
+//! statistic**: wall-clock noise on a loaded host is strictly additive
+//! (nothing makes a deterministic simulation run faster than its code),
+//! so the minimum over warm rounds is the best estimate of true cost;
+//! `mean_s` is kept only to make drift visible in diffs. The file is
+//! deliberately host-field-free: no hostname, CPU model, core count, or
+//! timestamp, so two committed files diff meaningfully and the only
+//! varying fields are the measurements themselves. Tables still print to
+//! stdout while timing (the work must be real); redirect to `/dev/null`
+//! when only the JSON matters.
 
 use packetmill::Json;
 use std::time::Instant;
@@ -37,6 +46,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut bench_json: Option<std::path::PathBuf> = None;
     let mut rounds = 3usize;
+    let mut warmup = 1usize;
     let mut threads = 1usize;
     let mut only: Option<String> = None;
     let mut i = 1;
@@ -53,6 +63,13 @@ fn main() {
                     .unwrap_or(rounds);
                 i += 1;
             }
+            "--warmup" => {
+                warmup = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(warmup);
+                i += 1;
+            }
             "--threads" => {
                 threads = args
                     .get(i + 1)
@@ -66,7 +83,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!("usage: bench_timing --bench-json <path> [--rounds N] [--threads N] [--only <substring>]");
+                eprintln!("usage: bench_timing --bench-json <path> [--rounds N] [--warmup N] [--threads N] [--only <substring>]");
                 std::process::exit(2);
             }
         }
@@ -125,6 +142,17 @@ fn main() {
         std::process::exit(2);
     }
 
+    for round in 0..warmup {
+        for (name, _, run) in &benches {
+            let start = Instant::now();
+            run();
+            let secs = start.elapsed().as_secs_f64();
+            eprintln!(
+                "bench {name} warmup {}/{warmup}: {secs:.3} s (discarded)",
+                round + 1
+            );
+        }
+    }
     let mut samples: Vec<Vec<f64>> = vec![Vec::new(); benches.len()];
     for round in 0..rounds {
         for (i, (name, _, run)) in benches.iter().enumerate() {
@@ -135,6 +163,10 @@ fn main() {
             samples[i].push(secs);
         }
     }
+    for ((name, _, _), s) in benches.iter().zip(&samples) {
+        let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+        eprintln!("bench {name} min: {min:.3} s");
+    }
 
     let doc = Json::obj(vec![
         ("schema", Json::Str("packetmill-bench/v1".into())),
@@ -143,6 +175,7 @@ fn main() {
             Json::obj(vec![
                 ("threads", Json::U64(threads as u64)),
                 ("rounds", Json::U64(rounds as u64)),
+                ("warmup", Json::U64(warmup as u64)),
                 ("interleaved", Json::Bool(true)),
                 ("profile", Json::Bool(false)),
             ]),

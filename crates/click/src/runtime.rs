@@ -362,6 +362,11 @@ impl GraphRuntime {
                     // are touched lazily by the elements that use them,
                     // which is why reordering them matters).
                     let copy_lines = &self.copy_lines;
+                    // `no_memoize` even with delta-class replay: Packet
+                    // objects come from a FIFO pool (the engine's
+                    // default), so successive bases cycle cold through
+                    // the whole pool and the L1-residency proof would
+                    // fail every packet — the arming probe stays off.
                     let prog = self.copy_prog.get_or_insert_with(|| {
                         let mut b = ProgramBuilder::new().no_memoize().load(0, 0, 32);
                         for &l in copy_lines {

@@ -72,6 +72,11 @@ pub struct EngineConfig {
     /// pure function of `(spec.seed, nic, seq)` — independent of thread
     /// count and of the timeline window.
     pub trace: Option<TraceSpec>,
+    /// Resolve every access program through the reference per-line walk
+    /// (no signature memoization, no batch replay, no fast-forward).
+    /// Bit-identical to the default fast resolver by construction — the
+    /// regression tests run both and assert byte-equal artifacts.
+    pub reference_walk: bool,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +102,7 @@ impl Default for EngineConfig {
             faults: None,
             timeline: None,
             trace: None,
+            reference_walk: false,
         }
     }
 }
@@ -255,13 +261,14 @@ impl Engine {
         );
         assert_eq!(traces.len(), cfg.nics, "need one trace per NIC");
 
-        let mut mem = match cfg.ddio_ways {
-            None => MemoryHierarchy::skylake(cfg.cores),
-            Some(w) => {
-                let mut p = pm_mem::HierarchyParams::skylake(cfg.cores);
-                p.ddio_ways = w;
-                MemoryHierarchy::new(&p)
-            }
+        let mut hier_params = pm_mem::HierarchyParams::skylake(cfg.cores);
+        if let Some(w) = cfg.ddio_ways {
+            hier_params.ddio_ways = w;
+        }
+        let mut mem = if cfg.reference_walk {
+            MemoryHierarchy::with_reference_walk(&hier_params)
+        } else {
+            MemoryHierarchy::new(&hier_params)
         };
         let nic_cfg = NicConfig {
             queues: qpn,

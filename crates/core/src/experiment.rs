@@ -154,6 +154,7 @@ pub struct ExperimentBuilder {
     faults: Option<FaultPlan>,
     timeline_us: Option<f64>,
     packet_trace: Option<bool>,
+    reference_walk: bool,
 }
 
 impl ExperimentBuilder {
@@ -183,6 +184,7 @@ impl ExperimentBuilder {
             faults: None,
             timeline_us: None,
             packet_trace: None,
+            reference_walk: false,
         }
     }
 
@@ -344,6 +346,15 @@ impl ExperimentBuilder {
             .unwrap_or_else(|| crate::sweep::default_trace().is_some())
     }
 
+    /// Resolves every access program through the reference per-line walk
+    /// (signature arming, delta-class replay, and fast-forward all off).
+    /// This is the bit-identity regression knob: a run with the flag on
+    /// must produce byte-identical artifacts to the same run with it off.
+    pub fn reference_walk(mut self, on: bool) -> Self {
+        self.reference_walk = on;
+        self
+    }
+
     fn pipeline(&self) -> Pipeline {
         match self.opt {
             OptLevel::Vanilla => Pipeline::new(),
@@ -410,6 +421,7 @@ impl ExperimentBuilder {
                     seed: self.seed,
                     ..pm_telemetry::TraceSpec::default()
                 }),
+            reference_walk: self.reference_walk,
         }
     }
 

@@ -166,12 +166,64 @@ const ARMED_MAX_LINES: u64 = 12;
 /// wider is not a hot replay shape).
 const ARMED_MAX_PAGES: usize = 4;
 
+/// Steady-state fast-forward memo: the full TLB trajectory of one
+/// proven replay, lifted to a closed form. Recorded after a successful
+/// slow-path replay; applied — skipping the residency probes and the
+/// trajectory recomputation entirely — when three equalities prove the
+/// recorded fixed point still holds: the DTLB fill generation is
+/// unchanged (no membership change, so every page proven resident then
+/// is resident now), and the core's `(last_vpage, last_page)` memo pair
+/// equals the recorded start state (the trajectory is a pure function of
+/// the entry's pages, keys, and that start state, so its outputs are the
+/// recorded ones). Any DMA, fault, or cold access that fills a TLB entry
+/// or disturbs a covered cache set drops back to the slow path
+/// automatically — via the generation bump or the entry's death.
+#[derive(Clone, Copy)]
+struct FfMemo {
+    valid: bool,
+    /// [`Tlb::generation`] at record time.
+    gen: u64,
+    /// The core's last-vpage memo at trajectory start.
+    start_vpage: u64,
+    /// The TLB's last-page slot at trajectory start.
+    start_page: u64,
+    /// Trajectory outputs: the memo state a replay from the recorded
+    /// start leaves behind.
+    end_vpage: u64,
+    end_page: u64,
+    /// Pages the trajectory promotes via real DTLB touches, in order.
+    touched: [u64; ARMED_MAX_PAGES],
+    n_touched: u8,
+}
+
+impl FfMemo {
+    const INVALID: FfMemo = FfMemo {
+        valid: false,
+        gen: 0,
+        start_vpage: 0,
+        start_page: 0,
+        end_vpage: 0,
+        end_page: 0,
+        touched: [0; ARMED_MAX_PAGES],
+        n_touched: 0,
+    };
+}
+
 /// A recorded access signature: the full outcome of one program run,
 /// valid while the signature's **hit-state class** provably still holds —
 /// every line L1-MRU-resident, every page translation a free DTLB hit.
 /// Replaying adds the recorded per-step costs and counter deltas,
 /// applies the DTLB hits' real recency promotions, and restores the same
 /// memo state the walk would have left, bit-for-bit.
+///
+/// A signature is keyed on `(program id, base-delta class)`, not on the
+/// exact bases alone: a run whose bases differ but whose per-step spans
+/// cover the same number of lines (`step_lines`) charges exactly the
+/// recorded per-step costs and counters, so it can replay — after
+/// re-proving residency for the lines the new bases actually touch — and
+/// the entry is then re-keyed in place onto the new bases. This is what
+/// makes strided ring shapes (WQE slots, TX descriptors) replayable even
+/// though their bases advance every invocation.
 #[derive(Clone, Copy)]
 struct ArmedEntry {
     prog_id: u64,
@@ -200,8 +252,19 @@ struct ArmedEntry {
     n_pages: u8,
     n_lines: u8,
     valid: bool,
+    /// The entry's base-delta class: lines spanned per program step (0
+    /// for compute/charge steps). A run with different bases replays iff
+    /// its per-step spans cover the same counts — then every per-step
+    /// cost (count × the all-L1-hit constant, summed in walk order) and
+    /// counter delta is bit-identical, because the span count is the only
+    /// thing the all-hit outcome depends on. The count already encodes
+    /// the offset-within-line class: `lines_spanned(a, len)` depends on
+    /// `a` only through `a & 63`.
+    step_lines: [u8; ARMED_MAX_STEPS],
     /// Per-step cost deltas in program order (the all-L1-hit constants).
     costs: [Cost; ARMED_MAX_STEPS],
+    /// Steady-state fast-forward memo (see [`FfMemo`]).
+    ff: FfMemo,
 }
 
 /// Per-core table of armed signatures plus the OR of their conflict
@@ -214,6 +277,14 @@ struct ArmedTable {
     /// one or two host cache lines — instead of striding through the
     /// ~half-KiB entries.
     ids: [u64; ARMED_SLOTS],
+    /// `entries[i].mask` when slot `i` holds a valid entry, else 0.
+    /// The invalidation hooks scan this one-cache-line mirror and only
+    /// dereference an entry (for the own-line exemption) when its mask
+    /// actually overlaps the disturbed set — the entries themselves
+    /// grew past half a KiB with the delta-class and fast-forward
+    /// payloads, so striding through them on every covered touch would
+    /// put the whole table in the host's cache shadow.
+    masks: [u64; ARMED_SLOTS],
     mask: u64,
     next: usize,
 }
@@ -223,6 +294,7 @@ impl ArmedTable {
         ArmedTable {
             entries: Vec::with_capacity(ARMED_SLOTS),
             ids: [0; ARMED_SLOTS],
+            masks: [0; ARMED_SLOTS],
             mask: 0,
             next: 0,
         }
@@ -230,22 +302,28 @@ impl ArmedTable {
 
     /// Invalidation hook: a line was invalidated (or flushed) on the L1
     /// set summarized by `bit`. Conservatively kills every armed entry
-    /// whose line set overlaps it.
+    /// whose line set overlaps it. Returns the number of entries killed
+    /// (the hierarchy's `sig_kills` diagnostic — the PMD's steady-state
+    /// witness counts consecutive kill-free batches with it).
     #[inline]
-    fn on_conflict(&mut self, bit: u64) {
+    fn on_conflict(&mut self, bit: u64) -> u64 {
         if self.mask & bit == 0 {
-            return;
+            return 0;
         }
+        let mut kills = 0;
         self.mask = 0;
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            if e.valid && e.mask & bit != 0 {
-                e.valid = false;
+        for i in 0..self.entries.len() {
+            let m = self.masks[i];
+            if m & bit != 0 {
+                self.entries[i].valid = false;
                 self.ids[i] = 0;
-            }
-            if e.valid {
-                self.mask |= e.mask;
+                self.masks[i] = 0;
+                kills += 1;
+            } else {
+                self.mask |= m;
             }
         }
+        kills
     }
 
     /// Demand-touch hook: `line` is being accessed on the L1 set
@@ -256,33 +334,48 @@ impl ArmedTable {
     /// this exemption, an element reading its own state each packet
     /// would kill its dispatch signature every time.
     #[inline]
-    fn on_touch(&mut self, bit: u64, line: u64) {
+    fn on_touch(&mut self, bit: u64, line: u64) -> u64 {
         if self.mask & bit == 0 {
-            return;
+            return 0;
         }
+        let mut kills = 0;
         self.mask = 0;
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            if e.valid && e.mask & bit != 0 && !e.lines[..usize::from(e.n_lines)].contains(&line) {
-                e.valid = false;
-                self.ids[i] = 0;
+        for i in 0..self.entries.len() {
+            let m = self.masks[i];
+            if m & bit != 0 {
+                let e = &mut self.entries[i];
+                if !e.lines[..usize::from(e.n_lines)].contains(&line) {
+                    e.valid = false;
+                    self.ids[i] = 0;
+                    self.masks[i] = 0;
+                    kills += 1;
+                    continue;
+                }
             }
-            if e.valid {
-                self.mask |= e.mask;
-            }
+            self.mask |= m;
         }
+        kills
     }
 
-    /// Looks up a valid signature for (program, bases), returning its
-    /// slot index (entries are half a KiB — callers borrow in place
-    /// rather than copy). At most one slot ever holds a given program
-    /// (`install` replaces same-program slots), so the id scan has a
-    /// single candidate.
+    /// Looks up the valid signature slot for a program id (entries are
+    /// half a KiB — callers borrow in place rather than copy). At most
+    /// one slot ever holds a given program (`install` replaces
+    /// same-program slots), so the id scan has a single candidate. The
+    /// caller decides between exact-base replay and delta-class replay
+    /// by comparing the entry's bases itself.
     #[inline]
-    fn find_idx(&self, prog_id: u64, n_bases: u8, bases: &[u64]) -> Option<usize> {
+    fn slot_for(&self, prog_id: u64) -> Option<usize> {
         if self.mask == 0 {
             return None;
         }
-        let i = self.ids.iter().position(|&id| id == prog_id)?;
+        self.ids.iter().position(|&id| id == prog_id)
+    }
+
+    /// Test hook: the slot holding a valid signature for exactly
+    /// (program, bases), if any.
+    #[cfg(test)]
+    fn find_idx(&self, prog_id: u64, n_bases: u8, bases: &[u64]) -> Option<usize> {
+        let i = self.slot_for(prog_id)?;
         let e = &self.entries[i];
         let n = usize::from(n_bases);
         (e.valid && e.n_bases == n_bases && e.bases[..n] == bases[..n]).then_some(i)
@@ -297,6 +390,7 @@ impl ArmedTable {
             .position(|x| x.prog_id == e.prog_id)
             .or_else(|| self.entries.iter().position(|x| !x.valid));
         let id = e.prog_id;
+        let m = e.mask;
         let i = match slot {
             Some(i) => {
                 self.entries[i] = e;
@@ -314,20 +408,22 @@ impl ArmedTable {
             }
         };
         self.ids[i] = id;
-        self.mask = 0;
-        for x in &self.entries {
-            if x.valid {
-                self.mask |= x.mask;
-            }
-        }
+        self.masks[i] = m;
+        self.mask = self.masks.iter().fold(0, |a, &x| a | x);
     }
 
-    fn clear(&mut self) {
+    fn clear(&mut self) -> u64 {
+        let mut kills = 0;
         for e in &mut self.entries {
-            e.valid = false;
+            if e.valid {
+                e.valid = false;
+                kills += 1;
+            }
         }
         self.ids = [0; ARMED_SLOTS];
+        self.masks = [0; ARMED_SLOTS];
         self.mask = 0;
+        kills
     }
 }
 
@@ -376,6 +472,19 @@ pub struct MemoryHierarchy {
     resident: ResidentFilter,
     /// Per-core access-signature tables (memoized program outcomes).
     armed: Vec<ArmedTable>,
+    /// Armed signatures killed by any invalidation path since
+    /// construction (host-side diagnostic, never simulated state). The
+    /// PMD watches this to detect the steady-state fixed point: K
+    /// consecutive batches with no kills means the working set's
+    /// signatures are stable and fast-forward replays dominate.
+    sig_kills: u64,
+    /// Successful signature replays (exact, delta-class, or
+    /// fast-forward).
+    sig_replays: u64,
+    /// The subset of `sig_replays` resolved by the steady-state
+    /// fast-forward memo — closed-form, no residency probes, no
+    /// trajectory recomputation.
+    sig_ff: u64,
     /// False in reference mode: every program resolves through the
     /// original per-call walk, invalidation scans always run, nothing is
     /// memoized. The lock-step oracle for the batched resolver, kept the
@@ -426,6 +535,9 @@ impl MemoryHierarchy {
             attribution: None,
             resident: ResidentFilter::new(),
             armed: (0..p.cores).map(|_| ArmedTable::new()).collect(),
+            sig_kills: 0,
+            sig_replays: 0,
+            sig_ff: 0,
             fast: true,
         }
     }
@@ -452,9 +564,11 @@ impl MemoryHierarchy {
         for c in &mut self.cores {
             c.last_vpage = NONE64;
         }
+        let mut kills = 0;
         for t in &mut self.armed {
-            t.clear();
+            kills += t.clear();
         }
+        self.sig_kills += kills;
         self.key_memo.fill((NONE64, 0));
     }
 
@@ -682,7 +796,8 @@ impl MemoryHierarchy {
         // (nothing armed / no overlap) case.
         if self.armed[core].mask != 0 {
             let bit = 1u64 << (self.cores[core].l1.set_index(addr) & 63);
-            self.armed[core].on_touch(bit, addr & !(LINE - 1));
+            let kills = self.armed[core].on_touch(bit, addr & !(LINE - 1));
+            self.sig_kills += kills;
         }
         let is_load = kind == AccessKind::Load;
         if COUNT {
@@ -785,6 +900,7 @@ impl MemoryHierarchy {
             return;
         }
         let bit = 1u64 << (self.cores[0].l1.set_index(line) & 63);
+        let mut kills = 0;
         for (c, t) in self.cores.iter_mut().zip(self.armed.iter_mut()) {
             c.l1.invalidate(line);
             c.l2.invalidate(line);
@@ -793,8 +909,9 @@ impl MemoryHierarchy {
             }
             // Cross-core LLC evictions must also break signatures armed
             // on other cores (the line may be one of theirs).
-            t.on_conflict(bit);
+            kills += t.on_conflict(bit);
         }
+        self.sig_kills += kills;
     }
 
     /// Models a NIC DMA write of `len` bytes at `addr` (RX path).
@@ -821,14 +938,16 @@ impl MemoryHierarchy {
                 // otherwise.
                 if !self.fast || self.resident.remove(line) {
                     let bit = 1u64 << (self.cores[0].l1.set_index(line) & 63);
+                    let mut kills = 0;
                     for (c, t) in self.cores.iter_mut().zip(self.armed.iter_mut()) {
                         c.l1.invalidate(line);
                         c.l2.invalidate(line);
                         if c.last_line == line {
                             c.last_line = NONE64;
                         }
-                        t.on_conflict(bit);
+                        kills += t.on_conflict(bit);
                     }
+                    self.sig_kills += kills;
                 }
             } else if let Some(evicted) = out.evicted {
                 self.back_invalidate(evicted);
@@ -951,12 +1070,16 @@ impl MemoryHierarchy {
     /// `f64` bit, same counters, same cache/TLB state — but resolved in
     /// one tight loop with a single attribution update, and memoized
     /// outright when the program's access signature is armed: if every
-    /// line was left L1-MRU-resident by a previous run with the same
-    /// bases and nothing has disturbed those sets since, the
+    /// line was left L1-MRU-resident by a previous run in the same
+    /// base-delta class and nothing has disturbed those sets since, the
     /// recorded per-step deltas are replayed with no per-line work at
-    /// all. Signatures are invalidated exactly (conservatively by L1
-    /// set) on any overlapping touch, DMA invalidation, cross-core LLC
-    /// back-invalidation, private-cache flush, or hugepage remap.
+    /// all — exact-base matches skip even the residency probes when the
+    /// steady-state fast-forward memo's preconditions hold, and
+    /// strided-base matches re-prove residency for the new lines and
+    /// re-key the signature in place. Signatures are invalidated exactly
+    /// (conservatively by L1 set) on any overlapping touch, DMA
+    /// invalidation, cross-core LLC back-invalidation, private-cache
+    /// flush, or hugepage remap.
     ///
     /// `bases` supplies the program's base registers; cost is
     /// accumulated into `acc` step by step (the caller's accumulation
@@ -975,34 +1098,10 @@ impl MemoryHierarchy {
             return;
         }
         let before = self.attribution.is_some().then_some(self.counters);
-        if !self.try_replay(core, prog, bases, acc) {
-            for step in &prog.steps {
-                match step.op {
-                    StepOp::Compute(n) => *acc += Cost::compute(u64::from(n)),
-                    StepOp::Charge(c) => *acc += c,
-                    StepOp::Prefetch => {
-                        let a = step.addr(bases);
-                        *acc += self.prefetch_raw(core, a, u64::from(step.len));
-                    }
-                    StepOp::Load | StepOp::Store => {
-                        let kind = if matches!(step.op, StepOp::Load) {
-                            AccessKind::Load
-                        } else {
-                            AccessKind::Store
-                        };
-                        let a = step.addr(bases);
-                        let n = lines_spanned(a, u64::from(step.len));
-                        let mut span = Cost::ZERO;
-                        let mut line = a & !(LINE - 1);
-                        for _ in 0..n {
-                            span += self.access_line_raw(core, line, kind);
-                            line += LINE;
-                        }
-                        *acc += span;
-                    }
-                }
-            }
-            self.try_arm(core, prog, bases);
+        if self.try_replay(core, prog, bases, acc) {
+            self.sig_replays += 1;
+        } else {
+            self.walk_program(core, prog, bases, acc);
         }
         if let Some(before) = before {
             let delta = self.counters.delta_since(&before);
@@ -1010,6 +1109,87 @@ impl MemoryHierarchy {
                 attr.add_counters(&delta);
             }
         }
+    }
+
+    /// Resolves one program for each row of `rows` (a batch sharing one
+    /// program — the PMD's 32-packet rx loop), with a **single**
+    /// attribution update for the whole batch. Bit-identical to calling
+    /// [`Self::run_program`] once per row: per-row costs still
+    /// accumulate into `acc` in row order (`f64` order is part of the
+    /// contract), and hoisting the attribution snapshot is sound because
+    /// counter deltas are `u64` sums — associative — and every row
+    /// charges the same current scope. Batch arming falls out of the
+    /// per-row resolution: the first row walks and arms, later rows
+    /// delta-replay against the armed signature, and any mid-batch
+    /// invalidation (a DMA landing inside the batch's sets, a cold line)
+    /// simply makes that row fail verification and walk — per-packet
+    /// fallback by construction, no special case.
+    ///
+    /// Returns how many rows replayed (host-side diagnostic; the PMD's
+    /// steady-state witness).
+    pub fn run_program_batch<const N: usize>(
+        &mut self,
+        core: usize,
+        prog: &AccessProgram,
+        rows: &[[u64; N]],
+        acc: &mut Cost,
+    ) -> u32 {
+        debug_assert!(N >= prog.base_count(), "missing base registers");
+        if !self.fast {
+            for row in rows {
+                self.run_program_reference(core, prog, row, acc);
+            }
+            return 0;
+        }
+        let before = self.attribution.is_some().then_some(self.counters);
+        let mut replayed = 0u32;
+        for row in rows {
+            if self.try_replay(core, prog, row, acc) {
+                replayed += 1;
+            } else {
+                self.walk_program(core, prog, row, acc);
+            }
+        }
+        self.sig_replays += u64::from(replayed);
+        if let Some(before) = before {
+            let delta = self.counters.delta_since(&before);
+            if let Some(attr) = &mut self.attribution {
+                attr.add_counters(&delta);
+            }
+        }
+        replayed
+    }
+
+    /// The non-replay resolution path: step walk (without per-call
+    /// attribution — callers batch it) followed by an arming attempt.
+    fn walk_program(&mut self, core: usize, prog: &AccessProgram, bases: &[u64], acc: &mut Cost) {
+        for step in &prog.steps {
+            match step.op {
+                StepOp::Compute(n) => *acc += Cost::compute(u64::from(n)),
+                StepOp::Charge(c) => *acc += c,
+                StepOp::Prefetch => {
+                    let a = step.addr(bases);
+                    *acc += self.prefetch_raw(core, a, u64::from(step.len));
+                }
+                StepOp::Load | StepOp::Store => {
+                    let kind = if matches!(step.op, StepOp::Load) {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    };
+                    let a = step.addr(bases);
+                    let n = lines_spanned(a, u64::from(step.len));
+                    let mut span = Cost::ZERO;
+                    let mut line = a & !(LINE - 1);
+                    for _ in 0..n {
+                        span += self.access_line_raw(core, line, kind);
+                        line += LINE;
+                    }
+                    *acc += span;
+                }
+            }
+        }
+        self.try_arm(core, prog, bases);
     }
 
     /// Reference resolver: the original unbatched per-call sequence.
@@ -1048,7 +1228,12 @@ impl MemoryHierarchy {
     }
 
     /// Replays an armed signature if its hit-state class provably still
-    /// holds. Returns false (and changes nothing) otherwise.
+    /// holds. Returns false (and changes nothing) otherwise. Dispatch:
+    /// the table is keyed on program id alone; an entry whose recorded
+    /// bases equal the run's bases replays exactly (with the
+    /// fast-forward memo skipping even the trajectory work when its
+    /// preconditions hold), and one whose bases differ attempts a
+    /// delta-class replay that re-proves residency for the new lines.
     fn try_replay(
         &mut self,
         core: usize,
@@ -1060,22 +1245,70 @@ impl MemoryHierarchy {
             // Never armed, so never in the table: skip the scan.
             return false;
         }
-        // Split-borrow the table (shared) apart from cores/counters
-        // (mutated below) so the half-KiB entry is read in place, never
-        // copied.
+        let Some(i) = self.armed[core].slot_for(prog.id) else {
+            return false;
+        };
+        let exact = {
+            let e = &self.armed[core].entries[i];
+            debug_assert!(e.valid, "ids[i] != 0 implies a valid entry");
+            debug_assert_eq!(e.n_bases, prog.n_bases, "one id, one program");
+            let n = usize::from(prog.n_bases);
+            e.bases[..n] == bases[..n]
+        };
+        if exact {
+            self.replay_exact(core, i, acc)
+        } else {
+            self.replay_delta(core, i, prog, bases, acc)
+        }
+    }
+
+    /// Exact-base replay: the recorded bases match, so line residency is
+    /// guaranteed by the entry's validity (any disturbance of a covered
+    /// L1 set kills it); every page translation must additionally still
+    /// be a free DTLB hit.
+    ///
+    /// When the entry's fast-forward memo is valid, its generation
+    /// matches the TLB's fill generation, and the core's
+    /// `(last_vpage, last_page)` memo pair equals the recorded start
+    /// state, the whole trajectory below is skipped: an unchanged
+    /// generation proves DTLB membership is unchanged (hits only reorder
+    /// recency), so every `dtlb_resident` probe would return what it
+    /// returned at record time, and the trajectory — a pure function of
+    /// the entry's page sequence, its keys, and the start state — would
+    /// recompute exactly the recorded outputs. The memo applies those
+    /// outputs directly: same costs, same counters, same real DTLB
+    /// promotions, same end memos, bit-for-bit.
+    fn replay_exact(&mut self, core: usize, i: usize, acc: &mut Cost) -> bool {
+        // Split-borrow the table apart from cores/counters so the
+        // half-KiB entry is read in place, never copied.
         let MemoryHierarchy {
             armed,
             cores,
             counters,
+            sig_ff,
             ..
         } = self;
-        let Some(i) = armed[core].find_idx(prog.id, prog.n_bases, bases) else {
-            return false;
-        };
-        let e = &armed[core].entries[i];
-        // Residency of the lines is guaranteed by the entry's validity
-        // (any disturbance of a covered L1 set kills it); every page
-        // translation must additionally still be a free DTLB hit.
+        let c = &mut cores[core];
+        let e = &mut armed[core].entries[i];
+        if e.ff.valid
+            && e.ff.gen == c.tlb.generation()
+            && e.ff.start_vpage == c.last_vpage
+            && e.ff.start_page == c.tlb.last_page()
+        {
+            for cost in &e.costs[..usize::from(e.n_steps)] {
+                *acc += *cost;
+            }
+            counters.loads += e.loads;
+            counters.stores += e.stores;
+            for &k in &e.ff.touched[..usize::from(e.ff.n_touched)] {
+                c.tlb.dtlb_touch(k);
+            }
+            c.tlb.replay_hits(e.tlb_hits, e.ff.end_page);
+            c.last_vpage = e.ff.end_vpage;
+            c.last_line = e.last_line;
+            *sig_ff += 1;
+            return true;
+        }
         // Simulate the walk's TLB trajectory over the recorded
         // distinct-consecutive page groups: `cur_v` tracks the core's
         // last-vpage memo, `cur_k` the TLB's last-page slot. A group
@@ -1085,36 +1318,30 @@ impl MemoryHierarchy {
         // hit's real recency promotion (hits never evict, so checking
         // all pages against the entry-time DTLB stays exact even though
         // the promotions land afterwards).
-        let c = &mut cores[core];
+        let start_v = c.last_vpage;
+        let start_k = c.tlb.last_page();
+        let gen = c.tlb.generation();
         let mut touched = [0u64; ARMED_MAX_PAGES];
         let mut n_touched = 0usize;
-        let (cur_v, cur_k) = {
-            let mut cur_v = c.last_vpage;
-            let mut cur_k = c.tlb.last_page();
-            let mut ok = true;
-            for j in 0..usize::from(e.n_pages) {
-                let v = e.vpages[j];
-                if v == cur_v {
-                    continue;
-                }
-                cur_v = v;
-                let k = e.keys[j];
-                if k == cur_k {
-                    continue;
-                }
-                if !c.tlb.dtlb_resident(k) {
-                    ok = false;
-                    break;
-                }
-                touched[n_touched] = k;
-                n_touched += 1;
-                cur_k = k;
+        let mut cur_v = start_v;
+        let mut cur_k = start_k;
+        for j in 0..usize::from(e.n_pages) {
+            let v = e.vpages[j];
+            if v == cur_v {
+                continue;
             }
-            if !ok {
+            cur_v = v;
+            let k = e.keys[j];
+            if k == cur_k {
+                continue;
+            }
+            if !c.tlb.dtlb_resident(k) {
                 return false;
             }
-            (cur_v, cur_k)
-        };
+            touched[n_touched] = k;
+            n_touched += 1;
+            cur_k = k;
+        }
         for cost in &e.costs[..usize::from(e.n_steps)] {
             *acc += *cost;
         }
@@ -1126,6 +1353,176 @@ impl MemoryHierarchy {
         c.tlb.replay_hits(e.tlb_hits, cur_k);
         c.last_vpage = cur_v;
         c.last_line = e.last_line;
+        // Lift this trajectory to the fast-forward memo: the promotions
+        // above changed only DTLB recency, never membership, so the
+        // generation captured before them still witnesses the resident
+        // set the probes saw.
+        e.ff = FfMemo {
+            valid: true,
+            gen,
+            start_vpage: start_v,
+            start_page: start_k,
+            end_vpage: cur_v,
+            end_page: cur_k,
+            touched,
+            n_touched: n_touched as u8,
+        };
+        true
+    }
+
+    /// Delta-class replay: the armed entry's bases differ from the
+    /// run's, but if every memory step spans the **same number of
+    /// lines** (the base-delta class, see [`ArmedEntry::step_lines`])
+    /// and every line the new bases address is provably L1-MRU-resident,
+    /// the recorded per-step costs and counter deltas are exactly what a
+    /// walk would charge — replay them and re-key the entry in place
+    /// onto the new bases. This is what lets ring shapes (16-byte WQE
+    /// slots, 64-byte TX descriptors) replay while their bases stride.
+    ///
+    /// Residency is proven per line: a line among the entry's own
+    /// recorded lines is MRU by the entry's validity invariant; any
+    /// other line takes a resident-filter fast-fail (absence proves no
+    /// private copy anywhere) and then a real `is_mru` probe. Skipping
+    /// the walk's `on_touch` scans is sound: every touched line is MRU
+    /// of its L1 set, and while an entry is valid each of its lines is
+    /// the MRU of its set — so any other valid entry covering a touched
+    /// set holds that very line and `on_touch` would have spared it;
+    /// entries covering the set's mask bit via a *different* set are
+    /// spared only conservatively, and leaving them alive preserves
+    /// their validity invariant (their actual lines were not displaced).
+    fn replay_delta(
+        &mut self,
+        core: usize,
+        i: usize,
+        prog: &AccessProgram,
+        bases: &[u64],
+        acc: &mut Cost,
+    ) -> bool {
+        debug_assert!(self.fast, "replay only runs in fast mode");
+        // Phase 1 (read-only): verify the delta class and line
+        // residency, collecting the new line set and page groups.
+        let mut new_lines = [0u64; ARMED_MAX_LINES as usize];
+        let mut new_vpages = [0u64; ARMED_MAX_PAGES];
+        let mut n_lines = 0usize;
+        let mut n_pages = 0usize;
+        let mut mask = 0u64;
+        let mut last_line = NONE64;
+        {
+            let e = &self.armed[core].entries[i];
+            let c = &self.cores[core];
+            for (si, step) in prog.steps.iter().enumerate() {
+                if !step.is_mem() {
+                    continue;
+                }
+                let a = step.addr(bases);
+                let n = lines_spanned(a, u64::from(step.len));
+                if n != u64::from(e.step_lines[si]) {
+                    return false;
+                }
+                let mut line = a & !(LINE - 1);
+                for _ in 0..n {
+                    let vp = line >> 12;
+                    if n_pages == 0 || new_vpages[n_pages - 1] != vp {
+                        if n_pages == ARMED_MAX_PAGES {
+                            return false;
+                        }
+                        new_vpages[n_pages] = vp;
+                        n_pages += 1;
+                    }
+                    if !e.lines[..usize::from(e.n_lines)].contains(&line)
+                        && (!self.resident.contains(line) || !c.l1.is_mru(line))
+                    {
+                        return false;
+                    }
+                    new_lines[n_lines] = line;
+                    n_lines += 1;
+                    mask |= 1u64 << (c.l1.set_index(line) & 63);
+                    last_line = line;
+                    line += LINE;
+                }
+            }
+            debug_assert_eq!(
+                n_lines,
+                usize::from(e.n_lines),
+                "matching per-step spans must sum to the recorded line count"
+            );
+        }
+        // Phase 2: page keys (mutates only the host-side key memo).
+        let mut new_keys = [0u64; ARMED_MAX_PAGES];
+        for j in 0..n_pages {
+            new_keys[j] = self.page_key(new_vpages[j] << 12);
+        }
+        // Phase 3: TLB trajectory over the new page groups (same
+        // algorithm as exact replay), then commit + re-key.
+        let MemoryHierarchy {
+            armed,
+            cores,
+            counters,
+            ..
+        } = self;
+        let t = &mut armed[core];
+        let c = &mut cores[core];
+        let start_v = c.last_vpage;
+        let start_k = c.tlb.last_page();
+        let gen = c.tlb.generation();
+        let mut touched = [0u64; ARMED_MAX_PAGES];
+        let mut n_touched = 0usize;
+        let mut cur_v = start_v;
+        let mut cur_k = start_k;
+        for j in 0..n_pages {
+            let v = new_vpages[j];
+            if v == cur_v {
+                continue;
+            }
+            cur_v = v;
+            let k = new_keys[j];
+            if k == cur_k {
+                continue;
+            }
+            if !c.tlb.dtlb_resident(k) {
+                return false;
+            }
+            touched[n_touched] = k;
+            n_touched += 1;
+            cur_k = k;
+        }
+        let e = &mut t.entries[i];
+        for cost in &e.costs[..usize::from(e.n_steps)] {
+            *acc += *cost;
+        }
+        counters.loads += e.loads;
+        counters.stores += e.stores;
+        for &k in &touched[..n_touched] {
+            c.tlb.dtlb_touch(k);
+        }
+        c.tlb.replay_hits(e.tlb_hits, cur_k);
+        c.last_vpage = cur_v;
+        c.last_line = last_line;
+        // Re-key the entry onto the new bases: costs, counters,
+        // step_lines, and line/page counts are class invariants and stay.
+        let n = usize::from(prog.n_bases);
+        e.bases[..n].copy_from_slice(&bases[..n]);
+        e.vpages = new_vpages;
+        e.keys = new_keys;
+        e.lines = new_lines;
+        e.n_pages = n_pages as u8;
+        e.last_line = last_line;
+        e.ff = FfMemo {
+            valid: true,
+            gen,
+            start_vpage: start_v,
+            start_page: start_k,
+            end_vpage: cur_v,
+            end_page: cur_k,
+            touched,
+            n_touched: n_touched as u8,
+        };
+        let old_mask = e.mask;
+        e.mask = mask;
+        if mask != old_mask {
+            t.masks[i] = mask;
+            t.mask = t.masks.iter().fold(0, |a, &x| a | x);
+        }
         true
     }
 
@@ -1146,6 +1543,7 @@ impl MemoryHierarchy {
         let mut n_pages = 0usize;
         let mut lines = [0u64; ARMED_MAX_LINES as usize];
         let mut n_lines = 0usize;
+        let mut step_lines = [0u8; ARMED_MAX_STEPS];
         let mut mask = 0u64;
         let mut last_line = NONE64;
         let (mut loads, mut stores, mut tlb_hits) = (0u64, 0u64, 0u64);
@@ -1165,6 +1563,8 @@ impl MemoryHierarchy {
                 _ => {
                     let a = step.addr(bases);
                     let n = lines_spanned(a, u64::from(step.len));
+                    // Fits u8: the per-entry line cap is 12.
+                    step_lines[i] = n as u8;
                     let mut line = a & !(LINE - 1);
                     let mut span = Cost::ZERO;
                     for _ in 0..n {
@@ -1227,7 +1627,9 @@ impl MemoryHierarchy {
             n_pages: n_pages as u8,
             n_lines: n_lines as u8,
             valid: true,
+            step_lines,
             costs,
+            ff: FfMemo::INVALID,
         });
     }
 
@@ -1239,7 +1641,29 @@ impl MemoryHierarchy {
         c.l2.flush();
         c.last_line = NONE64;
         c.last_vpage = NONE64;
-        self.armed[core].clear();
+        let kills = self.armed[core].clear();
+        self.sig_kills += kills;
+    }
+
+    /// Armed signatures killed by any invalidation path since
+    /// construction — foreign set touches, DMA writes, cross-core LLC
+    /// back-invalidation, private flushes, hugepage remaps. Host-side
+    /// diagnostic: the PMD counts consecutive kill-free batches against
+    /// this to witness the steady-state fixed point.
+    pub fn signature_kills(&self) -> u64 {
+        self.sig_kills
+    }
+
+    /// Successful signature replays (exact-base, delta-class, or
+    /// fast-forward) since construction. Host-side diagnostic.
+    pub fn signature_replays(&self) -> u64 {
+        self.sig_replays
+    }
+
+    /// The subset of [`Self::signature_replays`] resolved through the
+    /// steady-state fast-forward memo. Host-side diagnostic.
+    pub fn signature_fast_forwards(&self) -> u64 {
+        self.sig_ff
     }
 
     // ----- scoped attribution (profiling) -------------------------------
@@ -1322,17 +1746,21 @@ impl MemoryHierarchy {
 mod tests {
     use super::*;
 
-    fn tiny() -> MemoryHierarchy {
-        // Small geometry so eviction paths are easy to exercise:
-        // L1 512 B/2w, L2 2 KiB/2w, LLC 8 KiB/4w.
-        MemoryHierarchy::new(&HierarchyParams {
+    // Small geometry so eviction paths are easy to exercise:
+    // L1 512 B/2w, L2 2 KiB/2w, LLC 8 KiB/4w.
+    fn tiny_params() -> HierarchyParams {
+        HierarchyParams {
             cores: 2,
             l1: CacheParams::new(512, 2, 64),
             l2: CacheParams::new(2048, 2, 64),
             llc: CacheParams::new(8192, 4, 64),
             ddio_ways: 2,
             lat: LatencyModel::default(),
-        })
+        }
+    }
+
+    fn tiny() -> MemoryHierarchy {
+        MemoryHierarchy::new(&tiny_params())
     }
 
     #[test]
@@ -1679,5 +2107,186 @@ mod tests {
             m.armed[0].find_idx(prog.id, prog.n_bases, &bases).is_none(),
             "no_memoize programs must never be armed"
         );
+    }
+
+    /// The WQE shape: a 16-byte store striding through a ring. Four
+    /// slots share one cache line, so after the first walk arms the
+    /// signature, every later slot is a delta-class replay (same
+    /// per-step span, lines still MRU) that re-keys the entry in place.
+    #[test]
+    fn strided_bases_delta_replay_rekeys() {
+        let mut m = tiny();
+        let mut r = MemoryHierarchy::with_reference_walk(&tiny_params());
+        let prog = ProgramBuilder::new().store(0, 0, 16).compute(7).build();
+        let stride_bases: Vec<[u64; 1]> = (0..4).map(|i| [0x30_000 + i * 16]).collect();
+        for bases in &stride_bases {
+            let (mut cf, mut cr) = (Cost::ZERO, Cost::ZERO);
+            m.run_program(0, &prog, bases, &mut cf);
+            r.run_program(0, &prog, bases, &mut cr);
+            assert_eq!(cf, cr, "delta replay must match the reference walk");
+        }
+        assert_eq!(m.counters(), r.counters());
+        assert_eq!(
+            m.signature_replays(),
+            3,
+            "first slot walks and arms, the other three replay"
+        );
+        assert!(
+            m.armed[0]
+                .find_idx(prog.id, prog.n_bases, &stride_bases[3])
+                .is_some(),
+            "entry must be re-keyed onto the latest bases"
+        );
+        assert!(
+            m.armed[0]
+                .find_idx(prog.id, prog.n_bases, &stride_bases[0])
+                .is_none(),
+            "the original bases are no longer the key"
+        );
+    }
+
+    /// Striding across cache lines: the new line is not among the
+    /// entry's own, so delta replay must re-prove residency with the
+    /// filter + MRU probe — succeeding over a warmed region, walking on
+    /// a cold one.
+    #[test]
+    fn delta_replay_across_lines_matches_reference() {
+        let mut m = tiny();
+        let mut r = MemoryHierarchy::with_reference_walk(&tiny_params());
+        m.warm(0, 0x40_000, 4 * 64);
+        r.warm(0, 0x40_000, 4 * 64);
+        let prog = ProgramBuilder::new().store(0, 0, 16).compute(7).build();
+        for i in 0..4u64 {
+            let bases = [0x40_000 + i * 64];
+            let (mut cf, mut cr) = (Cost::ZERO, Cost::ZERO);
+            m.run_program(0, &prog, &bases, &mut cf);
+            r.run_program(0, &prog, &bases, &mut cr);
+            assert_eq!(cf, cr);
+        }
+        assert_eq!(m.counters(), r.counters());
+        assert_eq!(m.signature_replays(), 3, "warmed lines replay across lines");
+        // A cold line fails the residency proof and walks instead.
+        let replays = m.signature_replays();
+        let (mut cf, mut cr) = (Cost::ZERO, Cost::ZERO);
+        m.run_program(0, &prog, &[0x6F_000], &mut cf);
+        r.run_program(0, &prog, &[0x6F_000], &mut cr);
+        assert_eq!(cf, cr, "the fallback walk still matches the reference");
+        assert_eq!(m.signature_replays(), replays, "cold line must not replay");
+    }
+
+    /// Exact-base repeats lift to the fast-forward memo: the second run
+    /// records the trajectory, the third applies it closed-form. A DTLB
+    /// fill (generation bump) exits fast-forward; the slow replay still
+    /// succeeds and re-records.
+    #[test]
+    fn fast_forward_enters_and_exits_on_generation_bump() {
+        let mut m = tiny();
+        let prog = ProgramBuilder::new()
+            .load(0, 0, 8)
+            .load(1, 0, 8)
+            .compute(3)
+            .build();
+        let bases = [0x10_000, 0x11_040];
+        let mut c1 = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c1);
+        let mut c2 = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c2);
+        assert_eq!(m.signature_fast_forwards(), 0, "first replay is slow");
+        let mut c3 = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c3);
+        assert_eq!(
+            m.signature_fast_forwards(),
+            1,
+            "repeat from the recorded start state fast-forwards"
+        );
+        assert_eq!(c3, c2, "fast-forward replays the same bits");
+        // A cold-page touch on a non-covered L1 set (set 2; the program
+        // occupies sets 0 and 1) bumps the DTLB generation without
+        // killing the entry.
+        m.access(0, 0x80_080, 8, AccessKind::Load);
+        let ff = m.signature_fast_forwards();
+        let mut c4 = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c4);
+        assert_eq!(
+            m.signature_fast_forwards(),
+            ff,
+            "a generation bump must force the slow replay path"
+        );
+        assert_eq!(c4, c2, "the slow replay still matches");
+        assert_eq!(m.signature_replays(), 3);
+        // Re-convergence takes two runs: the post-disturbance replay
+        // recorded the *disturbed* start state, so the next run replays
+        // slow and re-records the steady trajectory — and the one after
+        // that fast-forwards again.
+        let mut c5 = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c5);
+        assert_eq!(
+            m.signature_fast_forwards(),
+            ff,
+            "start state not steady yet"
+        );
+        assert_eq!(c5, c2);
+        let mut c6 = Cost::ZERO;
+        m.run_program(0, &prog, &bases, &mut c6);
+        assert_eq!(
+            m.signature_fast_forwards(),
+            ff + 1,
+            "fast-forward re-enters"
+        );
+        assert_eq!(c6, c2);
+    }
+
+    /// Batch resolution over strided rows: one attribution window, the
+    /// first row walks and arms, the rest replay — and a cold row in the
+    /// middle falls back to the per-row walk without disturbing the
+    /// rows after it.
+    #[test]
+    fn batch_resolution_matches_per_row_reference() {
+        let mut m = tiny();
+        let mut r = MemoryHierarchy::with_reference_walk(&tiny_params());
+        m.warm(0, 0x50_000, 2 * 64);
+        r.warm(0, 0x50_000, 2 * 64);
+        let prog = ProgramBuilder::new().store(0, 0, 16).compute(7).build();
+        let rows: Vec<[u64; 1]> = (0..8).map(|i| [0x50_000 + i * 16]).collect();
+        let (mut cf, mut cr) = (Cost::ZERO, Cost::ZERO);
+        let replayed = m.run_program_batch(0, &prog, &rows, &mut cf);
+        for row in &rows {
+            r.run_program(0, &prog, row, &mut cr);
+        }
+        assert_eq!(cf, cr, "batch must accumulate the same bits in row order");
+        assert_eq!(m.counters(), r.counters());
+        assert_eq!(replayed, 7, "row 0 walks and arms, rows 1..8 replay");
+        // Mid-batch fallback: a cold row fails verification, walks, and
+        // re-arms; the remaining rows replay against the new key.
+        let mut rows2: Vec<[u64; 1]> = (0..4).map(|i| [0x50_000 + i * 16]).collect();
+        rows2.insert(2, [0x6E_000]);
+        let (mut cf2, mut cr2) = (Cost::ZERO, Cost::ZERO);
+        let replayed2 = m.run_program_batch(0, &prog, &rows2, &mut cf2);
+        for row in &rows2 {
+            r.run_program(0, &prog, row, &mut cr2);
+        }
+        assert_eq!(cf2, cr2);
+        assert_eq!(m.counters(), r.counters());
+        assert_eq!(
+            replayed2, 3,
+            "the cold row and the re-arm row walk, the rest replay"
+        );
+    }
+
+    /// The kill counter observes every invalidation path (the PMD's
+    /// steady-state witness counts kill-free batches against it).
+    #[test]
+    fn signature_kills_count_invalidations() {
+        let mut m = tiny();
+        let prog = ProgramBuilder::new().load(0, 0, 8).build();
+        let mut c = Cost::ZERO;
+        m.run_program(0, &prog, &[0x20_000], &mut c);
+        assert_eq!(m.signature_kills(), 0);
+        // Foreign same-set touch.
+        m.access(0, 0x20_100, 8, AccessKind::Load);
+        assert_eq!(m.signature_kills(), 1);
+        m.run_program(0, &prog, &[0x3000], &mut c);
+        m.dma_write(0x3000, 64);
+        assert_eq!(m.signature_kills(), 2, "DMA invalidation must count");
     }
 }

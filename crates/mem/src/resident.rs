@@ -14,6 +14,14 @@
 //! removed when an invalidation scan actually runs for a line, which
 //! keeps the set tight around the live private-cache footprint.
 //!
+//! The same absence proof serves as the delta-class replay's fast-fail:
+//! before paying an L1 `is_mru` probe for a line the armed signature has
+//! not seen, the hierarchy asks the filter — a line in no private cache
+//! cannot be L1-MRU-resident, so the miss is decided on one word test.
+//! (The converse direction is the invariant that makes the probe order
+//! sound: every L1-resident line was inserted by its fill, and removal
+//! happens only through invalidations that also purge the L1 copy.)
+//!
 //! Implementation: a plain bitmap indexed by line number. Simulated
 //! addresses come from a bump allocator and stay within a few hundred
 //! MiB, so the bitmap tops out at a few hundred KiB — one host word

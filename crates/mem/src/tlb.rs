@@ -35,6 +35,14 @@ pub struct Tlb {
     accesses: u64,
     /// The page passed to the most recent [`Tlb::translate_page`] call.
     last_page: u64,
+    /// DTLB fill generation: bumped whenever the DTLB's *contents* can
+    /// change — a miss fills a new entry (possibly evicting one) and a
+    /// reset empties the structure. Hits only reorder recency, never
+    /// membership, so an unchanged generation proves that every page
+    /// previously observed DTLB-resident is still resident. This is the
+    /// witness the hierarchy's steady-state fast-forward uses to skip
+    /// re-proving a recorded replay trajectory.
+    gen: u64,
 }
 
 /// Where a translation was found.
@@ -78,6 +86,7 @@ impl Tlb {
             stlb_misses: 0,
             accesses: 0,
             last_page: NO_PAGE,
+            gen: 0,
         }
     }
 
@@ -105,6 +114,8 @@ impl Tlb {
             return TlbOutcome::Dtlb;
         }
         self.dtlb_misses += 1;
+        // The miss fill below changes DTLB membership.
+        self.gen += 1;
         if self.stlb.access(key).hit {
             return TlbOutcome::Stlb;
         }
@@ -137,6 +148,14 @@ impl Tlb {
     #[inline]
     pub(crate) fn last_page(&self) -> u64 {
         self.last_page
+    }
+
+    /// The DTLB fill generation (see the field doc). Host-side only: it
+    /// gates which of two bit-identical resolution paths runs, never
+    /// simulated state.
+    #[inline]
+    pub(crate) fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Whether `page` is DTLB-resident in *any* way, so a translation
@@ -196,6 +215,9 @@ impl Tlb {
         self.stlb_misses = 0;
         self.accesses = 0;
         self.last_page = NO_PAGE;
+        // Membership changed (everything left); prior residency proofs
+        // are void.
+        self.gen += 1;
     }
 }
 

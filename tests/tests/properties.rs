@@ -561,17 +561,28 @@ mod access_programs {
         }
     }
 
-    /// Base-address pool, line-aligned, chosen so random scripts produce
-    /// repeats (signature replays), same-L1-set conflicts (stride 256),
-    /// same-LLC-set conflicts (stride 2048), page crossings, and touches
-    /// inside the hugepage-backed region marked at setup (0x40_000..).
-    const BASES: [u64; 8] = [
-        0x0, 0x100, 0x800, 0x1000, 0x10_000, 0x10_800, 0x40_000, 0x41_000,
+    /// Base-address pool chosen so random scripts produce repeats
+    /// (signature replays and fast-forwards), same-L1-set conflicts
+    /// (stride 256), same-LLC-set conflicts (stride 2048), page
+    /// crossings, touches inside the hugepage-backed region marked at
+    /// setup (0x40_000..), and sub-line strides (0x10/0x20 offsets) that
+    /// drive delta-class replay: same program, shifted bases — replayed
+    /// when the per-step line counts match, bailed to the walk when the
+    /// offset changes how a span straddles lines.
+    const BASES: [u64; 12] = [
+        0x0, 0x100, 0x800, 0x1000, 0x10_000, 0x10_800, 0x40_000, 0x41_000, 0x30_000, 0x30_010,
+        0x30_020, 0x30_040,
     ];
+
+    const N_PROGS: usize = 6;
 
     /// A fixed program zoo covering the shapes the data plane compiles:
     /// memoizable dispatch and metadata programs, a `no_memoize`
-    /// ring-shaped program, and a payload span too wide to ever arm.
+    /// ring-shaped program, a payload span too wide to ever arm, a
+    /// WQE-shaped sub-line store whose 16-byte strided bases stay in one
+    /// delta class, and an offset-sensitive load whose line count flips
+    /// between 1 and 2 across the 0x10-strided bases (the delta-class
+    /// bail path).
     fn programs() -> Vec<AccessProgram> {
         vec![
             ProgramBuilder::new()
@@ -595,6 +606,12 @@ mod access_programs {
                 .compute(2)
                 .store(1, 0, 64)
                 .build(),
+            ProgramBuilder::new().store(0, 0, 16).compute(7).build(),
+            ProgramBuilder::new()
+                .load(0, 0, 56)
+                .compute(3)
+                .load(1, 8, 112)
+                .build(),
         ]
     }
 
@@ -605,6 +622,19 @@ mod access_programs {
             core: usize,
             b0: u64,
             b1: u64,
+        },
+        /// A burst resolved through `run_program_batch`: `n` rows whose
+        /// bases stride from `(b0, b1)` — 16 B keeps WQE-shaped rows in
+        /// one delta class, 64 B walks lines, 256 B aliases L1 sets (so
+        /// a row can evict a predecessor's lines and force the mid-batch
+        /// per-packet fallback).
+        RunBatch {
+            prog: usize,
+            core: usize,
+            b0: u64,
+            b1: u64,
+            n: usize,
+            stride: u64,
         },
         Access {
             core: usize,
@@ -628,14 +658,22 @@ mod access_programs {
         let core = usize::from(b & 1);
         let b0 = BASES[usize::from(a) % BASES.len()];
         let b1 = BASES[usize::from(b >> 1) % BASES.len()];
-        match sel % 8 {
-            0..=3 => Op::Run {
-                prog: usize::from(sel % 4),
+        match sel % 16 {
+            0..=6 => Op::Run {
+                prog: usize::from(sel >> 4) % N_PROGS,
                 core,
                 b0,
                 b1,
             },
-            4 => Op::Access {
+            7..=9 => Op::RunBatch {
+                prog: usize::from(sel >> 4) % N_PROGS,
+                core,
+                b0,
+                b1,
+                n: usize::from(a % 7) + 2,
+                stride: [16u64, 64, 256][usize::from(b >> 5) % 3],
+            },
+            10..=11 => Op::Access {
                 core,
                 addr: b0 + u64::from((b >> 1) & 3) * 64,
                 kind: if b & 8 != 0 {
@@ -644,8 +682,8 @@ mod access_programs {
                     AccessKind::Load
                 },
             },
-            5 => Op::Prefetch { core, addr: b0 },
-            6 => Op::DmaWrite {
+            12 => Op::Prefetch { core, addr: b0 },
+            13..=14 => Op::DmaWrite {
                 addr: b0,
                 len: 64 + u64::from(b & 3) * 64,
             },
@@ -656,18 +694,24 @@ mod access_programs {
     proptest! {
         /// Lock-step equivalence of the batched/memoized resolver against
         /// the reference per-call walk: over arbitrary interleavings of
-        /// program runs, single accesses, prefetches, DMA invalidations,
-        /// and private-cache flushes on two cores, every operation must
+        /// program runs, strided burst resolutions (`run_program_batch`),
+        /// single accesses, prefetches, DMA invalidations, and
+        /// private-cache flushes on two cores, every operation must
         /// return the bit-identical cost, the aggregate counters must
         /// match after every operation, and the final residency grid and
-        /// per-scope attribution must be equal. This is the contract that
-        /// makes signature replay and invalidation-scan elision safe to
-        /// ship under the byte-identical golden gate.
+        /// per-scope attribution must be equal. Repeats in the script
+        /// drive exact replay into steady-state fast-forward; DMA and
+        /// conflict ops knock it back out; sub-line-strided bases
+        /// exercise delta-class replay and its count-mismatch bail. This
+        /// is the contract that makes signature replay, delta-class
+        /// re-keying, fast-forward, and invalidation-scan elision safe
+        /// to ship under the byte-identical golden gate.
         #[test]
         fn batched_resolver_matches_reference_walk(
             script in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..250),
         ) {
             let progs = programs();
+            prop_assert_eq!(progs.len(), N_PROGS);
             let mut fast = MemoryHierarchy::new(&params());
             let mut slow = MemoryHierarchy::with_reference_walk(&params());
             let mut scopes = Vec::new();
@@ -698,6 +742,21 @@ mod access_programs {
                         prop_assert_eq!(
                             ca, cb,
                             "op {}: program {} core {} bases {:#x},{:#x}", i, prog, core, b0, b1
+                        );
+                    }
+                    Op::RunBatch { prog, core, b0, b1, n, stride } => {
+                        let p = &progs[prog];
+                        let rows: Vec<[u64; 2]> = (0..n as u64)
+                            .map(|k| [b0 + k * stride, b1 + k * stride])
+                            .collect();
+                        let mut ca = Cost::ZERO;
+                        let mut cb = Cost::ZERO;
+                        fast.run_program_batch(core, p, &rows, &mut ca);
+                        slow.run_program_batch(core, p, &rows, &mut cb);
+                        prop_assert_eq!(
+                            ca, cb,
+                            "op {}: batch prog {} core {} b0 {:#x} n {} stride {}",
+                            i, prog, core, b0, n, stride
                         );
                     }
                     Op::Access { core, addr, kind } => {

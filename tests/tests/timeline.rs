@@ -89,6 +89,46 @@ fn recorder_is_measurement_neutral() {
     }
 }
 
+/// Delta-class replay and steady-state fast-forward must be invisible
+/// to the flight recorder: a recorder-on run resolved through the
+/// memoized fast path serializes byte-identically to the same run
+/// forced through the reference per-line walk. In particular this pins
+/// the fast-forward window-boundary contract — every recorder sampling
+/// point observes the same occupancy/counter state either way, so a
+/// fast-forwarded burst can never smear a stale occupancy sample across
+/// a window boundary (any such smear would diff the windowed series
+/// here).
+#[test]
+fn replay_and_fast_forward_are_recorder_neutral() {
+    for (nf, cores, faults) in [
+        (Nf::Router, 1, None),
+        (Nf::Router, 2, Some(plan(0x1D1D))),
+        (Nf::Nat, 1, None),
+    ] {
+        let base = || {
+            let b = recorded(nf.clone(), cores);
+            match &faults {
+                Some(p) => b.fault_plan(p.clone()),
+                None => b,
+            }
+        };
+        let memoized = base().run_with_report().expect("memoized run");
+        let reference = base()
+            .reference_walk(true)
+            .run_with_report()
+            .expect("reference run");
+        assert_eq!(
+            memoized.0, reference.0,
+            "{nf:?}/{cores}c: measurement diverges from the reference walk"
+        );
+        assert_eq!(
+            memoized.1.to_json().to_pretty(),
+            reference.1.to_json().to_pretty(),
+            "{nf:?}/{cores}c: recorder artifact diverges from the reference walk"
+        );
+    }
+}
+
 /// A recorder-off run's artifact carries neither a `timeline` nor a
 /// `trace` key, so pre-recorder golden fixtures stay byte-identical.
 #[test]
