@@ -132,6 +132,11 @@ fn main() {
             "flight-recorder showcase (timeline + trace recording on)",
             || drop(pm_bench::figures::fig_timeline()),
         ),
+        (
+            "fig_flowscale",
+            "flow-scale sweep, 3 stateful NFs x flows 1k..=1M x 2 page modes",
+            || drop(pm_bench::figures::fig_flowscale(1_000_000)),
+        ),
     ];
     let benches: Vec<_> = benches
         .into_iter()

@@ -1,0 +1,15 @@
+//! Regenerates the flow-scale artifact: the stateful NF presets (scaled
+//! NAT, conntrack firewall, synthesized-FIB router) under a churned
+//! Zipf workload at flow populations 1k..=10M, with element tables on
+//! 4-KiB pages vs 2-MiB hugepages. Run with `cargo run --release -p
+//! pm-bench --bin fig_flowscale [-- --flows N] [--threads N]
+//! [--json <path>]` (`--flows` caps the ladder; default 10M — the
+//! full Internet-scale sweep).
+
+fn main() {
+    let cli = packetmill::sweep::configure_from_args();
+    let max_flows = cli.flows.unwrap_or(10_000_000);
+    let artifact = pm_bench::figures::fig_flowscale(max_flows);
+    artifact.emit();
+    pm_bench::figures::write_cli_outputs(&cli, &[("fig-flowscale", &artifact)]);
+}

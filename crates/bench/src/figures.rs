@@ -652,6 +652,114 @@ pub fn fig_multicore(max_cores: usize) -> Artifact {
     Artifact::new(t, results)
 }
 
+/// The flow-population ladder of the flow-scale sweep (concurrent
+/// flows; for the router preset, FIB prefixes).
+pub const FLOW_LADDER: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// The churned Zipf workload driving one flow-scale data point: α 1.1
+/// popularity (Internet-like head skew), campus frame sizes, and four
+/// flow generations rotating per trace cycle so tables see sustained
+/// insert/expire pressure, not just a warmed steady state.
+pub fn flowscale_workload(flows: u64) -> packetmill::WorkloadSpec {
+    let frames = flows.clamp(1_024, 131_072);
+    packetmill::WorkloadSpec {
+        seed: 0xF10E5,
+        flows,
+        zipf_x1000: 1_100,
+        life: (frames / 4).max(1),
+        frames,
+        size: packetmill::SizeModel::Campus,
+        attacks: Vec::new(),
+    }
+}
+
+/// Flow-scale sweep: the three stateful presets (scaled NAT, conntrack
+/// firewall, synthesized-FIB router) under the [`flowscale_workload`]
+/// churn at every population in [`FLOW_LADDER`] up to `max_flows`, with
+/// element tables on 4-KiB pages vs 2-MiB hugepages.
+///
+/// The claim is the inflection: LLC miss ratio and DTLB misses per
+/// packet climb as the live table outgrows the LLC (~23 MiB) and the
+/// 4-KiB page working set outgrows the two-level TLB, and hugepages
+/// claw back a measurable share of that cost at ≥1M flows. Runs are
+/// profiled so the artifact can report DTLB misses; occupancy and
+/// eviction columns come from the per-table counters in the run report.
+pub fn fig_flowscale(max_flows: u64) -> Artifact {
+    let ladder: Vec<u64> = FLOW_LADDER
+        .iter()
+        .copied()
+        .filter(|&f| f <= max_flows)
+        .collect();
+    assert!(!ladder.is_empty(), "flow ladder needs max_flows >= 1000");
+    type ScaledNf = fn(u64) -> Nf;
+    let stateful: [(&str, ScaledNf); 3] = [
+        ("nat", Nf::NatScale),
+        ("firewall", Nf::FirewallScale),
+        ("router", Nf::RouterScale),
+    ];
+    const PAGES: [(&str, bool); 2] = [("4k", false), ("huge", true)];
+    let mut s = sweep();
+    for &flows in &ladder {
+        for (name, nf) in stateful {
+            for (pages, huge) in PAGES {
+                s.push(
+                    format!("fig_flowscale {name} {flows} flows {pages}"),
+                    ExperimentBuilder::new(nf(flows))
+                        .metadata_model(MetadataModel::XChange)
+                        .optimization(OptLevel::AllSource)
+                        .frequency_ghz(2.3)
+                        .packets(PACKETS)
+                        .profile(true)
+                        .workload(flowscale_workload(flows))
+                        .hugepage_tables(huge),
+                );
+            }
+        }
+    }
+    let results = s.run();
+    let ms = results.expect_all();
+
+    let mut t = Table::new(vec![
+        "flows",
+        "nf",
+        "pages",
+        "Gbps",
+        "Mpps",
+        "LLC miss (%)",
+        "DTLB miss/pkt",
+        "occupancy",
+        "evictions",
+    ]);
+    let mut it = results.outcomes.iter().zip(&ms);
+    for &flows in &ladder {
+        for (name, _) in stateful {
+            for (pages, _) in PAGES {
+                let (o, m) = it.next().expect("one run per (flows, nf, pages)");
+                let r = o.report.as_ref().expect("builder runs carry reports");
+                let dtlb: u64 = r
+                    .profile
+                    .as_ref()
+                    .map_or(0, |p| p.records.iter().map(|rec| rec.dtlb_misses).sum());
+                let w = r.workload.as_ref().expect("workload-driven run");
+                let occupancy: u64 = w.tables.iter().map(|ts| ts.occupancy).sum();
+                let evictions: u64 = w.tables.iter().map(|ts| ts.evictions).sum();
+                t.row(vec![
+                    format!("{flows}"),
+                    name.to_string(),
+                    pages.to_string(),
+                    format!("{:.1}", m.throughput_gbps),
+                    format!("{:.2}", m.mpps),
+                    format!("{:.1}", m.llc_miss_pct),
+                    format!("{:.2}", dtlb as f64 / m.tx_packets.max(1) as f64),
+                    format!("{occupancy}"),
+                    format!("{evictions}"),
+                ]);
+            }
+        }
+    }
+    Artifact::new(t, results)
+}
+
 /// The fault plan driving [`fig_timeline`]'s faulted run: a 200-µs link
 /// flap and a later 200-µs mempool squeeze, both inside the measurement
 /// window of the ~3.1-ms run, over a low-rate FCS-corruption background.
@@ -964,6 +1072,11 @@ pub fn run_all() -> Vec<(&'static str, Artifact)> {
             "fig-timeline",
             "Flight recorder — link-flap dip/recovery + 4-core imbalance",
             Box::new(fig_timeline),
+        ),
+        (
+            "fig-flowscale",
+            "Flow-scale sweep — stateful NFs, 1k..=100k flows, 4-KiB vs hugepage tables",
+            Box::new(|| fig_flowscale(100_000)),
         ),
         (
             "fig11a",

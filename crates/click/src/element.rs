@@ -79,6 +79,36 @@ impl Pkt<'_> {
 /// the struct-reordering pass).
 pub type FieldProfile = BTreeMap<&'static str, u64>;
 
+/// Occupancy and policy counters for one element-owned lookup table
+/// (flow table, route trie, conntrack …), surfaced into the run
+/// artifact by the engine for workload runs. Counters are host-side
+/// bookkeeping only — reading them never charges the simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Element instance name (filled in by the graph runtime).
+    pub name: String,
+    /// Table family: `"cuckoo"`, `"trie"`, `"rules"`.
+    pub kind: &'static str,
+    /// Maximum entries the table can hold.
+    pub capacity: u64,
+    /// Entries currently stored.
+    pub occupancy: u64,
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that hit a live entry.
+    pub hits: u64,
+    /// Entries ever inserted.
+    pub insertions: u64,
+    /// Entries removed by an idle-timeout policy.
+    pub expiries: u64,
+    /// Entries displaced out of a full table (capacity eviction).
+    pub evictions: u64,
+    /// Cuckoo displacement steps taken across all inserts.
+    pub displacements: u64,
+    /// Longest single displacement chain observed.
+    pub max_chain: u64,
+}
+
 /// The charged execution context handed to every element.
 pub struct Ctx<'a> {
     /// Executing core.
@@ -257,6 +287,19 @@ pub trait Element {
 
     /// Processes one packet.
     fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt<'_>) -> Action;
+
+    /// Occupancy/policy counters for the element's lookup table, if it
+    /// owns one (the runtime fills in the instance name).
+    fn table_stats(&self) -> Option<TableStats> {
+        None
+    }
+
+    /// The simulated regions backing the element's tables (allocated in
+    /// [`Self::setup`]); the engine remaps these onto hugepages when the
+    /// experiment asks for hugepage-backed tables.
+    fn table_regions(&self) -> Vec<Region> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

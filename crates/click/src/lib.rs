@@ -43,7 +43,7 @@ pub mod runtime;
 
 pub use batch::{BatchArena, LinkedBatch, VectorBatch};
 pub use config::{Arg, Args, ConfigError, ConfigGraph, Connection, Declaration};
-pub use element::{Action, Annos, Ctx, Element, ElementKind, FieldProfile, Pkt};
+pub use element::{Action, Annos, Ctx, Element, ElementKind, FieldProfile, Pkt, TableStats};
 pub use graph::{ElementRegistry, Graph};
 pub use packet::{default_packet_layout, ClickPool};
 pub use plan::{DispatchMode, ExecPlan};

@@ -286,6 +286,31 @@ impl GraphRuntime {
             .collect()
     }
 
+    /// Table occupancy/policy counters for every table-owning element,
+    /// in graph order, with instance names filled in.
+    pub fn table_stats(&self) -> Vec<crate::element::TableStats> {
+        self.graph
+            .elements
+            .iter()
+            .filter_map(|e| {
+                e.element.table_stats().map(|mut t| {
+                    t.name = e.name.clone();
+                    t
+                })
+            })
+            .collect()
+    }
+
+    /// The simulated regions backing element tables (for hugepage
+    /// remapping by the engine).
+    pub fn table_regions(&self) -> Vec<pm_mem::Region> {
+        self.graph
+            .elements
+            .iter()
+            .flat_map(|e| e.element.table_regions())
+            .collect()
+    }
+
     /// Registers one attribution scope per element (idempotent; no-op
     /// until the hierarchy has profiling enabled). Named elements render
     /// as `Class(name)`, anonymous ones keep their `Class@N` form.

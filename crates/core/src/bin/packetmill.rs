@@ -256,6 +256,9 @@ fn nf_name(nf: &Nf) -> &'static str {
         Nf::IdsRouter => "ids-router",
         Nf::Nat => "nat",
         Nf::Firewall => "firewall",
+        Nf::NatScale(_) => "nat-scale",
+        Nf::FirewallScale(_) => "firewall-scale",
+        Nf::RouterScale(_) => "router-scale",
         Nf::WorkPackage { .. } | Nf::WorkPackageKb { .. } => "workpackage",
         Nf::Custom(_) => "custom config",
     }

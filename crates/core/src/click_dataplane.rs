@@ -137,6 +137,14 @@ impl Dataplane for ClickDataplane {
         self.rt.element_stats()
     }
 
+    fn table_stats(&self) -> Vec<pm_click::TableStats> {
+        self.rt.table_stats()
+    }
+
+    fn table_regions(&self) -> Vec<pm_mem::Region> {
+        self.rt.table_regions()
+    }
+
     fn set_span_recording(&mut self, on: bool) {
         self.rt.set_span_recording(on);
     }

@@ -77,6 +77,11 @@ pub struct EngineConfig {
     /// Bit-identical to the default fast resolver by construction — the
     /// regression tests run both and assert byte-equal artifacts.
     pub reference_walk: bool,
+    /// Back element-owned lookup tables (flow tables, route tries)
+    /// with 2-MiB hugepages, like DPDK's `rte_hash` on hugepage
+    /// memory. Off by default: the 4-KiB baseline is what the
+    /// flow-scale sweep compares against.
+    pub hugepage_tables: bool,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +108,7 @@ impl Default for EngineConfig {
             timeline: None,
             trace: None,
             reference_walk: false,
+            hugepage_tables: false,
         }
     }
 }
@@ -343,6 +349,17 @@ impl Engine {
 
         if cfg.profile {
             mem.enable_attribution();
+        }
+
+        if cfg.hugepage_tables {
+            // Element tables (NAT flow table, conntrack, route trie)
+            // are allocated by the dataplanes' setup; remap them onto
+            // hugepages so table walks stop paying 4-KiB DTLB misses.
+            for d in &dataplanes {
+                for r in d.table_regions() {
+                    mem.mark_hugepages(r);
+                }
+            }
         }
 
         let timeline = cfg.timeline.map(|w| {
@@ -918,6 +935,33 @@ impl Engine {
                         row.2 += dropped;
                     }
                     None => agg.push((name, seen, dropped)),
+                }
+            }
+        }
+        agg
+    }
+
+    /// Per-table occupancy/policy counters aggregated over all
+    /// dataplane instances, keyed by element name: counters sum, the
+    /// chain/capacity/occupancy fields combine so the row reads as one
+    /// logical table sharded across queues.
+    pub fn table_stats(&self) -> Vec<pm_click::TableStats> {
+        let mut agg: Vec<pm_click::TableStats> = Vec::new();
+        for dp in &self.dataplanes {
+            for t in dp.table_stats() {
+                match agg.iter_mut().find(|a| a.name == t.name) {
+                    Some(a) => {
+                        a.capacity += t.capacity;
+                        a.occupancy += t.occupancy;
+                        a.lookups += t.lookups;
+                        a.hits += t.hits;
+                        a.insertions += t.insertions;
+                        a.expiries += t.expiries;
+                        a.evictions += t.evictions;
+                        a.displacements += t.displacements;
+                        a.max_chain = a.max_chain.max(t.max_chain);
+                    }
+                    None => agg.push(t),
                 }
             }
         }

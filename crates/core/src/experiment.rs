@@ -13,7 +13,7 @@ use pm_elements::standard_registry;
 use pm_frameworks::Dataplane;
 use pm_mem::AddressSpace;
 use pm_sim::{FaultPlan, Frequency, SimTime};
-use pm_traffic::{Trace, TraceConfig, TrafficProfile};
+use pm_traffic::{Trace, TraceConfig, TrafficProfile, Workload, WorkloadSpec};
 use std::error::Error;
 use std::fmt;
 
@@ -35,6 +35,14 @@ pub enum Nf {
     /// Extension: stateless ACL firewall + router (first-match rules
     /// over the 5-tuple, default deny).
     Firewall,
+    /// The NAT preset scaled to a target concurrent-flow count: cuckoo
+    /// table sized for the flows, idle-expiry, evict-on-full.
+    NatScale(u64),
+    /// The firewall preset with a conntrack cache sized to a target
+    /// tracked-flow count (established flows skip the rule scan).
+    FirewallScale(u64),
+    /// The router preset with a synthesized FIB of the given size.
+    RouterScale(u64),
     /// §A.4 — the synthetic WorkPackage NF: `w` random numbers, `n`
     /// accesses into `s_mb` megabytes, per packet.
     WorkPackage {
@@ -68,6 +76,9 @@ impl Nf {
             Nf::IdsRouter => configs::ids_router(),
             Nf::Nat => configs::nat(),
             Nf::Firewall => configs::firewall(),
+            Nf::NatScale(flows) => configs::nat_scaled(*flows),
+            Nf::FirewallScale(flows) => configs::firewall_scaled(*flows),
+            Nf::RouterScale(routes) => configs::router_scaled(*routes),
             Nf::WorkPackage { w, s_mb, n } => configs::work_package(*w, *s_mb, *n),
             Nf::WorkPackageKb { w, s_kb, n } => configs::work_package_kb(*w, *s_kb, *n),
             Nf::Custom(text) => text.clone(),
@@ -155,6 +166,8 @@ pub struct ExperimentBuilder {
     timeline_us: Option<f64>,
     packet_trace: Option<bool>,
     reference_walk: bool,
+    workload: Option<WorkloadSpec>,
+    hugepage_tables: bool,
 }
 
 impl ExperimentBuilder {
@@ -185,6 +198,8 @@ impl ExperimentBuilder {
             timeline_us: None,
             packet_trace: None,
             reference_walk: false,
+            workload: None,
+            hugepage_tables: false,
         }
     }
 
@@ -355,6 +370,33 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Drives the run from a deterministic flow-population workload
+    /// (Zipf popularity, seeded churn, attack mixes) instead of the
+    /// stock trace profiles, overriding the process default
+    /// ([`crate::sweep::default_workload`], set by `--workload <spec>`
+    /// or `PM_WORKLOAD`). An explicit [`Self::trace`] wins over both.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workload = Some(spec);
+        self
+    }
+
+    /// The workload this run replays, if any: the explicit
+    /// [`Self::workload`] override, else the process default.
+    pub fn workload_effective(&self) -> Option<WorkloadSpec> {
+        self.workload
+            .clone()
+            .or_else(crate::sweep::default_workload)
+    }
+
+    /// Backs element-owned tables (NAT bindings, conntrack, FIB nodes)
+    /// with 2-MiB pages, shrinking their DTLB footprint. Off by
+    /// default: the 4-KiB baseline is what the flow-scale sweep
+    /// contrasts against.
+    pub fn hugepage_tables(mut self, on: bool) -> Self {
+        self.hugepage_tables = on;
+        self
+    }
+
     fn pipeline(&self) -> Pipeline {
         match self.opt {
             OptLevel::Vanilla => Pipeline::new(),
@@ -422,7 +464,29 @@ impl ExperimentBuilder {
                     ..pm_telemetry::TraceSpec::default()
                 }),
             reference_walk: self.reference_walk,
+            hugepage_tables: self.hugepage_tables,
         }
+    }
+
+    /// The trace NIC `n` replays: an explicit custom trace, else frames
+    /// synthesized from the effective workload (per-NIC seed split so
+    /// NICs don't replay identical flows), else the stock profile.
+    fn trace_for_nic(&self, n: usize, packets: usize) -> Trace {
+        if let Some(t) = &self.custom_trace {
+            return t.clone();
+        }
+        if let Some(spec) = self.workload_effective() {
+            return Trace::from_workload_spec_cached(&WorkloadSpec {
+                seed: spec.seed ^ (n as u64) << 32,
+                ..spec
+            });
+        }
+        Trace::synthesize_cached(&TraceConfig {
+            packets: 8_192.min(packets.max(1)),
+            profile: self.traffic,
+            seed: self.seed ^ (n as u64) << 32,
+            ..TraceConfig::default()
+        })
     }
 
     /// The configuration as stable key/value pairs (for [`RunReport`]).
@@ -488,15 +552,7 @@ impl ExperimentBuilder {
         }
 
         let traces: Vec<Trace> = (0..self.nics)
-            .map(|n| match &self.custom_trace {
-                Some(t) => t.clone(),
-                None => Trace::synthesize_cached(&TraceConfig {
-                    packets: 8_192.min(packets.max(1)),
-                    profile: self.traffic,
-                    seed: self.seed ^ (n as u64) << 32,
-                    ..TraceConfig::default()
-                }),
-            })
+            .map(|n| self.trace_for_nic(n, packets))
             .collect();
 
         Ok(Engine::new(cfg, dataplanes, traces, &mut space))
@@ -541,6 +597,19 @@ impl ExperimentBuilder {
                 spec: p.to_spec(),
                 ledger: engine.ledger().unwrap_or_default(),
             }),
+            workload: self.workload_effective().map(|spec| {
+                let w = Workload::new(spec.clone());
+                // Stats cover one trace cycle of the base (NIC-0) spec;
+                // the engine replays the cycle until `packets` is met.
+                let frames = w.frames() as u64;
+                crate::report::WorkloadReport {
+                    spec: spec.to_spec(),
+                    hugepage_tables: self.hugepage_tables,
+                    frames,
+                    stats: w.stats(frames),
+                    tables: engine.table_stats(),
+                }
+            }),
             timeline: engine.take_timeline(),
             trace: engine.take_trace(),
         };
@@ -567,15 +636,7 @@ impl ExperimentBuilder {
         let mut space = AddressSpace::new();
         let dataplanes: Vec<Box<dyn Dataplane>> = (0..self.nics * qpn).map(|_| factory()).collect();
         let traces: Vec<Trace> = (0..self.nics)
-            .map(|n| match &self.custom_trace {
-                Some(t) => t.clone(),
-                None => Trace::synthesize_cached(&TraceConfig {
-                    packets: 8_192.min(self.packets.max(1)),
-                    profile: self.traffic,
-                    seed: self.seed ^ (n as u64) << 32,
-                    ..TraceConfig::default()
-                }),
-            })
+            .map(|n| self.trace_for_nic(n, self.packets))
             .collect();
         let mut engine = Engine::new(cfg, dataplanes, traces, &mut space);
         Ok(engine.run())

@@ -48,6 +48,7 @@ pub use report::{FaultReport, RunReport};
 pub use sweep::{RunOutcome, SweepCli, SweepReport, SweepResults, SweepSpec};
 
 // Re-exports so examples and tests need only this crate.
+pub use pm_click::TableStats;
 pub use pm_click::{ConfigGraph, DispatchMode, ExecPlan, Graph};
 pub use pm_compile::{emit_specialized_source, MillIr, Pipeline, ReorderFieldsPass};
 pub use pm_dpdk::{MempoolMode, MetaField, MetadataModel, MetadataSpec};
@@ -57,4 +58,8 @@ pub use pm_sim::{fault::FaultKind, DropCause, FaultPlan, Frequency, Ledger, SimT
 pub use pm_telemetry::{
     chrome_trace, Json, ProfileReport, Table, TimelineReport, TraceReport, TraceSpec,
 };
-pub use pm_traffic::{Trace, TraceConfig, TrafficProfile};
+pub use pm_traffic::{
+    AttackEvent, AttackKind, SizeModel, Trace, TraceConfig, TrafficProfile, Workload, WorkloadSpec,
+    WorkloadSpecError, WorkloadStats,
+};
+pub use report::WorkloadReport;

@@ -45,6 +45,63 @@ impl FaultReport {
     }
 }
 
+/// Flow-population outcome of one run driven by a workload spec: the
+/// canonical spec, per-trace-cycle churn accounting, and the
+/// element-table occupancy/policy counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadReport {
+    /// The active workload, [`pm_traffic::WorkloadSpec::to_spec`] form.
+    pub spec: String,
+    /// Whether element tables were backed by hugepages.
+    pub hugepage_tables: bool,
+    /// Distinct frames in one trace cycle.
+    pub frames: u64,
+    /// Churn/mix accounting over one trace cycle.
+    pub stats: pm_traffic::WorkloadStats,
+    /// Per-table counters, aggregated across queues by element name.
+    pub tables: Vec<pm_click::TableStats>,
+}
+
+/// Serializes one table's counters with fixed key order.
+fn table_stats_to_json(t: &pm_click::TableStats) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(t.name.clone())),
+        ("kind", Json::Str(t.kind.to_string())),
+        ("capacity", Json::U64(t.capacity)),
+        ("occupancy", Json::U64(t.occupancy)),
+        ("lookups", Json::U64(t.lookups)),
+        ("hits", Json::U64(t.hits)),
+        ("insertions", Json::U64(t.insertions)),
+        ("expiries", Json::U64(t.expiries)),
+        ("evictions", Json::U64(t.evictions)),
+        ("displacements", Json::U64(t.displacements)),
+        ("max_chain", Json::U64(t.max_chain)),
+    ])
+}
+
+impl WorkloadReport {
+    /// Serializes with fixed key order.
+    pub fn to_json(&self) -> Json {
+        let s = &self.stats;
+        Json::obj(vec![
+            ("spec", Json::Str(self.spec.clone())),
+            ("hugepage_tables", Json::Bool(self.hugepage_tables)),
+            ("frames", Json::U64(self.frames)),
+            ("arrivals", Json::U64(s.arrivals)),
+            ("expiries", Json::U64(s.expiries)),
+            ("live", Json::U64(s.live)),
+            ("normal_frames", Json::U64(s.normal_frames)),
+            ("syn_frames", Json::U64(s.syn_frames)),
+            ("scan_frames", Json::U64(s.scan_frames)),
+            ("conserves", Json::Bool(s.conserves())),
+            (
+                "tables",
+                Json::Arr(self.tables.iter().map(table_stats_to_json).collect()),
+            ),
+        ])
+    }
+}
+
 /// The structured artifact of one experiment run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -66,6 +123,10 @@ pub struct RunReport {
     /// omits the key entirely, keeping unfaulted artifacts byte-identical
     /// to the pre-fault-subsystem golden fixtures.
     pub faults: Option<FaultReport>,
+    /// Flow-population accounting, when the run was driven by a
+    /// `--workload` spec. `None` omits the key, keeping workload-less
+    /// artifacts byte-identical to the pre-workload golden fixtures.
+    pub workload: Option<WorkloadReport>,
     /// Flight-recorder time series, when the run recorded a timeline.
     /// `None` omits the key, keeping recorder-off artifacts byte-identical
     /// to the pre-recorder golden fixtures.
@@ -127,6 +188,11 @@ impl RunReport {
         // stay byte-identical to the committed golden fixtures.
         if let Some(f) = &self.faults {
             keys.push(("faults", f.to_json()));
+        }
+        // Emitted only for workload-driven runs: workload-less artifacts
+        // must stay byte-identical to the committed golden fixtures.
+        if let Some(w) = &self.workload {
+            keys.push(("workload", w.to_json()));
         }
         // Emitted only when the flight recorder ran: recorder-off
         // artifacts must stay byte-identical to the committed goldens.
@@ -199,6 +265,7 @@ mod tests {
             profile: None,
             cores: None,
             faults: None,
+            workload: None,
             timeline: None,
             trace: None,
         };
@@ -225,6 +292,7 @@ mod tests {
             profile: Some(ProfileReport::default()),
             cores: None,
             faults: None,
+            workload: None,
             timeline: None,
             trace: None,
         };
@@ -241,6 +309,7 @@ mod tests {
             profile: None,
             cores: None,
             faults: None,
+            workload: None,
             timeline: None,
             trace: None,
         };
@@ -268,6 +337,60 @@ mod tests {
     }
 
     #[test]
+    fn workload_key_only_present_when_workload_driven() {
+        let mut r = RunReport {
+            label: "x".into(),
+            config: Vec::new(),
+            seed: 1,
+            measurement: measurement(),
+            profile: None,
+            cores: None,
+            faults: None,
+            workload: None,
+            timeline: None,
+            trace: None,
+        };
+        assert_eq!(r.to_json().get("workload"), None, "no workload, no key");
+
+        r.workload = Some(WorkloadReport {
+            spec: "seed=0xF10E5;flows=4096;zipf=0.8;life=0;frames=0;size=campus".into(),
+            hugepage_tables: true,
+            frames: 4096,
+            stats: pm_traffic::WorkloadStats {
+                arrivals: 4096,
+                expiries: 0,
+                live: 4096,
+                normal_frames: 4000,
+                syn_frames: 96,
+                scan_frames: 0,
+            },
+            tables: vec![pm_click::TableStats {
+                name: "IPRewriter".into(),
+                kind: "cuckoo",
+                capacity: 65536,
+                occupancy: 4096,
+                lookups: 4096,
+                hits: 0,
+                insertions: 4096,
+                expiries: 0,
+                evictions: 0,
+                displacements: 7,
+                max_chain: 2,
+            }],
+        });
+        let text = r.to_json().to_compact();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let w = parsed.get("workload").expect("workload key");
+        assert_eq!(w.get("conserves"), Some(&Json::Bool(true)));
+        assert_eq!(w.get("hugepage_tables"), Some(&Json::Bool(true)));
+        let Some(Json::Arr(tables)) = w.get("tables") else {
+            panic!("tables must be an array");
+        };
+        assert_eq!(tables[0].get("kind"), Some(&Json::Str("cuckoo".into())));
+        assert_eq!(tables[0].get("occupancy"), Some(&Json::U64(4096)));
+    }
+
+    #[test]
     fn faults_key_only_present_when_faulted() {
         let mut r = RunReport {
             label: "x".into(),
@@ -277,6 +400,7 @@ mod tests {
             profile: None,
             cores: None,
             faults: None,
+            workload: None,
             timeline: None,
             trace: None,
         };

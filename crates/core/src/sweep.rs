@@ -50,6 +50,10 @@ static DEFAULT_TIMING: AtomicUsize = AtomicUsize::new(0);
 /// `None` inside the mutex = unset (fall back to `PM_FAULTS`).
 static DEFAULT_FAULTS: Mutex<Option<Option<pm_sim::FaultPlan>>> = Mutex::new(None);
 
+/// Process-wide default workload (`--workload <spec>` / `PM_WORKLOAD`).
+/// `None` inside the mutex = unset (fall back to `PM_WORKLOAD`).
+static DEFAULT_WORKLOAD: Mutex<Option<Option<pm_traffic::WorkloadSpec>>> = Mutex::new(None);
+
 /// Process-wide default flight-recorder timeline window:
 /// 0 = unset (fall back to `PM_TIMELINE`), 1 = explicitly off, else the
 /// `f64::to_bits` of the window in µs (a positive window never encodes
@@ -153,6 +157,31 @@ pub fn default_faults() -> Option<pm_sim::FaultPlan> {
     std::env::var("PM_FAULTS")
         .ok()
         .map(|spec| pm_sim::FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("PM_FAULTS: {e}")))
+}
+
+/// Overrides the process-wide workload for runs that don't set
+/// [`ExperimentBuilder::workload`] explicitly (the `--workload` CLI
+/// flag). `None` explicitly clears it (runs replay the stock trace
+/// profiles regardless of `PM_WORKLOAD`).
+pub fn set_default_workload(spec: Option<pm_traffic::WorkloadSpec>) {
+    *DEFAULT_WORKLOAD.lock().expect("workload default poisoned") = Some(spec);
+}
+
+/// The workload default: [`set_default_workload`] (set by
+/// `--workload`), else a `PM_WORKLOAD` spec, else none. An unparsable
+/// `PM_WORKLOAD` is a hard error — silently replaying the stock
+/// profiles would be worse.
+pub fn default_workload() -> Option<pm_traffic::WorkloadSpec> {
+    if let Some(v) = DEFAULT_WORKLOAD
+        .lock()
+        .expect("workload default poisoned")
+        .as_ref()
+    {
+        return v.clone();
+    }
+    std::env::var("PM_WORKLOAD").ok().map(|spec| {
+        pm_traffic::WorkloadSpec::parse(&spec).unwrap_or_else(|e| panic!("PM_WORKLOAD: {e}"))
+    })
 }
 
 /// Overrides the process-wide timing default (the `--timing` CLI flag).
@@ -263,6 +292,12 @@ pub struct SweepCli {
     /// Lifecycle-trace destination (`--trace <path>` or `PM_TRACE`);
     /// also enables trace recording when set.
     pub trace: Option<PathBuf>,
+    /// Flow-population workload injected into every run
+    /// (`--workload <spec>` or `PM_WORKLOAD`).
+    pub workload: Option<pm_traffic::WorkloadSpec>,
+    /// Flow/route-scale ceiling requested on the command line
+    /// (`--flows N`). `None` leaves each binary's default in place.
+    pub flows: Option<u64>,
 }
 
 /// Parses `--threads N`, `--profile`, `--faults <spec>`, `--cores N`,
@@ -305,6 +340,28 @@ pub fn configure_from_args() -> SweepCli {
                 let plan =
                     pm_sim::FaultPlan::parse(spec).unwrap_or_else(|e| panic!("--faults: {e}"));
                 set_default_faults(Some(plan));
+                i += 1;
+            }
+        } else if let Some(v) = arg.strip_prefix("--workload=") {
+            let spec =
+                pm_traffic::WorkloadSpec::parse(v).unwrap_or_else(|e| panic!("--workload: {e}"));
+            set_default_workload(Some(spec));
+        } else if arg == "--workload" {
+            if let Some(spec) = args.get(i + 1) {
+                let spec = pm_traffic::WorkloadSpec::parse(spec)
+                    .unwrap_or_else(|e| panic!("--workload: {e}"));
+                set_default_workload(Some(spec));
+                i += 1;
+            }
+        } else if let Some(v) = arg.strip_prefix("--flows=") {
+            cli.flows = v.parse::<u64>().ok().filter(|&n| n > 0);
+        } else if arg == "--flows" {
+            if let Some(n) = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n > 0)
+            {
+                cli.flows = Some(n);
                 i += 1;
             }
         } else if arg == "--timeline" {
@@ -352,6 +409,7 @@ pub fn configure_from_args() -> SweepCli {
     cli.faults = default_faults();
     cli.timeline = default_timeline();
     cli.trace = default_trace();
+    cli.workload = default_workload();
     cli.cores = cli.cores.or_else(|| {
         std::env::var("PM_CORES")
             .ok()

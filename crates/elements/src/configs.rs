@@ -96,6 +96,79 @@ c [3] -> Discard;
     )
 }
 
+/// Cuckoo bucket count sized so `flows` entries fit at a realistic
+/// ~77% load factor (4 slots per bucket, rounded up to a power of two).
+pub fn buckets_for(flows: u64) -> u64 {
+    let need = (flows as f64 * 1.3 / 4.0).ceil() as u64;
+    need.next_power_of_two().max(16)
+}
+
+/// The NAT preset scaled to `flows` concurrent flows: the cuckoo table
+/// is sized by [`buckets_for`], bindings idle longer than 1 ms expire,
+/// and displacement-walk failures evict instead of dropping so churned
+/// workloads keep forwarding at high occupancy.
+pub fn nat_scaled(flows: u64) -> String {
+    let b = buckets_for(flows);
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+rt :: LookupIPRoute({ROUTES});
+input -> c;
+c [0] -> ARPResponder(10.0.0.254) -> output;
+c [1] -> Discard;
+c [2] -> CheckIPHeader -> GetIPAddress -> rt;
+rt [0] -> DecIPTTL -> IPRewriter(EXTIP 198.51.100.1, BUCKETS {b}, IDLE_US 1000, EVICT true) \
+-> EtherEncap(0x0800, 02:00:00:00:00:10, 02:00:00:00:00:20) -> output;
+c [3] -> Discard;
+"
+    )
+}
+
+/// The firewall preset scaled to `flows` tracked flows: a conntrack
+/// cache sized by [`buckets_for`] short-circuits the rule scan for
+/// established flows, with broad allow rules so workload traffic
+/// actually populates it.
+pub fn firewall_scaled(flows: u64) -> String {
+    let b = buckets_for(flows);
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+fw :: IPFilter(CONNTRACK {b}, IDLE_US 1000, deny dst 192.168.99.0/24, \
+allow proto tcp, allow proto udp, allow proto icmp);
+rt :: LookupIPRoute({ROUTES});
+input -> c;
+c [0] -> ARPResponder(10.0.0.254) -> output;
+c [1] -> Discard;
+c [2] -> CheckIPHeader -> fw -> GetIPAddress -> rt;
+rt [0] -> DecIPTTL -> ARPQuerier(10.0.0.2 02:aa:aa:aa:aa:01) -> output;
+c [3] -> Discard;
+"
+    )
+}
+
+/// The router preset scaled to `routes` synthetic prefixes (plus the
+/// four base routes), all forwarding out port 0.
+pub fn router_scaled(routes: u64) -> String {
+    format!(
+        "\
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+rt :: LookupIPRoute({ROUTES}, SYNTH {routes} 177 1);
+input -> c;
+c [0] -> ARPResponder(10.0.0.254) -> output;
+c [1] -> Discard;
+c [2] -> Paint(2) -> CheckIPHeader -> GetIPAddress -> rt;
+rt [0] -> DecIPTTL -> EtherEncap(0x0800, 02:00:00:00:00:10, 02:00:00:00:00:20) -> output;
+c [3] -> Discard;
+"
+    )
+}
+
 /// §A.4 — the synthetic WorkPackage NF: `W` random numbers, `N` accesses
 /// into `S` MB, attached to the forwarding configuration.
 pub fn work_package(w: u32, s_mb: u32, n: u32) -> String {
@@ -141,9 +214,38 @@ mod tests {
             firewall(),
             work_package(4, 8, 1),
             work_package_kb(0, 256, 5),
+            nat_scaled(100_000),
+            firewall_scaled(100_000),
+            router_scaled(10_000),
         ] {
             let g = builds(&cfg);
             assert!(!g.sources.is_empty());
+        }
+    }
+
+    #[test]
+    fn bucket_sizing_covers_flows_at_sane_load() {
+        for flows in [1_000u64, 100_000, 1_000_000, 10_000_000] {
+            let b = buckets_for(flows);
+            let capacity = b * 4;
+            assert!(capacity as f64 >= flows as f64 * 1.29, "flows={flows}");
+            assert!(b.is_power_of_two());
+            assert!(
+                capacity <= flows * 6,
+                "not absurdly oversized: flows={flows}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_presets_keep_single_output() {
+        for cfg in [
+            nat_scaled(10_000),
+            firewall_scaled(10_000),
+            router_scaled(10_000),
+        ] {
+            let g = builds(&cfg);
+            assert_eq!(g.sources.len(), 1);
         }
     }
 

@@ -40,6 +40,9 @@ pub struct CuckooHash<K, V> {
     mask: u64,
     len: usize,
     kick_rng: SplitMix64,
+    displacements: u64,
+    max_chain: u64,
+    evictions: u64,
 }
 
 /// Outcome of an insert.
@@ -72,12 +75,38 @@ impl<K: Hash + Eq + Copy, V: Copy> CuckooHash<K, V> {
             mask: (n - 1) as u64,
             len: 0,
             kick_rng: SplitMix64::new(0xC0C0_0C0C),
+            displacements: 0,
+            max_chain: 0,
+            evictions: 0,
         }
     }
 
     /// Number of buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Maximum entries the table can hold (`buckets × SLOTS`).
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * SLOTS
+    }
+
+    /// Displacement steps taken across all inserts so far.
+    pub fn displacements(&self) -> u64 {
+        self.displacements
+    }
+
+    /// Longest single displacement chain any insert has walked. Bounded
+    /// by the kick limit (64), which `tests/tests/tablescale.rs` pins.
+    pub fn max_chain(&self) -> u64 {
+        self.max_chain
+    }
+
+    /// Entries lost to the displacement limit: a `Full` insert places
+    /// the new key but drops the final displaced victim (rte_hash's
+    /// failure mode), so each one is a capacity eviction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of stored entries.
@@ -160,28 +189,48 @@ impl<K: Hash + Eq + Copy, V: Copy> CuckooHash<K, V> {
         }
         // Random-walk displacement starting from b1.
         let mut b = b1;
-        for _ in 0..MAX_KICKS {
+        for kick in 0..MAX_KICKS {
             let victim_slot = (self.kick_rng.next_u64() % SLOTS as u64) as usize;
             let victim = self.buckets[b].slots[victim_slot]
                 .replace(entry)
                 .expect("displacement always targets a full bucket");
+            self.displacements += 1;
             entry = victim;
             let (v1, v2) = self.bucket_pair(&entry.key);
             b = if b == v1 { v2 } else { v1 };
             probe(b);
             if self.try_place(b, entry) {
                 self.len += 1;
+                self.max_chain = self.max_chain.max(kick as u64 + 1);
                 return InsertOutcome::Inserted;
             }
         }
         // Undo is skipped (the displaced chain still holds valid entries;
         // only `entry` is dropped) — matching rte_hash's failure mode.
+        self.max_chain = self.max_chain.max(MAX_KICKS as u64);
+        self.evictions += 1;
         InsertOutcome::Full
     }
 
     /// Inserts without probe tracking.
     pub fn insert(&mut self, key: K, value: V) -> InsertOutcome {
         self.insert_visit(key, value, |_| {})
+    }
+
+    /// Applies `f` to the value stored for `key`, if present (an
+    /// in-place update: no displacement, no re-hash). Returns whether
+    /// the key was found.
+    pub fn update(&mut self, key: &K, f: impl FnOnce(&mut V)) -> bool {
+        let (b1, b2) = self.bucket_pair(key);
+        for b in [b1, b2] {
+            for e in self.buckets[b].slots.iter_mut().flatten() {
+                if e.key == *key {
+                    f(&mut e.value);
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Removes `key`, returning its value.

@@ -7,11 +7,14 @@
 //! region charged per rule scanned, so bigger rulesets genuinely cost
 //! more — useful for rule-count sweeps.
 
+use crate::cuckoo::CuckooHash;
+use crate::nat::FlowKey;
 use crate::trie::parse_cidr;
-use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt, TableStats};
 use pm_mem::{AccessKind, AddressSpace, Region};
 use pm_packet::ether::ETHER_LEN;
 use pm_packet::ipv4::{IpProto, Ipv4Header};
+use pm_sim::SimTime;
 
 /// Rule verdicts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,13 +124,36 @@ pub fn parse_rule(text: &str) -> Result<Rule, ConfigError> {
     Ok(rule)
 }
 
+/// A cached allow-verdict conntrack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConnEntry {
+    last: SimTime,
+}
+
 /// The firewall element: first-match semantics, default deny.
+///
+/// `CONNTRACK n` (keyword arg, not a rule) arms an n-bucket cuckoo
+/// fast path that caches **allow** verdicts per 5-tuple, skipping the
+/// linear rule scan for established flows; `IDLE_US t` expires cached
+/// entries idle longer than `t` microseconds. Both default off, keeping
+/// the stateless scan byte-identical.
 #[derive(Debug, Default)]
 pub struct IpFilter {
     rules: Vec<Rule>,
     rules_region: Option<Region>,
+    conntrack: Option<CuckooHash<FlowKey, ConnEntry>>,
+    conntrack_region: Option<Region>,
+    idle: Option<SimTime>,
     /// Packets denied (by rule or by default).
     pub denied: u64,
+    /// Conntrack lookups performed.
+    pub lookups: u64,
+    /// Conntrack hits (rule scan skipped).
+    pub hits: u64,
+    /// Allow verdicts inserted into the conntrack cache.
+    pub insertions: u64,
+    /// Conntrack entries expired by the idle timeout.
+    pub expiries: u64,
 }
 
 impl Element for IpFilter {
@@ -136,7 +162,31 @@ impl Element for IpFilter {
     }
 
     fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
+        let bad = |m: String| ConfigError::Element {
+            element: String::new(),
+            message: m,
+        };
         for a in &args.items {
+            // Policy keywords are element options, not rules.
+            match a.key.as_deref() {
+                Some("CONNTRACK") => {
+                    let n: usize = a
+                        .value
+                        .parse()
+                        .map_err(|_| bad(format!("bad CONNTRACK {:?}", a.value)))?;
+                    self.conntrack = Some(CuckooHash::new(n));
+                    continue;
+                }
+                Some("IDLE_US") => {
+                    let us: f64 = a
+                        .value
+                        .parse()
+                        .map_err(|_| bad(format!("bad IDLE_US {:?}", a.value)))?;
+                    self.idle = Some(SimTime::from_us(us));
+                    continue;
+                }
+                _ => {}
+            }
             let text = match &a.key {
                 Some(k) => format!("{k} {}", a.value),
                 None => a.value.clone(),
@@ -156,6 +206,10 @@ impl Element for IpFilter {
     fn setup(&mut self, space: &mut AddressSpace) {
         // One 32-B rule record each, two per line.
         self.rules_region = Some(space.alloc(self.rules.len() as u64 * 32));
+        if let Some(ct) = &self.conntrack {
+            // One cache line per bucket, like the NAT's flow table.
+            self.conntrack_region = Some(space.alloc_pages(ct.bucket_count() as u64 * 64));
+        }
     }
 
     fn param_loads(&self) -> u32 {
@@ -184,6 +238,67 @@ impl Element for IpFilter {
         };
         let region = self.rules_region.expect("setup() ran");
 
+        // Established-flow fast path: probe the conntrack cache before
+        // paying for the linear rule scan.
+        let mut ct_key = None;
+        if let Some(ct) = self.conntrack.as_mut() {
+            if let Some(dp) = dport {
+                let sport = u16::from_be_bytes([pkt.frame()[l4], pkt.frame()[l4 + 1]]);
+                let key = FlowKey {
+                    src: ip.src_u32(),
+                    dst: ip.dst_u32(),
+                    sport,
+                    dport: dp,
+                    proto: ip.protocol.0,
+                };
+                let ct_region = self.conntrack_region.expect("setup() ran");
+                self.lookups += 1;
+                let mut found_bucket = 0usize;
+                let hit = ct.lookup_visit(&key, |b| {
+                    found_bucket = b;
+                    ctx.cost += ctx.mem.access(
+                        ctx.core,
+                        ct_region.base + (b as u64) * 64,
+                        64,
+                        AccessKind::Load,
+                    );
+                });
+                ctx.compute(48); // key assembly + two hashes + compares
+                let arrival = pkt.desc.arrival;
+                match (hit, self.idle) {
+                    (Some(e), Some(idle)) if arrival > e.last && arrival - e.last > idle => {
+                        // Stale entry: expire it and fall through to
+                        // the rule scan for a fresh verdict.
+                        ct.remove(&key);
+                        ctx.cost += ctx.mem.access(
+                            ctx.core,
+                            ct_region.base + (found_bucket as u64) * 64,
+                            64,
+                            AccessKind::Store,
+                        );
+                        ctx.compute(30);
+                        self.expiries += 1;
+                    }
+                    (Some(_), _) => {
+                        self.hits += 1;
+                        if self.idle.is_some() {
+                            ct.update(&key, |v| v.last = arrival);
+                            ctx.cost += ctx.mem.access(
+                                ctx.core,
+                                ct_region.base + (found_bucket as u64) * 64,
+                                64,
+                                AccessKind::Store,
+                            );
+                        }
+                        ctx.compute(6);
+                        return Action::Forward(0);
+                    }
+                    (None, _) => {}
+                }
+                ct_key = Some(key);
+            }
+        }
+
         for (i, rule) in self.rules.iter().enumerate() {
             // Charge the rule record scan.
             ctx.cost += ctx.mem.access(
@@ -195,7 +310,31 @@ impl Element for IpFilter {
             ctx.compute(7);
             if rule.matches(ip.src_u32(), ip.dst_u32(), ip.protocol.0, dport) {
                 return match rule.verdict {
-                    Verdict::Allow => Action::Forward(0),
+                    Verdict::Allow => {
+                        // Cache the allow verdict for the flow's next
+                        // packets (deny verdicts stay uncached: drops
+                        // must keep re-consulting the ruleset).
+                        if let (Some(ct), Some(key)) = (self.conntrack.as_mut(), ct_key) {
+                            let ct_region = self.conntrack_region.expect("setup() ran");
+                            ct.insert_visit(
+                                key,
+                                ConnEntry {
+                                    last: pkt.desc.arrival,
+                                },
+                                |bk| {
+                                    ctx.cost += ctx.mem.access(
+                                        ctx.core,
+                                        ct_region.base + (bk as u64) * 64,
+                                        64,
+                                        AccessKind::Store,
+                                    );
+                                },
+                            );
+                            ctx.compute(85);
+                            self.insertions += 1;
+                        }
+                        Action::Forward(0)
+                    }
                     Verdict::Deny => {
                         self.denied += 1;
                         Action::Drop
@@ -207,6 +346,27 @@ impl Element for IpFilter {
         self.denied += 1;
         ctx.touch_state(0, 8, AccessKind::Store);
         Action::Drop
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        let ct = self.conntrack.as_ref()?;
+        Some(TableStats {
+            name: String::new(),
+            kind: "cuckoo",
+            capacity: ct.capacity() as u64,
+            occupancy: ct.len() as u64,
+            lookups: self.lookups,
+            hits: self.hits,
+            insertions: self.insertions,
+            expiries: self.expiries,
+            evictions: ct.evictions(),
+            displacements: ct.displacements(),
+            max_chain: ct.max_chain(),
+        })
+    }
+
+    fn table_regions(&self) -> Vec<Region> {
+        self.conntrack_region.into_iter().collect()
     }
 }
 
@@ -357,5 +517,88 @@ mod tests {
     fn empty_ruleset_rejected() {
         let mut el = IpFilter::default();
         assert!(el.configure(&Args::parse("")).is_err());
+        // Policy keywords alone don't make a ruleset either.
+        let mut el = IpFilter::default();
+        assert!(el.configure(&Args::parse("CONNTRACK 64")).is_err());
+    }
+
+    fn run_at(el: &mut IpFilter, frame: &mut Vec<u8>, arrival: SimTime) -> Action {
+        let mut mem = MemoryHierarchy::skylake(1);
+        let plan = ExecPlan::vanilla(MetadataModel::Copying);
+        let mut ctx = Ctx::new(0, &mut mem, &plan);
+        ctx.state = pm_mem::Region {
+            base: 0xc00,
+            size: 64,
+        };
+        let len = frame.len();
+        let mut pkt = Pkt {
+            data: frame,
+            len,
+            desc: RxDesc {
+                buf_id: 0,
+                len: len as u32,
+                rss_hash: 0,
+                arrival,
+                gen: pm_sim::SimTime::ZERO,
+                seq: 0,
+                data_addr: 0x10_000,
+                meta_addr: 0x20_000,
+                xslot: None,
+            },
+            meta_addr: 0x20_000,
+            annos: Annos::default(),
+        };
+        el.process(&mut ctx, &mut pkt)
+    }
+
+    #[test]
+    fn conntrack_caches_allow_but_not_deny() {
+        let mut el = filter("CONNTRACK 256, allow proto tcp dport 80, deny proto tcp");
+        let mut http = PacketBuilder::tcp().dst_port(80).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut http), Action::Forward(0));
+        assert_eq!(el.insertions, 1, "allow verdict cached");
+        assert_eq!(el.hits, 0);
+        let mut http2 = PacketBuilder::tcp().dst_port(80).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut http2), Action::Forward(0));
+        assert_eq!(el.hits, 1, "second packet hits the cache");
+        let mut ssh = PacketBuilder::tcp().dst_port(22).frame_len(128).build();
+        assert_eq!(run(&mut el, &mut ssh), Action::Drop);
+        assert_eq!(run(&mut el, &mut ssh.clone()), Action::Drop);
+        assert_eq!(el.insertions, 1, "deny verdicts stay uncached");
+        let stats = el.table_stats().unwrap();
+        assert_eq!(stats.kind, "cuckoo");
+        assert_eq!(stats.occupancy, 1);
+        assert_eq!(el.table_regions().len(), 1);
+    }
+
+    #[test]
+    fn conntrack_idle_timeout_rescans() {
+        let mut el = filter("CONNTRACK 256, IDLE_US 10, allow proto tcp dport 80");
+        let mk = || PacketBuilder::tcp().dst_port(80).frame_len(128).build();
+        assert_eq!(
+            run_at(&mut el, &mut mk(), SimTime::ZERO),
+            Action::Forward(0)
+        );
+        assert_eq!(
+            run_at(&mut el, &mut mk(), SimTime::from_us(5.0)),
+            Action::Forward(0)
+        );
+        assert_eq!(el.hits, 1);
+        assert_eq!(el.expiries, 0);
+        assert_eq!(
+            run_at(&mut el, &mut mk(), SimTime::from_us(100.0)),
+            Action::Forward(0)
+        );
+        assert_eq!(el.expiries, 1, "stale entry expired");
+        assert_eq!(el.insertions, 2, "re-scanned and re-cached");
+    }
+
+    #[test]
+    fn stateless_filter_reports_no_table() {
+        let mut el = filter("allow proto tcp");
+        let mut f = PacketBuilder::tcp().frame_len(128).build();
+        run(&mut el, &mut f);
+        assert!(el.table_stats().is_none());
+        assert!(el.table_regions().is_empty());
     }
 }

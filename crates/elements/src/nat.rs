@@ -8,11 +8,12 @@
 //! header checksum and the TCP/UDP checksum are patched incrementally.
 
 use crate::cuckoo::{CuckooHash, InsertOutcome};
-use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt, TableStats};
 use pm_mem::{AccessKind, AddressSpace, Region};
 use pm_packet::checksum::{update16, update32};
 use pm_packet::ether::ETHER_LEN;
 use pm_packet::ipv4::{self, IpProto, Ipv4Header};
+use pm_sim::SimTime;
 
 /// A flow key: (src ip, dst ip, src port, dst port, proto).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,22 +35,44 @@ pub struct FlowKey {
 pub struct Binding {
     /// External source port assigned to the flow.
     pub ext_port: u16,
+    /// Arrival time of the flow's most recent packet (only refreshed
+    /// when an idle timeout is configured).
+    pub last: SimTime,
 }
 
 /// Default flow-table bucket count (× 4 slots = capacity).
 const DEFAULT_BUCKETS: usize = 16384;
 
-/// `IPRewriter(EXTIP a.b.c.d)`: source NAT with per-flow port allocation.
+/// `IPRewriter(EXTIP a.b.c.d, BUCKETS n, IDLE_US t, EVICT true)`:
+/// source NAT with per-flow port allocation.
+///
+/// `IDLE_US` arms an idle timeout: a binding unused for longer than `t`
+/// microseconds is expired on its next lookup and the flow gets a fresh
+/// port. `EVICT true` keeps forwarding when the cuckoo displacement walk
+/// gives up (the new key is placed, the final victim is dropped) instead
+/// of dropping the packet. Both default off, preserving the original
+/// drop-on-full, never-expire behaviour byte for byte.
 #[derive(Debug)]
 pub struct IpRewriter {
     ext_ip: [u8; 4],
     table: CuckooHash<FlowKey, Binding>,
     table_region: Option<Region>,
     next_port: u16,
+    /// Idle timeout; `None` disables expiry entirely.
+    idle: Option<SimTime>,
+    /// Forward (and count an eviction) instead of dropping when the
+    /// displacement walk fails.
+    evict: bool,
     /// New flows admitted.
     pub flows: u64,
     /// Packets dropped (non-rewritable or table full).
     pub drops: u64,
+    /// Flow-table lookups performed.
+    pub lookups: u64,
+    /// Lookups that found a live binding.
+    pub hits: u64,
+    /// Bindings expired by the idle timeout.
+    pub expiries: u64,
 }
 
 impl Default for IpRewriter {
@@ -59,8 +82,13 @@ impl Default for IpRewriter {
             table: CuckooHash::new(DEFAULT_BUCKETS),
             table_region: None,
             next_port: 10_000,
+            idle: None,
+            evict: false,
             flows: 0,
             drops: 0,
+            lookups: 0,
+            hits: 0,
+            expiries: 0,
         }
     }
 }
@@ -72,6 +100,15 @@ impl IpRewriter {
             region.base + (bucket as u64) * 64,
             64,
             AccessKind::Load,
+        );
+    }
+
+    fn charge_store(ctx: &mut Ctx<'_>, region: Region, bucket: usize) {
+        ctx.cost += ctx.mem.access(
+            ctx.core,
+            region.base + (bucket as u64) * 64,
+            64,
+            AccessKind::Store,
         );
     }
 }
@@ -95,6 +132,16 @@ impl Element for IpRewriter {
                 message: format!("bad BUCKETS {v:?}"),
             })?;
             self.table = CuckooHash::new(n);
+        }
+        if let Some(v) = args.get("IDLE_US") {
+            let us: f64 = v.parse().map_err(|_| ConfigError::Element {
+                element: String::new(),
+                message: format!("bad IDLE_US {v:?}"),
+            })?;
+            self.idle = Some(SimTime::from_us(us));
+        }
+        if let Some(v) = args.get("EVICT") {
+            self.evict = matches!(v, "true" | "TRUE" | "1");
         }
         Ok(())
     }
@@ -144,33 +191,59 @@ impl Element for IpRewriter {
             proto: ip.protocol.0,
         };
 
-        // Flow-table lookup, charging every probed bucket line.
+        // Flow-table lookup, charging every probed bucket line. The
+        // bucket where the key lands is remembered so expiry/refresh
+        // stores hit the same cache line.
+        self.lookups += 1;
+        let mut found_bucket = 0usize;
         let hit = self.table.lookup_visit(&key, |b| {
+            found_bucket = b;
             Self::charge_probe(ctx, region, b);
         });
         ctx.compute(48); // key assembly + two hashes + compares
 
+        let arrival = pkt.desc.arrival;
+        let hit = match (hit, self.idle) {
+            (Some(b), Some(idle)) if arrival > b.last && arrival - b.last > idle => {
+                // Idle flow: tear down the stale binding and fall
+                // through to the new-flow path for a fresh port.
+                self.table.remove(&key);
+                Self::charge_store(ctx, region, found_bucket);
+                ctx.compute(30);
+                self.expiries += 1;
+                None
+            }
+            (h, _) => h,
+        };
+
         let binding = match hit {
-            Some(b) => b,
+            Some(mut b) => {
+                self.hits += 1;
+                if self.idle.is_some() {
+                    b.last = arrival;
+                    self.table.update(&key, |v| v.last = arrival);
+                    Self::charge_store(ctx, region, found_bucket);
+                }
+                b
+            }
             None => {
                 // New flow: allocate a port and insert.
                 let b = Binding {
                     ext_port: self.next_port,
+                    last: arrival,
                 };
                 self.next_port = self.next_port.wrapping_add(1).max(10_000);
                 let outcome = self.table.insert_visit(key, b, |bk| {
-                    ctx.cost += ctx.mem.access(
-                        ctx.core,
-                        region.base + (bk as u64) * 64,
-                        64,
-                        AccessKind::Store,
-                    );
+                    Self::charge_store(ctx, region, bk);
                 });
                 ctx.compute(85);
-                if outcome == InsertOutcome::Full {
+                if outcome == InsertOutcome::Full && !self.evict {
                     self.drops += 1;
                     return Action::Drop;
                 }
+                // On EVICT a Full insert still placed the new key (the
+                // displacement walk drops its final victim), so the
+                // flow is live and the packet keeps forwarding.
                 self.flows += 1;
                 b
             }
@@ -207,6 +280,26 @@ impl Element for IpRewriter {
         ctx.compute(42);
         Action::Forward(0)
     }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        Some(TableStats {
+            name: String::new(),
+            kind: "cuckoo",
+            capacity: self.table.capacity() as u64,
+            occupancy: self.table.len() as u64,
+            lookups: self.lookups,
+            hits: self.hits,
+            insertions: self.flows,
+            expiries: self.expiries,
+            evictions: self.table.evictions(),
+            displacements: self.table.displacements(),
+            max_chain: self.table.max_chain(),
+        })
+    }
+
+    fn table_regions(&self) -> Vec<Region> {
+        self.table_region.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +319,7 @@ mod tests {
         el
     }
 
-    fn rewrite(el: &mut IpRewriter, frame: &mut Vec<u8>) -> Action {
+    fn rewrite_at(el: &mut IpRewriter, frame: &mut Vec<u8>, arrival: SimTime) -> Action {
         let mut mem = MemoryHierarchy::skylake(1);
         let plan = ExecPlan::vanilla(MetadataModel::Copying);
         let mut ctx = Ctx::new(0, &mut mem, &plan);
@@ -242,7 +335,7 @@ mod tests {
                 buf_id: 0,
                 len: len as u32,
                 rss_hash: 0,
-                arrival: pm_sim::SimTime::ZERO,
+                arrival,
                 gen: pm_sim::SimTime::ZERO,
                 seq: 0,
                 data_addr: 0x10_000,
@@ -253,6 +346,10 @@ mod tests {
             annos: Annos::default(),
         };
         el.process(&mut ctx, &mut pkt)
+    }
+
+    fn rewrite(el: &mut IpRewriter, frame: &mut Vec<u8>) -> Action {
+        rewrite_at(el, frame, pm_sim::SimTime::ZERO)
     }
 
     #[test]
@@ -354,6 +451,74 @@ mod tests {
         assert_eq!(rewrite(&mut el, &mut f), Action::Forward(0));
         assert_eq!(f, before, "non-TCP/UDP untouched");
         assert_eq!(el.flows, 0);
+    }
+
+    #[test]
+    fn idle_timeout_expires_and_reallocates() {
+        let mut el = IpRewriter::default();
+        el.configure(&Args::parse("EXTIP 198.51.100.9, IDLE_US 10"))
+            .unwrap();
+        el.setup(&mut AddressSpace::new());
+        let mk = || {
+            PacketBuilder::tcp()
+                .src_ip([10, 0, 0, 5])
+                .src_port(7777)
+                .build()
+        };
+        let mut f = mk();
+        rewrite_at(&mut el, &mut f, SimTime::ZERO);
+        let p0 = TcpHeader::parse(&f[34..]).unwrap().src_port;
+        // Inside the timeout: binding reused, `last` refreshed.
+        let mut f = mk();
+        rewrite_at(&mut el, &mut f, SimTime::from_us(5.0));
+        assert_eq!(TcpHeader::parse(&f[34..]).unwrap().src_port, p0);
+        assert_eq!(el.expiries, 0);
+        // The refresh restarted the clock: 5 + 9 < 5 + 10 keeps it.
+        let mut f = mk();
+        rewrite_at(&mut el, &mut f, SimTime::from_us(14.0));
+        assert_eq!(el.expiries, 0, "refresh-on-hit restarted the idle clock");
+        // Past the timeout: expired, a fresh port is allocated.
+        let mut f = mk();
+        rewrite_at(&mut el, &mut f, SimTime::from_us(100.0));
+        let p1 = TcpHeader::parse(&f[34..]).unwrap().src_port;
+        assert_ne!(p1, p0, "expired flow reallocates");
+        assert_eq!(el.expiries, 1);
+        assert_eq!(el.flows, 2);
+        let stats = el.table_stats().unwrap();
+        assert_eq!(stats.expiries, 1);
+        assert_eq!(stats.occupancy, 1, "old binding removed");
+    }
+
+    #[test]
+    fn evict_policy_forwards_when_table_is_full() {
+        let mut el = IpRewriter::default();
+        el.configure(&Args::parse("EXTIP 198.51.100.9, BUCKETS 2, EVICT true"))
+            .unwrap();
+        el.setup(&mut AddressSpace::new());
+        for sp in 0..64u16 {
+            let mut f = PacketBuilder::tcp().src_port(1000 + sp).build();
+            assert_eq!(rewrite(&mut el, &mut f), Action::Forward(0), "sp={sp}");
+        }
+        assert_eq!(el.drops, 0, "EVICT never drops on full");
+        assert_eq!(el.flows, 64);
+        let stats = el.table_stats().unwrap();
+        assert!(stats.evictions > 0, "the 8-entry table must have evicted");
+        assert!(stats.occupancy <= stats.capacity);
+    }
+
+    #[test]
+    fn default_policy_reports_table_stats() {
+        let mut el = element();
+        let mut f = PacketBuilder::tcp().src_port(4242).build();
+        rewrite(&mut el, &mut f);
+        let stats = el.table_stats().unwrap();
+        assert_eq!(stats.kind, "cuckoo");
+        assert_eq!(stats.capacity, (DEFAULT_BUCKETS * 4) as u64);
+        assert_eq!(stats.occupancy, 1);
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(el.table_regions().len(), 1);
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! `LookupIPRoute`: longest-prefix-match routing on the radix trie.
 
 use crate::trie::{parse_cidr, parse_ip, RadixTrie, Route};
-use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt};
+use pm_click::{Action, Args, ConfigError, Ctx, Element, Pkt, TableStats};
 use pm_mem::{AccessKind, AddressSpace, Region};
 use pm_packet::ether::ETHER_LEN;
 
 /// Bytes per trie node in the charged region (two children + route).
 const NODE_BYTES: u64 = 16;
 
-/// `LookupIPRoute(CIDR PORT [GW], …)`: looks up the destination address,
-/// sets the destination-IP annotation (next hop) and forwards out the
-/// route's port. Drops packets with no matching route.
+/// `LookupIPRoute(CIDR PORT [GW], …, SYNTH "count [seed [nports]]")`:
+/// looks up the destination address, sets the destination-IP annotation
+/// (next hop) and forwards out the route's port. Drops packets with no
+/// matching route.
+///
+/// `SYNTH` bulk-loads `count` deterministic synthetic prefixes (drawn
+/// from the 10/8, 172.16/12 and 192.168/16 families so workload traffic
+/// is routable) for million-route table-scaling sweeps, alongside any
+/// explicitly listed routes.
 ///
 /// The trie nodes live in a simulated region; every node walked is
 /// charged, so bigger tables genuinely cost more cache.
@@ -19,6 +25,14 @@ pub struct LookupIpRoute {
     trie: RadixTrie,
     nodes_region: Option<Region>,
     max_port: u16,
+    /// Route entries installed.
+    pub routes: u64,
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that found a route.
+    pub hits: u64,
+    /// Deepest trie walk any lookup has taken.
+    pub max_walk: u64,
     /// Packets dropped for lack of a route.
     pub no_route: u64,
 }
@@ -27,7 +41,30 @@ impl LookupIpRoute {
     /// Adds a route programmatically.
     pub fn add_route(&mut self, prefix: u32, len: u8, route: Route) {
         self.max_port = self.max_port.max(route.port);
+        self.routes += 1;
         self.trie.insert(prefix, len, route);
+    }
+
+    /// Installs `count` synthetic routes, derived purely from `seed` so
+    /// the same arguments always build the same table.
+    pub fn synthesize(&mut self, count: u64, seed: u64, nports: u16) {
+        const FAMILIES: [(u32, u8); 3] = [
+            (0x0a00_0000, 8),  // 10.0.0.0/8
+            (0xac10_0000, 12), // 172.16.0.0/12
+            (0xc0a8_0000, 16), // 192.168.0.0/16
+        ];
+        for i in 0..count {
+            let h =
+                pm_sim::SplitMix64::new(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+            let (base, base_len) = FAMILIES[(h % 3) as usize];
+            // Prefix length from the family base out to /28.
+            let len = base_len + ((h >> 8) % u64::from(29 - base_len)) as u8;
+            let mask = u32::MAX << (32 - len);
+            let host_bits = !(u32::MAX << (32 - base_len));
+            let prefix = (base | ((h >> 16) as u32 & host_bits)) & mask;
+            let port = ((h >> 48) % u64::from(nports.max(1))) as u16;
+            self.add_route(prefix, len, Route { port, gateway: 0 });
+        }
     }
 }
 
@@ -38,16 +75,41 @@ impl Element for LookupIpRoute {
 
     fn configure(&mut self, args: &Args) -> Result<(), ConfigError> {
         for a in &args.items {
+            let bad = |m: String| ConfigError::Element {
+                element: String::new(),
+                message: m,
+            };
+            if a.key.as_deref() == Some("SYNTH") {
+                // SYNTH "count [seed [nports]]": bulk synthetic routes.
+                let mut it = a.value.split_whitespace();
+                let count: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(format!("bad SYNTH count in {:?}", a.value)))?;
+                let seed: u64 = match it.next() {
+                    None => 0x5EED,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| bad(format!("bad SYNTH seed in {:?}", a.value)))?,
+                };
+                let nports: u16 = match it.next() {
+                    None => 1,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| bad(format!("bad SYNTH nports in {:?}", a.value)))?,
+                };
+                if it.next().is_some() {
+                    return Err(bad(format!("SYNTH takes at most 3 fields: {:?}", a.value)));
+                }
+                self.synthesize(count, seed, nports);
+                continue;
+            }
             // Each argument: "CIDR PORT" or "CIDR GW PORT".
             let text = match &a.key {
                 Some(k) => format!("{k} {}", a.value),
                 None => a.value.clone(),
             };
             let parts: Vec<&str> = text.split_whitespace().collect();
-            let bad = |m: String| ConfigError::Element {
-                element: String::new(),
-                message: m,
-            };
             if parts.len() < 2 || parts.len() > 3 {
                 return Err(bad(format!("route {text:?}: expected CIDR [GW] PORT")));
             }
@@ -109,8 +171,11 @@ impl Element for LookupIpRoute {
             );
         });
         ctx.compute(12 + visited * 3);
+        self.lookups += 1;
+        self.max_walk = self.max_walk.max(visited);
         match result {
             Some(route) => {
+                self.hits += 1;
                 let next_hop = if route.gateway != 0 {
                     route.gateway
                 } else {
@@ -128,6 +193,26 @@ impl Element for LookupIpRoute {
                 Action::Drop
             }
         }
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        Some(TableStats {
+            name: String::new(),
+            kind: "trie",
+            capacity: self.trie.node_count() as u64,
+            occupancy: self.routes,
+            lookups: self.lookups,
+            hits: self.hits,
+            insertions: self.routes,
+            expiries: 0,
+            evictions: 0,
+            displacements: 0,
+            max_chain: self.max_walk,
+        })
+    }
+
+    fn table_regions(&self) -> Vec<Region> {
+        self.nodes_region.into_iter().collect()
     }
 }
 
@@ -210,6 +295,48 @@ mod tests {
         assert!(el.configure(&Args::parse("10.0.0.0/8")).is_err());
         assert!(el.configure(&Args::parse("999.0.0.0/8 1")).is_err());
         assert!(el.configure(&Args::parse("10.0.0.0/8 bad.gw 1")).is_err());
+    }
+
+    #[test]
+    fn synth_routes_are_deterministic_and_routable() {
+        let mut a = element("0.0.0.0/0 0, SYNTH 5000 42 4");
+        let b = element("0.0.0.0/0 0, SYNTH 5000 42 4");
+        assert_eq!(a.routes, 5001);
+        assert_eq!(
+            a.trie.node_count(),
+            b.trie.node_count(),
+            "same seed, same trie"
+        );
+        assert!(a.n_outputs() >= 4, "ports spread over nports");
+        // Workload-family destinations resolve to a synthetic prefix,
+        // not just the default route, often enough to matter.
+        let mut specific = 0;
+        for i in 0..256u32 {
+            let dst = [10, (i % 256) as u8, (i / 7) as u8, 1];
+            let (act, _) = route_packet(&mut a, dst);
+            if act != Action::Forward(0) {
+                specific += 1;
+            }
+        }
+        assert!(specific > 0, "some 10/8 traffic hits synthetic routes");
+        let stats = a.table_stats().unwrap();
+        assert_eq!(stats.kind, "trie");
+        assert_eq!(stats.occupancy, 5001);
+        assert!(stats.capacity > 5001, "trie allocates interior nodes");
+        assert!(stats.max_chain > 0 && stats.max_chain <= 33);
+        assert_eq!(a.table_regions().len(), 1);
+    }
+
+    #[test]
+    fn synth_config_errors() {
+        let mut el = LookupIpRoute::default();
+        assert!(el.configure(&Args::parse("SYNTH nope")).is_err());
+        let mut el = LookupIpRoute::default();
+        assert!(el.configure(&Args::parse("SYNTH 10 bad")).is_err());
+        let mut el = LookupIpRoute::default();
+        assert!(el
+            .configure(&Args::parse("SYNTH 10 1 2 3, 0.0.0.0/0 0"))
+            .is_err());
     }
 
     #[test]

@@ -60,6 +60,18 @@ pub trait Dataplane {
         Vec::new()
     }
 
+    /// Occupancy/policy counters for element-owned lookup tables, when
+    /// the dataplane has any (flow tables, route tries, conntrack).
+    fn table_stats(&self) -> Vec<pm_click::TableStats> {
+        Vec::new()
+    }
+
+    /// The simulated regions backing element tables, so the engine can
+    /// remap them onto hugepages when the experiment asks for it.
+    fn table_regions(&self) -> Vec<pm_mem::Region> {
+        Vec::new()
+    }
+
     /// Enables per-packet element-span recording for the flight
     /// recorder's lifecycle trace. Dataplanes without an element graph
     /// (the comparator engines) ignore it — their sampled packets simply

@@ -23,8 +23,13 @@
 
 pub mod pcap;
 pub mod synth;
+pub mod workload;
 pub mod zipf;
 
 pub use pcap::{read_pcap, write_pcap, PcapError};
 pub use synth::{Trace, TraceConfig, TrafficProfile};
+pub use workload::{
+    AttackEvent, AttackKind, FramePlan, SizeModel, Workload, WorkloadSpec, WorkloadSpecError,
+    WorkloadStats,
+};
 pub use zipf::Zipf;

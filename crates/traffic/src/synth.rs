@@ -173,22 +173,64 @@ impl Trace {
     /// common case — every figure shares one default seed) pay for
     /// synthesis once instead of once per run.
     pub fn synthesize_cached(cfg: &TraceConfig) -> Trace {
-        // Bounded FIFO of (key, trace): a sweep touches only a handful
-        // of distinct configs, and each cached trace holds several MB
-        // of frames, so a short list beats an unbounded map.
-        static CACHE: Mutex<Vec<(TraceKey, Trace)>> = Mutex::new(Vec::new());
-        const CAP: usize = 8;
-
         let key = TraceKey::of(cfg);
         {
-            let cache = CACHE.lock().expect("trace cache poisoned");
+            let cache = trace_cache().lock().expect("trace cache poisoned");
             if let Some((_, t)) = cache.iter().find(|(k, _)| *k == key) {
                 return t.clone();
             }
         } // synthesize outside the lock
         let t = Trace::synthesize(cfg);
-        let mut cache = CACHE.lock().expect("trace cache poisoned");
-        if cache.len() >= CAP {
+        let mut cache = trace_cache().lock().expect("trace cache poisoned");
+        if cache.len() >= TRACE_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, t.clone()));
+        t
+    }
+
+    /// Synthesizes a trace from a flow-population [`Workload`]: one
+    /// frame per sequence `0..workload.frames()`, each a pure function
+    /// of the spec (see `crate::workload`).
+    pub fn from_workload(w: &crate::workload::Workload) -> Trace {
+        let n = w.frames();
+        assert!(n > 0, "empty workload trace");
+        let mut frames = Vec::with_capacity(n);
+        let mut total_bytes = 0u64;
+        for seq in 0..n {
+            let frame = w.build_frame(seq as u64);
+            total_bytes += frame.len() as u64;
+            frames.push(frame.into_boxed_slice());
+        }
+        Trace {
+            frames: frames.into(),
+            total_bytes,
+        }
+    }
+
+    /// Like [`Self::from_workload`], but memoized in the same
+    /// process-wide cache as [`Self::synthesize_cached`] (a flow-scale
+    /// sweep re-runs the same workload spec for several NF presets and
+    /// page modes; the Zipf CDF build and frame synthesis are paid
+    /// once). Keyed by the canonical spec string.
+    pub fn from_workload_spec_cached(spec: &crate::workload::WorkloadSpec) -> Trace {
+        let key = TraceKey {
+            packets: 0,
+            flows: 0,
+            zipf_alpha_bits: 0,
+            fixed_size: None,
+            workload: Some(spec.to_spec()),
+            seed: spec.seed,
+        };
+        {
+            let cache = trace_cache().lock().expect("trace cache poisoned");
+            if let Some((_, t)) = cache.iter().find(|(k, _)| *k == key) {
+                return t.clone();
+            }
+        } // synthesize outside the lock
+        let t = Trace::from_workload(&crate::workload::Workload::new(spec.clone()));
+        let mut cache = trace_cache().lock().expect("trace cache poisoned");
+        if cache.len() >= TRACE_CACHE_CAP {
             cache.remove(0);
         }
         cache.push((key, t.clone()));
@@ -257,15 +299,17 @@ impl Trace {
     }
 }
 
-/// Cache key for [`Trace::synthesize_cached`]: every [`TraceConfig`]
-/// field that synthesis depends on, with the float exponent taken by
-/// bit pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Cache key for [`Trace::synthesize_cached`] and
+/// [`Trace::from_workload_spec_cached`]: every field synthesis depends
+/// on, with the float exponent taken by bit pattern and workload traces
+/// keyed by their canonical spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct TraceKey {
     packets: usize,
     flows: usize,
     zipf_alpha_bits: u64,
     fixed_size: Option<usize>,
+    workload: Option<String>,
     seed: u64,
 }
 
@@ -279,9 +323,20 @@ impl TraceKey {
                 TrafficProfile::CampusMix => None,
                 TrafficProfile::FixedSize(s) => Some(s),
             },
+            workload: None,
             seed: cfg.seed,
         }
     }
+}
+
+/// Bounded FIFO of (key, trace): a sweep touches only a handful of
+/// distinct configs, and each cached trace holds several MB of frames,
+/// so a short list beats an unbounded map.
+const TRACE_CACHE_CAP: usize = 8;
+
+fn trace_cache() -> &'static Mutex<Vec<(TraceKey, Trace)>> {
+    static CACHE: Mutex<Vec<(TraceKey, Trace)>> = Mutex::new(Vec::new());
+    &CACHE
 }
 
 /// Samples a campus-like frame size: a small/medium/large mixture with

@@ -49,6 +49,17 @@ impl Zipf {
         let u = rng.next_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
+
+    /// The analytic CDF at `rank`: the probability mass of ranks
+    /// `0..=rank` (used by the workload property tests to compare
+    /// empirical sample frequencies against the closed form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= n`.
+    pub fn cdf(&self, rank: usize) -> f64 {
+        self.cdf[rank]
+    }
 }
 
 #[cfg(test)]

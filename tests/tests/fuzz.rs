@@ -201,6 +201,126 @@ mod round_trip {
     }
 }
 
+mod workload_grammar {
+    use super::*;
+    use pm_traffic::{Workload, WorkloadSpec};
+
+    /// Clause soup: mostly-plausible key/value fragments, attack
+    /// windows, and raw noise, joined with the grammar's separators.
+    /// (Bare string literals are the shim's literal-pattern strategy:
+    /// each generates exactly itself.)
+    fn spec_soup() -> impl Strategy<Value = String> {
+        let key = prop_oneof![
+            "seed", "flows", "zipf", "life", "frames", "size", "syn", "scan", "bogus", "",
+        ];
+        let val = prop_oneof![
+            "0",
+            "1k",
+            "10M",
+            "0x",
+            "0xZZ",
+            "99999999999999999999",
+            "-3",
+            "1.",
+            "..",
+            "campus",
+            "@..:rate=",
+            "[a-z0-9.@:=]{0,12}",
+        ];
+        let clause = prop_oneof![
+            (key, val).prop_map(|(k, v)| format!("{k}={v}")),
+            (
+                prop_oneof!["syn", "scan", "x"],
+                "[0-9]{0,6}",
+                "[0-9]{0,6}",
+                "[0-9.]{0,5}"
+            )
+                .prop_map(|(k, a, b, r)| format!("{k}@{a}..{b}:rate={r}")),
+            "[ -~]{0,16}",
+        ];
+        proptest::collection::vec(clause, 0..8).prop_map(|cs| cs.join(";"))
+    }
+
+    /// A canonical valid spec, then wire-style damage: bit flips,
+    /// truncation, or splicing in arbitrary bytes.
+    fn damaged_spec() -> impl Strategy<Value = String> {
+        let base = (any::<u64>(), 1u64..100_000, 0u32..3_000, 0u64..10_000).prop_map(
+            |(seed, flows, zipf_x1000, life)| {
+                WorkloadSpec {
+                    seed,
+                    flows,
+                    zipf_x1000,
+                    life,
+                    ..WorkloadSpec::default()
+                }
+                .to_spec()
+            },
+        );
+        (base, any::<u16>(), any::<u8>(), "[ -~]{0,8}").prop_map(|(mut s, pos, op, splice)| {
+            let i = usize::from(pos) % s.len().max(1);
+            match op % 3 {
+                0 => s.truncate(i),
+                1 => s.insert_str(i.min(s.len()), &splice),
+                _ => {
+                    let mut b = s.into_bytes();
+                    if !b.is_empty() {
+                        // Stay ASCII so byte indexing stays char-aligned.
+                        let j = i % b.len();
+                        b[j] = 32 + (b[j] ^ op) % 95;
+                    }
+                    s = String::from_utf8(b).expect("ascii");
+                }
+            }
+            s
+        })
+    }
+
+    proptest! {
+        /// The `--workload` grammar never panics: any input yields
+        /// either a parsed spec or a typed error, accepted specs honor
+        /// the parse caps, and acceptance is stable through the
+        /// canonical form.
+        #[test]
+        fn parse_never_panics_on_clause_soup(s in spec_soup()) {
+            if let Ok(spec) = WorkloadSpec::parse(&s) {
+                prop_assert!(spec.flows <= 50_000_000, "flows cap: {}", spec.flows);
+                prop_assert!(spec.frames <= 4_000_000, "frames cap: {}", spec.frames);
+                let canon = spec.to_spec();
+                prop_assert_eq!(WorkloadSpec::parse(&canon), Ok(spec));
+            } else {
+                // Typed error with a message; the Display impl is what
+                // `--workload` prints, so it must render too.
+                let msg = WorkloadSpec::parse(&s).unwrap_err().to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+
+        /// Same property under damaged previously-valid specs, which
+        /// keep the parser in the interesting near-miss region.
+        #[test]
+        fn parse_never_panics_on_damaged_specs(s in damaged_spec()) {
+            if let Ok(spec) = WorkloadSpec::parse(&s) {
+                let canon = spec.to_spec();
+                prop_assert_eq!(WorkloadSpec::parse(&canon), Ok(spec));
+            }
+        }
+
+        /// Whatever the parser accepts, the churn model must run: plans
+        /// and stats never panic, and the conservation identity holds.
+        #[test]
+        fn accepted_specs_drive_the_churn_model(s in spec_soup(), n in 1u64..512) {
+            if let Ok(spec) = WorkloadSpec::parse(&s) {
+                let w = Workload::new(spec);
+                for seq in 0..64 {
+                    let _ = w.plan(seq);
+                }
+                let stats = w.stats(n);
+                prop_assert!(stats.conserves(), "n={n}: {stats:?}");
+            }
+        }
+    }
+}
+
 mod pipelines {
     use super::*;
     use packetmill::{

@@ -167,6 +167,54 @@ fn fig_timeline_artifact_matches_committed_fixture() {
     assert!(json.contains("\"link_down\""), "drop series by cause");
 }
 
+/// The flow-scale sweep at the 10k rung of the ladder (1k and 10k flows
+/// × 3 stateful NF presets × 4-KiB vs hugepage tables): pins the
+/// workload-driven trace synthesis, the scaled-table presets, the
+/// per-table counters in the artifact, and the hugepage table placement
+/// byte for byte. Any change to the flow-population hashing or the
+/// cuckoo/trie/conntrack charging shows up here.
+#[test]
+fn fig_flowscale_artifact_matches_committed_fixture() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping fig_flowscale golden sweep in debug builds (runs under --release)");
+        return;
+    }
+    set_default_profile(true);
+    let a = pm_bench::figures::fig_flowscale(10_000);
+
+    let stdout = format!("{}\n", a.table);
+    let json = artifact_document(vec![a.results.to_json("fig-flowscale")]).to_pretty() + "\n";
+
+    // PM_WRITE_GOLDEN=1 regenerates the fixture instead of comparing.
+    if std::env::var("PM_WRITE_GOLDEN").is_ok_and(|v| v != "0") {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+        std::fs::write(format!("{dir}/fig-flowscale.txt"), &stdout).unwrap();
+        std::fs::write(format!("{dir}/fig-flowscale.json"), &json).unwrap();
+        eprintln!("wrote fig_flowscale fixtures to {dir}");
+        return;
+    }
+
+    assert_same(
+        &stdout,
+        include_str!("../golden/fig-flowscale.txt"),
+        "stdout table",
+    );
+    assert_same(
+        &json,
+        include_str!("../golden/fig-flowscale.json"),
+        "json artifact",
+    );
+
+    // The fixture carries the workload section: canonical spec, churn
+    // accounting, and the per-table counters.
+    assert!(json.contains("\"workload\""), "workload section present");
+    assert!(json.contains("\"tables\""), "per-table counters present");
+    assert!(
+        json.contains("\"hugepage_tables\": true"),
+        "hugepage runs present"
+    );
+}
+
 #[test]
 fn table1_artifact_matches_committed_fixture() {
     if cfg!(debug_assertions) {
